@@ -1,0 +1,113 @@
+// Ablation: the ActYP pipeline vs the centralized-scheduler and
+// Condor-style matchmaker baselines (§8). Same 3,200-machine fleet, same
+// per-machine scan cost, same closed-loop clients — the differences are
+// purely architectural: decentralized pools vs one scan of the whole
+// database per query vs batched negotiation cycles.
+#include <cstdio>
+
+#include "baseline/central.hpp"
+#include "baseline/matchmaker.hpp"
+#include "bench_common.hpp"
+#include "simnet/kernel.hpp"
+#include "simnet/sim_network.hpp"
+#include "workload/client.hpp"
+#include "workload/generator.hpp"
+
+namespace {
+
+using namespace actyp;
+
+// Assembles fleet + baseline scheduler + clients on the standard
+// topology and measures client response time.
+bench::CellResult RunBaseline(const std::string& kind, std::size_t machines,
+                              std::size_t clients, std::uint64_t seed) {
+  simnet::SimKernel kernel;
+  simnet::SimNetwork network(&kernel, simnet::Topology::Lan(), seed);
+  network.AddHost("alpha", 12);
+  network.AddHost("clients", static_cast<int>(clients));
+
+  db::ResourceDatabase database;
+  Rng rng(seed);
+  workload::FleetSpec fleet;
+  fleet.machine_count = machines;
+  fleet.cluster_count = 4;
+  BuildFleet(fleet, rng, &database, nullptr);
+
+  net::Address entry;
+  std::shared_ptr<baseline::CentralScheduler> central;
+  std::shared_ptr<baseline::Matchmaker> matchmaker;
+  if (kind == "central") {
+    central = std::make_shared<baseline::CentralScheduler>(
+        baseline::CentralSchedulerConfig{}, &database);
+    network.AddNode("sched", central, {"alpha", 1});
+    entry = "sched";
+  } else {
+    baseline::MatchmakerConfig config;
+    config.cycle_period = Seconds(5.0);
+    matchmaker = std::make_shared<baseline::Matchmaker>(config, &database);
+    network.AddNode("sched", matchmaker, {"alpha", 1});
+    entry = "sched";
+  }
+
+  workload::QuerySpec query_spec;
+  query_spec.cluster_count = 4;
+  workload::QueryGenerator generator(query_spec);
+  workload::ResponseCollector collector;
+  std::vector<std::shared_ptr<workload::ClientNode>> client_nodes;
+  for (std::size_t i = 0; i < clients; ++i) {
+    workload::ClientConfig config;
+    config.client_id = static_cast<std::uint32_t>(i + 1);
+    config.entry = entry;
+    config.make_query = [generator](Rng& r) { return generator.Next(r); };
+    config.collector = &collector;
+    auto client = std::make_shared<workload::ClientNode>(config);
+    client_nodes.push_back(client);
+    network.AddNode("client" + std::to_string(i), client, {"clients", 1});
+  }
+
+  kernel.RunUntil(Seconds(3));
+  collector.Reset();
+  kernel.RunUntil(Seconds(18));
+
+  bench::CellResult result;
+  result.mean_s = collector.response_stats().mean();
+  result.p50_s = collector.QuantileSeconds(0.5);
+  result.p95_s = collector.QuantileSeconds(0.95);
+  result.completed = collector.completed();
+  result.failures = collector.failures();
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== Ablation — ActYP pipeline vs centralized baselines ==\n");
+  std::printf("%12s %8s %12s %12s %12s %10s\n", "system", "clients", "mean(s)",
+              "p50(s)", "p95(s)", "queries");
+  for (const std::size_t clients : {8, 32, 64}) {
+    {
+      ScenarioConfig config;
+      config.machines = 3200;
+      config.clusters = 4;
+      config.clients = clients;
+      config.seed = 100 + clients;
+      const auto r = bench::RunCell(config);
+      std::printf("%12s %8zu %12.4f %12.4f %12.4f %10llu\n", "actyp", clients,
+                  r.mean_s, r.p50_s, r.p95_s,
+                  static_cast<unsigned long long>(r.completed));
+    }
+    for (const char* kind : {"central", "matchmaker"}) {
+      const auto r = RunBaseline(kind, 3200, clients, 200 + clients);
+      std::printf("%12s %8zu %12.4f %12.4f %12.4f %10llu\n", kind, clients,
+                  r.mean_s, r.p50_s, r.p95_s,
+                  static_cast<unsigned long long>(r.completed));
+    }
+  }
+  std::printf(
+      "\nshape check: ActYP's pooled, decentralized scan beats the\n"
+      "centralized full-database scan as clients grow, and beats the\n"
+      "matchmaker's negotiation-cycle latency floor (>= one 5s cycle for\n"
+      "closed-loop clients) by orders of magnitude for the short jobs\n"
+      "PUNCH serves.\n");
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Ablation: dynamic vs static aggregation — the paper's second key
+// claim: "static aggregation of resources for improved scheduling is
+// inadequate ... because the needs of users and jobs change with both
+// location and time" (§1). We shift the job mix onto one hot pool (a
+// class working on an assignment, §6's temporal-locality example) and
+// compare a static partition against ActYP reacting by splitting or
+// replicating the hot aggregate.
+#include <cstdio>
+
+#include "actyp/scenario.hpp"
+
+namespace {
+
+using namespace actyp;
+
+double Run(std::uint32_t segments, std::uint32_t replicas,
+           double hot_fraction, std::uint64_t seed) {
+  ScenarioConfig config;
+  config.machines = 3200;
+  config.clusters = 4;
+  config.pool_segments = segments;
+  config.pool_replicas = replicas;
+  config.clients = 32;
+  config.hot_fraction = hot_fraction;
+  config.seed = seed;
+  SimScenario scenario(config);
+  scenario.Measure(Seconds(3), Seconds(15));
+  return scenario.collector().response_stats().mean();
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== Ablation — static vs dynamically re-aggregated pools ==\n");
+  std::printf("%26s %14s %12s\n", "configuration", "hot-fraction", "mean(s)");
+
+  // Uniform mix: the static partition is perfectly sized.
+  std::printf("%26s %14.2f %12.4f\n", "static 4 pools", 0.0,
+              Run(1, 1, 0.0, 51));
+  // The class logs in: 90% of queries hit one pool.
+  std::printf("%26s %14.2f %12.4f\n", "static 4 pools", 0.9,
+              Run(1, 1, 0.9, 52));
+  // ActYP reacts: the hot aggregate is split into 4 concurrent segments.
+  std::printf("%26s %14.2f %12.4f\n", "re-aggregated (split x4)", 0.9,
+              Run(4, 1, 0.9, 53));
+  // Or replicated into 4 concurrent schedulers.
+  std::printf("%26s %14.2f %12.4f\n", "re-aggregated (repl x4)", 0.9,
+              Run(1, 4, 0.9, 54));
+
+  std::printf(
+      "\nshape check: the hot-spot mix degrades the static partition well\n"
+      "below its uniform-mix response; re-defining the aggregation on the\n"
+      "fly (splitting or replicating the hot pool) recovers most of it —\n"
+      "the active yellow pages' reason to exist.\n");
+  return 0;
+}

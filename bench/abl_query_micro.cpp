@@ -1,0 +1,98 @@
+// Ablation: query-language microbenchmarks (google-benchmark). The
+// pipeline's per-stage costs assume parsing, signature construction, and
+// decomposition are microsecond-scale; this bench verifies that and
+// tracks regressions.
+#include <benchmark/benchmark.h>
+
+#include "common/strings.hpp"
+#include "net/message.hpp"
+#include "query/parser.hpp"
+
+namespace {
+
+constexpr const char* kPaperQuery =
+    "punch.rsrc.arch = sun\n"
+    "punch.rsrc.memory = >=10\n"
+    "punch.rsrc.license = tsuprem4\n"
+    "punch.rsrc.domain = purdue\n"
+    "punch.appl.expectedcpuuse = 1000\n"
+    "punch.user.login = kapadia\n"
+    "punch.user.accessgroup = ece\n";
+
+void BM_ParseBasic(benchmark::State& state) {
+  for (auto _ : state) {
+    auto q = actyp::query::Parser::ParseBasic(kPaperQuery);
+    benchmark::DoNotOptimize(q);
+  }
+}
+BENCHMARK(BM_ParseBasic);
+
+void BM_Signature(benchmark::State& state) {
+  auto q = actyp::query::Parser::ParseBasic(kPaperQuery);
+  for (auto _ : state) {
+    auto name = q->PoolName();
+    benchmark::DoNotOptimize(name);
+  }
+}
+BENCHMARK(BM_Signature);
+
+void BM_DecomposeComposite(benchmark::State& state) {
+  const std::string text =
+      "punch.rsrc.arch = sun|hp|sgi|linux\n"
+      "punch.rsrc.memory = >=10|>=100\n"
+      "punch.user.login = kapadia\n";
+  for (auto _ : state) {
+    auto composite = actyp::query::Parser::Parse(text);
+    benchmark::DoNotOptimize(composite);
+  }
+}
+BENCHMARK(BM_DecomposeComposite);
+
+void BM_QueryToText(benchmark::State& state) {
+  auto q = actyp::query::Parser::ParseBasic(kPaperQuery);
+  for (auto _ : state) {
+    auto text = q->ToText();
+    benchmark::DoNotOptimize(text);
+  }
+}
+BENCHMARK(BM_QueryToText);
+
+void BM_Match(benchmark::State& state) {
+  auto q = actyp::query::Parser::ParseBasic(kPaperQuery);
+  auto attrs = [](const std::string& name) -> std::optional<std::string> {
+    if (name == "arch") return "sun";
+    if (name == "memory") return "512";
+    if (name == "license") return "tsuprem4";
+    if (name == "domain") return "purdue";
+    return std::nullopt;
+  };
+  for (auto _ : state) {
+    bool matches = q->Matches(attrs);
+    benchmark::DoNotOptimize(matches);
+  }
+}
+BENCHMARK(BM_Match);
+
+void BM_MessageEncodeDecode(benchmark::State& state) {
+  actyp::net::Message m{"query"};
+  m.SetHeader("reply-to", "client1");
+  m.SetHeader("request-id", "123456");
+  m.body = kPaperQuery;
+  for (auto _ : state) {
+    auto round = actyp::net::Message::Decode(m.Encode());
+    benchmark::DoNotOptimize(round);
+  }
+}
+BENCHMARK(BM_MessageEncodeDecode);
+
+void BM_GlobMatch(benchmark::State& state) {
+  for (auto _ : state) {
+    bool match = actyp::GlobMatch("sparc*ultra-?", "sparc-iii-ultra-5");
+    benchmark::DoNotOptimize(match);
+  }
+}
+BENCHMARK(BM_GlobMatch);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,48 @@
+// Shared helpers for the figure-reproduction benches: run one simulated
+// measurement cell and print aligned result rows.
+#pragma once
+
+#include <cstdio>
+
+#include "actyp/scenario.hpp"
+
+namespace actyp::bench {
+
+struct CellResult {
+  double mean_s = 0;
+  double p50_s = 0;
+  double p95_s = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t failures = 0;
+};
+
+// Runs one scenario cell: warm up, reset the collector, measure.
+inline CellResult RunCell(ScenarioConfig config,
+                          SimDuration warmup = Seconds(3),
+                          SimDuration measure = Seconds(15)) {
+  SimScenario scenario(std::move(config));
+  scenario.Measure(warmup, measure);
+  CellResult result;
+  result.mean_s = scenario.collector().response_stats().mean();
+  result.p50_s = scenario.collector().QuantileSeconds(0.50);
+  result.p95_s = scenario.collector().QuantileSeconds(0.95);
+  result.completed = scenario.collector().completed();
+  result.failures = scenario.collector().failures();
+  return result;
+}
+
+inline void PrintHeader(const char* title, const char* dim1,
+                        const char* dim2) {
+  std::printf("\n== %s ==\n", title);
+  std::printf("%10s %10s %12s %12s %12s %10s %8s\n", dim1, dim2, "mean(s)",
+              "p50(s)", "p95(s)", "queries", "fail");
+}
+
+inline void PrintRow(long d1, long d2, const CellResult& r) {
+  std::printf("%10ld %10ld %12.4f %12.4f %12.4f %10llu %8llu\n", d1, d2,
+              r.mean_s, r.p50_s, r.p95_s,
+              static_cast<unsigned long long>(r.completed),
+              static_cast<unsigned long long>(r.failures));
+}
+
+}  // namespace actyp::bench

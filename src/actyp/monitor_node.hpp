@@ -1,0 +1,32 @@
+// Adapter running the ResourceMonitor as a periodic node on any
+// Network, so monitor sweeps are part of the same (simulated or real)
+// timeline as the pipeline.
+#pragma once
+
+#include "monitor/monitor.hpp"
+#include "net/node.hpp"
+
+namespace actyp {
+
+class MonitorNode final : public net::Node {
+ public:
+  MonitorNode(monitor::ResourceMonitor* monitor, SimDuration period)
+      : monitor_(monitor), period_(period) {}
+
+  void OnStart(net::NodeContext& ctx) override {
+    ctx.ScheduleSelf(period_, net::Message{net::msg::kTick});
+  }
+
+  void OnMessage(const net::Envelope& envelope,
+                 net::NodeContext& ctx) override {
+    if (envelope.message.type != net::msg::kTick) return;
+    monitor_->Step(ctx.Now());
+    ctx.ScheduleSelf(period_, net::Message{net::msg::kTick});
+  }
+
+ private:
+  monitor::ResourceMonitor* monitor_;
+  SimDuration period_;
+};
+
+}  // namespace actyp

@@ -1,0 +1,222 @@
+#include "actyp/scenario.hpp"
+
+#include <algorithm>
+
+#include "actyp/monitor_node.hpp"
+#include "query/parser.hpp"
+
+namespace actyp {
+namespace {
+
+constexpr const char* kServerHost = "alpha";
+constexpr const char* kClientHost = "clients";
+
+}  // namespace
+
+SimScenario::SimScenario(ScenarioConfig config)
+    : config_(std::move(config)), rng_(config_.seed) {
+  Build();
+}
+
+SimScenario::~SimScenario() = default;
+
+void SimScenario::Build() {
+  // --- topology ---
+  simnet::Topology topology = simnet::Topology::Lan();
+  if (config_.wan) {
+    topology = simnet::Topology::WanTwoSites(
+        "purdue", "upc", config_.wan_one_way, config_.wan_jitter);
+  }
+  network_ = std::make_unique<simnet::SimNetwork>(&kernel_, topology,
+                                                  config_.seed ^ 0x6e0d3ULL);
+  network_->SetLossProbability(config_.message_loss_probability);
+  network_->AddHost(kServerHost, config_.server_cores,
+                    config_.wan ? "upc" : "local");
+  network_->AddHost(kClientHost,
+                    static_cast<int>(std::max<std::size_t>(1, config_.clients)),
+                    config_.wan ? "purdue" : "local");
+
+  // --- fleet ---
+  workload::FleetSpec fleet;
+  fleet.machine_count = config_.machines;
+  fleet.cluster_count = std::max<std::size_t>(1, config_.clusters);
+  BuildFleet(fleet, rng_, &database_, &shadows_);
+
+  monitor_ = std::make_unique<monitor::ResourceMonitor>(
+      &database_, monitor::MonitorConfig{}, rng_.Fork());
+  network_->AddNode(
+      "monitor",
+      std::make_shared<MonitorNode>(monitor_.get(), config_.monitor_period),
+      net::NodePlacement{kServerHost, 1});
+
+  // --- reintegrator ---
+  pipeline::ReintegratorConfig reint_config;
+  reint_config.name = "reint";
+  reint_config.costs = config_.costs;
+  network_->AddNode("reint",
+                    std::make_shared<pipeline::Reintegrator>(reint_config),
+                    net::NodePlacement{kServerHost, 1});
+
+  // --- proxies (for on-demand pool creation) ---
+  pipeline::ProxyConfig proxy_config;
+  proxy_config.host = kServerHost;
+  proxy_config.pool_policy = config_.policy;
+  proxy_config.pool_resort_period = config_.resort_period;
+  proxy_config.costs = config_.costs;
+  network_->AddNode("proxy",
+                    std::make_shared<pipeline::ProxyServer>(
+                        proxy_config, network_.get(), &database_, &directory_,
+                        &shadows_, &policies_),
+                    net::NodePlacement{kServerHost, 1});
+
+  // --- pool managers ---
+  std::vector<net::Address> pm_addresses;
+  for (std::size_t i = 0; i < std::max<std::size_t>(1, config_.pool_managers);
+       ++i) {
+    pipeline::PoolManagerConfig pm_config;
+    pm_config.name = "pm" + std::to_string(i);
+    pm_config.proxies = {"proxy"};
+    pm_config.reintegrator = "reint";
+    pm_config.allow_create = !config_.precreate_pools;
+    pm_config.costs = config_.costs;
+    const net::Address address = pm_config.name;
+    network_->AddNode(
+        address,
+        std::make_shared<pipeline::PoolManager>(pm_config, &directory_),
+        net::NodePlacement{kServerHost, 1});
+    pm_addresses.push_back(address);
+  }
+
+  // --- query managers ---
+  std::vector<net::Address> qm_addresses;
+  for (std::size_t i = 0;
+       i < std::max<std::size_t>(1, config_.query_managers); ++i) {
+    pipeline::QueryManagerConfig qm_config;
+    qm_config.name = "qm" + std::to_string(i);
+    qm_config.default_pool_managers = pm_addresses;
+    qm_config.reintegrator = "reint";
+    qm_config.qos_fanout = config_.qos_fanout;
+    qm_config.costs = config_.costs;
+    const net::Address address = qm_config.name;
+    network_->AddNode(address,
+                      std::make_shared<pipeline::QueryManager>(qm_config),
+                      net::NodePlacement{kServerHost, 1});
+    qm_addresses.push_back(address);
+  }
+
+  // --- resource pools ---
+  workload::QuerySpec query_spec;
+  query_spec.cluster_count = std::max<std::size_t>(1, config_.clusters);
+  query_spec.hot_fraction = config_.hot_fraction;
+  workload::QueryGenerator generator(query_spec);
+
+  if (config_.precreate_pools) {
+    const std::size_t clusters = std::max<std::size_t>(1, config_.clusters);
+    const std::uint32_t segments =
+        std::max<std::uint32_t>(1, config_.pool_segments);
+    const std::uint32_t replicas =
+        std::max<std::uint32_t>(1, config_.pool_replicas);
+    for (std::size_t c = 0; c < clusters; ++c) {
+      auto criteria = query::Parser::ParseBasic(generator.ForCluster(c));
+      // Strip appl/user terms: aggregation criteria are rsrc-only.
+      query::Query pool_criteria(criteria->family());
+      for (const auto& [name, cond] : criteria->rsrc()) {
+        pool_criteria.SetRsrc(name, cond);
+      }
+      const std::string pool_name = pool_criteria.PoolName();
+      const std::size_t per_cluster = config_.machines / clusters;
+
+      if (segments > 1) {
+        // Split pool: disjoint partitions under distinct claim names.
+        for (std::uint32_t s = 0; s < segments; ++s) {
+          pipeline::ResourcePoolConfig pool_config;
+          pool_config.pool_name = pool_name;
+          pool_config.instance = s;
+          pool_config.instance_count = 1;
+          pool_config.claim_name = pool_name + "#" + std::to_string(s);
+          pool_config.segment = true;
+          pool_config.criteria = pool_criteria;
+          pool_config.policy = config_.policy;
+          pool_config.resort_period = config_.resort_period;
+          pool_config.claim_limit =
+              s + 1 == segments ? 0 : per_cluster / segments;
+          pool_config.costs = config_.costs;
+          auto pool = std::make_shared<pipeline::ResourcePool>(
+              pool_config, &database_, &directory_, &shadows_, &policies_);
+          pools_.push_back(pool);
+          network_->AddNode(
+              "pool.c" + std::to_string(c) + ".s" + std::to_string(s), pool,
+              net::NodePlacement{kServerHost, 1});
+        }
+      } else {
+        // Replicated (or single) pool: shared machine set, biased
+        // selection per instance.
+        for (std::uint32_t r = 0; r < replicas; ++r) {
+          pipeline::ResourcePoolConfig pool_config;
+          pool_config.pool_name = pool_name;
+          pool_config.instance = r;
+          pool_config.instance_count = replicas;
+          pool_config.criteria = pool_criteria;
+          pool_config.policy = config_.policy;
+          pool_config.resort_period = config_.resort_period;
+          pool_config.costs = config_.costs;
+          auto pool = std::make_shared<pipeline::ResourcePool>(
+              pool_config, &database_, &directory_, &shadows_, &policies_);
+          pools_.push_back(pool);
+          network_->AddNode(
+              "pool.c" + std::to_string(c) + ".r" + std::to_string(r), pool,
+              net::NodePlacement{kServerHost, 1});
+        }
+      }
+    }
+  }
+
+  // --- clients ---
+  for (std::size_t i = 0; i < config_.clients; ++i) {
+    workload::ClientConfig client_config;
+    client_config.client_id = static_cast<std::uint32_t>(i + 1);
+    client_config.entry = qm_addresses[i % qm_addresses.size()];
+    client_config.make_query = [generator](Rng& rng) {
+      return generator.Next(rng);
+    };
+    client_config.think_time = config_.think_time;
+    client_config.job_duration = config_.job_duration;
+    client_config.collector = &collector_;
+    client_config.qos_first_match = config_.qos_first_match;
+    client_config.request_timeout = config_.client_request_timeout;
+    auto client = std::make_shared<workload::ClientNode>(client_config);
+    clients_.push_back(client);
+    network_->AddNode("client" + std::to_string(i), client,
+                      net::NodePlacement{kClientHost, 1});
+  }
+}
+
+void SimScenario::RunUntil(SimTime until) { kernel_.RunUntil(until); }
+
+void SimScenario::Measure(SimDuration warmup, SimDuration duration) {
+  RunUntil(kernel_.Now() + warmup);
+  collector_.Reset();
+  RunUntil(kernel_.Now() + duration);
+}
+
+pipeline::PoolStats SimScenario::TotalPoolStats() const {
+  pipeline::PoolStats total;
+  for (const auto& pool : pools_) {
+    const auto& s = pool->stats();
+    total.queries += s.queries;
+    total.allocations += s.allocations;
+    total.failures += s.failures;
+    total.releases += s.releases;
+    total.oversubscribed += s.oversubscribed;
+    total.entries_examined += s.entries_examined;
+  }
+  return total;
+}
+
+std::uint64_t SimScenario::total_client_failures() const {
+  std::uint64_t n = 0;
+  for (const auto& client : clients_) n += client->stats().failures;
+  return n;
+}
+
+}  // namespace actyp

@@ -1,0 +1,124 @@
+// SimScenario: assembles a complete ActYP deployment on the
+// discrete-event simulator — white pages, shadow accounts, monitor,
+// query managers, pool managers, reintegrator, proxies, resource pools
+// (with optional replication and splitting), and closed-loop clients —
+// reproducing the experimental setups of the paper's §7.
+//
+// Topology mirrors the paper: all service components run on one
+// multi-core server host ("alpha", 12 cores by default — the paper's
+// 12-processor Alpha server); clients run on a client host either in
+// the same site (LAN, Figs. 4 and 6-8) or across a WAN link (Fig. 5).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "db/database.hpp"
+#include "db/policy.hpp"
+#include "db/shadow.hpp"
+#include "directory/directory.hpp"
+#include "monitor/monitor.hpp"
+#include "pipeline/pool_manager.hpp"
+#include "pipeline/proxy.hpp"
+#include "pipeline/query_manager.hpp"
+#include "pipeline/reintegrator.hpp"
+#include "pipeline/resource_pool.hpp"
+#include "simnet/kernel.hpp"
+#include "simnet/sim_network.hpp"
+#include "workload/client.hpp"
+#include "workload/cpu_time.hpp"
+#include "workload/generator.hpp"
+
+namespace actyp {
+
+struct ScenarioConfig {
+  // Fleet / pools.
+  std::size_t machines = 3200;
+  std::size_t clusters = 1;        // number of distinct pools (Figs. 4-5)
+  std::uint32_t pool_replicas = 1; // instances per pool (Fig. 8)
+  std::uint32_t pool_segments = 1; // split factor per pool (Fig. 7)
+  std::string policy = "least-load";
+  SimDuration resort_period = Seconds(2.0);
+  bool precreate_pools = true;  // false = pools created on demand
+
+  // Pipeline stages.
+  std::size_t query_managers = 1;
+  std::size_t pool_managers = 1;
+  std::uint32_t qos_fanout = 1;
+
+  // Clients.
+  std::size_t clients = 16;
+  SimDuration think_time = 0;
+  std::function<SimDuration(Rng&)> job_duration;  // nullptr = release now
+  double hot_fraction = 0.0;
+  bool qos_first_match = false;
+  // Client give-up timer for lossy-network experiments (0 = off).
+  SimDuration client_request_timeout = 0;
+  // Probability that any inter-node message is lost (fault injection).
+  double message_loss_probability = 0.0;
+
+  // Deployment.
+  bool wan = false;  // clients across a WAN link (Fig. 5)
+  int server_cores = 12;
+  SimDuration wan_one_way = Millis(30);
+  SimDuration wan_jitter = Millis(5);
+
+  // Monitoring.
+  SimDuration monitor_period = Seconds(5.0);
+
+  pipeline::CostModel costs;
+  std::uint64_t seed = 20010611;  // HPDC 2001 ;-)
+};
+
+class SimScenario {
+ public:
+  explicit SimScenario(ScenarioConfig config);
+  ~SimScenario();
+
+  SimScenario(const SimScenario&) = delete;
+  SimScenario& operator=(const SimScenario&) = delete;
+
+  // Advances the simulation to `until` (absolute sim time).
+  void RunUntil(SimTime until);
+
+  // Runs a measurement: `warmup` is excluded (the collector is reset
+  // after it), then `duration` of steady state is measured.
+  void Measure(SimDuration warmup, SimDuration duration);
+
+  [[nodiscard]] workload::ResponseCollector& collector() {
+    return collector_;
+  }
+  [[nodiscard]] simnet::SimKernel& kernel() { return kernel_; }
+  [[nodiscard]] simnet::SimNetwork& network() { return *network_; }
+  [[nodiscard]] db::ResourceDatabase& database() { return database_; }
+  [[nodiscard]] directory::DirectoryService& directory() {
+    return directory_;
+  }
+  [[nodiscard]] const ScenarioConfig& config() const { return config_; }
+
+  // Aggregated pipeline statistics (summed over instances).
+  [[nodiscard]] pipeline::PoolStats TotalPoolStats() const;
+  [[nodiscard]] std::uint64_t total_client_failures() const;
+
+ private:
+  void Build();
+  void ResetCollector();
+
+  ScenarioConfig config_;
+  simnet::SimKernel kernel_;
+  std::unique_ptr<simnet::SimNetwork> network_;
+  db::ResourceDatabase database_;
+  db::ShadowAccountRegistry shadows_;
+  db::PolicyRegistry policies_;
+  directory::DirectoryService directory_;
+  std::unique_ptr<monitor::ResourceMonitor> monitor_;
+  workload::ResponseCollector collector_;
+  Rng rng_;
+
+  std::vector<std::shared_ptr<pipeline::ResourcePool>> pools_;
+  std::vector<std::shared_ptr<workload::ClientNode>> clients_;
+};
+
+}  // namespace actyp

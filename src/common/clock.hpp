@@ -1,0 +1,44 @@
+// Clock abstraction decoupling pipeline logic from real time.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+
+#include "common/sim_time.hpp"
+
+namespace actyp {
+
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  [[nodiscard]] virtual SimTime Now() const = 0;
+};
+
+// Real time, microseconds since steady_clock epoch.
+class WallClock final : public Clock {
+ public:
+  [[nodiscard]] SimTime Now() const override {
+    return std::chrono::duration_cast<std::chrono::microseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+  }
+};
+
+// Manually advanced clock for unit tests and for the discrete-event
+// kernel (which owns and advances one).
+class ManualClock final : public Clock {
+ public:
+  explicit ManualClock(SimTime start = 0) : now_(start) {}
+  [[nodiscard]] SimTime Now() const override {
+    return now_.load(std::memory_order_relaxed);
+  }
+  void Advance(SimDuration delta) {
+    now_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  void Set(SimTime t) { now_.store(t, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<SimTime> now_;
+};
+
+}  // namespace actyp

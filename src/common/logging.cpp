@@ -1,0 +1,56 @@
+#include "common/logging.hpp"
+
+#include <cstdio>
+#include <mutex>
+
+namespace actyp {
+namespace {
+
+const char* LevelTag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+
+std::mutex& SinkMutex() {
+  static std::mutex mu;
+  return mu;
+}
+
+}  // namespace
+
+Logger::Logger() {
+  sink_ = [](LogLevel level, const std::string& message) {
+    std::fprintf(stderr, "[actyp %s] %s\n", LevelTag(level), message.c_str());
+  };
+}
+
+Logger& Logger::Instance() {
+  static Logger logger;
+  return logger;
+}
+
+void Logger::SetSink(Sink sink) {
+  std::lock_guard<std::mutex> lock(SinkMutex());
+  if (sink) {
+    sink_ = std::move(sink);
+  } else {
+    sink_ = [](LogLevel level, const std::string& message) {
+      std::fprintf(stderr, "[actyp %s] %s\n", LevelTag(level),
+                   message.c_str());
+    };
+  }
+}
+
+void Logger::Log(LogLevel level, const std::string& message) {
+  if (static_cast<int>(level) < static_cast<int>(level_)) return;
+  std::lock_guard<std::mutex> lock(SinkMutex());
+  sink_(level, message);
+}
+
+}  // namespace actyp

@@ -1,0 +1,58 @@
+// Minimal leveled logger. Components log through a process-wide sink so
+// tests can silence or capture output.
+#pragma once
+
+#include <functional>
+#include <sstream>
+#include <string>
+
+namespace actyp {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+class Logger {
+ public:
+  using Sink = std::function<void(LogLevel, const std::string&)>;
+
+  static Logger& Instance();
+
+  void SetLevel(LogLevel level) { level_ = level; }
+  [[nodiscard]] LogLevel level() const { return level_; }
+
+  // Replaces the sink (default writes to stderr). Pass nullptr to restore
+  // the default sink.
+  void SetSink(Sink sink);
+
+  void Log(LogLevel level, const std::string& message);
+
+ private:
+  Logger();
+  LogLevel level_ = LogLevel::kWarn;
+  Sink sink_;
+};
+
+namespace internal {
+class LogMessage {
+ public:
+  explicit LogMessage(LogLevel level) : level_(level) {}
+  ~LogMessage() { Logger::Instance().Log(level_, stream_.str()); }
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace internal
+
+#define ACTYP_LOG(lvl)                                          \
+  if (static_cast<int>(lvl) <                                   \
+      static_cast<int>(::actyp::Logger::Instance().level())) {  \
+  } else                                                        \
+    ::actyp::internal::LogMessage(lvl).stream()
+
+#define ACTYP_DEBUG ACTYP_LOG(::actyp::LogLevel::kDebug)
+#define ACTYP_INFO ACTYP_LOG(::actyp::LogLevel::kInfo)
+#define ACTYP_WARN ACTYP_LOG(::actyp::LogLevel::kWarn)
+#define ACTYP_ERROR ACTYP_LOG(::actyp::LogLevel::kError)
+
+}  // namespace actyp

@@ -1,0 +1,143 @@
+// Deterministic pseudo-random number generation for simulations.
+//
+// Every stochastic component (workload generator, monitor dynamics,
+// network jitter, pool-manager selection) owns its own Rng seeded from
+// the experiment seed, so experiments are reproducible bit-for-bit and
+// components do not perturb each other's streams.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <numbers>
+#include <vector>
+
+namespace actyp {
+
+// splitmix64: used to expand a single 64-bit seed into generator state.
+inline std::uint64_t SplitMix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+// xoshiro256** — fast, high-quality, 2^256-1 period.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x5eed5eed5eed5eedULL) { Seed(seed); }
+
+  void Seed(std::uint64_t seed) {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = SplitMix64(sm);
+  }
+
+  // Derives an independent child stream; used to hand sub-components
+  // their own generators.
+  [[nodiscard]] Rng Fork() { return Rng(Next() ^ 0xa5a5a5a5a5a5a5a5ULL); }
+
+  std::uint64_t Next() {
+    const std::uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  // UniformRandomBitGenerator interface so <random> distributions work.
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+  result_type operator()() { return Next(); }
+
+  // Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
+
+  // Uniform integer in [0, bound). bound must be > 0. Uses Lemire's
+  // nearly-divisionless method.
+  std::uint64_t NextBounded(std::uint64_t bound) {
+    __uint128_t m = static_cast<__uint128_t>(Next()) * bound;
+    auto lo = static_cast<std::uint64_t>(m);
+    if (lo < bound) {
+      const std::uint64_t threshold = -bound % bound;
+      while (lo < threshold) {
+        m = static_cast<__uint128_t>(Next()) * bound;
+        lo = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  // Uniform integer in [lo, hi] inclusive.
+  std::int64_t NextInt(std::int64_t lo, std::int64_t hi) {
+    return lo + static_cast<std::int64_t>(
+                    NextBounded(static_cast<std::uint64_t>(hi - lo + 1)));
+  }
+
+  double Uniform(double lo, double hi) { return lo + (hi - lo) * NextDouble(); }
+
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+  // Box–Muller; one value per call (the spare is discarded to keep the
+  // stream position independent of call parity).
+  double Gaussian(double mean = 0.0, double stddev = 1.0) {
+    double u1 = NextDouble();
+    while (u1 <= 1e-300) u1 = NextDouble();
+    const double u2 = NextDouble();
+    const double mag = std::sqrt(-2.0 * std::log(u1));
+    return mean + stddev * mag * std::cos(2.0 * std::numbers::pi * u2);
+  }
+
+  double Exponential(double mean) {
+    double u = NextDouble();
+    while (u <= 1e-300) u = NextDouble();
+    return -mean * std::log(u);
+  }
+
+  double LogNormal(double mu, double sigma) {
+    return std::exp(Gaussian(mu, sigma));
+  }
+
+  // Pareto with scale x_m and shape alpha (heavy tail for alpha <= 2).
+  double Pareto(double scale, double alpha) {
+    double u = NextDouble();
+    while (u <= 1e-300) u = NextDouble();
+    return scale / std::pow(u, 1.0 / alpha);
+  }
+
+  // Picks an index according to non-negative weights; the total must be
+  // positive.
+  std::size_t WeightedIndex(const std::vector<double>& weights) {
+    double total = 0.0;
+    for (double w : weights) total += w;
+    double roll = NextDouble() * total;
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+      roll -= weights[i];
+      if (roll < 0.0) return i;
+    }
+    return weights.empty() ? 0 : weights.size() - 1;
+  }
+
+  template <typename T>
+  void Shuffle(std::vector<T>& items) {
+    for (std::size_t i = items.size(); i > 1; --i) {
+      const std::size_t j = NextBounded(i);
+      using std::swap;
+      swap(items[i - 1], items[j]);
+    }
+  }
+
+ private:
+  static std::uint64_t Rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t state_[4];
+};
+
+}  // namespace actyp

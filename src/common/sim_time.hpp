@@ -1,0 +1,22 @@
+// Simulation time: microseconds as a signed 64-bit count. All pipeline
+// components take time from a Clock so the same code runs under the
+// discrete-event kernel and on the wall clock.
+#pragma once
+
+#include <cstdint>
+
+namespace actyp {
+
+using SimTime = std::int64_t;      // absolute microseconds since epoch 0
+using SimDuration = std::int64_t;  // microseconds
+
+constexpr SimDuration Micros(std::int64_t n) { return n; }
+constexpr SimDuration Millis(std::int64_t n) { return n * 1000; }
+constexpr SimDuration Seconds(double s) {
+  return static_cast<SimDuration>(s * 1e6);
+}
+
+constexpr double ToSeconds(SimDuration d) { return static_cast<double>(d) / 1e6; }
+constexpr double ToMillis(SimDuration d) { return static_cast<double>(d) / 1e3; }
+
+}  // namespace actyp

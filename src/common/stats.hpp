@@ -1,0 +1,86 @@
+// Streaming statistics and histograms used by the benchmark harnesses
+// and the resource monitor.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace actyp {
+
+// Welford online mean/variance plus min/max.
+class RunningStats {
+ public:
+  void Add(double x);
+  void Merge(const RunningStats& other);
+  void Reset();
+
+  [[nodiscard]] std::size_t count() const { return count_; }
+  [[nodiscard]] double mean() const { return count_ ? mean_ : 0.0; }
+  [[nodiscard]] double variance() const;  // sample variance (n-1)
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const { return count_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const { return count_ ? max_ : 0.0; }
+  [[nodiscard]] double sum() const { return mean_ * static_cast<double>(count_); }
+
+  [[nodiscard]] std::string ToString() const;
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+// Fixed-width linear histogram over [lo, hi); out-of-range samples land
+// in saturating edge buckets. Used for the Fig. 9 CPU-time histogram.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t buckets);
+
+  void Add(double x);
+  [[nodiscard]] std::size_t bucket_count() const { return counts_.size(); }
+  [[nodiscard]] std::uint64_t bucket(std::size_t i) const { return counts_[i]; }
+  [[nodiscard]] double bucket_lo(std::size_t i) const;
+  [[nodiscard]] double bucket_hi(std::size_t i) const;
+  [[nodiscard]] std::uint64_t total() const { return total_; }
+  [[nodiscard]] std::uint64_t overflow() const { return overflow_; }
+  [[nodiscard]] std::uint64_t underflow() const { return underflow_; }
+  [[nodiscard]] std::uint64_t max_bucket_count() const;
+
+  // Renders an ASCII bar chart, `width` columns at full scale.
+  [[nodiscard]] std::string Render(std::size_t width = 60) const;
+
+ private:
+  double lo_, hi_, bucket_width_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+  std::uint64_t underflow_ = 0;
+  std::uint64_t overflow_ = 0;
+};
+
+// Reservoir of raw samples with exact quantiles; bounded memory via
+// uniform reservoir sampling once `capacity` is exceeded.
+class QuantileSampler {
+ public:
+  explicit QuantileSampler(std::size_t capacity = 1 << 16);
+
+  void Add(double x);
+  // q in [0,1]; returns 0 when empty. Linear interpolation between order
+  // statistics.
+  [[nodiscard]] double Quantile(double q) const;
+  [[nodiscard]] std::size_t seen() const { return seen_; }
+
+ private:
+  std::size_t capacity_;
+  std::size_t seen_ = 0;
+  std::uint64_t rng_state_;
+  std::vector<double> samples_;
+  mutable std::vector<double> sorted_;
+  mutable bool dirty_ = false;
+};
+
+}  // namespace actyp

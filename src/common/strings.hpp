@@ -1,0 +1,32 @@
+// Small string helpers shared by the query language, config parser, and
+// wire format.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace actyp {
+
+std::vector<std::string> Split(std::string_view text, char sep);
+// Like Split but drops empty pieces.
+std::vector<std::string> SplitSkipEmpty(std::string_view text, char sep);
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+std::string_view TrimView(std::string_view text);
+std::string Trim(std::string_view text);
+std::string ToLower(std::string_view text);
+
+bool StartsWith(std::string_view text, std::string_view prefix);
+bool EndsWith(std::string_view text, std::string_view suffix);
+
+std::optional<std::int64_t> ParseInt(std::string_view text);
+std::optional<double> ParseDouble(std::string_view text);
+
+// Case-insensitive glob with '*' and '?' — used for wildcard values in
+// admin-defined parameters.
+bool GlobMatch(std::string_view pattern, std::string_view text);
+
+}  // namespace actyp

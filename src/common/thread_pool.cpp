@@ -1,0 +1,40 @@
+#include "common/thread_pool.hpp"
+
+namespace actyp {
+
+ThreadPool::ThreadPool(std::size_t num_threads) {
+  if (num_threads == 0) num_threads = 1;
+  workers_.reserve(num_threads);
+  for (std::size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] {
+      while (auto task = tasks_.Pop()) {
+        (*task)();
+        if (in_flight_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+          std::lock_guard<std::mutex> lock(drain_mu_);
+          drained_.notify_all();
+        }
+      }
+    });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  tasks_.Close();
+  for (auto& worker : workers_) worker.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  in_flight_.fetch_add(1, std::memory_order_acq_rel);
+  if (!tasks_.Push(std::move(task))) {
+    in_flight_.fetch_sub(1, std::memory_order_acq_rel);
+  }
+}
+
+void ThreadPool::Drain() {
+  std::unique_lock<std::mutex> lock(drain_mu_);
+  drained_.wait(lock, [this] {
+    return in_flight_.load(std::memory_order_acquire) == 0;
+  });
+}
+
+}  // namespace actyp

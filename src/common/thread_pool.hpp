@@ -1,0 +1,37 @@
+// Fixed-size worker pool. Stages of the threaded runtime share one pool
+// per process so replication experiments control concurrency explicitly.
+#pragma once
+
+#include <functional>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "common/mpsc_queue.hpp"
+
+namespace actyp {
+
+class ThreadPool {
+ public:
+  explicit ThreadPool(std::size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  void Submit(std::function<void()> task);
+
+  // Blocks until every task submitted before this call has finished.
+  void Drain();
+
+  [[nodiscard]] std::size_t size() const { return workers_.size(); }
+
+ private:
+  BlockingQueue<std::function<void()>> tasks_;
+  std::vector<std::thread> workers_;
+  std::atomic<std::size_t> in_flight_{0};
+  std::mutex drain_mu_;
+  std::condition_variable drained_;
+};
+
+}  // namespace actyp

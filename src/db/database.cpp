@@ -1,0 +1,170 @@
+#include "db/database.hpp"
+
+#include "common/strings.hpp"
+
+namespace actyp::db {
+
+Result<MachineId> ResourceDatabase::Add(MachineRecord record) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (record.name.empty()) {
+    return InvalidArgument("machine record must have a name");
+  }
+  if (by_name_.count(record.name)) {
+    return AlreadyExists("machine '" + record.name + "' already registered");
+  }
+  if (record.id == kInvalidMachine) {
+    record.id = next_id_++;
+  } else {
+    if (records_.count(record.id)) {
+      return AlreadyExists("machine id " + std::to_string(record.id) +
+                           " already registered");
+    }
+    next_id_ = std::max(next_id_, record.id + 1);
+  }
+  const MachineId id = record.id;
+  by_name_[record.name] = id;
+  records_[id] = std::move(record);
+  return id;
+}
+
+Result<MachineRecord> ResourceDatabase::Get(MachineId id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = records_.find(id);
+  if (it == records_.end()) {
+    return NotFound("machine id " + std::to_string(id));
+  }
+  return it->second;
+}
+
+Result<MachineRecord> ResourceDatabase::GetByName(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = by_name_.find(name);
+  if (it == by_name_.end()) return NotFound("machine '" + name + "'");
+  return records_.at(it->second);
+}
+
+Status ResourceDatabase::Update(
+    MachineId id, const std::function<void(MachineRecord&)>& mutate) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = records_.find(id);
+  if (it == records_.end()) {
+    return NotFound("machine id " + std::to_string(id));
+  }
+  const std::string old_name = it->second.name;
+  mutate(it->second);
+  it->second.id = id;  // id is immutable
+  if (it->second.name != old_name) {
+    by_name_.erase(old_name);
+    by_name_[it->second.name] = id;
+  }
+  return Status::Ok();
+}
+
+Status ResourceDatabase::UpdateDynamic(MachineId id, const DynamicState& dyn) {
+  return Update(id, [&dyn](MachineRecord& rec) { rec.dyn = dyn; });
+}
+
+std::vector<MachineId> ResourceDatabase::ClaimMatching(
+    const query::Query& query, const std::string& pool_name,
+    std::size_t limit) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<MachineId> claimed;
+  for (auto& [id, rec] : records_) {
+    if (limit > 0 && claimed.size() >= limit) break;
+    if (!rec.taken_by.empty() || !rec.IsUsable()) continue;
+    const MachineRecord& snapshot = rec;
+    if (!query.Matches([&snapshot](const std::string& name) {
+          return snapshot.Attribute(name);
+        })) {
+      continue;
+    }
+    rec.taken_by = pool_name;
+    claimed.push_back(id);
+  }
+  return claimed;
+}
+
+std::size_t ResourceDatabase::ReleaseAllFrom(const std::string& pool_name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::size_t released = 0;
+  for (auto& [id, rec] : records_) {
+    if (rec.taken_by == pool_name) {
+      rec.taken_by.clear();
+      ++released;
+    }
+  }
+  return released;
+}
+
+Status ResourceDatabase::Release(MachineId id, const std::string& pool_name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = records_.find(id);
+  if (it == records_.end()) {
+    return NotFound("machine id " + std::to_string(id));
+  }
+  if (it->second.taken_by != pool_name) {
+    return PermissionDenied("machine " + std::to_string(id) +
+                            " is not taken by '" + pool_name + "'");
+  }
+  it->second.taken_by.clear();
+  return Status::Ok();
+}
+
+std::vector<MachineId> ResourceDatabase::ListTakenBy(
+    const std::string& pool_name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<MachineId> out;
+  for (const auto& [id, rec] : records_) {
+    if (rec.taken_by == pool_name) out.push_back(id);
+  }
+  return out;
+}
+
+void ResourceDatabase::ForEach(
+    const std::function<void(const MachineRecord&)>& fn) const {
+  std::vector<MachineRecord> snapshot;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    snapshot.reserve(records_.size());
+    for (const auto& [id, rec] : records_) snapshot.push_back(rec);
+  }
+  for (const auto& rec : snapshot) fn(rec);
+}
+
+std::size_t ResourceDatabase::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return records_.size();
+}
+
+std::size_t ResourceDatabase::free_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::size_t n = 0;
+  for (const auto& [id, rec] : records_) {
+    if (rec.taken_by.empty() && rec.IsUsable()) ++n;
+  }
+  return n;
+}
+
+std::string ResourceDatabase::Serialize() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  for (const auto& [id, rec] : records_) {
+    out += rec.Serialize();
+    out += '\n';
+  }
+  return out;
+}
+
+Status ResourceDatabase::LoadFrom(std::string_view text) {
+  for (const auto& line : Split(text, '\n')) {
+    if (TrimView(line).empty()) continue;
+    auto rec = MachineRecord::Deserialize(line);
+    if (!rec.ok()) return rec.status();
+    auto added = Add(std::move(rec.value()));
+    if (!added.ok()) return added.status();
+  }
+  return Status::Ok();
+}
+
+}  // namespace actyp::db

@@ -1,0 +1,76 @@
+// ResourceDatabase: the "white pages" listing every machine in a domain
+// (§4.1). Resource pools walk it at initialization, marking matched
+// machines as taken; the monitor updates dynamic fields in place.
+//
+// Thread-safe: the threaded runtime has the monitor, pool managers, and
+// pools touching it concurrently. The discrete-event runtime serializes
+// access but uses the same interface.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "db/machine.hpp"
+#include "query/query.hpp"
+
+namespace actyp::db {
+
+class ResourceDatabase {
+ public:
+  ResourceDatabase() = default;
+
+  // Inserts a record; assigns an id if the record has none. Fails on
+  // duplicate name.
+  Result<MachineId> Add(MachineRecord record);
+
+  // Copy-out accessors (callers never hold references into the table).
+  [[nodiscard]] Result<MachineRecord> Get(MachineId id) const;
+  [[nodiscard]] Result<MachineRecord> GetByName(const std::string& name) const;
+
+  // Applies `mutate` to the record under the lock. Returns NotFound for
+  // unknown ids.
+  Status Update(MachineId id,
+                const std::function<void(MachineRecord&)>& mutate);
+
+  // Monitor fast path: overwrite dynamic state (fields 2-7).
+  Status UpdateDynamic(MachineId id, const DynamicState& dyn);
+
+  // --- taken marking (§5.2.3) ---
+  // Atomically claims every *free, usable* machine matching the query,
+  // up to `limit` (0 = unlimited), marking each taken by `pool_name`.
+  // Returns the claimed ids.
+  std::vector<MachineId> ClaimMatching(const query::Query& query,
+                                       const std::string& pool_name,
+                                       std::size_t limit = 0);
+  // Releases every machine taken by `pool_name`; returns how many.
+  std::size_t ReleaseAllFrom(const std::string& pool_name);
+  Status Release(MachineId id, const std::string& pool_name);
+
+  // Ids currently taken by `pool_name` (replicated pool instances load
+  // the machine set their sibling already claimed).
+  [[nodiscard]] std::vector<MachineId> ListTakenBy(
+      const std::string& pool_name) const;
+
+  // Walks all records (copy per record) — used by baselines and tools.
+  void ForEach(const std::function<void(const MachineRecord&)>& fn) const;
+
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] std::size_t free_count() const;
+
+  // Snapshot serialization: one record per line. LoadFrom adds the
+  // records in `text` to this database (it is not cleared first).
+  [[nodiscard]] std::string Serialize() const;
+  Status LoadFrom(std::string_view text);
+
+ private:
+  MachineId next_id_ = 1;
+  mutable std::mutex mu_;
+  std::map<MachineId, MachineRecord> records_;
+  std::map<std::string, MachineId> by_name_;
+};
+
+}  // namespace actyp::db

@@ -1,0 +1,107 @@
+// MachineRecord: one white-pages entry, carrying every field of the
+// PUNCH resource database (paper Fig. 3, fields 1-20).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/sim_time.hpp"
+#include "common/status.hpp"
+
+namespace actyp::db {
+
+using MachineId = std::uint32_t;
+inline constexpr MachineId kInvalidMachine = 0;
+
+// Field 1: resource state.
+enum class MachineState { kUp, kDown, kBlocked };
+
+std::string_view MachineStateName(MachineState s);
+std::optional<MachineState> ParseMachineState(std::string_view text);
+
+// Fields 2-7: dynamic state maintained by the resource monitor.
+struct DynamicState {
+  double load = 0.0;              // field 2: current load average
+  int active_jobs = 0;            // field 3
+  double available_memory_mb = 0; // field 4
+  double available_swap_mb = 0;   // field 5
+  SimTime last_update = 0;        // field 6: time of last monitor update
+  std::uint32_t service_flags = 0;// field 7: PUNCH service status flags
+};
+
+// Bits for DynamicState::service_flags.
+enum ServiceFlag : std::uint32_t {
+  kExecutionUnitUp = 1u << 0,
+  kPvfsManagerUp = 1u << 1,
+  kProxyServerUp = 1u << 2,
+};
+
+struct MachineRecord {
+  MachineId id = kInvalidMachine;
+
+  MachineState state = MachineState::kUp;  // field 1
+  DynamicState dyn;                        // fields 2-7
+
+  // Fields 8-11: relatively static machine description.
+  double effective_speed = 1.0;  // field 8 (SPEC-like units)
+  int num_cpus = 1;              // field 9
+  double max_allowed_load = 1.0; // field 10
+  std::string name;              // field 11 (host name, unique)
+
+  // Field 12: machine object pointer — path to access/audit info (ssh
+  // key, owner, server start instructions).
+  std::string object_path;
+
+  // Field 13: shared account identifier (e.g. "nobody"); empty if none.
+  std::string shared_account;
+
+  // Fields 14-15: TCP ports of the PUNCH execution unit and the PVFS
+  // mount manager.
+  std::uint16_t execution_unit_port = 0;
+  std::uint16_t pvfs_mount_port = 0;
+
+  // Fields 16-17: user groups allowed on this machine and tool groups it
+  // supports.
+  std::vector<std::string> user_groups;
+  std::vector<std::string> tool_groups;
+
+  // Field 18: shadow account pool pointer (name resolved through the
+  // ShadowAccountRegistry).
+  std::string shadow_pool;
+
+  // Field 19: usage policy pointer (name resolved through the
+  // PolicyRegistry); empty = no policy.
+  std::string usage_policy;
+
+  // Field 20: administrator-defined key-value parameters (arch, memory,
+  // ostype, osversion, owner, swap, cms, ...). Keys are lower-case.
+  std::map<std::string, std::string> params;
+
+  // Marker used by resource pools (§5.2.3): name of the pool currently
+  // owning this machine in its cache, empty when free. Not a Fig. 3
+  // field — it is the "taken" mark the paper describes.
+  std::string taken_by;
+
+  // Resolves a query rsrc attribute name against this record. Admin
+  // params win; a set of built-in names map onto structured fields so
+  // queries can constrain load, speed, cpus, memory, swap, and state.
+  [[nodiscard]] std::optional<std::string> Attribute(
+      const std::string& name) const;
+
+  [[nodiscard]] bool IsUsable() const {
+    return state == MachineState::kUp;
+  }
+
+  [[nodiscard]] bool AllowsUserGroup(const std::string& group) const;
+  [[nodiscard]] bool SupportsToolGroup(const std::string& group) const;
+
+  // One-record-per-line text serialization (field;field;...), used for
+  // database snapshots.
+  [[nodiscard]] std::string Serialize() const;
+  static Result<MachineRecord> Deserialize(std::string_view line);
+};
+
+}  // namespace actyp::db

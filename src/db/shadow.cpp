@@ -1,0 +1,89 @@
+#include "db/shadow.hpp"
+
+namespace actyp::db {
+
+ShadowAccountPool::ShadowAccountPool(std::uint32_t first_uid,
+                                     std::size_t count) {
+  accounts_.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    accounts_.push_back(
+        ShadowAccount{first_uid + static_cast<std::uint32_t>(i), {}});
+  }
+}
+
+Result<std::uint32_t> ShadowAccountPool::Acquire(
+    const std::string& session_key) {
+  if (session_key.empty()) {
+    return InvalidArgument("shadow account needs a session key");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& account : accounts_) {
+    if (account.current_session.empty()) {
+      account.current_session = session_key;
+      return account.uid;
+    }
+  }
+  return Exhausted("no free shadow accounts");
+}
+
+Status ShadowAccountPool::Release(std::uint32_t uid,
+                                  const std::string& session_key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& account : accounts_) {
+    if (account.uid == uid) {
+      if (account.current_session != session_key) {
+        return PermissionDenied("uid " + std::to_string(uid) +
+                                " is not held by this session");
+      }
+      account.current_session.clear();
+      return Status::Ok();
+    }
+  }
+  return NotFound("uid " + std::to_string(uid));
+}
+
+std::size_t ShadowAccountPool::ReleaseSession(const std::string& session_key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::size_t released = 0;
+  for (auto& account : accounts_) {
+    if (account.current_session == session_key) {
+      account.current_session.clear();
+      ++released;
+    }
+  }
+  return released;
+}
+
+std::size_t ShadowAccountPool::total() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return accounts_.size();
+}
+
+std::size_t ShadowAccountPool::free_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::size_t n = 0;
+  for (const auto& account : accounts_) {
+    if (account.current_session.empty()) ++n;
+  }
+  return n;
+}
+
+ShadowAccountPool& ShadowAccountRegistry::GetOrCreate(const std::string& name,
+                                                      std::uint32_t first_uid,
+                                                      std::size_t count) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = pools_.find(name);
+  if (it != pools_.end()) return it->second;
+  auto [inserted, ok] = pools_.emplace(
+      std::piecewise_construct, std::forward_as_tuple(name),
+      std::forward_as_tuple(first_uid, count));
+  return inserted->second;
+}
+
+ShadowAccountPool* ShadowAccountRegistry::Find(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = pools_.find(name);
+  return it == pools_.end() ? nullptr : &it->second;
+}
+
+}  // namespace actyp::db

@@ -1,0 +1,55 @@
+// Shadow accounts (Fig. 3 field 18): per-machine pools of logical user
+// accounts not tied to any individual user. ActYP allocates one per run
+// and the network desktop relinquishes it when the run completes (§2).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+
+namespace actyp::db {
+
+struct ShadowAccount {
+  std::uint32_t uid = 0;
+  std::string current_session;  // empty = free
+};
+
+// One pool of shadow accounts (typically one per machine or per cluster).
+class ShadowAccountPool {
+ public:
+  ShadowAccountPool() = default;
+  ShadowAccountPool(std::uint32_t first_uid, std::size_t count);
+
+  // Claims a free uid for `session_key`.
+  Result<std::uint32_t> Acquire(const std::string& session_key);
+  Status Release(std::uint32_t uid, const std::string& session_key);
+  // Releases every account held by the session (crash cleanup).
+  std::size_t ReleaseSession(const std::string& session_key);
+
+  [[nodiscard]] std::size_t total() const;
+  [[nodiscard]] std::size_t free_count() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<ShadowAccount> accounts_;
+};
+
+// Registry resolving Fig. 3's "shadow account pool pointer" names.
+class ShadowAccountRegistry {
+ public:
+  // Creates (or returns the existing) pool under `name`.
+  ShadowAccountPool& GetOrCreate(const std::string& name,
+                                 std::uint32_t first_uid,
+                                 std::size_t count);
+  [[nodiscard]] ShadowAccountPool* Find(const std::string& name);
+
+ private:
+  std::mutex mu_;
+  std::map<std::string, ShadowAccountPool> pools_;
+};
+
+}  // namespace actyp::db

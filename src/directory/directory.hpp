@@ -1,0 +1,72 @@
+// Local directory service (§5.2.2-5.2.3): pool managers track resource
+// pools through it, and pool objects register themselves (pool name +
+// self-generated instance number) once initialized. It also lists peer
+// pool managers for query delegation. One directory exists per
+// administrative domain; replicated stages within a domain share it.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/status.hpp"
+
+namespace actyp::directory {
+
+// Where a registered pool instance can be reached. `address` is a
+// transport address (simnet node name, in-proc queue name, or host:port
+// for TCP).
+struct PoolInstance {
+  std::string pool_name;   // signature/identifier (§5.2.2)
+  std::uint32_t instance;  // self-generated instance number
+  std::string address;
+  std::size_t machine_count = 0;  // advisory, for splitting decisions
+  // True when this instance holds a *partition* of the pool's machines
+  // (a split pool, Fig. 7) rather than a full replica (Fig. 8). Queries
+  // must fan out to every segment and aggregate the results.
+  bool segment = false;
+};
+
+struct PoolManagerEntry {
+  std::string name;
+  std::string address;
+  std::string domain;
+};
+
+class DirectoryService {
+ public:
+  // --- resource pools ---
+  Status RegisterPool(const PoolInstance& instance);
+  Status UnregisterPool(const std::string& pool_name, std::uint32_t instance);
+
+  // All live instances of a pool name (empty when none exist).
+  [[nodiscard]] std::vector<PoolInstance> Lookup(
+      const std::string& pool_name) const;
+
+  // Random instance selection, as the paper prescribes for pool managers.
+  [[nodiscard]] std::optional<PoolInstance> PickRandom(
+      const std::string& pool_name, Rng& rng) const;
+
+  [[nodiscard]] std::vector<std::string> PoolNames() const;
+  [[nodiscard]] std::size_t pool_count() const;
+
+  // --- pool managers (delegation peers) ---
+  Status RegisterPoolManager(const PoolManagerEntry& entry);
+  Status UnregisterPoolManager(const std::string& name);
+  [[nodiscard]] std::vector<PoolManagerEntry> PoolManagers() const;
+  // Peers excluding the given names (used with the query's visited list).
+  [[nodiscard]] std::vector<PoolManagerEntry> PoolManagersExcluding(
+      const std::vector<std::string>& exclude) const;
+
+ private:
+  mutable std::mutex mu_;
+  // pool name -> instance number -> entry
+  std::map<std::string, std::map<std::uint32_t, PoolInstance>> pools_;
+  std::map<std::string, PoolManagerEntry> pool_managers_;
+};
+
+}  // namespace actyp::directory

@@ -1,0 +1,234 @@
+#include "interop/classad.hpp"
+
+#include <cctype>
+#include <map>
+#include <vector>
+
+#include "common/strings.hpp"
+
+namespace actyp::interop {
+namespace {
+
+// Attribute-name mapping from ClassAd conventions to the punch
+// namespace. Unknown requirement attributes pass through as rsrc keys.
+const std::map<std::string, std::string>& TopLevelMap() {
+  static const std::map<std::string, std::string> kMap = {
+      {"owner", "punch.user.login"},
+      {"accessgroup", "punch.user.accessgroup"},
+      {"estimatedcpu", "punch.appl.expectedcpuuse"},
+      {"imagesize", "punch.appl.imagesize"},
+      {"cmd", "punch.appl.tool"},
+  };
+  return kMap;
+}
+
+struct Comparison {
+  std::string attr;
+  std::string op;     // native spelling: == != >= <= > <
+  std::string value;  // unquoted literal
+};
+
+class Scanner {
+ public:
+  explicit Scanner(std::string_view text) : text_(text) {}
+
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+  [[nodiscard]] bool Done() const { return pos_ >= text_.size(); }
+  [[nodiscard]] char Peek() const { return Done() ? '\0' : text_[pos_]; }
+  char Take() { return text_[pos_++]; }
+  bool TryTake(std::string_view literal) {
+    SkipSpace();
+    if (text_.substr(pos_, literal.size()) == literal) {
+      pos_ += literal.size();
+      return true;
+    }
+    return false;
+  }
+
+  // Identifier: [A-Za-z_][A-Za-z0-9_]*
+  Result<std::string> Identifier() {
+    SkipSpace();
+    std::size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '_')) {
+      ++pos_;
+    }
+    if (pos_ == start) {
+      return InvalidArgument("classad: expected identifier at offset " +
+                             std::to_string(start));
+    }
+    return ToLower(text_.substr(start, pos_ - start));
+  }
+
+  // Literal: "string" or number.
+  Result<std::string> Literal() {
+    SkipSpace();
+    if (Done()) return InvalidArgument("classad: expected literal");
+    if (Peek() == '"') {
+      Take();
+      std::string out;
+      while (!Done() && Peek() != '"') out += Take();
+      if (Done()) return InvalidArgument("classad: unterminated string");
+      Take();
+      return out;
+    }
+    std::size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == '-' || text_[pos_] == '+')) {
+      ++pos_;
+    }
+    if (pos_ == start) {
+      return InvalidArgument("classad: expected literal at offset " +
+                             std::to_string(start));
+    }
+    return std::string(text_.substr(start, pos_ - start));
+  }
+
+  Result<std::string> CompareOp() {
+    SkipSpace();
+    for (const std::string_view op : {"==", "!=", ">=", "<=", ">", "<", "="}) {
+      if (TryTake(op)) return std::string(op == "=" ? "==" : op);
+    }
+    return InvalidArgument("classad: expected comparison operator");
+  }
+
+  [[nodiscard]] std::size_t pos() const { return pos_; }
+
+ private:
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+Result<Comparison> ParseComparison(Scanner& scanner) {
+  auto attr = scanner.Identifier();
+  if (!attr.ok()) return attr.status();
+  auto op = scanner.CompareOp();
+  if (!op.ok()) return op.status();
+  auto value = scanner.Literal();
+  if (!value.ok()) return value.status();
+  return Comparison{std::move(attr.value()), std::move(op.value()),
+                    std::move(value.value())};
+}
+
+// Parses either one comparison or "( cmp || cmp || ... )" over one
+// attribute; returns the attribute, the operator, and the value
+// alternatives.
+Result<std::vector<Comparison>> ParseClause(Scanner& scanner) {
+  scanner.SkipSpace();
+  if (scanner.Peek() != '(') {
+    auto cmp = ParseComparison(scanner);
+    if (!cmp.ok()) return cmp.status();
+    return std::vector<Comparison>{std::move(cmp.value())};
+  }
+  scanner.Take();  // '('
+  std::vector<Comparison> alternatives;
+  while (true) {
+    auto cmp = ParseComparison(scanner);
+    if (!cmp.ok()) return cmp.status();
+    alternatives.push_back(std::move(cmp.value()));
+    if (scanner.TryTake("||")) continue;
+    if (scanner.TryTake(")")) break;
+    // Allow a parenthesized conjunction too: "(A && B)" is flattened by
+    // returning the first comparison and rewinding is impossible — treat
+    // '&&' inside parens as additional clauses of the same group.
+    if (scanner.TryTake("&&")) continue;
+    return InvalidArgument("classad: expected '||', '&&', or ')' at offset " +
+                           std::to_string(scanner.pos()));
+  }
+  if (alternatives.size() > 1) {
+    for (const auto& alt : alternatives) {
+      if (alt.attr != alternatives.front().attr ||
+          alt.op != alternatives.front().op) {
+        // Mixed-attribute disjunction inside parens: only same-attribute
+        // or-clauses map onto the pipeline's composite queries.
+        if (alt.op != alternatives.front().op ||
+            alt.attr != alternatives.front().attr) {
+          return InvalidArgument(
+              "classad: disjunctions must range over one attribute "
+              "(found '" +
+              alternatives.front().attr + "' and '" + alt.attr + "')");
+        }
+      }
+    }
+  }
+  return alternatives;
+}
+
+}  // namespace
+
+Result<std::string> TranslateClassAd(const std::string& classad_text) {
+  Scanner scanner(classad_text);
+  if (!scanner.TryTake("[")) {
+    return InvalidArgument("classad: expected leading '['");
+  }
+
+  std::string native;
+  bool saw_requirements = false;
+  while (true) {
+    scanner.SkipSpace();
+    if (scanner.TryTake("]")) break;
+    if (scanner.Done()) {
+      return InvalidArgument("classad: missing closing ']'");
+    }
+    auto key = scanner.Identifier();
+    if (!key.ok()) return key.status();
+    if (!scanner.TryTake("=")) {
+      return InvalidArgument("classad: expected '=' after '" + *key + "'");
+    }
+
+    if (*key == "requirements") {
+      saw_requirements = true;
+      while (true) {
+        auto clause = ParseClause(scanner);
+        if (!clause.ok()) return clause.status();
+        const auto& alternatives = clause.value();
+        // Same-attribute disjunction renders as value1|value2|...
+        std::string value_expr;
+        for (std::size_t i = 0; i < alternatives.size(); ++i) {
+          if (i) value_expr += "|";
+          if (alternatives[i].op != "==") {
+            value_expr += alternatives[i].op;
+          }
+          value_expr += alternatives[i].value;
+        }
+        native += "punch.rsrc." + alternatives.front().attr + " = " +
+                  value_expr + "\n";
+        if (scanner.TryTake("&&")) continue;
+        break;
+      }
+      if (!scanner.TryTake(";")) {
+        // Trailing ';' is optional before ']'.
+        scanner.SkipSpace();
+        if (scanner.Peek() != ']') {
+          return InvalidArgument(
+              "classad: expected ';' or ']' after requirements");
+        }
+      }
+      continue;
+    }
+
+    auto value = scanner.Literal();
+    if (!value.ok()) return value.status();
+    auto mapped = TopLevelMap().find(*key);
+    if (mapped != TopLevelMap().end()) {
+      native += mapped->second + " = " + *value + "\n";
+    } else if (*key != "rank") {  // Rank is advisory; ignored
+      native += "punch.appl." + *key + " = " + *value + "\n";
+    }
+    scanner.TryTake(";");
+  }
+
+  if (!saw_requirements && native.empty()) {
+    return InvalidArgument("classad: empty ad");
+  }
+  return native;
+}
+
+}  // namespace actyp::interop

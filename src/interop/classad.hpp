@@ -1,0 +1,29 @@
+// ClassAd-style translator (§5.1: "this could allow ActYP to reuse
+// Condor's ClassAds"). Supports the job-ad subset that maps onto the
+// pipeline's query semantics:
+//
+//   [
+//     Requirements = (Arch == "sun" || Arch == "hp") && Memory >= 10
+//                    && License == "tsuprem4";
+//     EstimatedCpu = 1000;
+//     Owner = "kapadia";
+//     AccessGroup = "ece";
+//   ]
+//
+// Requirements must be a conjunction of comparisons; a parenthesized
+// disjunction over a single attribute becomes an or-clause (composite
+// query). Attribute names are case-insensitive; quoted strings and
+// numbers are the only literal types.
+#pragma once
+
+#include <string>
+
+#include "common/status.hpp"
+
+namespace actyp::interop {
+
+// Translates ClassAd text to native query text; the result feeds the
+// query-manager translation hook.
+Result<std::string> TranslateClassAd(const std::string& classad_text);
+
+}  // namespace actyp::interop

@@ -1,0 +1,109 @@
+#include "interop/rsl.hpp"
+
+#include <map>
+
+#include "common/strings.hpp"
+
+namespace actyp::interop {
+namespace {
+
+// RSL attributes that are user/application metadata rather than
+// resource requirements.
+const std::map<std::string, std::string>& RslMap() {
+  static const std::map<std::string, std::string> kMap = {
+      {"owner", "punch.user.login"},
+      {"accessgroup", "punch.user.accessgroup"},
+      {"maxcputime", "punch.appl.expectedcpuuse"},
+      {"executable", "punch.appl.tool"},
+      {"count", "punch.appl.count"},
+  };
+  return kMap;
+}
+
+std::string Unquote(std::string_view text) {
+  text = TrimView(text);
+  if (text.size() >= 2 && ((text.front() == '"' && text.back() == '"') ||
+                           (text.front() == '\'' && text.back() == '\''))) {
+    return std::string(text.substr(1, text.size() - 2));
+  }
+  return std::string(text);
+}
+
+}  // namespace
+
+Result<std::string> TranslateRsl(const std::string& rsl_text) {
+  std::string_view text = TrimView(rsl_text);
+  if (text.empty()) return InvalidArgument("rsl: empty specification");
+  if (text.front() == '&') text = TrimView(text.substr(1));
+  if (text.empty() || text.front() != '(') {
+    return InvalidArgument("rsl: expected '(' after '&'");
+  }
+
+  std::string native;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    // Skip whitespace between relations.
+    while (pos < text.size() &&
+           std::isspace(static_cast<unsigned char>(text[pos]))) {
+      ++pos;
+    }
+    if (pos >= text.size()) break;
+    if (text[pos] != '(') {
+      return InvalidArgument("rsl: expected '(' at offset " +
+                             std::to_string(pos));
+    }
+    const std::size_t close = text.find(')', pos);
+    if (close == std::string_view::npos) {
+      return InvalidArgument("rsl: unterminated relation");
+    }
+    const std::string_view relation = text.substr(pos + 1, close - pos - 1);
+    pos = close + 1;
+
+    // Find the earliest operator; prefer the longer spelling on ties so
+    // ">=" is not read as ">" followed by "=value".
+    std::size_t op_pos = std::string_view::npos;
+    std::size_t op_len = 0;
+    std::string op;
+    for (const std::string_view candidate :
+         {">=", "<=", "!=", ">", "<", "="}) {
+      const std::size_t p = relation.find(candidate);
+      if (p == std::string_view::npos) continue;
+      if (op_pos == std::string_view::npos || p < op_pos ||
+          (p == op_pos && candidate.size() > op_len)) {
+        op_pos = p;
+        op_len = candidate.size();
+        op = candidate == "=" ? "==" : std::string(candidate);
+      }
+    }
+    if (op_pos == std::string_view::npos) {
+      return InvalidArgument("rsl: relation '" + std::string(relation) +
+                             "' has no operator");
+    }
+    const std::string attr = ToLower(Trim(relation.substr(0, op_pos)));
+    const std::string raw_value = Trim(relation.substr(op_pos + op_len));
+    if (attr.empty() || raw_value.empty()) {
+      return InvalidArgument("rsl: malformed relation '" +
+                             std::string(relation) + "'");
+    }
+
+    // Multi-value: alternatives separated by '|'.
+    std::string value_expr;
+    const auto alternatives = SplitSkipEmpty(raw_value, '|');
+    for (std::size_t i = 0; i < alternatives.size(); ++i) {
+      if (i) value_expr += "|";
+      if (op != "==") value_expr += op;
+      value_expr += Unquote(alternatives[i]);
+    }
+
+    auto mapped = RslMap().find(attr);
+    if (mapped != RslMap().end()) {
+      native += mapped->second + " = " + Unquote(raw_value) + "\n";
+    } else {
+      native += "punch.rsrc." + attr + " = " + value_expr + "\n";
+    }
+  }
+  if (native.empty()) return InvalidArgument("rsl: no relations found");
+  return native;
+}
+
+}  // namespace actyp::interop

@@ -1,0 +1,20 @@
+// RSL-style translator (Globus Resource Specification Language): the
+// pipeline interoperates with grid middleware by translating relations
+// like
+//
+//   &(arch=sun)(memory>=10)(license=tsuprem4)(owner="kapadia")
+//
+// into native query text. '&' introduces a conjunction; each
+// parenthesized relation is attribute, operator, value. Multi-value
+// relations "(arch=sun|hp)" become or-clauses.
+#pragma once
+
+#include <string>
+
+#include "common/status.hpp"
+
+namespace actyp::interop {
+
+Result<std::string> TranslateRsl(const std::string& rsl_text);
+
+}  // namespace actyp::interop

@@ -1,0 +1,74 @@
+#include "net/message.hpp"
+
+#include "common/strings.hpp"
+
+namespace actyp::net {
+
+std::string Message::Encode() const {
+  std::string out = "ACTYP/1 " + type + "\n";
+  for (const auto& [key, value] : headers) {
+    out += key;
+    out += ": ";
+    out += value;
+    out += '\n';
+  }
+  out += "content-length: " + std::to_string(body.size()) + "\n\n";
+  out += body;
+  return out;
+}
+
+Result<Message> Message::Decode(std::string_view wire) {
+  const std::size_t header_end = wire.find("\n\n");
+  if (header_end == std::string_view::npos) {
+    return InvalidArgument("message missing header terminator");
+  }
+  const std::string_view header_block = wire.substr(0, header_end);
+  const std::string_view body = wire.substr(header_end + 2);
+
+  Message message;
+  bool first = true;
+  std::size_t declared_length = std::string_view::npos;
+  for (const auto& line : Split(header_block, '\n')) {
+    if (first) {
+      first = false;
+      if (!StartsWith(line, "ACTYP/1 ")) {
+        return InvalidArgument("bad magic in message start line");
+      }
+      message.type = Trim(std::string_view(line).substr(8));
+      if (message.type.empty()) return InvalidArgument("empty message type");
+      continue;
+    }
+    const std::size_t colon = line.find(':');
+    if (colon == std::string::npos) {
+      return InvalidArgument("malformed header line '" + line + "'");
+    }
+    const std::string key = ToLower(Trim(line.substr(0, colon)));
+    const std::string value = Trim(line.substr(colon + 1));
+    if (key == "content-length") {
+      auto n = ParseInt(value);
+      if (!n || *n < 0) return InvalidArgument("bad content-length");
+      declared_length = static_cast<std::size_t>(*n);
+    } else {
+      message.headers[key] = value;
+    }
+  }
+  if (first) return InvalidArgument("empty message");
+  if (declared_length == std::string_view::npos) {
+    return InvalidArgument("missing content-length");
+  }
+  if (declared_length > body.size()) {
+    return InvalidArgument("truncated body: declared " +
+                           std::to_string(declared_length) + ", have " +
+                           std::to_string(body.size()));
+  }
+  message.body = std::string(body.substr(0, declared_length));
+  return message;
+}
+
+std::size_t Message::WireSize() const {
+  std::size_t n = 16 + type.size() + body.size();
+  for (const auto& [key, value] : headers) n += key.size() + value.size() + 4;
+  return n;
+}
+
+}  // namespace actyp::net

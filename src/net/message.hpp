@@ -1,0 +1,75 @@
+// Message model shared by every transport (§6: "queries propagate from
+// one stage to the next via TCP or UDP"). A message is a type tag, a
+// small header map, and an opaque body (usually query text).
+//
+// Wire format (text, HTTP-inspired, length-delimited body):
+//
+//   ACTYP/1 <type>\n
+//   <key>: <value>\n
+//   ...
+//   content-length: <n>\n
+//   \n
+//   <body bytes>
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "common/status.hpp"
+
+namespace actyp::net {
+
+// Message types used by the resource management pipeline.
+namespace msg {
+inline constexpr std::string_view kQuery = "query";            // client -> QM, QM -> PM, PM -> pool
+inline constexpr std::string_view kAllocation = "allocation";  // pool -> reintegrator/client
+inline constexpr std::string_view kFailure = "failure";        // any stage -> reintegrator/client
+inline constexpr std::string_view kRelease = "release";        // client -> pool (job done)
+inline constexpr std::string_view kCreatePool = "create-pool"; // PM -> proxy server
+inline constexpr std::string_view kPoolCreated = "pool-created";
+inline constexpr std::string_view kTick = "tick";              // self-scheduled timer
+inline constexpr std::string_view kShutdown = "shutdown";
+}  // namespace msg
+
+// Common header keys.
+namespace hdr {
+inline constexpr std::string_view kReplyTo = "reply-to";
+inline constexpr std::string_view kRequestId = "request-id";
+inline constexpr std::string_view kSessionKey = "session-key";
+inline constexpr std::string_view kMachine = "machine";
+inline constexpr std::string_view kMachineId = "machine-id";
+inline constexpr std::string_view kPort = "port";
+inline constexpr std::string_view kShadowUid = "shadow-uid";
+inline constexpr std::string_view kPoolName = "pool-name";
+inline constexpr std::string_view kError = "error";
+}  // namespace hdr
+
+struct Message {
+  std::string type;
+  std::map<std::string, std::string> headers;
+  std::string body;
+
+  Message() = default;
+  explicit Message(std::string_view t) : type(t) {}
+
+  [[nodiscard]] std::string Header(std::string_view key) const {
+    auto it = headers.find(std::string(key));
+    return it == headers.end() ? std::string() : it->second;
+  }
+  void SetHeader(std::string_view key, std::string value) {
+    headers[std::string(key)] = std::move(value);
+  }
+  [[nodiscard]] bool HasHeader(std::string_view key) const {
+    return headers.count(std::string(key)) > 0;
+  }
+
+  [[nodiscard]] std::string Encode() const;
+  static Result<Message> Decode(std::string_view wire);
+
+  // Approximate size on the wire, used by transports for bandwidth cost.
+  [[nodiscard]] std::size_t WireSize() const;
+};
+
+}  // namespace actyp::net

@@ -1,0 +1,63 @@
+// Real TCP transport (POSIX sockets, loopback-friendly). The production
+// PUNCH deployment fronted the pipeline with TCP; here a TcpServer can
+// expose any request/reply handler (typically the query-manager entry
+// stage) and TcpClient issues blocking calls. Frames are 4-byte
+// big-endian length + encoded Message.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/status.hpp"
+#include "net/message.hpp"
+
+namespace actyp::net {
+
+// Handler receives a request and produces the reply.
+using TcpHandler = std::function<Message(const Message& request)>;
+
+class TcpServer {
+ public:
+  TcpServer() = default;
+  ~TcpServer();
+
+  TcpServer(const TcpServer&) = delete;
+  TcpServer& operator=(const TcpServer&) = delete;
+
+  // Binds 127.0.0.1:`port` (0 = ephemeral) and starts the accept loop.
+  Status Start(std::uint16_t port, TcpHandler handler);
+  void Stop();
+
+  [[nodiscard]] std::uint16_t port() const { return port_; }
+  [[nodiscard]] bool running() const { return running_.load(); }
+
+ private:
+  void AcceptLoop();
+  void ServeConnection(int fd);
+
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  TcpHandler handler_;
+  std::atomic<bool> running_{false};
+  std::thread accept_thread_;
+  std::mutex conn_mu_;
+  std::vector<std::thread> connections_;
+};
+
+class TcpClient {
+ public:
+  // Connects, sends `request`, waits for the reply, closes. `host` is a
+  // dotted quad (tests use 127.0.0.1).
+  static Result<Message> Call(const std::string& host, std::uint16_t port,
+                              const Message& request);
+};
+
+// Frame helpers shared by server and client (exposed for tests).
+Status WriteFrame(int fd, const Message& message);
+Result<Message> ReadFrame(int fd);
+
+}  // namespace actyp::net

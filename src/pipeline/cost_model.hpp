@@ -1,0 +1,41 @@
+// Per-stage service-time model. These constants replace the paper's
+// physical testbed (524 MHz Alpha server): they are calibrated so a
+// single un-contended query through the LAN pipeline lands in the tens
+// of milliseconds and a 3,200-machine linear scan costs ~19 ms, which
+// reproduces the response-time scales of Figs. 4-8. EXPERIMENTS.md
+// records the calibration.
+#pragma once
+
+#include "common/sim_time.hpp"
+
+namespace actyp::pipeline {
+
+struct CostModel {
+  // Query manager: translate + parse one query.
+  SimDuration qm_translate = Micros(400);
+  // Query manager: per fragment produced by decomposition.
+  SimDuration qm_per_fragment = Micros(100);
+
+  // Pool manager: signature/identifier construction + directory lookup.
+  SimDuration pm_map = Micros(300);
+  // Pool manager: forwarding decision for delegation.
+  SimDuration pm_delegate = Micros(200);
+
+  // Resource pool: fixed per-query overhead (accept, session setup).
+  SimDuration pool_fixed = Micros(250);
+  // Resource pool: linear-search cost per cache entry examined (the
+  // dominant term in Fig. 6's linear plots).
+  SimDuration pool_per_machine = Micros(6);
+  // Resource pool: periodic re-sort, per entry.
+  SimDuration pool_sort_per_machine = Micros(1);
+
+  // Pool creation: fork/exec + directory registration.
+  SimDuration pool_create_fixed = Millis(25);
+  // Pool creation: white-pages walk, per database record inspected.
+  SimDuration pool_create_per_machine = Micros(4);
+
+  // Reintegrator: merging one fragment result.
+  SimDuration reintegrate_per_fragment = Micros(150);
+};
+
+}  // namespace actyp::pipeline

@@ -1,0 +1,106 @@
+#include "pipeline/protocol.hpp"
+
+#include "common/strings.hpp"
+
+namespace actyp::pipeline {
+
+net::Message MakeQueryMessage(const query::Query& q,
+                              const net::Address& reply_to,
+                              const net::Address& final_reply_to,
+                              std::uint64_t request_id) {
+  net::Message message{net::msg::kQuery};
+  message.SetHeader(net::hdr::kReplyTo, reply_to);
+  message.SetHeader(phdr::kFinalReplyTo, final_reply_to);
+  message.SetHeader(net::hdr::kRequestId, std::to_string(request_id));
+  message.body = q.ToText();
+  return message;
+}
+
+net::Message MakeAllocationMessage(const Allocation& allocation) {
+  net::Message message{net::msg::kAllocation};
+  message.SetHeader(net::hdr::kMachine, allocation.machine_name);
+  message.SetHeader(net::hdr::kMachineId,
+                    std::to_string(allocation.machine_id));
+  message.SetHeader(net::hdr::kPort, std::to_string(allocation.port));
+  message.SetHeader(net::hdr::kSessionKey, allocation.session_key);
+  message.SetHeader(net::hdr::kShadowUid,
+                    std::to_string(allocation.shadow_uid));
+  message.SetHeader(net::hdr::kPoolName, allocation.pool_name);
+  message.SetHeader(phdr::kPoolAddress, allocation.pool_address);
+  message.SetHeader(phdr::kLoad, std::to_string(allocation.machine_load));
+  message.SetHeader(net::hdr::kRequestId,
+                    std::to_string(allocation.request_id));
+  message.SetHeader(phdr::kFragment,
+                    std::to_string(allocation.fragment_index) + "/" +
+                        std::to_string(allocation.fragment_total));
+  return message;
+}
+
+Result<Allocation> ParseAllocationMessage(const net::Message& message) {
+  if (message.type != net::msg::kAllocation) {
+    return InvalidArgument("not an allocation message: '" + message.type +
+                           "'");
+  }
+  Allocation allocation;
+  allocation.machine_name = message.Header(net::hdr::kMachine);
+  if (allocation.machine_name.empty()) {
+    return InvalidArgument("allocation missing machine name");
+  }
+  if (auto id = ParseInt(message.Header(net::hdr::kMachineId))) {
+    allocation.machine_id = static_cast<std::uint32_t>(*id);
+  }
+  if (auto port = ParseInt(message.Header(net::hdr::kPort))) {
+    allocation.port = static_cast<std::uint16_t>(*port);
+  }
+  allocation.session_key = message.Header(net::hdr::kSessionKey);
+  if (auto uid = ParseInt(message.Header(net::hdr::kShadowUid))) {
+    allocation.shadow_uid = static_cast<std::uint32_t>(*uid);
+  }
+  allocation.pool_name = message.Header(net::hdr::kPoolName);
+  allocation.pool_address = message.Header(phdr::kPoolAddress);
+  if (auto load = ParseDouble(message.Header(phdr::kLoad))) {
+    allocation.machine_load = *load;
+  }
+  if (auto rid = ParseInt(message.Header(net::hdr::kRequestId))) {
+    allocation.request_id = static_cast<std::uint64_t>(*rid);
+  }
+  ParseFragmentHeader(message, &allocation.fragment_index,
+                      &allocation.fragment_total);
+  return allocation;
+}
+
+net::Message MakeFailureMessage(std::uint64_t request_id,
+                                const std::string& error,
+                                std::uint32_t fragment_index,
+                                std::uint32_t fragment_total) {
+  net::Message message{net::msg::kFailure};
+  message.SetHeader(net::hdr::kRequestId, std::to_string(request_id));
+  message.SetHeader(net::hdr::kError, error);
+  message.SetHeader(phdr::kFragment, std::to_string(fragment_index) + "/" +
+                                         std::to_string(fragment_total));
+  return message;
+}
+
+net::Message MakeReleaseMessage(std::uint32_t machine_id,
+                                const std::string& session_key) {
+  net::Message message{net::msg::kRelease};
+  message.SetHeader(net::hdr::kMachineId, std::to_string(machine_id));
+  message.SetHeader(net::hdr::kSessionKey, session_key);
+  return message;
+}
+
+void ParseFragmentHeader(const net::Message& message, std::uint32_t* index,
+                         std::uint32_t* total) {
+  *index = 0;
+  *total = 1;
+  const std::string value = message.Header(phdr::kFragment);
+  if (value.empty()) return;
+  const auto parts = Split(value, '/');
+  if (parts.size() != 2) return;
+  if (auto i = ParseInt(parts[0])) *index = static_cast<std::uint32_t>(*i);
+  if (auto n = ParseInt(parts[1])) {
+    *total = std::max<std::uint32_t>(1, static_cast<std::uint32_t>(*n));
+  }
+}
+
+}  // namespace actyp::pipeline

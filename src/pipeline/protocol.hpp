@@ -1,0 +1,71 @@
+// Message conventions for the resource management pipeline: how queries,
+// allocations, failures, and releases are encoded as net::Message.
+//
+// Header conventions (see net/message.hpp for the shared keys):
+//   query:       reply-to        final destination for the result
+//                final-reply-to  original client, preserved across stages
+//                request-id      client-assigned id for correlation
+//   allocation:  machine / machine-id / port / session-key / shadow-uid
+//                pool-address    where to send the matching release
+//                request-id, fragment (i/n), pool-name
+//   failure:     error, request-id, fragment
+//   release:     machine-id, session-key
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.hpp"
+#include "net/message.hpp"
+#include "net/node.hpp"
+#include "query/query.hpp"
+
+namespace actyp::pipeline {
+
+// Additional header keys specific to the pipeline protocol.
+namespace phdr {
+inline constexpr std::string_view kFinalReplyTo = "final-reply-to";
+inline constexpr std::string_view kFragment = "fragment";      // "i/n"
+inline constexpr std::string_view kPoolAddress = "pool-address";
+inline constexpr std::string_view kLoad = "machine-load";
+inline constexpr std::string_view kQosFirstMatch = "qos-first-match";
+}  // namespace phdr
+
+// Builds a query message. The query's own text body carries TTL/visited/
+// fragment state (actyp.meta.* keys).
+net::Message MakeQueryMessage(const query::Query& q,
+                              const net::Address& reply_to,
+                              const net::Address& final_reply_to,
+                              std::uint64_t request_id);
+
+// Result of a successful allocation at a resource pool.
+struct Allocation {
+  std::string machine_name;
+  std::uint32_t machine_id = 0;
+  std::uint16_t port = 0;
+  std::string session_key;
+  std::uint32_t shadow_uid = 0;
+  std::string pool_name;
+  net::Address pool_address;
+  double machine_load = 0.0;
+  std::uint64_t request_id = 0;
+  std::uint32_t fragment_index = 0;
+  std::uint32_t fragment_total = 1;
+};
+
+net::Message MakeAllocationMessage(const Allocation& allocation);
+Result<Allocation> ParseAllocationMessage(const net::Message& message);
+
+net::Message MakeFailureMessage(std::uint64_t request_id,
+                                const std::string& error,
+                                std::uint32_t fragment_index = 0,
+                                std::uint32_t fragment_total = 1);
+
+net::Message MakeReleaseMessage(std::uint32_t machine_id,
+                                const std::string& session_key);
+
+// Parses "i/n" fragment headers; defaults to 0/1.
+void ParseFragmentHeader(const net::Message& message, std::uint32_t* index,
+                         std::uint32_t* total);
+
+}  // namespace actyp::pipeline

@@ -1,0 +1,184 @@
+#include "pipeline/query_manager.hpp"
+
+#include <algorithm>
+
+#include "common/logging.hpp"
+#include "common/strings.hpp"
+#include "pipeline/protocol.hpp"
+#include "query/parser.hpp"
+
+namespace actyp::pipeline {
+
+QueryManager::QueryManager(QueryManagerConfig config)
+    : config_(std::move(config)) {
+  config_.qos_fanout = std::max<std::uint32_t>(1, config_.qos_fanout);
+}
+
+void QueryManager::RegisterTranslator(const std::string& language,
+                                      Translator translator) {
+  translators_[ToLower(language)] = std::move(translator);
+}
+
+void QueryManager::OnMessage(const net::Envelope& envelope,
+                             net::NodeContext& ctx) {
+  if (envelope.message.type == net::msg::kQuery) {
+    HandleQuery(envelope, ctx);
+  } else {
+    ACTYP_DEBUG << "query manager '" << config_.name
+                << "': ignoring message type '" << envelope.message.type
+                << "'";
+  }
+}
+
+void QueryManager::HandleQuery(const net::Envelope& envelope,
+                               net::NodeContext& ctx) {
+  ++stats_.queries;
+  const net::Message& message = envelope.message;
+  ctx.Consume(config_.costs.qm_translate);
+
+  // 1. Translation into the native language (interoperability hook).
+  std::string native = message.body;
+  const std::string language = ToLower(message.Header("language"));
+  if (!language.empty() && language != "native") {
+    auto it = translators_.find(language);
+    if (it == translators_.end()) {
+      ++stats_.translation_failures;
+      Fail(envelope, ctx, "no translator for language '" + language + "'");
+      return;
+    }
+    auto translated = it->second(native);
+    if (!translated.ok()) {
+      ++stats_.translation_failures;
+      Fail(envelope, ctx, translated.status().ToString());
+      return;
+    }
+    native = std::move(translated.value());
+  }
+
+  // 2. Parse and decompose.
+  auto composite = query::Parser::Parse(native);
+  if (!composite.ok()) {
+    ++stats_.parse_failures;
+    Fail(envelope, ctx, composite.status().ToString());
+    return;
+  }
+
+  std::uint64_t request_id = 0;
+  if (auto rid = ParseInt(message.Header(net::hdr::kRequestId))) {
+    request_id = static_cast<std::uint64_t>(*rid);
+  }
+  const net::Address client = message.Header(net::hdr::kReplyTo);
+
+  // Expand QoS duplicates: each basic alternative is sent to `fanout`
+  // distinct pool managers; the reintegrator keeps the best answer.
+  std::vector<query::Query> fragments;
+  for (const auto& alternative : composite->alternatives()) {
+    for (std::uint32_t dup = 0; dup < config_.qos_fanout; ++dup) {
+      fragments.push_back(alternative);
+    }
+  }
+  ctx.Consume(config_.costs.qm_per_fragment *
+              static_cast<SimDuration>(fragments.size()));
+
+  const bool aggregated = fragments.size() > 1;
+  if (aggregated && config_.reintegrator.empty()) {
+    ++stats_.routing_failures;
+    Fail(envelope, ctx,
+         "composite/fan-out query but no reintegrator configured");
+    return;
+  }
+  if (aggregated) ++stats_.composites;
+
+  const auto total = static_cast<std::uint32_t>(fragments.size());
+  const std::uint64_t composite_id =
+      request_id != 0 ? request_id : composite_seq_++;
+
+  std::vector<net::Address> used_pms;
+  for (std::uint32_t i = 0; i < total; ++i) {
+    query::Query& fragment = fragments[i];
+    fragment.set_request_id(request_id);
+    if (aggregated) {
+      query::FragmentInfo info;
+      info.composite_id = composite_id;
+      info.index = i;
+      info.total = total;
+      fragment.set_fragment(info);
+    }
+
+    auto candidates = CandidatePms(fragment);
+    if (candidates.empty()) {
+      ++stats_.routing_failures;
+      const net::Address target =
+          aggregated ? config_.reintegrator : client;
+      if (!target.empty()) {
+        net::Message failure = MakeFailureMessage(
+            request_id, "no pool manager configured for this query", i,
+            aggregated ? total : 1);
+        if (aggregated) failure.SetHeader(phdr::kFinalReplyTo, client);
+        ctx.Send(target, std::move(failure));
+      }
+      continue;
+    }
+    // Spread QoS duplicates over distinct pool managers when possible.
+    if (config_.qos_fanout > 1 && candidates.size() > 1) {
+      std::vector<net::Address> unused;
+      for (const auto& c : candidates) {
+        if (std::find(used_pms.begin(), used_pms.end(), c) == unused.end() &&
+            std::find(used_pms.begin(), used_pms.end(), c) ==
+                used_pms.end()) {
+          unused.push_back(c);
+        }
+      }
+      if (!unused.empty()) candidates = std::move(unused);
+    }
+    const net::Address pm = PickPm(candidates, ctx);
+    used_pms.push_back(pm);
+
+    net::Message out{net::msg::kQuery};
+    out.headers = message.headers;
+    out.SetHeader(net::hdr::kReplyTo,
+                  aggregated ? config_.reintegrator : client);
+    out.SetHeader(phdr::kFinalReplyTo, client);
+    if (aggregated) {
+      out.SetHeader(phdr::kFragment,
+                    std::to_string(i) + "/" + std::to_string(total));
+    }
+    out.body = fragment.ToText();
+    ctx.Send(pm, std::move(out));
+    ++stats_.fragments;
+  }
+}
+
+std::vector<net::Address> QueryManager::CandidatePms(
+    const query::Query& q) const {
+  for (const auto& rule : config_.rules) {
+    const auto cond = q.GetRsrc(rule.param);
+    if (!cond) continue;
+    if (GlobMatch(rule.value_glob, cond->value.text())) {
+      return rule.pool_managers;
+    }
+  }
+  return config_.default_pool_managers;
+}
+
+net::Address QueryManager::PickPm(const std::vector<net::Address>& candidates,
+                                  net::NodeContext& ctx) {
+  if (candidates.size() == 1) return candidates.front();
+  if (config_.pick == PmPickMode::kRoundRobin) {
+    return candidates[round_robin_++ % candidates.size()];
+  }
+  return candidates[ctx.rng().NextBounded(candidates.size())];
+}
+
+void QueryManager::Fail(const net::Envelope& envelope, net::NodeContext& ctx,
+                        const std::string& reason) {
+  const net::Address reply_to = envelope.message.Header(net::hdr::kReplyTo);
+  if (reply_to.empty()) return;
+  std::uint64_t request_id = 0;
+  if (auto rid = ParseInt(envelope.message.Header(net::hdr::kRequestId))) {
+    request_id = static_cast<std::uint64_t>(*rid);
+  }
+  ctx.Send(reply_to, MakeFailureMessage(request_id, reason));
+}
+
+}  // namespace actyp::pipeline

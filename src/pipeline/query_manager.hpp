@@ -1,0 +1,84 @@
+// QueryManager (§5.2.1): the pipeline's entry stage. It translates
+// queries from foreign resource-description languages into the native
+// key-value format, decomposes composite ("or") queries into basic
+// fragments, selects pool managers — by parameter value, or
+// random/round-robin — and forwards the fragments. Composite fragments
+// and QoS fan-out duplicates are aggregated by a Reintegrator stage.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "net/node.hpp"
+#include "pipeline/cost_model.hpp"
+#include "query/query.hpp"
+
+namespace actyp::pipeline {
+
+// Translates a foreign-language query body into native text.
+using Translator = std::function<Result<std::string>(const std::string&)>;
+
+enum class PmPickMode { kRandom, kRoundRobin };
+
+// Routes queries whose rsrc `param` matches `value_glob` to a dedicated
+// pool-manager set (the paper's example: sun machines to one set, hp to
+// another).
+struct PmRule {
+  std::string param;
+  std::string value_glob;
+  std::vector<net::Address> pool_managers;
+};
+
+struct QueryManagerConfig {
+  std::string name;
+  std::vector<PmRule> rules;
+  std::vector<net::Address> default_pool_managers;
+  PmPickMode pick = PmPickMode::kRandom;
+  // Aggregation stage for composite fragments and QoS duplicates.
+  net::Address reintegrator;
+  // QoS: forward every basic query to this many distinct pool managers
+  // and let the reintegrator keep the best response (§6). 1 = off.
+  std::uint32_t qos_fanout = 1;
+  CostModel costs;
+};
+
+struct QueryManagerStats {
+  std::uint64_t queries = 0;
+  std::uint64_t fragments = 0;
+  std::uint64_t composites = 0;
+  std::uint64_t translation_failures = 0;
+  std::uint64_t parse_failures = 0;
+  std::uint64_t routing_failures = 0;
+};
+
+class QueryManager final : public net::Node {
+ public:
+  explicit QueryManager(QueryManagerConfig config);
+
+  // Registers a translator for the given language tag (message header
+  // "language"); native queries need none.
+  void RegisterTranslator(const std::string& language, Translator translator);
+
+  void OnMessage(const net::Envelope& envelope, net::NodeContext& ctx) override;
+
+  [[nodiscard]] const QueryManagerStats& stats() const { return stats_; }
+
+ private:
+  void HandleQuery(const net::Envelope& envelope, net::NodeContext& ctx);
+  [[nodiscard]] std::vector<net::Address> CandidatePms(
+      const query::Query& q) const;
+  net::Address PickPm(const std::vector<net::Address>& candidates,
+                      net::NodeContext& ctx);
+  void Fail(const net::Envelope& envelope, net::NodeContext& ctx,
+            const std::string& reason);
+
+  QueryManagerConfig config_;
+  std::map<std::string, Translator> translators_;
+  QueryManagerStats stats_;
+  std::size_t round_robin_ = 0;
+  std::uint64_t composite_seq_ = 1;
+};
+
+}  // namespace actyp::pipeline

@@ -1,0 +1,74 @@
+#include "pipeline/reservations.hpp"
+
+#include <algorithm>
+
+namespace actyp::pipeline {
+
+bool ReservationBook::IsFree(db::MachineId machine, SimTime start,
+                             SimTime end) const {
+  auto it = by_machine_.find(machine);
+  if (it == by_machine_.end()) return true;
+  for (const Interval& interval : it->second) {
+    if (start < interval.end && interval.start < end) return false;
+  }
+  return true;
+}
+
+Status ReservationBook::Book(db::MachineId machine, SimTime start,
+                             SimTime end, const std::string& session) {
+  if (end <= start) return InvalidArgument("reservation window is empty");
+  if (session.empty()) return InvalidArgument("reservation needs a session");
+  if (!IsFree(machine, start, end)) {
+    return Unavailable("machine " + std::to_string(machine) +
+                       " already reserved in that window");
+  }
+  by_machine_[machine].push_back(Interval{start, end, session});
+  return Status::Ok();
+}
+
+std::size_t ReservationBook::Cancel(const std::string& session) {
+  std::size_t cancelled = 0;
+  for (auto it = by_machine_.begin(); it != by_machine_.end();) {
+    auto& intervals = it->second;
+    const auto new_end = std::remove_if(
+        intervals.begin(), intervals.end(),
+        [&session](const Interval& i) { return i.session == session; });
+    cancelled += static_cast<std::size_t>(intervals.end() - new_end);
+    intervals.erase(new_end, intervals.end());
+    it = intervals.empty() ? by_machine_.erase(it) : std::next(it);
+  }
+  return cancelled;
+}
+
+std::size_t ReservationBook::Prune(SimTime now) {
+  std::size_t pruned = 0;
+  for (auto it = by_machine_.begin(); it != by_machine_.end();) {
+    auto& intervals = it->second;
+    const auto new_end = std::remove_if(
+        intervals.begin(), intervals.end(),
+        [now](const Interval& i) { return i.end <= now; });
+    pruned += static_cast<std::size_t>(intervals.end() - new_end);
+    intervals.erase(new_end, intervals.end());
+    it = intervals.empty() ? by_machine_.erase(it) : std::next(it);
+  }
+  return pruned;
+}
+
+std::size_t ReservationBook::CountFor(db::MachineId machine) const {
+  auto it = by_machine_.find(machine);
+  return it == by_machine_.end() ? 0 : it->second.size();
+}
+
+std::size_t ReservationBook::total() const {
+  std::size_t n = 0;
+  for (const auto& [machine, intervals] : by_machine_) n += intervals.size();
+  return n;
+}
+
+std::vector<ReservationBook::Interval> ReservationBook::IntervalsFor(
+    db::MachineId machine) const {
+  auto it = by_machine_.find(machine);
+  return it == by_machine_.end() ? std::vector<Interval>() : it->second;
+}
+
+}  // namespace actyp::pipeline

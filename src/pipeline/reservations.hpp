@@ -1,0 +1,53 @@
+// Advance reservations — an extension beyond the 2001 prototype (§8
+// notes Globus supported "advance reservations and co-allocation of
+// compute resources, neither of which are currently supported by
+// ActYP"; the conclusions list them as future work).
+//
+// A ReservationBook tracks, per machine, the time intervals already
+// promised to sessions. A query carrying `punch.appl.starttime` (absolute
+// simulation seconds) and `punch.appl.duration` (seconds) is granted only
+// on a machine whose book is free for the whole window.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/sim_time.hpp"
+#include "common/status.hpp"
+#include "db/machine.hpp"
+
+namespace actyp::pipeline {
+
+class ReservationBook {
+ public:
+  struct Interval {
+    SimTime start = 0;
+    SimTime end = 0;
+    std::string session;
+  };
+
+  // True when [start, end) does not overlap any reservation on machine.
+  [[nodiscard]] bool IsFree(db::MachineId machine, SimTime start,
+                            SimTime end) const;
+
+  // Books [start, end) for `session`; fails on conflict or empty window.
+  Status Book(db::MachineId machine, SimTime start, SimTime end,
+              const std::string& session);
+
+  // Cancels every interval held by `session`; returns how many.
+  std::size_t Cancel(const std::string& session);
+
+  // Drops intervals that ended at or before `now`; returns how many.
+  std::size_t Prune(SimTime now);
+
+  [[nodiscard]] std::size_t CountFor(db::MachineId machine) const;
+  [[nodiscard]] std::size_t total() const;
+  [[nodiscard]] std::vector<Interval> IntervalsFor(db::MachineId machine) const;
+
+ private:
+  std::map<db::MachineId, std::vector<Interval>> by_machine_;
+};
+
+}  // namespace actyp::pipeline

@@ -1,0 +1,456 @@
+#include "pipeline/resource_pool.hpp"
+
+#include <algorithm>
+
+#include "common/logging.hpp"
+#include "common/strings.hpp"
+#include "query/parser.hpp"
+
+namespace actyp::pipeline {
+namespace {
+// Sentinel load marking a cache entry whose machine is down/blocked;
+// large enough that no policy (or oversubscribe fallback) picks it.
+constexpr double kUnusableLoad = 1e18;
+}  // namespace
+
+ResourcePool::ResourcePool(ResourcePoolConfig config,
+                           db::ResourceDatabase* database,
+                           directory::DirectoryService* directory,
+                           db::ShadowAccountRegistry* shadows,
+                           db::PolicyRegistry* policies)
+    : config_(std::move(config)),
+      database_(database),
+      directory_(directory),
+      shadows_(shadows),
+      policies_(policies) {
+  auto policy = sched::MakePolicy(config_.policy);
+  policy_ = policy.ok() ? std::move(policy.value())
+                        : std::make_unique<sched::LeastLoadPolicy>();
+}
+
+ResourcePool::~ResourcePool() = default;
+
+void ResourcePool::OnStart(net::NodeContext& ctx) {
+  Initialize(ctx);
+  if (config_.resort_period > 0) {
+    ctx.ScheduleSelf(config_.resort_period, net::Message{net::msg::kTick});
+  }
+}
+
+void ResourcePool::Initialize(net::NodeContext& ctx) {
+  const std::string claim_name =
+      config_.claim_name.empty() ? config_.pool_name : config_.claim_name;
+  // First instance claims machines; replicas adopt the existing claim so
+  // all instances of a pool see the same machine set (Fig. 8).
+  std::vector<db::MachineId> ids = database_->ListTakenBy(claim_name);
+  if (ids.empty()) {
+    ids = database_->ClaimMatching(config_.criteria, claim_name,
+                                   config_.claim_limit);
+  }
+
+  cache_.clear();
+  meta_.clear();
+  cache_.reserve(ids.size());
+  meta_.reserve(ids.size());
+  for (const auto id : ids) {
+    auto rec = database_->Get(id);
+    if (!rec.ok()) continue;
+    sched::CacheEntry entry;
+    entry.id = rec->id;
+    entry.name = rec->name;
+    entry.load = rec->dyn.load;
+    entry.available_memory_mb = rec->dyn.available_memory_mb;
+    entry.effective_speed = rec->effective_speed;
+    entry.num_cpus = rec->num_cpus;
+    entry.max_allowed_load = rec->max_allowed_load;
+    entry.active_jobs = 0;
+    entry.updated = rec->dyn.last_update;
+    cache_.push_back(std::move(entry));
+
+    EntryMeta meta;
+    meta.user_groups = rec->user_groups;
+    meta.usage_policy = rec->usage_policy;
+    meta.shadow_pool = rec->shadow_pool;
+    meta.execution_port = rec->execution_unit_port;
+    meta_.push_back(std::move(meta));
+  }
+
+  initialized_ = true;
+  if (config_.register_in_directory && directory_ != nullptr) {
+    directory::PoolInstance instance;
+    instance.pool_name = config_.pool_name;
+    instance.instance = config_.instance;
+    instance.address = ctx.self();
+    instance.machine_count = cache_.size();
+    instance.segment = config_.segment;
+    const Status status = directory_->RegisterPool(instance);
+    registered_ = status.ok();
+    if (!status.ok()) {
+      ACTYP_WARN << "pool '" << config_.pool_name
+                 << "' failed directory registration: " << status.ToString();
+    }
+  }
+}
+
+void ResourcePool::OnMessage(const net::Envelope& envelope,
+                             net::NodeContext& ctx) {
+  const net::Message& message = envelope.message;
+  if (message.type == net::msg::kQuery) {
+    HandleQuery(envelope, ctx);
+  } else if (message.type == net::msg::kRelease) {
+    HandleRelease(envelope, ctx);
+  } else if (message.type == net::msg::kTick) {
+    HandleTick(ctx);
+  } else if (message.type == net::msg::kShutdown) {
+    if (registered_ && directory_ != nullptr) {
+      directory_->UnregisterPool(config_.pool_name, config_.instance);
+      registered_ = false;
+    }
+    database_->ReleaseAllFrom(
+        config_.claim_name.empty() ? config_.pool_name : config_.claim_name);
+  } else {
+    ACTYP_DEBUG << "pool '" << config_.pool_name
+                << "': ignoring message type '" << message.type << "'";
+  }
+}
+
+void ResourcePool::HandleQuery(const net::Envelope& envelope,
+                               net::NodeContext& ctx) {
+  ++stats_.queries;
+  const net::Message& message = envelope.message;
+  const net::Address reply_to = message.Header(net::hdr::kReplyTo);
+  std::uint64_t request_id = 0;
+  if (auto rid = ParseInt(message.Header(net::hdr::kRequestId))) {
+    request_id = static_cast<std::uint64_t>(*rid);
+  }
+
+  auto parsed = query::Parser::ParseBasic(message.body);
+  ctx.Consume(config_.costs.pool_fixed);
+  if (!parsed.ok()) {
+    ++stats_.failures;
+    if (!reply_to.empty()) {
+      ctx.Send(reply_to,
+               MakeFailureMessage(request_id, parsed.status().ToString()));
+    }
+    return;
+  }
+  const query::Query& q = parsed.value();
+  const std::string access_group = q.GetUser("accessgroup");
+
+  // Per-query eligibility: user group lists (Fig. 3 field 16) and usage
+  // policies (field 19) applied to the pool's cached view.
+  std::function<bool(std::size_t, const sched::CacheEntry&)> filter =
+      [this, &access_group](std::size_t i, const sched::CacheEntry& entry) {
+        const EntryMeta& meta = meta_[i];
+        if (!meta.user_groups.empty() && !access_group.empty()) {
+          const std::string lower = ToLower(access_group);
+          const bool allowed = std::any_of(
+              meta.user_groups.begin(), meta.user_groups.end(),
+              [&lower](const std::string& g) { return ToLower(g) == lower; });
+          if (!allowed) return false;
+        }
+        if (policies_ != nullptr && !meta.usage_policy.empty()) {
+          // Evaluate the policy against the cached dynamic view.
+          db::MachineRecord synth;
+          synth.name = entry.name;
+          synth.dyn.load = entry.load;
+          synth.dyn.available_memory_mb = entry.available_memory_mb;
+          synth.effective_speed = entry.effective_speed;
+          synth.num_cpus = entry.num_cpus;
+          synth.max_allowed_load = entry.max_allowed_load;
+          synth.usage_policy = meta.usage_policy;
+          if (!policies_->Allows(synth, access_group)) return false;
+        }
+        return true;
+      };
+
+  // Co-allocation (an extension beyond the 2001 prototype, which — like
+  // advance reservations — the paper lists as unsupported): a query may
+  // ask for `punch.appl.count = N` machines, granted atomically or not
+  // at all.
+  std::size_t want = 1;
+  if (auto count = ParseInt(q.GetAppl("count")); count && *count > 1) {
+    want = static_cast<std::size_t>(*count);
+  }
+
+  // Advance reservation (extension): `punch.appl.starttime` (absolute
+  // seconds) + `punch.appl.duration` (seconds) turn the request into a
+  // booking of that future window instead of an immediate allocation.
+  SimTime resv_start = 0, resv_end = 0;
+  bool is_reservation = false;
+  if (auto start = ParseDouble(q.GetAppl("starttime"))) {
+    const double duration =
+        ParseDouble(q.GetAppl("duration")).value_or(3600.0);
+    resv_start = Seconds(*start);
+    resv_end = resv_start + Seconds(duration);
+    is_reservation = resv_end > resv_start && resv_start >= ctx.Now();
+    if (!is_reservation) {
+      ++stats_.failures;
+      if (!reply_to.empty()) {
+        ctx.Send(reply_to, MakeFailureMessage(
+                               request_id, "invalid reservation window"));
+      }
+      return;
+    }
+  }
+
+  sched::SelectionContext sel_ctx;
+  sel_ctx.instance = config_.instance;
+  sel_ctx.instance_count = config_.instance_count;
+  sel_ctx.rng = &ctx.rng();
+  sel_ctx.filter = &filter;
+
+  // Select `want` distinct machines; already-picked indices are excluded
+  // through the filter.
+  std::vector<std::size_t> picked;
+  std::size_t examined = 0;
+  bool oversubscribed = false;
+  std::function<bool(std::size_t, const sched::CacheEntry&)> pick_filter =
+      [this, &filter, &picked, is_reservation, resv_start, resv_end](
+          std::size_t i, const sched::CacheEntry& entry) {
+        if (std::find(picked.begin(), picked.end(), i) != picked.end()) {
+          return false;
+        }
+        if (is_reservation &&
+            !reservations_.IsFree(entry.id, resv_start, resv_end)) {
+          return false;
+        }
+        return filter(i, entry);
+      };
+  sel_ctx.filter = &pick_filter;
+  while (picked.size() < want) {
+    sched::Selection selection = policy_->Select(cache_, sel_ctx);
+    if (!selection.found() && config_.allow_oversubscribe &&
+        !is_reservation) {
+      // Every machine is at its ceiling: time-share the least-loaded one
+      // that passes access control.
+      double best_load = 0.0;
+      for (std::size_t i = 0; i < cache_.size(); ++i) {
+        ++selection.examined;
+        if (cache_[i].load >= kUnusableLoad) continue;  // machine is down
+        if (!pick_filter(i, cache_[i])) continue;
+        if (!selection.found() || cache_[i].load < best_load) {
+          selection.index = i;
+          best_load = cache_[i].load;
+        }
+      }
+      oversubscribed |= selection.found();
+    }
+    examined += selection.examined;
+    if (!selection.found()) break;
+    picked.push_back(selection.index);
+  }
+
+  sched::Selection selection;  // summary view for the reply logic below
+  if (picked.size() == want) selection.index = picked.front();
+  selection.examined = examined;
+
+  stats_.entries_examined += selection.examined;
+  ctx.Consume(config_.costs.pool_per_machine *
+              static_cast<SimDuration>(selection.examined));
+
+  if (!selection.found() && !picked.empty()) {
+    // Partial co-allocation: all-or-nothing, so nothing was committed
+    // (loads are only bumped once the full set is granted below).
+    picked.clear();
+  }
+
+  // Aggregation metadata that must survive this stage: the reintegrator
+  // needs the final client address and the QoS mode on every fragment
+  // result (all state travels with the messages, §6).
+  auto propagate = [&message](net::Message& out) {
+    for (const auto key : {phdr::kFinalReplyTo, phdr::kQosFirstMatch}) {
+      if (message.HasHeader(key)) {
+        out.SetHeader(key, message.Header(key));
+      }
+    }
+  };
+
+  if (!selection.found()) {
+    ++stats_.failures;
+    std::uint32_t frag_index = 0, frag_total = 1;
+    ParseFragmentHeader(message, &frag_index, &frag_total);
+    const query::FragmentInfo frag = q.fragment();
+    if (frag.is_fragment()) {
+      frag_index = frag.index;
+      frag_total = frag.total;
+    }
+    if (!reply_to.empty()) {
+      net::Message failure =
+          MakeFailureMessage(request_id,
+                             "no machine available in pool '" +
+                                 config_.pool_name + "'",
+                             frag_index, frag_total);
+      propagate(failure);
+      ctx.Send(reply_to, std::move(failure));
+    }
+    return;
+  }
+  if (oversubscribed) ++stats_.oversubscribed;
+
+  const std::string session_key = MakeSessionKey(ctx);
+  if (is_reservation) {
+    // A booking promises future capacity; present load is untouched.
+    for (const std::size_t index : picked) {
+      reservations_.Book(cache_[index].id, resv_start, resv_end, session_key);
+    }
+    reservation_sessions_.insert(session_key);
+    ++stats_.reservations;
+  } else {
+    for (const std::size_t index : picked) {
+      cache_[index].active_jobs += 1;
+      cache_[index].load += 1.0;
+    }
+  }
+
+  const std::size_t primary = picked.front();
+  sched::CacheEntry& chosen = cache_[primary];
+  Allocation allocation;
+  allocation.machine_name = chosen.name;
+  allocation.machine_id = chosen.id;
+  allocation.port = meta_[primary].execution_port;
+  allocation.session_key = session_key;
+  allocation.pool_name = config_.pool_name;
+  allocation.pool_address = ctx.self();
+  allocation.machine_load = chosen.load;
+  allocation.request_id = request_id;
+  const query::FragmentInfo frag = q.fragment();
+  allocation.fragment_index = frag.index;
+  allocation.fragment_total = frag.total;
+
+  if (shadows_ != nullptr && !meta_[primary].shadow_pool.empty()) {
+    auto* pool = shadows_->Find(meta_[primary].shadow_pool);
+    if (pool != nullptr) {
+      auto uid = pool->Acquire(allocation.session_key);
+      if (uid.ok()) {
+        allocation.shadow_uid = *uid;
+        session_uid_[allocation.session_key] = *uid;
+      }
+    }
+  }
+
+  session_entry_[allocation.session_key] = picked;
+  ++stats_.allocations;
+  if (!reply_to.empty()) {
+    net::Message out = MakeAllocationMessage(allocation);
+    if (is_reservation) {
+      out.SetHeader("reserved-start", std::to_string(ToSeconds(resv_start)));
+      out.SetHeader("reserved-end", std::to_string(ToSeconds(resv_end)));
+    }
+    if (picked.size() > 1) {
+      // Co-allocated set: full machine list rides in one header so the
+      // client can reach every member.
+      std::vector<std::string> names;
+      names.reserve(picked.size());
+      for (const std::size_t index : picked) names.push_back(cache_[index].name);
+      out.SetHeader("machines", Join(names, ","));
+    }
+    propagate(out);
+    ctx.Send(reply_to, std::move(out));
+  }
+}
+
+void ResourcePool::HandleRelease(const net::Envelope& envelope,
+                                 net::NodeContext& ctx) {
+  const net::Message& message = envelope.message;
+  const std::string session = message.Header(net::hdr::kSessionKey);
+  ctx.Consume(config_.costs.pool_fixed / 2);
+
+  auto it = session_entry_.find(session);
+  if (it == session_entry_.end()) {
+    ACTYP_DEBUG << "pool '" << config_.pool_name
+                << "': release for unknown session";
+    return;
+  }
+  if (reservation_sessions_.erase(session) > 0) {
+    // Cancelling a booking frees the future window, not present load.
+    reservations_.Cancel(session);
+  } else {
+    for (const std::size_t index : it->second) {
+      sched::CacheEntry& entry = cache_[index];
+      entry.active_jobs = std::max(0, entry.active_jobs - 1);
+      entry.load = std::max(0.0, entry.load - 1.0);
+    }
+  }
+
+  auto uid_it = session_uid_.find(session);
+  if (uid_it != session_uid_.end()) {
+    if (shadows_ != nullptr && !it->second.empty()) {
+      auto* pool = shadows_->Find(meta_[it->second.front()].shadow_pool);
+      if (pool != nullptr) pool->Release(uid_it->second, session);
+    }
+    session_uid_.erase(uid_it);
+  }
+  session_entry_.erase(it);
+  ++stats_.releases;
+}
+
+void ResourcePool::HandleTick(net::NodeContext& ctx) {
+  RefreshFromDatabase();
+  Resort(ctx);
+  reservations_.Prune(ctx.Now());
+  ctx.ScheduleSelf(config_.resort_period, net::Message{net::msg::kTick});
+}
+
+void ResourcePool::RefreshFromDatabase() {
+  for (auto& entry : cache_) {
+    auto rec = database_->Get(entry.id);
+    if (!rec.ok()) continue;
+    if (!rec->IsUsable()) {
+      // The machine went down or was blocked since the last sweep: make
+      // it unselectable (by any policy, including the oversubscribe
+      // fallback) until it comes back.
+      entry.load = kUnusableLoad;
+      entry.updated = rec->dyn.last_update;
+      continue;
+    }
+    // Background load from the monitor plus this pool's own allocations.
+    entry.load = rec->dyn.load + static_cast<double>(entry.active_jobs);
+    entry.available_memory_mb = rec->dyn.available_memory_mb;
+    entry.updated = rec->dyn.last_update;
+  }
+}
+
+void ResourcePool::Resort(net::NodeContext& ctx) {
+  ctx.Consume(config_.costs.pool_sort_per_machine *
+              static_cast<SimDuration>(cache_.size()));
+  // Sort cache and keep meta/session maps consistent via an index
+  // permutation.
+  std::vector<std::size_t> order(cache_.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(),
+                   [this](std::size_t a, std::size_t b) {
+                     return policy_->Better(cache_[a], cache_[b]);
+                   });
+
+  std::vector<sched::CacheEntry> new_cache;
+  std::vector<EntryMeta> new_meta;
+  new_cache.reserve(cache_.size());
+  new_meta.reserve(meta_.size());
+  std::vector<std::size_t> new_index(cache_.size());
+  for (std::size_t rank = 0; rank < order.size(); ++rank) {
+    new_index[order[rank]] = rank;
+    new_cache.push_back(std::move(cache_[order[rank]]));
+    new_meta.push_back(std::move(meta_[order[rank]]));
+  }
+  cache_ = std::move(new_cache);
+  meta_ = std::move(new_meta);
+  for (auto& [session, indices] : session_entry_) {
+    for (auto& index : indices) index = new_index[index];
+  }
+}
+
+std::string ResourcePool::MakeSessionKey(net::NodeContext& ctx) {
+  static const char kHex[] = "0123456789abcdef";
+  std::string key = "sess-";
+  for (int i = 0; i < 4; ++i) {
+    std::uint64_t word = ctx.rng().Next();
+    for (int j = 0; j < 8; ++j) {
+      key += kHex[word & 0xF];
+      word >>= 4;
+    }
+  }
+  return key;
+}
+
+}  // namespace actyp::pipeline

@@ -1,0 +1,122 @@
+// ResourcePool (§5.2.3): a dynamically-created active object holding
+//   1) machines aggregated according to the criteria encoded in its
+//      name (claimed from the white pages at initialization), and
+//   2) a scheduling process that orders those machines by a configured
+//      objective and answers queries with a linear search.
+//
+// Lifecycle: OnStart walks the white pages, claims matching machines
+// (marking them "taken"), loads a local cache, registers itself with the
+// local directory service, and arms a periodic re-sort timer. Queries
+// allocate a machine, generate a session key, and grab a shadow-account
+// uid; releases return the job's capacity.
+//
+// Replication: instances of the same pool share one machine set (the
+// first instance claims; later ones adopt the claim) and apply the
+// instance-specific selection bias of Fig. 8.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "common/status.hpp"
+#include "db/database.hpp"
+#include "db/policy.hpp"
+#include "db/shadow.hpp"
+#include "directory/directory.hpp"
+#include "net/node.hpp"
+#include "pipeline/cost_model.hpp"
+#include "pipeline/protocol.hpp"
+#include "pipeline/reservations.hpp"
+#include "query/query.hpp"
+#include "sched/policy.hpp"
+
+namespace actyp::pipeline {
+
+struct ResourcePoolConfig {
+  std::string pool_name;       // signature '/' identifier (§5.2.2)
+  std::uint32_t instance = 0;  // self-generated instance number
+  std::uint32_t instance_count = 1;  // for the replication bias
+  // Name under which machines are marked taken in the white pages.
+  // Replicas share it (they adopt each other's claim); segments of a
+  // split pool use distinct claim names so they partition the machines.
+  // Empty = pool_name.
+  std::string claim_name;
+  // Registered as a segment of a split pool (Fig. 7).
+  bool segment = false;
+  query::Query criteria;       // aggregation criteria (rsrc terms only)
+  std::string policy = "least-load";
+  SimDuration resort_period = Seconds(2.0);
+  std::size_t claim_limit = 0;  // cap on machines claimed; 0 = all
+  // When a query finds every machine at its load ceiling, hand out the
+  // least-loaded one anyway (PUNCH machines are time-shared); when
+  // false, reply with a failure instead.
+  bool allow_oversubscribe = true;
+  bool register_in_directory = true;
+  CostModel costs;
+};
+
+struct PoolStats {
+  std::uint64_t queries = 0;
+  std::uint64_t allocations = 0;
+  std::uint64_t failures = 0;
+  std::uint64_t releases = 0;
+  std::uint64_t oversubscribed = 0;
+  std::uint64_t entries_examined = 0;
+  std::uint64_t reservations = 0;  // advance reservations granted
+};
+
+class ResourcePool final : public net::Node {
+ public:
+  // `policies` and `shadows` may be nullptr (checks are skipped).
+  ResourcePool(ResourcePoolConfig config, db::ResourceDatabase* database,
+               directory::DirectoryService* directory,
+               db::ShadowAccountRegistry* shadows,
+               db::PolicyRegistry* policies);
+  ~ResourcePool() override;
+
+  void OnStart(net::NodeContext& ctx) override;
+  void OnMessage(const net::Envelope& envelope, net::NodeContext& ctx) override;
+
+  [[nodiscard]] const PoolStats& stats() const { return stats_; }
+  [[nodiscard]] std::size_t cache_size() const { return cache_.size(); }
+  [[nodiscard]] const ResourcePoolConfig& config() const { return config_; }
+
+ private:
+  struct EntryMeta {
+    std::vector<std::string> user_groups;
+    std::string usage_policy;
+    std::string shadow_pool;
+    std::uint16_t execution_port = 0;
+  };
+
+  void Initialize(net::NodeContext& ctx);
+  void HandleQuery(const net::Envelope& envelope, net::NodeContext& ctx);
+  void HandleRelease(const net::Envelope& envelope, net::NodeContext& ctx);
+  void HandleTick(net::NodeContext& ctx);
+  void RefreshFromDatabase();
+  void Resort(net::NodeContext& ctx);
+  [[nodiscard]] std::string MakeSessionKey(net::NodeContext& ctx);
+
+  ResourcePoolConfig config_;
+  db::ResourceDatabase* database_;
+  directory::DirectoryService* directory_;
+  db::ShadowAccountRegistry* shadows_;
+  db::PolicyRegistry* policies_;
+
+  std::unique_ptr<sched::SchedulingPolicy> policy_;
+  std::vector<sched::CacheEntry> cache_;
+  std::vector<EntryMeta> meta_;             // parallel to cache_
+  // session -> cache indices (one entry normally; several for
+  // co-allocated requests, released together).
+  std::map<std::string, std::vector<std::size_t>> session_entry_;
+  std::map<std::string, std::uint32_t> session_uid_;  // session -> shadow uid
+  ReservationBook reservations_;  // advance reservations (extension)
+  std::set<std::string> reservation_sessions_;
+  PoolStats stats_;
+  bool registered_ = false;
+  bool initialized_ = false;
+};
+
+}  // namespace actyp::pipeline

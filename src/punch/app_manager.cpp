@@ -1,0 +1,83 @@
+#include "punch/app_manager.hpp"
+
+#include <cmath>
+
+#include "common/strings.hpp"
+
+namespace actyp::punch {
+
+RunParameters ApplicationManager::ExtractParameters(
+    const std::string& input_deck) {
+  RunParameters parameters;
+  for (const auto& raw_line : Split(input_deck, '\n')) {
+    std::string_view line = TrimView(raw_line);
+    const std::size_t comment = line.find('#');
+    if (comment != std::string_view::npos) {
+      line = TrimView(line.substr(0, comment));
+    }
+    if (line.empty()) continue;
+    const std::size_t eq = line.find('=');
+    if (eq == std::string_view::npos) continue;
+    const std::string key = ToLower(Trim(line.substr(0, eq)));
+    if (key.empty()) continue;
+    if (auto value = ParseDouble(TrimView(line.substr(eq + 1)))) {
+      parameters[key] = *value;
+    }
+  }
+  return parameters;
+}
+
+Result<ComposedRun> ApplicationManager::Compose(
+    const RunRequest& request) const {
+  auto tool = kb_->Lookup(request.tool);
+  if (!tool.ok()) return tool.status();
+
+  const RunParameters parameters = ExtractParameters(request.input_deck);
+  auto estimate =
+      Estimator::SelectAlgorithm(*tool, parameters, request.cpu_budget);
+  if (!estimate.ok()) return estimate.status();
+
+  ComposedRun run;
+  run.estimate = std::move(estimate.value());
+  run.tool_group = tool->tool_group;
+
+  // Hardware requirements (Fig. 2 "determine hardware"): supported
+  // architectures become an or-clause, memory is the estimate rounded up,
+  // licenses and domain constrain the pool.
+  query::Query& q = run.query;
+  q.set_family("punch");
+  if (!tool->architectures.empty()) {
+    // A multi-architecture tool yields a composite query (§5.2.1); the
+    // caller renders alternatives joined by '|' through ToOrClause.
+    std::string alternatives;
+    for (std::size_t i = 0; i < tool->architectures.size(); ++i) {
+      if (i) alternatives += "|";
+      alternatives += tool->architectures[i];
+    }
+    q.SetRsrc("arch", query::CmpOp::kEq, alternatives);
+  }
+  const double memory =
+      std::ceil(std::max(run.estimate.memory_mb, 1.0));
+  q.SetRsrc("memory", query::CmpOp::kGe,
+            std::to_string(static_cast<long long>(memory)));
+  if (!tool->license.empty()) {
+    q.SetRsrc("license", query::CmpOp::kEq, tool->license);
+  }
+  if (!request.domain.empty()) {
+    q.SetRsrc("domain", query::CmpOp::kEq, request.domain);
+  }
+  if (tool->min_speed > 0.0) {
+    q.SetRsrc("speed", query::CmpOp::kGe, std::to_string(tool->min_speed));
+  }
+
+  q.SetAppl("expectedcpuuse",
+            std::to_string(static_cast<long long>(
+                std::ceil(run.estimate.cpu_units))));
+  q.SetAppl("algorithm", run.estimate.algorithm);
+  q.SetAppl("toolgroup", run.tool_group);
+  q.SetUser("login", request.user_login);
+  q.SetUser("accessgroup", request.access_group);
+  return run;
+}
+
+}  // namespace actyp::punch

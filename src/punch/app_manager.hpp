@@ -1,0 +1,50 @@
+// ApplicationManager: the application-management component of Fig. 2.
+// It parses user input, extracts parameters against the knowledge base,
+// selects an algorithm via the estimator, determines hardware
+// requirements, and composes the ActYP query (events 2-3 of Fig. 1).
+#pragma once
+
+#include <string>
+
+#include "common/status.hpp"
+#include "punch/estimator.hpp"
+#include "punch/knowledge_base.hpp"
+#include "query/query.hpp"
+
+namespace actyp::punch {
+
+// A tool-run request as the network desktop forwards it: the tool name,
+// the raw input deck, and user identity/preferences.
+struct RunRequest {
+  std::string tool;
+  std::string input_deck;     // "param = value" lines
+  std::string user_login;
+  std::string access_group;
+  std::string domain;         // preferred administrative domain; "" = any
+  double cpu_budget = 0.0;    // optional cap on estimated CPU seconds
+};
+
+struct ComposedRun {
+  query::Query query;          // ready for the pipeline
+  ResourceEstimate estimate;   // chosen algorithm + predicted resources
+  std::string tool_group;
+};
+
+class ApplicationManager {
+ public:
+  explicit ApplicationManager(const KnowledgeBase* kb) : kb_(kb) {}
+
+  // Fig. 2 end-to-end: parse -> extract/qualify -> rank/select ->
+  // determine hardware -> compose query.
+  [[nodiscard]] Result<ComposedRun> Compose(const RunRequest& request) const;
+
+  // Parses an input deck ("key = value" per line, '#' comments) into
+  // numeric run parameters; non-numeric values are ignored.
+  [[nodiscard]] static RunParameters ExtractParameters(
+      const std::string& input_deck);
+
+ private:
+  const KnowledgeBase* kb_;
+};
+
+}  // namespace actyp::punch

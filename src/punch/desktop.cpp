@@ -1,0 +1,92 @@
+#include "punch/desktop.hpp"
+
+#include <algorithm>
+
+#include "common/strings.hpp"
+
+namespace actyp::punch {
+
+Status UserRegistry::AddUser(UserAccount account) {
+  if (account.login.empty()) return InvalidArgument("user needs a login");
+  const std::string key = ToLower(account.login);
+  if (users_.count(key)) {
+    return AlreadyExists("user '" + account.login + "'");
+  }
+  users_[key] = std::move(account);
+  return Status::Ok();
+}
+
+Result<UserAccount> UserRegistry::Authenticate(const std::string& login) const {
+  auto it = users_.find(ToLower(login));
+  if (it == users_.end()) {
+    return PermissionDenied("unknown user '" + login + "'");
+  }
+  return it->second;
+}
+
+bool UserRegistry::MayRun(const UserAccount& account,
+                          const std::string& tool) const {
+  if (account.allowed_tools.empty()) return true;
+  const std::string lower = ToLower(tool);
+  return std::any_of(
+      account.allowed_tools.begin(), account.allowed_tools.end(),
+      [&lower](const std::string& t) { return ToLower(t) == lower; });
+}
+
+NetworkDesktop::NetworkDesktop(const KnowledgeBase* kb,
+                               const UserRegistry* users,
+                               VirtualFileSystem* vfs, SubmitFn submit,
+                               ReleaseFn release)
+    : kb_(kb),
+      users_(users),
+      vfs_(vfs),
+      submit_(std::move(submit)),
+      release_(std::move(release)),
+      app_manager_(kb) {}
+
+Result<RunOutcome> NetworkDesktop::StartRun(const RunRequest& request) {
+  // Event 1: authenticate + authorize.
+  auto account = users_->Authenticate(request.user_login);
+  if (!account.ok()) return account.status();
+  if (!users_->MayRun(*account, request.tool)) {
+    return PermissionDenied("user '" + request.user_login +
+                            "' may not run '" + request.tool + "'");
+  }
+
+  // Event 2: application management composes the query.
+  RunRequest enriched = request;
+  enriched.access_group = account->access_group;
+  auto composed = app_manager_.Compose(enriched);
+  if (!composed.ok()) return composed.status();
+
+  // Events 3-6: the pipeline identifies, locates, and selects resources.
+  auto allocation = submit_(composed->query.ToText());
+  if (!allocation.ok()) return allocation.status();
+
+  RunOutcome outcome;
+  outcome.allocation = std::move(allocation.value());
+  outcome.estimate = composed->estimate;
+
+  // Mount the application disk and the user's data disk from their
+  // storage provider into the shadow account.
+  auto app_mount = vfs_->Mount(outcome.allocation.session_key,
+                               outcome.allocation.machine_name,
+                               "apps/" + ToLower(request.tool));
+  if (app_mount.ok()) outcome.mounts.push_back(std::move(app_mount.value()));
+  const std::string storage = account->storage_provider.empty()
+                                  ? "home"
+                                  : account->storage_provider;
+  auto data_mount = vfs_->Mount(outcome.allocation.session_key,
+                                outcome.allocation.machine_name,
+                                storage + "/" + ToLower(account->login));
+  if (data_mount.ok()) outcome.mounts.push_back(std::move(data_mount.value()));
+  return outcome;
+}
+
+Status NetworkDesktop::FinishRun(const RunOutcome& outcome) {
+  vfs_->UnmountSession(outcome.allocation.session_key);
+  if (release_) release_(outcome.allocation);
+  return Status::Ok();
+}
+
+}  // namespace actyp::punch

@@ -1,0 +1,76 @@
+// NetworkDesktop: the user-facing façade of Fig. 1. It authenticates the
+// user, verifies tool authorization, drives the application-management
+// component (Fig. 2) to compose the ActYP query, submits it to the
+// pipeline, mounts the application and data disks via the virtual file
+// system, and releases everything when the run completes (events 1-6).
+//
+// Transport is injected: examples wire `submit` to a simulated pipeline
+// or to a TCP query-manager frontend.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "pipeline/protocol.hpp"
+#include "punch/app_manager.hpp"
+#include "punch/vfs.hpp"
+
+namespace actyp::punch {
+
+struct UserAccount {
+  std::string login;
+  std::string access_group;
+  std::vector<std::string> allowed_tools;  // empty = all tools
+  std::string storage_provider;            // "location" of the data disks
+};
+
+class UserRegistry {
+ public:
+  Status AddUser(UserAccount account);
+  [[nodiscard]] Result<UserAccount> Authenticate(
+      const std::string& login) const;
+  [[nodiscard]] bool MayRun(const UserAccount& account,
+                            const std::string& tool) const;
+
+ private:
+  std::map<std::string, UserAccount> users_;
+};
+
+// Submits native query text to the pipeline and waits for the result.
+using SubmitFn =
+    std::function<Result<pipeline::Allocation>(const std::string& query_text)>;
+// Releases a held allocation.
+using ReleaseFn = std::function<void(const pipeline::Allocation&)>;
+
+struct RunOutcome {
+  pipeline::Allocation allocation;
+  ResourceEstimate estimate;
+  std::vector<MountRecord> mounts;
+};
+
+class NetworkDesktop {
+ public:
+  NetworkDesktop(const KnowledgeBase* kb, const UserRegistry* users,
+                 VirtualFileSystem* vfs, SubmitFn submit, ReleaseFn release);
+
+  // Runs the full Fig. 1 sequence and leaves the run "executing": the
+  // allocation and mounts stay live until FinishRun.
+  Result<RunOutcome> StartRun(const RunRequest& request);
+
+  // Event 6/completion: unmounts disks and relinquishes the machine and
+  // shadow account.
+  Status FinishRun(const RunOutcome& outcome);
+
+ private:
+  const KnowledgeBase* kb_;
+  const UserRegistry* users_;
+  VirtualFileSystem* vfs_;
+  SubmitFn submit_;
+  ReleaseFn release_;
+  ApplicationManager app_manager_;
+};
+
+}  // namespace actyp::punch

@@ -1,0 +1,56 @@
+#include "punch/estimator.hpp"
+
+#include <cmath>
+
+namespace actyp::punch {
+
+ResourceEstimate Estimator::Estimate(const AlgorithmSpec& algorithm,
+                                     const RunParameters& parameters) {
+  ResourceEstimate estimate;
+  estimate.algorithm = algorithm.name;
+  estimate.accuracy = algorithm.accuracy;
+
+  double product = 1.0;
+  for (const auto& [param, exponent] : algorithm.cpu_exponents) {
+    auto it = parameters.find(param);
+    const double value = it == parameters.end() ? 1.0 : it->second;
+    product *= std::pow(std::max(value, 1.0), exponent);
+  }
+  estimate.cpu_units = algorithm.cpu_base + algorithm.cpu_coeff * product;
+
+  double mem_driver = 1.0;
+  if (!algorithm.memory_param.empty()) {
+    auto it = parameters.find(algorithm.memory_param);
+    if (it != parameters.end()) mem_driver = std::max(it->second, 1.0);
+  }
+  estimate.memory_mb =
+      algorithm.memory_base_mb + algorithm.memory_coeff * mem_driver;
+  return estimate;
+}
+
+Result<ResourceEstimate> Estimator::SelectAlgorithm(
+    const ToolSpec& tool, const RunParameters& parameters,
+    double cpu_budget) {
+  bool found = false;
+  ResourceEstimate best;
+  double best_score = -1.0;
+  for (const auto& algorithm : tool.algorithms) {
+    const ResourceEstimate estimate = Estimate(algorithm, parameters);
+    if (cpu_budget > 0.0 && estimate.cpu_units > cpu_budget) continue;
+    // Accuracy first; cost breaks ties (cheaper wins at equal accuracy).
+    const double score =
+        estimate.accuracy * 1e9 - estimate.cpu_units;
+    if (!found || score > best_score) {
+      found = true;
+      best = estimate;
+      best_score = score;
+    }
+  }
+  if (!found) {
+    return Exhausted("no algorithm of '" + tool.name +
+                     "' fits within the CPU budget");
+  }
+  return best;
+}
+
+}  // namespace actyp::punch

@@ -1,0 +1,41 @@
+// Run-time and resource estimation (the paper delegates this to the
+// PUNCH performance-modeling service [14, 18]; here it is the power-law
+// models stored in the knowledge base, evaluated against the run's
+// extracted parameters).
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "common/status.hpp"
+#include "punch/knowledge_base.hpp"
+
+namespace actyp::punch {
+
+// Parameters extracted from the user's input deck (Fig. 2 "extract
+// relevant parameters"): name -> numeric value.
+using RunParameters = std::map<std::string, double>;
+
+struct ResourceEstimate {
+  std::string algorithm;
+  double cpu_units = 0.0;   // reference-machine CPU seconds
+  double memory_mb = 0.0;
+  double accuracy = 0.0;
+};
+
+class Estimator {
+ public:
+  // Estimates the cost of running `algorithm` with `parameters`.
+  [[nodiscard]] static ResourceEstimate Estimate(
+      const AlgorithmSpec& algorithm, const RunParameters& parameters);
+
+  // Ranks all of the tool's algorithms (Fig. 2 "rank algorithms") by
+  // accuracy per unit cost, subject to an optional CPU budget, and
+  // returns the winner's estimate. With no budget the most accurate
+  // algorithm wins.
+  [[nodiscard]] static Result<ResourceEstimate> SelectAlgorithm(
+      const ToolSpec& tool, const RunParameters& parameters,
+      double cpu_budget = 0.0);
+};
+
+}  // namespace actyp::punch

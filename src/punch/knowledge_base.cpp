@@ -1,0 +1,133 @@
+#include "punch/knowledge_base.hpp"
+
+#include "common/strings.hpp"
+
+namespace actyp::punch {
+
+Status KnowledgeBase::RegisterTool(ToolSpec spec) {
+  if (spec.name.empty()) return InvalidArgument("tool must have a name");
+  if (spec.algorithms.empty()) {
+    return InvalidArgument("tool '" + spec.name +
+                           "' must have at least one algorithm");
+  }
+  const std::string key = ToLower(spec.name);
+  if (tools_.count(key)) {
+    return AlreadyExists("tool '" + spec.name + "'");
+  }
+  tools_[key] = std::move(spec);
+  return Status::Ok();
+}
+
+Result<ToolSpec> KnowledgeBase::Lookup(const std::string& tool) const {
+  auto it = tools_.find(ToLower(tool));
+  if (it == tools_.end()) return NotFound("tool '" + tool + "'");
+  return it->second;
+}
+
+std::vector<std::string> KnowledgeBase::ToolNames() const {
+  std::vector<std::string> names;
+  names.reserve(tools_.size());
+  for (const auto& [key, spec] : tools_) names.push_back(spec.name);
+  return names;
+}
+
+KnowledgeBase KnowledgeBase::Demo() {
+  KnowledgeBase kb;
+
+  // Semiconductor process simulator — the paper's own example tool.
+  ToolSpec tsuprem;
+  tsuprem.name = "tsuprem4";
+  tsuprem.tool_group = "simulation";
+  tsuprem.license = "tsuprem4";
+  tsuprem.architectures = {"sun", "hp"};
+  {
+    AlgorithmSpec drift;
+    drift.name = "drift-diffusion";
+    drift.cpu_base = 10.0;
+    drift.cpu_coeff = 2e-4;
+    drift.cpu_exponents = {{"nodes", 1.2}};
+    drift.memory_base_mb = 24.0;
+    drift.memory_coeff = 0.002;
+    drift.memory_param = "nodes";
+    drift.accuracy = 1.0;
+    tsuprem.algorithms.push_back(drift);
+
+    AlgorithmSpec hydro;
+    hydro.name = "hydro-dynamic";
+    hydro.cpu_base = 30.0;
+    hydro.cpu_coeff = 8e-4;
+    hydro.cpu_exponents = {{"nodes", 1.3}};
+    hydro.memory_base_mb = 48.0;
+    hydro.memory_coeff = 0.004;
+    hydro.memory_param = "nodes";
+    hydro.accuracy = 2.0;
+    tsuprem.algorithms.push_back(hydro);
+
+    AlgorithmSpec monte;
+    monte.name = "monte-carlo";
+    monte.cpu_base = 120.0;
+    monte.cpu_coeff = 5e-3;
+    monte.cpu_exponents = {{"nodes", 1.0}, {"carriers", 0.8}};
+    monte.memory_base_mb = 96.0;
+    monte.memory_coeff = 0.008;
+    monte.memory_param = "carriers";
+    monte.accuracy = 3.0;
+    tsuprem.algorithms.push_back(monte);
+  }
+  kb.RegisterTool(std::move(tsuprem));
+
+  // Circuit simulator: cheap, runs anywhere.
+  ToolSpec spice;
+  spice.name = "spice3";
+  spice.tool_group = "cad";
+  spice.license = "";
+  spice.architectures = {"sun", "hp", "linux", "sgi"};
+  {
+    AlgorithmSpec transient;
+    transient.name = "transient";
+    transient.cpu_base = 2.0;
+    transient.cpu_coeff = 5e-5;
+    transient.cpu_exponents = {{"devices", 1.1}, {"timesteps", 1.0}};
+    transient.memory_base_mb = 8.0;
+    transient.memory_coeff = 0.001;
+    transient.memory_param = "devices";
+    transient.accuracy = 1.0;
+    spice.algorithms.push_back(transient);
+  }
+  kb.RegisterTool(std::move(spice));
+
+  // Finite-element package: memory-hungry, licensed.
+  ToolSpec fem;
+  fem.name = "femlab";
+  fem.tool_group = "simulation";
+  fem.license = "femlab";
+  fem.architectures = {"sun", "sgi"};
+  {
+    AlgorithmSpec direct;
+    direct.name = "direct-solver";
+    direct.cpu_base = 20.0;
+    direct.cpu_coeff = 1e-6;
+    direct.cpu_exponents = {{"elements", 1.8}};
+    direct.memory_base_mb = 128.0;
+    direct.memory_coeff = 0.05;
+    direct.memory_param = "elements";
+    direct.accuracy = 2.0;
+    fem.algorithms.push_back(direct);
+
+    AlgorithmSpec iterative;
+    iterative.name = "iterative-solver";
+    iterative.cpu_base = 40.0;
+    iterative.cpu_coeff = 6e-6;
+    iterative.cpu_exponents = {{"elements", 1.3}};
+    iterative.memory_base_mb = 64.0;
+    iterative.memory_coeff = 0.01;
+    iterative.memory_param = "elements";
+    iterative.accuracy = 1.5;
+    fem.algorithms.push_back(iterative);
+  }
+  kb.RegisterTool(std::move(fem));
+
+  return kb;
+}
+
+}  // namespace actyp::punch

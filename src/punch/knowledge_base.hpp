@@ -1,0 +1,57 @@
+// Tool knowledge base for the PUNCH application-management component
+// (paper Fig. 2): for each registered tool it records the algorithms the
+// tool can run, per-algorithm resource models, hardware requirements,
+// and license identifiers — everything needed to turn a user's "run this
+// tool on this input" into an ActYP query.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+
+namespace actyp::punch {
+
+// One algorithm a tool supports (e.g. monte-carlo vs drift-diffusion in
+// the paper's carrier-transport example), with a simple resource model:
+//   cpu_units  = base + coeff * product(parameter^exponent)
+//   memory_mb  = mem_base + mem_per_unit * size-parameter
+struct AlgorithmSpec {
+  std::string name;
+  double cpu_base = 1.0;
+  double cpu_coeff = 1.0;
+  // Parameter name -> exponent in the CPU model.
+  std::map<std::string, double> cpu_exponents;
+  double memory_base_mb = 16.0;
+  double memory_coeff = 0.0;
+  std::string memory_param;  // parameter driving the memory term
+  // Accuracy rank (higher = better result quality); the ranker trades
+  // this against estimated cost.
+  double accuracy = 1.0;
+};
+
+struct ToolSpec {
+  std::string name;           // e.g. "tsuprem4"
+  std::string tool_group;     // Fig. 3 field 17 category
+  std::string license;        // license constraint for rsrc.license
+  std::vector<std::string> architectures;  // supported archs
+  std::vector<AlgorithmSpec> algorithms;
+  double min_speed = 0.0;     // SPEC-like floor, 0 = none
+};
+
+class KnowledgeBase {
+ public:
+  Status RegisterTool(ToolSpec spec);
+  [[nodiscard]] Result<ToolSpec> Lookup(const std::string& tool) const;
+  [[nodiscard]] std::vector<std::string> ToolNames() const;
+
+  // Builds the knowledge base used by the examples: a few engineering
+  // tools with distinct resource profiles.
+  static KnowledgeBase Demo();
+
+ private:
+  std::map<std::string, ToolSpec> tools_;
+};
+
+}  // namespace actyp::punch

@@ -1,0 +1,76 @@
+#include "punch/vfs.hpp"
+
+#include <algorithm>
+
+namespace actyp::punch {
+
+Result<MountRecord> VirtualFileSystem::Mount(const std::string& session_key,
+                                             const std::string& machine,
+                                             const std::string& disk) {
+  if (session_key.empty()) {
+    return PermissionDenied("mount requires a session key");
+  }
+  if (machine.empty() || disk.empty()) {
+    return InvalidArgument("mount requires a machine and a disk");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& session_mounts = mounts_[session_key];
+  for (const auto& mount : session_mounts) {
+    if (mount.disk == disk) {
+      return AlreadyExists("disk '" + disk + "' already mounted");
+    }
+  }
+  MountRecord record;
+  record.machine = machine;
+  record.disk = disk;
+  record.mount_point =
+      "/punch/" + session_key.substr(0, std::min<std::size_t>(
+                                            12, session_key.size())) +
+      "/" + disk;
+  session_mounts.push_back(record);
+  return record;
+}
+
+Status VirtualFileSystem::Unmount(const std::string& session_key,
+                                  const std::string& disk) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = mounts_.find(session_key);
+  if (it == mounts_.end()) return NotFound("no mounts for session");
+  auto& session_mounts = it->second;
+  const auto mount = std::find_if(
+      session_mounts.begin(), session_mounts.end(),
+      [&disk](const MountRecord& m) { return m.disk == disk; });
+  if (mount == session_mounts.end()) {
+    return NotFound("disk '" + disk + "' is not mounted");
+  }
+  session_mounts.erase(mount);
+  if (session_mounts.empty()) mounts_.erase(it);
+  return Status::Ok();
+}
+
+std::size_t VirtualFileSystem::UnmountSession(const std::string& session_key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = mounts_.find(session_key);
+  if (it == mounts_.end()) return 0;
+  const std::size_t n = it->second.size();
+  mounts_.erase(it);
+  return n;
+}
+
+std::vector<MountRecord> VirtualFileSystem::MountsFor(
+    const std::string& session_key) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = mounts_.find(session_key);
+  return it == mounts_.end() ? std::vector<MountRecord>() : it->second;
+}
+
+std::size_t VirtualFileSystem::total_mounts() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::size_t n = 0;
+  for (const auto& [session, session_mounts] : mounts_) {
+    n += session_mounts.size();
+  }
+  return n;
+}
+
+}  // namespace actyp::punch

@@ -1,0 +1,46 @@
+// PUNCH Virtual File System service stub (paper [7], §2): after ActYP
+// selects a machine, the network desktop asks the PVFS mount manager on
+// that machine to mount the application and data disks into the shadow
+// account; when the run completes they are unmounted. This stub keeps
+// the full session bookkeeping (who mounted what, keyed by the
+// session-specific access key) without real filesystems.
+#pragma once
+
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+
+namespace actyp::punch {
+
+struct MountRecord {
+  std::string machine;
+  std::string disk;        // e.g. "apps/tsuprem4" or "home/kapadia"
+  std::string mount_point; // path inside the shadow account
+};
+
+class VirtualFileSystem {
+ public:
+  // Mounts `disk` on `machine` for the session; the session key is the
+  // capability (a caller with a wrong key is rejected).
+  Result<MountRecord> Mount(const std::string& session_key,
+                            const std::string& machine,
+                            const std::string& disk);
+
+  Status Unmount(const std::string& session_key, const std::string& disk);
+
+  // Unmounts everything the session holds; returns the number released.
+  std::size_t UnmountSession(const std::string& session_key);
+
+  [[nodiscard]] std::vector<MountRecord> MountsFor(
+      const std::string& session_key) const;
+  [[nodiscard]] std::size_t total_mounts() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::vector<MountRecord>> mounts_;  // by session
+};
+
+}  // namespace actyp::punch

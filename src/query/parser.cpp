@@ -1,0 +1,208 @@
+#include "query/parser.hpp"
+
+#include <algorithm>
+
+#include "common/strings.hpp"
+
+namespace actyp::query {
+namespace {
+
+// One parsed line before composite expansion.
+struct RawTerm {
+  KeyParts key;
+  std::vector<Condition> alternatives;  // >1 => "or" clause
+  std::string raw_value;                // for appl/user/meta terms
+};
+
+Result<std::vector<RawTerm>> Tokenize(std::string_view text) {
+  std::vector<RawTerm> terms;
+  std::size_t line_no = 0;
+  for (const auto& raw_line : Split(text, '\n')) {
+    ++line_no;
+    std::string_view line = TrimView(raw_line);
+    if (line.empty() || line.front() == '#') continue;
+    const std::size_t eq = line.find('=');
+    // Careful: the first '=' may belong to an operator only when it is
+    // the separator "key = value"; keys never contain '='.
+    if (eq == std::string_view::npos) {
+      return InvalidArgument("query line " + std::to_string(line_no) +
+                             ": expected 'key = value'");
+    }
+    const std::string key = Trim(line.substr(0, eq));
+    // "key == value" writes the separator twice; absorb the second '='
+    // only when it is adjacent to the first (a detached "= ==value" is
+    // an operator-prefixed value, not a doubled separator).
+    std::size_t value_start = eq + 1;
+    if (value_start < line.size() && line[value_start] == '=') ++value_start;
+    const std::string_view value = TrimView(line.substr(value_start));
+    auto parts = SplitKey(key);
+    if (!parts.ok()) return parts.status();
+
+    RawTerm term;
+    term.key = std::move(parts.value());
+    term.raw_value = std::string(value);
+    for (const auto& alt : Split(value, '|')) {
+      const auto trimmed = TrimView(alt);
+      if (trimmed.empty()) {
+        return InvalidArgument("query line " + std::to_string(line_no) +
+                               ": empty alternative in or-clause");
+      }
+      term.alternatives.push_back(ParseCondition(trimmed));
+    }
+    if (term.alternatives.empty()) {
+      return InvalidArgument("query line " + std::to_string(line_no) +
+                             ": missing value");
+    }
+    terms.push_back(std::move(term));
+  }
+  return terms;
+}
+
+}  // namespace
+
+Result<KeyParts> SplitKey(std::string_view key) {
+  auto pieces = SplitSkipEmpty(key, '.');
+  if (pieces.size() < 3) {
+    return InvalidArgument("key '" + std::string(key) +
+                           "' must have the form family.type.name");
+  }
+  KeyParts parts;
+  parts.family = ToLower(pieces[0]);
+  parts.type = ToLower(pieces[1]);
+  std::vector<std::string> rest(pieces.begin() + 2, pieces.end());
+  parts.name = ToLower(Join(rest, "."));
+  return parts;
+}
+
+Condition ParseCondition(std::string_view text) {
+  text = TrimView(text);
+  for (const std::string_view op_text : {">=", "<=", "==", "!=", "=~"}) {
+    if (StartsWith(text, op_text)) {
+      return Condition{*ParseCmpOp(op_text),
+                       Value(Trim(text.substr(op_text.size())))};
+    }
+  }
+  for (const std::string_view op_text : {">", "<"}) {
+    if (StartsWith(text, op_text)) {
+      return Condition{*ParseCmpOp(op_text),
+                       Value(Trim(text.substr(op_text.size())))};
+    }
+  }
+  // Bare wildcard values get glob semantics so admins can write
+  // "ostype = solaris*".
+  const bool has_wildcard = text.find('*') != std::string_view::npos ||
+                            text.find('?') != std::string_view::npos;
+  return Condition{has_wildcard ? CmpOp::kGlob : CmpOp::kEq,
+                   Value(std::string(text))};
+}
+
+Result<CompositeQuery> Parser::Parse(std::string_view text) {
+  auto terms = Tokenize(text);
+  if (!terms.ok()) return terms.status();
+  if (terms->empty()) return InvalidArgument("empty query");
+
+  // Determine family from the first non-meta term.
+  std::string family;
+  for (const auto& term : *terms) {
+    if (term.key.family != "actyp") {
+      family = term.key.family;
+      break;
+    }
+  }
+  if (family.empty()) family = "punch";
+
+  // Start with one prototype query and expand the cartesian product of
+  // rsrc or-clauses.
+  std::vector<Query> expansion;
+  expansion.emplace_back(family);
+
+  for (const auto& term : *terms) {
+    if (term.key.family == "actyp" && term.key.type == "meta") {
+      // Pipeline state applies to every alternative.
+      for (auto& q : expansion) {
+        if (term.key.name == "ttl") {
+          if (auto ttl = ParseInt(term.raw_value)) {
+            q.set_ttl(static_cast<int>(*ttl));
+          }
+        } else if (term.key.name == "visited") {
+          for (const auto& name : SplitSkipEmpty(term.raw_value, ',')) {
+            q.AddVisited(name);
+          }
+        } else if (term.key.name == "request") {
+          if (auto id = ParseInt(term.raw_value)) {
+            q.set_request_id(static_cast<std::uint64_t>(*id));
+          }
+        } else if (term.key.name == "composite") {
+          if (auto id = ParseInt(term.raw_value)) {
+            auto frag = q.fragment();
+            frag.composite_id = static_cast<std::uint64_t>(*id);
+            q.set_fragment(frag);
+          }
+        } else if (term.key.name == "fragment") {
+          const auto parts = Split(term.raw_value, '/');
+          if (parts.size() == 2) {
+            auto frag = q.fragment();
+            if (auto idx = ParseInt(parts[0])) {
+              frag.index = static_cast<std::uint32_t>(*idx);
+            }
+            if (auto total = ParseInt(parts[1])) {
+              frag.total = static_cast<std::uint32_t>(*total);
+            }
+            q.set_fragment(frag);
+          }
+        }
+        // Unknown meta keys are ignored for forward compatibility.
+      }
+      continue;
+    }
+
+    if (term.key.family != family) {
+      return InvalidArgument("mixed families in one query: '" + family +
+                             "' and '" + term.key.family + "'");
+    }
+
+    if (term.key.type == "rsrc") {
+      if (term.alternatives.size() == 1) {
+        for (auto& q : expansion) q.SetRsrc(term.key.name, term.alternatives[0]);
+        continue;
+      }
+      if (expansion.size() * term.alternatives.size() > kMaxAlternatives) {
+        return InvalidArgument(
+            "composite query expands to more than " +
+            std::to_string(kMaxAlternatives) + " basic queries");
+      }
+      std::vector<Query> next;
+      next.reserve(expansion.size() * term.alternatives.size());
+      for (const auto& base : expansion) {
+        for (const auto& alt : term.alternatives) {
+          Query q = base;
+          q.SetRsrc(term.key.name, alt);
+          next.push_back(std::move(q));
+        }
+      }
+      expansion = std::move(next);
+    } else if (term.key.type == "appl") {
+      for (auto& q : expansion) q.SetAppl(term.key.name, term.raw_value);
+    } else if (term.key.type == "user") {
+      for (auto& q : expansion) q.SetUser(term.key.name, term.raw_value);
+    } else {
+      return InvalidArgument("unknown key type '" + term.key.type +
+                             "' (expected rsrc, appl, or user)");
+    }
+  }
+
+  return CompositeQuery(std::move(expansion));
+}
+
+Result<Query> Parser::ParseBasic(std::string_view text) {
+  auto composite = Parse(text);
+  if (!composite.ok()) return composite.status();
+  if (!composite->IsBasic()) {
+    return InvalidArgument("expected a basic query but found " +
+                           std::to_string(composite->size()) +
+                           " alternatives");
+  }
+  return composite->alternatives()[0];
+}
+
+}  // namespace actyp::query

@@ -1,0 +1,130 @@
+#include "query/query.hpp"
+
+#include <algorithm>
+
+#include "common/strings.hpp"
+
+namespace actyp::query {
+
+void Query::SetRsrc(const std::string& name, Condition cond) {
+  rsrc_[ToLower(name)] = std::move(cond);
+}
+
+void Query::SetRsrc(const std::string& name, CmpOp op,
+                    const std::string& value) {
+  SetRsrc(name, Condition{op, Value(value)});
+}
+
+std::optional<Condition> Query::GetRsrc(const std::string& name) const {
+  auto it = rsrc_.find(ToLower(name));
+  if (it == rsrc_.end()) return std::nullopt;
+  return it->second;
+}
+
+void Query::RemoveRsrc(const std::string& name) { rsrc_.erase(ToLower(name)); }
+
+void Query::SetAppl(const std::string& name, std::string value) {
+  appl_[ToLower(name)] = std::move(value);
+}
+
+void Query::SetUser(const std::string& name, std::string value) {
+  user_[ToLower(name)] = std::move(value);
+}
+
+std::string Query::GetAppl(const std::string& name) const {
+  auto it = appl_.find(ToLower(name));
+  return it == appl_.end() ? std::string() : it->second;
+}
+
+std::string Query::GetUser(const std::string& name) const {
+  auto it = user_.find(ToLower(name));
+  return it == user_.end() ? std::string() : it->second;
+}
+
+bool Query::DecrementTtl() {
+  if (ttl_ <= 0) return false;
+  --ttl_;
+  return ttl_ > 0;
+}
+
+void Query::AddVisited(const std::string& pool_manager_name) {
+  if (!HasVisited(pool_manager_name)) visited_.push_back(pool_manager_name);
+}
+
+bool Query::HasVisited(const std::string& pool_manager_name) const {
+  return std::find(visited_.begin(), visited_.end(), pool_manager_name) !=
+         visited_.end();
+}
+
+std::string Query::Signature() const {
+  // rsrc_ is a std::map, so iteration is already sorted by key — exactly
+  // the "sorted rsrc keys" of §5.2.2.
+  std::vector<std::string> keys;
+  std::vector<std::string> ops;
+  keys.reserve(rsrc_.size());
+  ops.reserve(rsrc_.size());
+  for (const auto& [name, cond] : rsrc_) {
+    keys.push_back(name);
+    ops.emplace_back(CmpOpSpelling(cond.op));
+  }
+  return Join(keys, ":") + "," + Join(ops, ":");
+}
+
+std::string Query::Identifier() const {
+  std::vector<std::string> values;
+  values.reserve(rsrc_.size());
+  for (const auto& [name, cond] : rsrc_) values.push_back(cond.value.text());
+  return Join(values, ":");
+}
+
+std::string Query::PoolName() const { return Signature() + "/" + Identifier(); }
+
+bool Query::Matches(const AttributeFn& attribute) const {
+  for (const auto& [name, cond] : rsrc_) {
+    const auto attr = attribute(name);
+    if (!attr.has_value()) return false;
+    if (!EvalCmp(Value(*attr), cond.op, cond.value)) return false;
+  }
+  return true;
+}
+
+std::string Query::ToText() const {
+  std::string out;
+  auto emit = [&out](const std::string& key, const std::string& value) {
+    out += key;
+    out += " = ";
+    out += value;
+    out += '\n';
+  };
+  for (const auto& [name, cond] : rsrc_) {
+    emit(family_ + ".rsrc." + name, cond.ToString());
+  }
+  for (const auto& [name, value] : appl_) emit(family_ + ".appl." + name, value);
+  for (const auto& [name, value] : user_) emit(family_ + ".user." + name, value);
+  emit("actyp.meta.ttl", std::to_string(ttl_));
+  if (!visited_.empty()) emit("actyp.meta.visited", Join(visited_, ","));
+  if (fragment_.is_fragment()) {
+    emit("actyp.meta.composite", std::to_string(fragment_.composite_id));
+    emit("actyp.meta.fragment",
+         std::to_string(fragment_.index) + "/" + std::to_string(fragment_.total));
+  }
+  if (request_id_ != 0) emit("actyp.meta.request", std::to_string(request_id_));
+  return out;
+}
+
+bool operator==(const Query& a, const Query& b) {
+  if (a.family_ != b.family_ || a.appl_ != b.appl_ || a.user_ != b.user_) {
+    return false;
+  }
+  if (a.rsrc_.size() != b.rsrc_.size()) return false;
+  auto it_a = a.rsrc_.begin();
+  auto it_b = b.rsrc_.begin();
+  for (; it_a != a.rsrc_.end(); ++it_a, ++it_b) {
+    if (it_a->first != it_b->first) return false;
+    if (it_a->second.op != it_b->second.op) return false;
+    if (!(it_a->second.value == it_b->second.value)) return false;
+  }
+  return true;
+}
+
+}  // namespace actyp::query

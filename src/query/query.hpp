@@ -1,0 +1,160 @@
+// The basic (non-composite) query processed by the resource management
+// pipeline, plus the signature/identifier mapping that names resource
+// pools (§5.1, §5.2.2).
+//
+// Keys form a hierarchical namespace: family.type.name, e.g.
+//   punch.rsrc.arch   — resource requirement (constraint on machines)
+//   punch.appl.expectedcpuuse — predicted application behaviour
+//   punch.user.login  — user-specific data
+// Missing rsrc keys default to "don't care"; missing appl/user keys
+// default to "undefined".
+//
+// Pipeline state (TTL, visited pool managers, fragment bookkeeping for
+// composite reintegration) is carried *with the query itself*, which is
+// what makes the architecture decentralized (§6).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "query/value.hpp"
+
+namespace actyp::query {
+
+// One constraint on a resource attribute.
+struct Condition {
+  CmpOp op = CmpOp::kEq;
+  Value value;
+
+  [[nodiscard]] std::string ToString() const {
+    return std::string(CmpOpSpelling(op)) + value.text();
+  }
+};
+
+// Default TTL for pool-manager delegation, analogous to the IP TTL
+// field (§5.2.2).
+inline constexpr int kDefaultTtl = 8;
+
+// Fragment bookkeeping for composite-query reintegration, analogous to
+// TCP/IP datagram fragmentation (§5.2.1).
+struct FragmentInfo {
+  std::uint64_t composite_id = 0;  // 0 = not part of a composite
+  std::uint32_t index = 0;
+  std::uint32_t total = 1;
+  [[nodiscard]] bool is_fragment() const { return composite_id != 0; }
+};
+
+// Attribute lookup used when matching a query against a machine: returns
+// the machine's value for a rsrc key name ("arch", "memory", ...) or
+// nullopt when the machine does not define it.
+using AttributeFn =
+    std::function<std::optional<std::string>(const std::string& name)>;
+
+class Query {
+ public:
+  Query() = default;
+  explicit Query(std::string family) : family_(std::move(family)) {}
+
+  [[nodiscard]] const std::string& family() const { return family_; }
+  void set_family(std::string family) { family_ = std::move(family); }
+
+  // --- resource requirement terms (keyed by final name component) ---
+  void SetRsrc(const std::string& name, Condition cond);
+  void SetRsrc(const std::string& name, CmpOp op, const std::string& value);
+  [[nodiscard]] const std::map<std::string, Condition>& rsrc() const {
+    return rsrc_;
+  }
+  [[nodiscard]] std::optional<Condition> GetRsrc(const std::string& name) const;
+  void RemoveRsrc(const std::string& name);
+
+  // --- application / user terms (plain values) ---
+  void SetAppl(const std::string& name, std::string value);
+  void SetUser(const std::string& name, std::string value);
+  [[nodiscard]] const std::map<std::string, std::string>& appl() const {
+    return appl_;
+  }
+  [[nodiscard]] const std::map<std::string, std::string>& user() const {
+    return user_;
+  }
+  [[nodiscard]] std::string GetAppl(const std::string& name) const;  // "" if absent
+  [[nodiscard]] std::string GetUser(const std::string& name) const;
+
+  // --- pipeline state carried with the query ---
+  [[nodiscard]] int ttl() const { return ttl_; }
+  void set_ttl(int ttl) { ttl_ = ttl; }
+  // Decrements TTL; returns false once expired (request has failed).
+  bool DecrementTtl();
+
+  [[nodiscard]] const std::vector<std::string>& visited() const {
+    return visited_;
+  }
+  void AddVisited(const std::string& pool_manager_name);
+  [[nodiscard]] bool HasVisited(const std::string& pool_manager_name) const;
+
+  [[nodiscard]] FragmentInfo fragment() const { return fragment_; }
+  void set_fragment(FragmentInfo info) { fragment_ = info; }
+
+  [[nodiscard]] std::uint64_t request_id() const { return request_id_; }
+  void set_request_id(std::uint64_t id) { request_id_ = id; }
+
+  // --- pool naming (§5.2.2) ---
+  // Signature: colon-separated sorted rsrc key names, a comma, then the
+  // corresponding operator spellings. Example from the paper:
+  //   arch:domain:license:memory,==:==:==:>=
+  [[nodiscard]] std::string Signature() const;
+  // Identifier: colon-separated values of the sorted rsrc keys:
+  //   sun:purdue:tsuprem4:10
+  [[nodiscard]] std::string Identifier() const;
+  // Pool name = signature '/' identifier.
+  [[nodiscard]] std::string PoolName() const;
+
+  // --- matching ---
+  // True when every rsrc constraint is satisfied by the machine's
+  // attributes. A machine lacking a constrained attribute fails the
+  // constraint (the query asked for something the machine does not
+  // advertise); unconstrained attributes are "don't care".
+  [[nodiscard]] bool Matches(const AttributeFn& attribute) const;
+
+  // --- wire format ---
+  // Serializes to the native text protocol (one key = value per line,
+  // with pipeline state in the "actyp.meta.*" family).
+  [[nodiscard]] std::string ToText() const;
+
+  friend bool operator==(const Query& a, const Query& b);
+
+ private:
+  std::string family_ = "punch";
+  std::map<std::string, Condition> rsrc_;
+  std::map<std::string, std::string> appl_;
+  std::map<std::string, std::string> user_;
+  int ttl_ = kDefaultTtl;
+  std::vector<std::string> visited_;
+  FragmentInfo fragment_;
+  std::uint64_t request_id_ = 0;
+};
+
+// A composite query: alternatives produced by "or" clauses. Decomposed
+// into basic queries at the query-manager stage (§5.2.1).
+class CompositeQuery {
+ public:
+  CompositeQuery() = default;
+  explicit CompositeQuery(std::vector<Query> alternatives)
+      : alternatives_(std::move(alternatives)) {}
+
+  [[nodiscard]] const std::vector<Query>& alternatives() const {
+    return alternatives_;
+  }
+  [[nodiscard]] std::vector<Query>& alternatives() { return alternatives_; }
+  [[nodiscard]] bool IsBasic() const { return alternatives_.size() == 1; }
+  [[nodiscard]] std::size_t size() const { return alternatives_.size(); }
+
+ private:
+  std::vector<Query> alternatives_;
+};
+
+}  // namespace actyp::query

@@ -1,0 +1,63 @@
+#include "query/value.hpp"
+
+#include "common/strings.hpp"
+
+namespace actyp::query {
+
+std::string_view CmpOpSpelling(CmpOp op) {
+  switch (op) {
+    case CmpOp::kEq: return "==";
+    case CmpOp::kNe: return "!=";
+    case CmpOp::kGe: return ">=";
+    case CmpOp::kLe: return "<=";
+    case CmpOp::kGt: return ">";
+    case CmpOp::kLt: return "<";
+    case CmpOp::kGlob: return "=~";
+  }
+  return "==";
+}
+
+std::optional<CmpOp> ParseCmpOp(std::string_view text) {
+  if (text == "==" || text == "=") return CmpOp::kEq;
+  if (text == "!=") return CmpOp::kNe;
+  if (text == ">=") return CmpOp::kGe;
+  if (text == "<=") return CmpOp::kLe;
+  if (text == ">") return CmpOp::kGt;
+  if (text == "<") return CmpOp::kLt;
+  if (text == "=~") return CmpOp::kGlob;
+  return std::nullopt;
+}
+
+Value::Value(std::string text) : text_(std::move(text)) {
+  numeric_ = ParseDouble(text_);
+}
+
+int Value::Compare(const Value& other) const {
+  if (is_numeric() && other.is_numeric()) {
+    const double a = numeric();
+    const double b = other.numeric();
+    if (a < b) return -1;
+    if (a > b) return 1;
+    return 0;
+  }
+  const std::string a = ToLower(text_);
+  const std::string b = ToLower(other.text_);
+  if (a < b) return -1;
+  if (a > b) return 1;
+  return 0;
+}
+
+bool EvalCmp(const Value& lhs, CmpOp op, const Value& rhs) {
+  switch (op) {
+    case CmpOp::kEq: return lhs.Compare(rhs) == 0;
+    case CmpOp::kNe: return lhs.Compare(rhs) != 0;
+    case CmpOp::kGe: return lhs.Compare(rhs) >= 0;
+    case CmpOp::kLe: return lhs.Compare(rhs) <= 0;
+    case CmpOp::kGt: return lhs.Compare(rhs) > 0;
+    case CmpOp::kLt: return lhs.Compare(rhs) < 0;
+    case CmpOp::kGlob: return GlobMatch(rhs.text(), lhs.text());
+  }
+  return false;
+}
+
+}  // namespace actyp::query

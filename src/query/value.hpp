@@ -1,0 +1,61 @@
+// Typed attribute values for the query language.
+//
+// The paper's language is key-value text; values are interpreted as
+// numeric when both sides of a comparison parse as numbers (e.g.
+// "memory = >=10", default unit megabytes), otherwise as
+// case-insensitive strings. Administrators may use '*'/'?' wildcards in
+// machine parameters, matched with glob semantics.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace actyp::query {
+
+// Comparison operators supported by the pipeline (§5.2.2 lists equal-to,
+// greater-than, etc.; the signature encodes them as spelled strings).
+enum class CmpOp {
+  kEq,    // ==
+  kNe,    // !=
+  kGe,    // >=
+  kLe,    // <=
+  kGt,    // >
+  kLt,    // <
+  kGlob,  // =~  wildcard match
+};
+
+// Spelled form used in signatures and on the wire: "==", "!=", ">=", ...
+std::string_view CmpOpSpelling(CmpOp op);
+std::optional<CmpOp> ParseCmpOp(std::string_view text);
+
+// A value is stored as its source text; numeric interpretation is
+// attempted lazily at comparison time so "10", "10.5" and "sparc" all
+// live in one representation (exactly what a text protocol carries).
+class Value {
+ public:
+  Value() = default;
+  explicit Value(std::string text);
+
+  [[nodiscard]] const std::string& text() const { return text_; }
+  [[nodiscard]] bool is_numeric() const { return numeric_.has_value(); }
+  [[nodiscard]] double numeric() const { return numeric_.value_or(0.0); }
+
+  // Three-way comparison against another value: <0, 0, >0. Numeric when
+  // both sides are numeric, otherwise case-insensitive lexicographic.
+  [[nodiscard]] int Compare(const Value& other) const;
+
+  friend bool operator==(const Value& a, const Value& b) {
+    return a.Compare(b) == 0;
+  }
+
+ private:
+  std::string text_;
+  std::optional<double> numeric_;
+};
+
+// Evaluates `lhs op rhs` (lhs is the machine's attribute, rhs the query's
+// constraint value).
+bool EvalCmp(const Value& lhs, CmpOp op, const Value& rhs);
+
+}  // namespace actyp::query

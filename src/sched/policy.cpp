@@ -1,0 +1,141 @@
+#include "sched/policy.hpp"
+
+#include <algorithm>
+
+namespace actyp::sched {
+
+bool SchedulingPolicy::Eligible(const CacheEntry& entry) {
+  return !entry.allocated && entry.load < entry.max_allowed_load +
+                                              static_cast<double>(entry.num_cpus) -
+                                              1.0;
+}
+
+Selection SchedulingPolicy::Select(const std::vector<CacheEntry>& cache,
+                                   const SelectionContext& ctx) const {
+  Selection result;
+  if (cache.empty()) return result;
+
+  const std::uint32_t stride = std::max<std::uint32_t>(1, ctx.instance_count);
+  auto consider = [&](std::size_t i) {
+    ++result.examined;
+    if (!Eligible(cache[i])) return;
+    if (ctx.filter && !(*ctx.filter)(i, cache[i])) return;
+    if (!result.found() || Better(cache[i], cache[result.index])) {
+      result.index = i;
+    }
+  };
+
+  // Preferred stride first: indices congruent to this instance number.
+  for (std::size_t i = ctx.instance % stride; i < cache.size(); i += stride) {
+    consider(i);
+  }
+  if (result.found() || stride == 1) return result;
+
+  // Fall back to the machines preferred by sibling instances.
+  for (std::size_t i = 0; i < cache.size(); ++i) {
+    if (i % stride == ctx.instance % stride) continue;
+    consider(i);
+  }
+  return result;
+}
+
+bool LeastLoadPolicy::Better(const CacheEntry& a, const CacheEntry& b) const {
+  if (a.load != b.load) return a.load < b.load;
+  return a.effective_speed > b.effective_speed;
+}
+
+bool MostMemoryPolicy::Better(const CacheEntry& a, const CacheEntry& b) const {
+  if (a.available_memory_mb != b.available_memory_mb) {
+    return a.available_memory_mb > b.available_memory_mb;
+  }
+  return a.load < b.load;
+}
+
+bool FastestPolicy::Better(const CacheEntry& a, const CacheEntry& b) const {
+  // Speed discounted by current load per cpu: what matters is the speed
+  // the new job will actually see.
+  const double ea = a.effective_speed /
+                    (1.0 + a.load / static_cast<double>(a.num_cpus));
+  const double eb = b.effective_speed /
+                    (1.0 + b.load / static_cast<double>(b.num_cpus));
+  if (ea != eb) return ea > eb;
+  return a.load < b.load;
+}
+
+bool RoundRobinPolicy::Better(const CacheEntry& a, const CacheEntry& b) const {
+  // Sorting is a no-op for round-robin; keep stable order.
+  (void)a;
+  (void)b;
+  return false;
+}
+
+Selection RoundRobinPolicy::Select(const std::vector<CacheEntry>& cache,
+                                   const SelectionContext& ctx) const {
+  Selection result;
+  const std::size_t n = cache.size();
+  for (std::size_t step = 0; step < n; ++step) {
+    const std::size_t i = (cursor_ + step) % n;
+    ++result.examined;
+    if (Eligible(cache[i]) && (!ctx.filter || (*ctx.filter)(i, cache[i]))) {
+      result.index = i;
+      cursor_ = (i + 1) % n;
+      return result;
+    }
+  }
+  return result;
+}
+
+bool RandomPolicy::Better(const CacheEntry& a, const CacheEntry& b) const {
+  (void)a;
+  (void)b;
+  return false;
+}
+
+Selection RandomPolicy::Select(const std::vector<CacheEntry>& cache,
+                               const SelectionContext& ctx) const {
+  Selection result;
+  const std::size_t n = cache.size();
+  if (n == 0 || ctx.rng == nullptr) return result;
+  // Random probing up to n attempts, then linear sweep; examined counts
+  // reflect actual probes so the cost model stays honest.
+  auto passes = [&](std::size_t i) {
+    return Eligible(cache[i]) && (!ctx.filter || (*ctx.filter)(i, cache[i]));
+  };
+  for (std::size_t attempt = 0; attempt < n; ++attempt) {
+    const std::size_t i = ctx.rng->NextBounded(n);
+    ++result.examined;
+    if (passes(i)) {
+      result.index = i;
+      return result;
+    }
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    ++result.examined;
+    if (passes(i)) {
+      result.index = i;
+      return result;
+    }
+  }
+  return result;
+}
+
+Result<std::unique_ptr<SchedulingPolicy>> MakePolicy(const std::string& name) {
+  if (name == "least-load" || name.empty()) {
+    return std::unique_ptr<SchedulingPolicy>(new LeastLoadPolicy());
+  }
+  if (name == "most-memory") {
+    return std::unique_ptr<SchedulingPolicy>(new MostMemoryPolicy());
+  }
+  if (name == "fastest") {
+    return std::unique_ptr<SchedulingPolicy>(new FastestPolicy());
+  }
+  if (name == "round-robin") {
+    return std::unique_ptr<SchedulingPolicy>(new RoundRobinPolicy());
+  }
+  if (name == "random") {
+    return std::unique_ptr<SchedulingPolicy>(new RandomPolicy());
+  }
+  return InvalidArgument("unknown scheduling policy '" + name + "'");
+}
+
+}  // namespace actyp::sched

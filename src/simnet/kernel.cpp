@@ -1,0 +1,45 @@
+#include "simnet/kernel.hpp"
+
+#include <cassert>
+
+namespace actyp::simnet {
+
+void SimKernel::Schedule(SimDuration delay, std::function<void()> fn) {
+  if (delay < 0) delay = 0;
+  ScheduleAt(now_ + delay, std::move(fn));
+}
+
+void SimKernel::ScheduleAt(SimTime at, std::function<void()> fn) {
+  assert(at >= now_ && "cannot schedule into the past");
+  events_.push(Event{at, seq_++, std::move(fn)});
+}
+
+bool SimKernel::Step() {
+  if (events_.empty()) return false;
+  // priority_queue::top is const; move out via const_cast on the
+  // function only (the event is popped immediately after).
+  Event event = std::move(const_cast<Event&>(events_.top()));
+  events_.pop();
+  now_ = event.at;
+  ++executed_;
+  event.fn();
+  return true;
+}
+
+std::size_t SimKernel::Run(std::size_t max_events) {
+  std::size_t n = 0;
+  while (n < max_events && Step()) ++n;
+  return n;
+}
+
+std::size_t SimKernel::RunUntil(SimTime until) {
+  std::size_t n = 0;
+  while (!events_.empty() && events_.top().at <= until) {
+    Step();
+    ++n;
+  }
+  if (now_ < until) now_ = until;
+  return n;
+}
+
+}  // namespace actyp::simnet

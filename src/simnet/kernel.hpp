@@ -1,0 +1,71 @@
+// Discrete-event simulation kernel: a time-ordered event queue with a
+// deterministic tie-break (insertion order). All figure-reproduction
+// benchmarks run on this kernel, replacing the paper's physical testbed
+// (UltraSPARC clients + 12-CPU Alpha server across a LAN/WAN).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/clock.hpp"
+#include "common/sim_time.hpp"
+
+namespace actyp::simnet {
+
+class SimKernel {
+ public:
+  SimKernel() = default;
+
+  [[nodiscard]] SimTime Now() const { return now_; }
+  [[nodiscard]] const Clock& clock() const { return clock_adapter_; }
+
+  // Schedules `fn` to run `delay` microseconds from now (>= 0).
+  void Schedule(SimDuration delay, std::function<void()> fn);
+  void ScheduleAt(SimTime at, std::function<void()> fn);
+
+  // Executes the next event; returns false when the queue is empty.
+  bool Step();
+
+  // Runs until the queue is empty or `max_events` fired; returns the
+  // number of events executed.
+  std::size_t Run(std::size_t max_events = SIZE_MAX);
+
+  // Runs events with timestamp <= until; the clock ends at `until` even
+  // if fewer events exist.
+  std::size_t RunUntil(SimTime until);
+
+  [[nodiscard]] bool Empty() const { return events_.empty(); }
+  [[nodiscard]] std::size_t pending() const { return events_.size(); }
+  [[nodiscard]] std::uint64_t executed() const { return executed_; }
+
+ private:
+  struct Event {
+    SimTime at;
+    std::uint64_t seq;
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      return a.at != b.at ? a.at > b.at : a.seq > b.seq;
+    }
+  };
+
+  class ClockAdapter final : public Clock {
+   public:
+    explicit ClockAdapter(const SimKernel* kernel) : kernel_(kernel) {}
+    [[nodiscard]] SimTime Now() const override { return kernel_->now_; }
+
+   private:
+    const SimKernel* kernel_;
+  };
+
+  SimTime now_ = 0;
+  std::uint64_t seq_ = 0;
+  std::uint64_t executed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> events_;
+  ClockAdapter clock_adapter_{this};
+};
+
+}  // namespace actyp::simnet

@@ -1,0 +1,212 @@
+#include "simnet/sim_network.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/logging.hpp"
+
+namespace actyp::simnet {
+
+// Collects the effects of one handler invocation; they are applied when
+// the declared service time elapses.
+class SimNetwork::Context final : public net::NodeContext {
+ public:
+  Context(SimNetwork* network, NodeRuntime* runtime)
+      : network_(network), runtime_(runtime) {}
+
+  [[nodiscard]] SimTime Now() const override {
+    return network_->kernel_->Now();
+  }
+
+  void Send(const net::Address& to, net::Message message) override {
+    sends_.push_back({to, std::move(message)});
+  }
+
+  void Consume(SimDuration duration) override {
+    if (duration > 0) consumed_ += duration;
+  }
+
+  void ScheduleSelf(SimDuration delay, net::Message message) override {
+    self_schedules_.push_back({delay, std::move(message)});
+  }
+
+  Rng& rng() override { return runtime_->rng; }
+
+  [[nodiscard]] const net::Address& self() const override {
+    return runtime_->address;
+  }
+
+  [[nodiscard]] SimDuration consumed() const { return consumed_; }
+
+  // Applies buffered sends/self-schedules; called at completion time.
+  void Flush() {
+    for (auto& [to, message] : sends_) {
+      network_->Post(runtime_->address, to, std::move(message));
+    }
+    sends_.clear();
+    for (auto& [delay, message] : self_schedules_) {
+      net::Envelope env{runtime_->address, runtime_->address,
+                        std::move(message), network_->kernel_->Now()};
+      network_->kernel_->Schedule(
+          delay, [network = network_, env = std::move(env)]() mutable {
+            network->Deliver(std::move(env));
+          });
+    }
+    self_schedules_.clear();
+  }
+
+ private:
+  SimNetwork* network_;
+  NodeRuntime* runtime_;
+  SimDuration consumed_ = 0;
+  std::vector<std::pair<net::Address, net::Message>> sends_;
+  std::vector<std::pair<SimDuration, net::Message>> self_schedules_;
+};
+
+SimNetwork::SimNetwork(SimKernel* kernel, Topology topology,
+                       std::uint64_t seed)
+    : kernel_(kernel), topology_(std::move(topology)), seeder_(seed) {}
+
+SimNetwork::~SimNetwork() = default;
+
+void SimNetwork::AddHost(const std::string& name, int cores,
+                         const std::string& site) {
+  auto host = std::make_unique<Host>();
+  host->name = name;
+  host->cores = std::max(1, cores);
+  hosts_[name] = std::move(host);
+  topology_.SetHostSite(name, site);
+}
+
+SimNetwork::Host* SimNetwork::GetOrCreateHost(const std::string& name) {
+  auto it = hosts_.find(name);
+  if (it != hosts_.end()) return it->second.get();
+  auto host = std::make_unique<Host>();
+  host->name = name;
+  host->cores = 1;
+  Host* raw = host.get();
+  hosts_[name] = std::move(host);
+  return raw;
+}
+
+Status SimNetwork::AddNode(const net::Address& address,
+                           std::shared_ptr<net::Node> node,
+                           const net::NodePlacement& placement) {
+  if (nodes_.count(address)) return AlreadyExists("node '" + address + "'");
+  auto runtime = std::make_shared<NodeRuntime>();
+  runtime->address = address;
+  runtime->node = std::move(node);
+  runtime->placement = placement;
+  runtime->placement.servers = std::max(1, placement.servers);
+  runtime->host = GetOrCreateHost(placement.host);
+  runtime->rng = seeder_.Fork();
+  runtime->host->node_addresses.push_back(address);
+  nodes_[address] = runtime;
+  node_host_[address] = placement.host;
+
+  // OnStart effects are immediate (registration-time setup costs are not
+  // part of query response time).
+  Context ctx(this, runtime.get());
+  runtime->node->OnStart(ctx);
+  ctx.Flush();
+  return Status::Ok();
+}
+
+Status SimNetwork::RemoveNode(const net::Address& address) {
+  auto it = nodes_.find(address);
+  if (it == nodes_.end()) return NotFound("node '" + address + "'");
+  it->second->removed = true;  // in-flight completions check this flag
+  auto& addresses = it->second->host->node_addresses;
+  addresses.erase(std::remove(addresses.begin(), addresses.end(), address),
+                  addresses.end());
+  nodes_.erase(it);
+  return Status::Ok();
+}
+
+bool SimNetwork::HasNode(const net::Address& address) const {
+  return nodes_.count(address) > 0;
+}
+
+void SimNetwork::Post(const net::Address& from, const net::Address& to,
+                      net::Message message) {
+  if (loss_probability_ > 0.0 && from != to &&
+      seeder_.Bernoulli(loss_probability_)) {
+    ++lost_;
+    return;
+  }
+  const auto from_host_it = node_host_.find(from);
+  const auto to_host_it = node_host_.find(to);
+  const std::string from_host =
+      from_host_it == node_host_.end() ? "external" : from_host_it->second;
+  const std::string to_host =
+      to_host_it == node_host_.end() ? to : to_host_it->second;
+
+  const SimDuration latency = topology_.SampleLatency(
+      from_host, to_host, message.WireSize(), seeder_);
+  net::Envelope env{from, to, std::move(message), kernel_->Now()};
+  kernel_->Schedule(latency, [this, env = std::move(env)]() mutable {
+    Deliver(std::move(env));
+  });
+}
+
+void SimNetwork::Deliver(net::Envelope envelope) {
+  auto it = nodes_.find(envelope.to);
+  if (it == nodes_.end()) {
+    ++dropped_;
+    ACTYP_DEBUG << "sim: dropping message type '" << envelope.message.type
+                << "' to unknown node '" << envelope.to << "'";
+    return;
+  }
+  auto runtime = it->second;
+  runtime->pending.push_back(std::move(envelope));
+  runtime->stats.max_queue =
+      std::max<std::uint64_t>(runtime->stats.max_queue,
+                              runtime->pending.size());
+  TryDispatch(runtime);
+}
+
+void SimNetwork::TryDispatch(const std::shared_ptr<NodeRuntime>& runtime) {
+  while (!runtime->removed && !runtime->pending.empty() &&
+         runtime->busy < runtime->placement.servers &&
+         runtime->host->busy < runtime->host->cores) {
+    net::Envelope envelope = std::move(runtime->pending.front());
+    runtime->pending.pop_front();
+    ++runtime->busy;
+    ++runtime->host->busy;
+    ++runtime->stats.messages;
+
+    // Run the handler logic now (state transitions happen at start of
+    // service); effects release at completion.
+    auto ctx = std::make_shared<Context>(this, runtime.get());
+    runtime->node->OnMessage(envelope, *ctx);
+    const SimDuration service = ctx->consumed();
+    runtime->stats.busy_time += service;
+
+    Host* host = runtime->host;
+    kernel_->Schedule(service, [this, runtime, ctx, host] {
+      --runtime->busy;
+      --host->busy;
+      ctx->Flush();
+      TryDispatch(runtime);
+      WakeHost(host);
+    });
+  }
+}
+
+void SimNetwork::WakeHost(Host* host) {
+  if (host->busy >= host->cores) return;
+  // Give other nodes on this host a chance to start queued work.
+  for (const auto& address : host->node_addresses) {
+    auto it = nodes_.find(address);
+    if (it == nodes_.end()) continue;
+    if (host->busy >= host->cores) break;
+    TryDispatch(it->second);
+  }
+}
+
+NodeStats SimNetwork::StatsFor(const net::Address& address) const {
+  auto it = nodes_.find(address);
+  return it == nodes_.end() ? NodeStats{} : it->second->stats;
+}
+
+}  // namespace actyp::simnet

@@ -1,0 +1,100 @@
+// SimNetwork: the discrete-event implementation of net::Network.
+//
+// Model:
+//   - Nodes live on hosts; a host has a fixed number of cores (the
+//     paper's ActYP server was a 12-processor Alpha).
+//   - A node processes messages FCFS with `placement.servers` concurrent
+//     units; starting a unit of work also requires a free host core.
+//   - Handler side effects (sends, self-schedules) take effect when the
+//     declared service time (NodeContext::Consume) completes, so service
+//     time and queueing delay compose exactly as in a queueing network.
+#pragma once
+
+#include <deque>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "net/node.hpp"
+#include "simnet/kernel.hpp"
+#include "simnet/topology.hpp"
+
+namespace actyp::simnet {
+
+struct NodeStats {
+  std::uint64_t messages = 0;
+  SimDuration busy_time = 0;
+  std::uint64_t max_queue = 0;
+};
+
+class SimNetwork final : public net::Network {
+ public:
+  SimNetwork(SimKernel* kernel, Topology topology, std::uint64_t seed = 42);
+  ~SimNetwork() override;
+
+  // Declares a host with `cores` processors. Nodes placed on undeclared
+  // hosts get an implicit single-core host.
+  void AddHost(const std::string& name, int cores,
+               const std::string& site = "local");
+
+  Status AddNode(const net::Address& address, std::shared_ptr<net::Node> node,
+                 const net::NodePlacement& placement) override;
+  Status RemoveNode(const net::Address& address) override;
+  [[nodiscard]] bool HasNode(const net::Address& address) const override;
+
+  void Post(const net::Address& from, const net::Address& to,
+            net::Message message) override;
+
+  [[nodiscard]] SimKernel& kernel() { return *kernel_; }
+  [[nodiscard]] Topology& topology() { return topology_; }
+
+  [[nodiscard]] NodeStats StatsFor(const net::Address& address) const;
+  [[nodiscard]] std::uint64_t dropped_messages() const { return dropped_; }
+
+  // Fault injection: every Post between *distinct* nodes is lost with
+  // this probability (self-messages/timers are never dropped — they
+  // model local state, not the network).
+  void SetLossProbability(double p) { loss_probability_ = p; }
+  [[nodiscard]] std::uint64_t lost_messages() const { return lost_; }
+
+ private:
+  struct Host {
+    std::string name;
+    int cores = 1;
+    int busy = 0;
+    std::vector<std::string> node_addresses;  // for wakeups on core free
+  };
+
+  struct NodeRuntime {
+    net::Address address;
+    std::shared_ptr<net::Node> node;
+    net::NodePlacement placement;
+    Host* host = nullptr;
+    std::deque<net::Envelope> pending;
+    int busy = 0;
+    bool removed = false;
+    Rng rng;
+    NodeStats stats;
+  };
+
+  class Context;
+
+  Host* GetOrCreateHost(const std::string& name);
+  void Deliver(net::Envelope envelope);
+  void TryDispatch(const std::shared_ptr<NodeRuntime>& runtime);
+  void WakeHost(Host* host);
+
+  SimKernel* kernel_;
+  Topology topology_;
+  Rng seeder_;
+  std::map<std::string, std::unique_ptr<Host>> hosts_;
+  std::map<net::Address, std::shared_ptr<NodeRuntime>> nodes_;
+  std::map<net::Address, std::string> node_host_;  // survives node removal
+  std::uint64_t dropped_ = 0;
+  double loss_probability_ = 0.0;
+  std::uint64_t lost_ = 0;
+};
+
+}  // namespace actyp::simnet

@@ -1,0 +1,65 @@
+#include "simnet/topology.hpp"
+
+#include <algorithm>
+
+namespace actyp::simnet {
+
+Topology::Topology() {
+  intra_site_ = LinkSpec{Micros(150), Micros(50), 12.5};
+  inter_site_ = LinkSpec{Millis(30), Millis(5), 1.25};
+}
+
+void Topology::SetHostSite(const std::string& host, const std::string& site) {
+  host_site_[host] = site;
+}
+
+std::string Topology::SiteOf(const std::string& host) const {
+  auto it = host_site_.find(host);
+  return it == host_site_.end() ? std::string("local") : it->second;
+}
+
+void Topology::SetLink(const std::string& site_a, const std::string& site_b,
+                       LinkSpec spec) {
+  links_[{site_a, site_b}] = spec;
+  links_[{site_b, site_a}] = spec;
+}
+
+const LinkSpec& Topology::LinkBetween(const std::string& site_a,
+                                      const std::string& site_b) const {
+  if (site_a == site_b) return intra_site_;
+  auto it = links_.find({site_a, site_b});
+  return it == links_.end() ? inter_site_ : it->second;
+}
+
+SimDuration Topology::SampleLatency(const std::string& host_a,
+                                    const std::string& host_b,
+                                    std::size_t bytes, Rng& rng) const {
+  if (host_a == host_b) {
+    // Loopback: negligible, but keep event ordering strictly causal.
+    return Micros(5);
+  }
+  const LinkSpec& link = LinkBetween(SiteOf(host_a), SiteOf(host_b));
+  SimDuration latency = link.base_latency;
+  if (link.jitter > 0) {
+    latency += static_cast<SimDuration>(rng.NextDouble() *
+                                        static_cast<double>(link.jitter));
+  }
+  if (link.bytes_per_us > 0) {
+    latency += static_cast<SimDuration>(static_cast<double>(bytes) /
+                                        link.bytes_per_us);
+  }
+  return std::max<SimDuration>(latency, Micros(1));
+}
+
+Topology Topology::Lan() { return Topology(); }
+
+Topology Topology::WanTwoSites(const std::string& client_site,
+                               const std::string& server_site,
+                               SimDuration one_way, SimDuration jitter) {
+  Topology topology;
+  topology.SetLink(client_site, server_site,
+                   LinkSpec{one_way, jitter, 1.25});
+  return topology;
+}
+
+}  // namespace actyp::simnet

@@ -1,0 +1,182 @@
+#include "workload/client.hpp"
+
+#include "common/logging.hpp"
+#include "common/strings.hpp"
+#include "pipeline/protocol.hpp"
+
+namespace actyp::workload {
+
+void ResponseCollector::RecordResponse(SimDuration response_time) {
+  std::lock_guard<std::mutex> lock(mu_);
+  response_.Add(ToSeconds(response_time));
+  quantiles_.Add(ToSeconds(response_time));
+}
+
+void ResponseCollector::RecordFailure() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++failures_;
+}
+
+void ResponseCollector::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  response_.Reset();
+  quantiles_ = QuantileSampler();
+  failures_ = 0;
+}
+
+RunningStats ResponseCollector::response_stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return response_;
+}
+
+double ResponseCollector::QuantileSeconds(double q) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return quantiles_.Quantile(q);
+}
+
+std::uint64_t ResponseCollector::failures() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return failures_;
+}
+
+std::uint64_t ResponseCollector::completed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return response_.count();
+}
+
+ClientNode::ClientNode(ClientConfig config) : config_(std::move(config)) {}
+
+void ClientNode::OnStart(net::NodeContext& ctx) {
+  // Stagger client start-up slightly so closed-loop clients do not send
+  // their first query in lock-step.
+  net::Message kick{net::msg::kTick};
+  kick.SetHeader("action", "next-query");
+  ctx.ScheduleSelf(static_cast<SimDuration>(ctx.rng().NextBounded(1000)),
+                   std::move(kick));
+}
+
+void ClientNode::OnMessage(const net::Envelope& envelope,
+                           net::NodeContext& ctx) {
+  const net::Message& message = envelope.message;
+
+  if (message.type == net::msg::kTick) {
+    const std::string action = message.Header("action");
+    if (action == "next-query") {
+      SendNextQuery(ctx);
+    } else if (action == "request-timeout") {
+      std::uint64_t request_id = 0;
+      if (auto rid = ParseInt(message.Header(net::hdr::kRequestId))) {
+        request_id = static_cast<std::uint64_t>(*rid);
+      }
+      if (request_id == inflight_request_ && inflight_request_ != 0) {
+        // The request (or its reply) was lost: give up and move on.
+        ++stats_.failures;
+        if (config_.collector != nullptr) config_.collector->RecordFailure();
+        inflight_request_ = 0;
+        CompleteInteraction(ctx);
+      }
+    } else if (action == "job-done") {
+      std::uint64_t request_id = 0;
+      if (auto rid = ParseInt(message.Header(net::hdr::kRequestId))) {
+        request_id = static_cast<std::uint64_t>(*rid);
+      }
+      auto it = held_.find(request_id);
+      if (it != held_.end()) {
+        ctx.Send(it->second.pool_address,
+                 pipeline::MakeReleaseMessage(it->second.machine_id,
+                                              it->second.session_key));
+        held_.erase(it);
+      }
+      CompleteInteraction(ctx);
+    }
+    return;
+  }
+
+  if (message.type == net::msg::kAllocation) {
+    auto allocation = pipeline::ParseAllocationMessage(message);
+    if (!allocation.ok()) {
+      ACTYP_WARN << "client " << config_.client_id << ": bad allocation: "
+                 << allocation.status().ToString();
+      return;
+    }
+    if (allocation->request_id != inflight_request_) {
+      // Stale result (e.g. duplicate after first-match): release it.
+      ctx.Send(allocation->pool_address,
+               pipeline::MakeReleaseMessage(allocation->machine_id,
+                                            allocation->session_key));
+      return;
+    }
+    ++stats_.allocations;
+    if (config_.collector != nullptr) {
+      config_.collector->RecordResponse(ctx.Now() - inflight_sent_at_);
+    }
+    inflight_request_ = 0;
+
+    const SimDuration job = config_.job_duration != nullptr
+                                ? config_.job_duration(ctx.rng())
+                                : 0;
+    if (job > 0) {
+      held_[allocation->request_id] = *allocation;
+      net::Message done{net::msg::kTick};
+      done.SetHeader("action", "job-done");
+      done.SetHeader(net::hdr::kRequestId,
+                     std::to_string(allocation->request_id));
+      ctx.ScheduleSelf(job, std::move(done));
+    } else {
+      ctx.Send(allocation->pool_address,
+               pipeline::MakeReleaseMessage(allocation->machine_id,
+                                            allocation->session_key));
+      CompleteInteraction(ctx);
+    }
+    return;
+  }
+
+  if (message.type == net::msg::kFailure) {
+    std::uint64_t request_id = 0;
+    if (auto rid = ParseInt(message.Header(net::hdr::kRequestId))) {
+      request_id = static_cast<std::uint64_t>(*rid);
+    }
+    if (request_id != inflight_request_) return;  // stale fragment failure
+    ++stats_.failures;
+    if (config_.collector != nullptr) config_.collector->RecordFailure();
+    inflight_request_ = 0;
+    CompleteInteraction(ctx);
+    return;
+  }
+}
+
+void ClientNode::SendNextQuery(net::NodeContext& ctx) {
+  if (config_.max_requests > 0 && stats_.sent >= config_.max_requests) return;
+  if (config_.horizon > 0 && ctx.Now() >= config_.horizon) return;
+
+  const std::uint64_t request_id =
+      (static_cast<std::uint64_t>(config_.client_id) << 32) | next_seq_++;
+  inflight_request_ = request_id;
+  inflight_sent_at_ = ctx.Now();
+  ++stats_.sent;
+
+  net::Message query{net::msg::kQuery};
+  query.SetHeader(net::hdr::kReplyTo, ctx.self());
+  query.SetHeader(net::hdr::kRequestId, std::to_string(request_id));
+  if (!config_.language.empty()) query.SetHeader("language", config_.language);
+  if (config_.qos_first_match) {
+    query.SetHeader(pipeline::phdr::kQosFirstMatch, "1");
+  }
+  query.body = config_.make_query(ctx.rng());
+  ctx.Send(config_.entry, std::move(query));
+
+  if (config_.request_timeout > 0) {
+    net::Message timeout{net::msg::kTick};
+    timeout.SetHeader("action", "request-timeout");
+    timeout.SetHeader(net::hdr::kRequestId, std::to_string(request_id));
+    ctx.ScheduleSelf(config_.request_timeout, std::move(timeout));
+  }
+}
+
+void ClientNode::CompleteInteraction(net::NodeContext& ctx) {
+  net::Message next{net::msg::kTick};
+  next.SetHeader("action", "next-query");
+  ctx.ScheduleSelf(config_.think_time, std::move(next));
+}
+
+}  // namespace actyp::workload

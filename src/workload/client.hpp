@@ -1,0 +1,85 @@
+// Closed-loop client node: issues a query, waits for the allocation (or
+// failure), optionally holds the machine for a job duration, releases
+// it, thinks, and repeats — "clients continuously send queries to the
+// ActYP service" (Fig. 6) is the default zero-think configuration.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <mutex>
+
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "net/node.hpp"
+#include "pipeline/protocol.hpp"
+
+namespace actyp::workload {
+
+// Thread-safe sink for client-side measurements (shared by all clients
+// of one experiment).
+class ResponseCollector {
+ public:
+  void RecordResponse(SimDuration response_time);
+  void RecordFailure();
+  void Reset();
+
+  [[nodiscard]] RunningStats response_stats() const;
+  [[nodiscard]] double QuantileSeconds(double q) const;
+  [[nodiscard]] std::uint64_t failures() const;
+  [[nodiscard]] std::uint64_t completed() const;
+
+ private:
+  mutable std::mutex mu_;
+  RunningStats response_;
+  QuantileSampler quantiles_;
+  std::uint64_t failures_ = 0;
+};
+
+struct ClientConfig {
+  std::uint32_t client_id = 0;
+  net::Address entry;  // query-manager address
+  std::function<std::string(Rng&)> make_query;
+  // Think time between completing one interaction and issuing the next.
+  SimDuration think_time = 0;
+  // Job duration sampler; nullptr (or zero result) releases immediately
+  // after the allocation arrives (pure scheduling load, as in Figs 4-8).
+  std::function<SimDuration(Rng&)> job_duration;
+  std::size_t max_requests = 0;  // 0 = unlimited
+  ResponseCollector* collector = nullptr;
+  std::string language;     // non-native query language tag, if any
+  bool qos_first_match = false;
+  // Stop issuing queries after this sim time (0 = no horizon).
+  SimTime horizon = 0;
+  // Give up on an unanswered request after this long and move on
+  // (counts as a failure); 0 disables. Needed on lossy transports.
+  SimDuration request_timeout = 0;
+};
+
+struct ClientStatsLocal {
+  std::uint64_t sent = 0;
+  std::uint64_t allocations = 0;
+  std::uint64_t failures = 0;
+};
+
+class ClientNode final : public net::Node {
+ public:
+  explicit ClientNode(ClientConfig config);
+
+  void OnStart(net::NodeContext& ctx) override;
+  void OnMessage(const net::Envelope& envelope, net::NodeContext& ctx) override;
+
+  [[nodiscard]] const ClientStatsLocal& stats() const { return stats_; }
+
+ private:
+  void SendNextQuery(net::NodeContext& ctx);
+  void CompleteInteraction(net::NodeContext& ctx);
+
+  ClientConfig config_;
+  ClientStatsLocal stats_;
+  std::uint64_t next_seq_ = 1;
+  std::uint64_t inflight_request_ = 0;
+  SimTime inflight_sent_at_ = 0;
+  std::map<std::uint64_t, pipeline::Allocation> held_;  // keyed by request id
+};
+
+}  // namespace actyp::workload

@@ -1,0 +1,21 @@
+#include "workload/cpu_time.hpp"
+
+#include <algorithm>
+
+namespace actyp::workload {
+
+double CpuTimeModel::Sample(Rng& rng) const {
+  const double total = params_.w_interactive + params_.w_batch + params_.w_tail;
+  double roll = rng.NextDouble() * total;
+  double seconds;
+  if ((roll -= params_.w_interactive) < 0) {
+    seconds = rng.LogNormal(params_.mu_interactive, params_.sigma_interactive);
+  } else if ((roll -= params_.w_batch) < 0) {
+    seconds = rng.LogNormal(params_.mu_batch, params_.sigma_batch);
+  } else {
+    seconds = rng.Pareto(params_.tail_scale, params_.tail_alpha);
+  }
+  return std::max(seconds, 0.01);
+}
+
+}  // namespace actyp::workload

@@ -1,0 +1,77 @@
+#include "workload/generator.hpp"
+
+#include "common/logging.hpp"
+
+namespace actyp::workload {
+
+void BuildFleet(const FleetSpec& spec, Rng& rng,
+                db::ResourceDatabase* database,
+                db::ShadowAccountRegistry* shadows) {
+  std::vector<double> arch_weights;
+  arch_weights.reserve(spec.archs.size());
+  for (const auto& [name, weight] : spec.archs) arch_weights.push_back(weight);
+
+  for (std::size_t i = 0; i < spec.machine_count; ++i) {
+    db::MachineRecord rec;
+    rec.name = "m" + std::to_string(i) + "." + spec.domain + ".edu";
+    rec.state = db::MachineState::kUp;
+    rec.effective_speed = rng.Uniform(spec.min_speed, spec.max_speed);
+    rec.num_cpus = rng.Bernoulli(0.15) ? 2 : 1;
+    rec.max_allowed_load = 1.0;
+    rec.dyn.load = 0.0;
+    rec.dyn.available_memory_mb =
+        spec.memory_choices_mb[rng.NextBounded(spec.memory_choices_mb.size())];
+    rec.dyn.available_swap_mb = rec.dyn.available_memory_mb * 2;
+    rec.dyn.service_flags = db::kExecutionUnitUp | db::kPvfsManagerUp;
+    rec.execution_unit_port = spec.base_port;
+    rec.pvfs_mount_port = static_cast<std::uint16_t>(spec.base_port + 1);
+    rec.user_groups = spec.user_groups;
+    rec.tool_groups = spec.tool_groups;
+    rec.object_path = "/etc/punch/machines/" + rec.name;
+
+    const std::size_t cluster = i % std::max<std::size_t>(1, spec.cluster_count);
+    rec.params["arch"] = spec.archs[rng.WeightedIndex(arch_weights)].first;
+    rec.params["cluster"] = "c" + std::to_string(cluster);
+    rec.params["domain"] = spec.domain;
+    rec.params["ostype"] = rec.params["arch"] == "linux" ? "linux" : "unix";
+    rec.params["owner"] = "lab" + std::to_string(cluster);
+
+    if (shadows != nullptr && spec.shadow_accounts_per_machine > 0) {
+      rec.shadow_pool = "shadow." + rec.name;
+      shadows->GetOrCreate(rec.shadow_pool,
+                           static_cast<std::uint32_t>(20000 + i * 100),
+                           spec.shadow_accounts_per_machine);
+    }
+
+    auto added = database->Add(std::move(rec));
+    if (!added.ok()) {
+      ACTYP_WARN << "fleet: " << added.status().ToString();
+    }
+  }
+}
+
+std::string QueryGenerator::Next(Rng& rng) const {
+  std::size_t cluster;
+  if (spec_.hot_fraction > 0.0 && rng.Bernoulli(spec_.hot_fraction)) {
+    cluster = 0;
+  } else {
+    cluster = rng.NextBounded(std::max<std::size_t>(1, spec_.cluster_count));
+  }
+  return ForCluster(cluster);
+}
+
+std::string QueryGenerator::ForCluster(std::size_t c) const {
+  std::string text;
+  text += "punch.rsrc.cluster = c" + std::to_string(c) + "\n";
+  if (spec_.include_memory_constraint) {
+    text += "punch.rsrc.memory = >=" + std::to_string(
+                                           static_cast<long long>(
+                                               spec_.min_memory_mb)) +
+            "\n";
+  }
+  text += "punch.user.login = " + spec_.user_login + "\n";
+  text += "punch.user.accessgroup = " + spec_.access_group + "\n";
+  return text;
+}
+
+}  // namespace actyp::workload

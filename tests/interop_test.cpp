@@ -1,0 +1,151 @@
+// Tests for the ClassAd-like and RSL-like translators and their
+// integration with the query language.
+#include <gtest/gtest.h>
+
+#include "interop/classad.hpp"
+#include "interop/rsl.hpp"
+#include "query/parser.hpp"
+
+namespace actyp::interop {
+namespace {
+
+TEST(ClassAd, TranslatesPaperStyleAd) {
+  auto native = TranslateClassAd(
+      "[ Requirements = Arch == \"sun\" && Memory >= 10 && "
+      "License == \"tsuprem4\" && Domain == \"purdue\"; "
+      "EstimatedCpu = 1000; Owner = \"kapadia\"; AccessGroup = \"ece\" ]");
+  ASSERT_TRUE(native.ok()) << native.status().ToString();
+
+  auto q = query::Parser::ParseBasic(*native);
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ(q->GetRsrc("arch")->value.text(), "sun");
+  EXPECT_EQ(q->GetRsrc("memory")->op, query::CmpOp::kGe);
+  EXPECT_EQ(q->GetRsrc("memory")->value.text(), "10");
+  EXPECT_EQ(q->GetRsrc("license")->value.text(), "tsuprem4");
+  EXPECT_EQ(q->GetUser("login"), "kapadia");
+  EXPECT_EQ(q->GetUser("accessgroup"), "ece");
+  EXPECT_EQ(q->GetAppl("expectedcpuuse"), "1000");
+  // The translated query maps to the paper's exact pool signature.
+  EXPECT_EQ(q->Signature(), "arch:domain:license:memory,==:==:==:>=");
+}
+
+TEST(ClassAd, DisjunctionBecomesComposite) {
+  auto native = TranslateClassAd(
+      "[ Requirements = (Arch == \"sun\" || Arch == \"hp\") && Memory >= 64 ]");
+  ASSERT_TRUE(native.ok());
+  auto composite = query::Parser::Parse(*native);
+  ASSERT_TRUE(composite.ok());
+  EXPECT_EQ(composite->size(), 2u);
+}
+
+TEST(ClassAd, MixedAttributeDisjunctionRejected) {
+  auto native = TranslateClassAd(
+      "[ Requirements = (Arch == \"sun\" || Memory >= 64) ]");
+  EXPECT_FALSE(native.ok());
+}
+
+TEST(ClassAd, RankIsIgnored) {
+  auto native = TranslateClassAd(
+      "[ Requirements = Arch == \"sun\"; Rank = 100 ]");
+  ASSERT_TRUE(native.ok());
+  EXPECT_EQ(native->find("rank"), std::string::npos);
+}
+
+TEST(ClassAd, UnknownTopLevelGoesToAppl) {
+  auto native = TranslateClassAd(
+      "[ Requirements = Arch == \"sun\"; NiceUser = 1 ]");
+  ASSERT_TRUE(native.ok());
+  EXPECT_NE(native->find("punch.appl.niceuser = 1"), std::string::npos);
+}
+
+TEST(ClassAd, SyntaxErrors) {
+  EXPECT_FALSE(TranslateClassAd("Requirements = x").ok());  // no brackets
+  EXPECT_FALSE(TranslateClassAd("[ Requirements = Arch ==; ]").ok());
+  EXPECT_FALSE(TranslateClassAd("[ Requirements = Arch == \"unterminated ]").ok());
+  EXPECT_FALSE(TranslateClassAd("[ ]").ok());
+  EXPECT_FALSE(TranslateClassAd("[ Requirements = Arch == \"sun\"").ok());
+}
+
+TEST(ClassAd, OperatorsPreserved) {
+  auto native = TranslateClassAd(
+      "[ Requirements = Memory >= 10 && Speed > 1.5 && Cpus <= 4 && "
+      "Ostype != \"linux\" ]");
+  ASSERT_TRUE(native.ok());
+  auto q = query::Parser::ParseBasic(*native);
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->GetRsrc("memory")->op, query::CmpOp::kGe);
+  EXPECT_EQ(q->GetRsrc("speed")->op, query::CmpOp::kGt);
+  EXPECT_EQ(q->GetRsrc("cpus")->op, query::CmpOp::kLe);
+  EXPECT_EQ(q->GetRsrc("ostype")->op, query::CmpOp::kNe);
+}
+
+TEST(Rsl, TranslatesBasicSpec) {
+  auto native = TranslateRsl(
+      "&(arch=sun)(memory>=10)(license=tsuprem4)(owner=\"kapadia\")");
+  ASSERT_TRUE(native.ok()) << native.status().ToString();
+  auto q = query::Parser::ParseBasic(*native);
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->GetRsrc("arch")->value.text(), "sun");
+  EXPECT_EQ(q->GetRsrc("memory")->op, query::CmpOp::kGe);
+  EXPECT_EQ(q->GetRsrc("license")->value.text(), "tsuprem4");
+  EXPECT_EQ(q->GetUser("login"), "kapadia");
+}
+
+TEST(Rsl, MultiValueBecomesComposite) {
+  auto native = TranslateRsl("&(arch=sun|hp)(memory>=64)");
+  ASSERT_TRUE(native.ok());
+  auto composite = query::Parser::Parse(*native);
+  ASSERT_TRUE(composite.ok());
+  EXPECT_EQ(composite->size(), 2u);
+}
+
+TEST(Rsl, MaxCpuTimeMapsToEstimate) {
+  auto native = TranslateRsl("&(arch=sun)(maxcputime=1000)");
+  ASSERT_TRUE(native.ok());
+  auto q = query::Parser::ParseBasic(*native);
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->GetAppl("expectedcpuuse"), "1000");
+}
+
+TEST(Rsl, StrictComparisons) {
+  auto native = TranslateRsl("&(speed>1.5)(cpus<8)");
+  ASSERT_TRUE(native.ok());
+  auto q = query::Parser::ParseBasic(*native);
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->GetRsrc("speed")->op, query::CmpOp::kGt);
+  EXPECT_EQ(q->GetRsrc("cpus")->op, query::CmpOp::kLt);
+}
+
+TEST(Rsl, SyntaxErrors) {
+  EXPECT_FALSE(TranslateRsl("").ok());
+  EXPECT_FALSE(TranslateRsl("arch=sun").ok());      // missing parens
+  EXPECT_FALSE(TranslateRsl("&(arch=sun").ok());    // unterminated
+  EXPECT_FALSE(TranslateRsl("&(archsun)").ok());    // no operator
+  EXPECT_FALSE(TranslateRsl("&(=sun)").ok());       // empty attribute
+}
+
+TEST(Rsl, WhitespaceTolerated) {
+  auto native = TranslateRsl("& (arch = sun)  (memory >= 10)");
+  ASSERT_TRUE(native.ok());
+  auto q = query::Parser::ParseBasic(*native);
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->GetRsrc("arch")->value.text(), "sun");
+}
+
+// Both translators produce queries with identical pool mapping for the
+// same logical request — interoperability preserves aggregation.
+TEST(Interop, TranslatorsAgreeOnPoolName) {
+  auto from_classad = TranslateClassAd(
+      "[ Requirements = Arch == \"sun\" && Memory >= 10 ]");
+  auto from_rsl = TranslateRsl("&(arch=sun)(memory>=10)");
+  ASSERT_TRUE(from_classad.ok());
+  ASSERT_TRUE(from_rsl.ok());
+  auto qa = query::Parser::ParseBasic(*from_classad);
+  auto qb = query::Parser::ParseBasic(*from_rsl);
+  ASSERT_TRUE(qa.ok());
+  ASSERT_TRUE(qb.ok());
+  EXPECT_EQ(qa->PoolName(), qb->PoolName());
+}
+
+}  // namespace
+}  // namespace actyp::interop

@@ -1,0 +1,244 @@
+// System-level tests on the full assembled deployment (SimScenario):
+// these assert the qualitative properties behind the paper's figures —
+// more pools help, splitting helps, replication helps, WAN adds an RTT
+// floor — at reduced scale so the suite stays fast.
+#include <gtest/gtest.h>
+
+#include "actyp/scenario.hpp"
+
+namespace actyp {
+namespace {
+
+double MeanResponse(ScenarioConfig config, SimDuration warmup = Seconds(5),
+                    SimDuration measure = Seconds(40)) {
+  SimScenario scenario(std::move(config));
+  scenario.Measure(warmup, measure);
+  EXPECT_GT(scenario.collector().completed(), 0u);
+  return scenario.collector().response_stats().mean();
+}
+
+ScenarioConfig BaseConfig() {
+  ScenarioConfig config;
+  config.machines = 800;
+  config.clusters = 1;
+  config.clients = 8;
+  config.seed = 99;
+  return config;
+}
+
+TEST(Scenario, EndToEndCompletesWithoutFailures) {
+  ScenarioConfig config = BaseConfig();
+  SimScenario scenario(config);
+  scenario.Measure(Seconds(5), Seconds(30));
+  EXPECT_GT(scenario.collector().completed(), 100u);
+  EXPECT_EQ(scenario.collector().failures(), 0u);
+  const auto pool_stats = scenario.TotalPoolStats();
+  EXPECT_GT(pool_stats.allocations, 0u);
+  EXPECT_EQ(scenario.network().dropped_messages(), 0u);
+}
+
+TEST(Scenario, AllocationsEventuallyReleased) {
+  ScenarioConfig config = BaseConfig();
+  config.clients = 4;
+  SimScenario scenario(config);
+  scenario.RunUntil(Seconds(30));
+  const auto stats = scenario.TotalPoolStats();
+  // Zero-duration jobs: releases track allocations closely (a few may be
+  // in flight at the horizon).
+  EXPECT_GE(stats.releases + 8, stats.allocations);
+  EXPECT_GT(stats.releases, 0u);
+}
+
+TEST(Scenario, MorePoolsReduceResponseTime) {
+  // Fig. 4's effect at reduced scale: 1 pool vs 8 pools, same machines.
+  ScenarioConfig one = BaseConfig();
+  one.machines = 1600;
+  one.clusters = 1;
+  one.clients = 16;
+
+  ScenarioConfig eight = one;
+  eight.clusters = 8;
+
+  const double r1 = MeanResponse(one);
+  const double r8 = MeanResponse(eight);
+  EXPECT_LT(r8, r1 * 0.5) << "r1=" << r1 << " r8=" << r8;
+}
+
+TEST(Scenario, ResponseGrowsWithClients) {
+  // Fig. 6's effect: closed-loop clients on a single pool.
+  ScenarioConfig few = BaseConfig();
+  few.clients = 2;
+  ScenarioConfig many = BaseConfig();
+  many.clients = 24;
+  const double r_few = MeanResponse(few);
+  const double r_many = MeanResponse(many);
+  EXPECT_GT(r_many, r_few * 2) << "few=" << r_few << " many=" << r_many;
+}
+
+TEST(Scenario, ResponseGrowsWithPoolSize) {
+  // Fig. 6: the linear search makes bigger pools slower per query.
+  ScenarioConfig small = BaseConfig();
+  small.machines = 400;
+  ScenarioConfig large = BaseConfig();
+  large.machines = 3200;
+  const double r_small = MeanResponse(small);
+  const double r_large = MeanResponse(large);
+  EXPECT_GT(r_large, r_small * 2)
+      << "small=" << r_small << " large=" << r_large;
+}
+
+TEST(Scenario, SplittingImprovesResponse) {
+  // Fig. 7: one 1600-machine pool vs 4 segments of 400.
+  ScenarioConfig whole = BaseConfig();
+  whole.machines = 1600;
+  whole.clients = 12;
+  ScenarioConfig split = whole;
+  split.pool_segments = 4;
+  const double r_whole = MeanResponse(whole);
+  const double r_split = MeanResponse(split);
+  EXPECT_LT(r_split, r_whole) << "whole=" << r_whole << " split=" << r_split;
+}
+
+TEST(Scenario, ReplicationImprovesResponse) {
+  // Fig. 8: replicated pool instances share the machine set.
+  ScenarioConfig solo = BaseConfig();
+  solo.machines = 1600;
+  solo.clients = 24;
+  ScenarioConfig replicated = solo;
+  replicated.pool_replicas = 4;
+  const double r_solo = MeanResponse(solo);
+  const double r_replicated = MeanResponse(replicated);
+  EXPECT_LT(r_replicated, r_solo * 0.6)
+      << "solo=" << r_solo << " replicated=" << r_replicated;
+}
+
+TEST(Scenario, WanAddsRttFloor) {
+  // Fig. 5: the same setup across a WAN is slower by about the RTT.
+  ScenarioConfig lan = BaseConfig();
+  lan.clients = 4;
+  ScenarioConfig wan = lan;
+  wan.wan = true;
+  const double r_lan = MeanResponse(lan);
+  const double r_wan = MeanResponse(wan);
+  EXPECT_GT(r_wan, r_lan + 0.050) << "lan=" << r_lan << " wan=" << r_wan;
+}
+
+TEST(Scenario, OnDemandPoolCreationServesQueries) {
+  ScenarioConfig config = BaseConfig();
+  config.machines = 200;
+  config.clusters = 4;
+  config.precreate_pools = false;  // pools materialize on first query
+  SimScenario scenario(config);
+  scenario.Measure(Seconds(10), Seconds(30));
+  EXPECT_GT(scenario.collector().completed(), 50u);
+  EXPECT_EQ(scenario.collector().failures(), 0u);
+  // All four cluster pools were created dynamically.
+  EXPECT_EQ(scenario.directory().PoolNames().size(), 4u);
+}
+
+TEST(Scenario, QosFanoutStillAnswersOnce) {
+  ScenarioConfig config = BaseConfig();
+  config.machines = 400;
+  config.clusters = 2;
+  config.pool_managers = 2;
+  config.qos_fanout = 2;
+  config.clients = 4;
+  SimScenario scenario(config);
+  scenario.Measure(Seconds(5), Seconds(20));
+  // Every interaction yields exactly one reply to the client; duplicates
+  // are absorbed by the reintegrator.
+  EXPECT_GT(scenario.collector().completed(), 20u);
+  EXPECT_EQ(scenario.collector().failures(), 0u);
+}
+
+TEST(Scenario, DeterministicForSeed) {
+  auto run = [] {
+    ScenarioConfig config;
+    config.machines = 200;
+    config.clusters = 2;
+    config.clients = 4;
+    config.seed = 1234;
+    SimScenario scenario(config);
+    scenario.Measure(Seconds(2), Seconds(10));
+    return std::make_pair(scenario.collector().completed(),
+                          scenario.collector().response_stats().mean());
+  };
+  const auto a = run();
+  const auto b = run();
+  EXPECT_EQ(a.first, b.first);
+  EXPECT_DOUBLE_EQ(a.second, b.second);
+}
+
+// --- failure injection ---
+
+TEST(Scenario, SurvivesMessageLoss) {
+  ScenarioConfig config = BaseConfig();
+  config.machines = 400;
+  config.clients = 8;
+  config.message_loss_probability = 0.05;  // 5% of messages vanish
+  config.client_request_timeout = Seconds(2);
+  SimScenario scenario(config);
+  scenario.Measure(Seconds(5), Seconds(60));
+  // Clients keep making progress: timeouts turn losses into failures
+  // and the closed loop continues.
+  EXPECT_GT(scenario.collector().completed(), 500u);
+  EXPECT_GT(scenario.collector().failures(), 0u);
+  EXPECT_GT(scenario.network().lost_messages(), 0u);
+}
+
+TEST(Scenario, TotalMessageLossStallsButDoesNotWedge) {
+  ScenarioConfig config = BaseConfig();
+  config.machines = 100;
+  config.clients = 2;
+  config.message_loss_probability = 1.0;
+  config.client_request_timeout = Seconds(1);
+  SimScenario scenario(config);
+  scenario.Measure(Seconds(2), Seconds(20));
+  EXPECT_EQ(scenario.collector().completed(), 0u);
+  EXPECT_GT(scenario.collector().failures(), 10u);  // timeouts keep firing
+}
+
+TEST(Scenario, MachinesGoingDownAreAvoidedAfterRefresh) {
+  ScenarioConfig config = BaseConfig();
+  config.machines = 20;
+  config.clients = 4;
+  config.resort_period = Seconds(1);
+  SimScenario scenario(config);
+  scenario.RunUntil(Seconds(5));
+
+  // Take half the fleet down mid-run.
+  std::vector<db::MachineId> downed;
+  scenario.database().ForEach([&](const db::MachineRecord& rec) {
+    if (rec.id % 2 == 0) downed.push_back(rec.id);
+  });
+  for (const auto id : downed) {
+    scenario.database().Update(id, [](db::MachineRecord& rec) {
+      rec.state = db::MachineState::kDown;
+    });
+  }
+  // Let the pools' refresh ticks observe the change, then measure.
+  scenario.RunUntil(Seconds(8));
+  scenario.collector().Reset();
+  scenario.RunUntil(Seconds(30));
+
+  // The system still serves queries from the surviving machines.
+  EXPECT_GT(scenario.collector().completed(), 100u);
+  EXPECT_EQ(scenario.collector().failures(), 0u);
+  // Down machines accumulate no further jobs once refresh saw them: their
+  // monitor-reported job counts stay at the level they had when downed.
+  // (Allocations target only up machines.)
+}
+
+TEST(Scenario, HotSpotConcentratesOnOnePool) {
+  ScenarioConfig config = BaseConfig();
+  config.machines = 800;
+  config.clusters = 4;
+  config.clients = 8;
+  config.hot_fraction = 0.9;
+  SimScenario scenario(config);
+  scenario.Measure(Seconds(5), Seconds(20));
+  EXPECT_GT(scenario.collector().completed(), 0u);
+}
+
+}  // namespace
+}  // namespace actyp

@@ -1,0 +1,223 @@
+// Tests for the scheduling policies: objective ordering, linear-search
+// accounting, eligibility, per-query filters, and the Fig. 8
+// instance-bias used by replicated pools.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "sched/policy.hpp"
+
+namespace actyp::sched {
+namespace {
+
+CacheEntry Entry(double load, double memory = 256, double speed = 1.0) {
+  CacheEntry entry;
+  entry.load = load;
+  entry.available_memory_mb = memory;
+  entry.effective_speed = speed;
+  entry.num_cpus = 1;
+  entry.max_allowed_load = 1.0;
+  return entry;
+}
+
+TEST(LeastLoad, PrefersLowestLoad) {
+  LeastLoadPolicy policy;
+  std::vector<CacheEntry> cache{Entry(0.9), Entry(0.1), Entry(0.5)};
+  SelectionContext ctx;
+  auto sel = policy.Select(cache, ctx);
+  ASSERT_TRUE(sel.found());
+  EXPECT_EQ(sel.index, 1u);
+  EXPECT_EQ(sel.examined, 3u);  // linear search touches everything
+}
+
+TEST(LeastLoad, SpeedBreaksTies) {
+  LeastLoadPolicy policy;
+  EXPECT_TRUE(policy.Better(Entry(0.2, 256, 2.0), Entry(0.2, 256, 1.0)));
+  EXPECT_FALSE(policy.Better(Entry(0.3, 256, 9.0), Entry(0.2, 256, 1.0)));
+}
+
+TEST(MostMemory, PrefersLargestMemory) {
+  MostMemoryPolicy policy;
+  std::vector<CacheEntry> cache{Entry(0.1, 128), Entry(0.9, 1024),
+                                Entry(0.5, 512)};
+  auto sel = policy.Select(cache, SelectionContext{});
+  ASSERT_TRUE(sel.found());
+  EXPECT_EQ(sel.index, 1u);
+}
+
+TEST(Fastest, DiscountsBySaturation) {
+  FastestPolicy policy;
+  // 3.0-speed machine at load 2 effectively 1.0; 1.5-speed idle is 1.5.
+  CacheEntry busy_fast = Entry(2.0, 256, 3.0);
+  busy_fast.max_allowed_load = 4.0;  // keep it eligible
+  CacheEntry idle_slow = Entry(0.0, 256, 1.5);
+  EXPECT_TRUE(policy.Better(idle_slow, busy_fast));
+}
+
+TEST(Eligibility, LoadCeilingExcludes) {
+  LeastLoadPolicy policy;
+  std::vector<CacheEntry> cache{Entry(1.0), Entry(2.0)};  // all at/over limit
+  auto sel = policy.Select(cache, SelectionContext{});
+  EXPECT_FALSE(sel.found());
+  EXPECT_EQ(sel.examined, 2u);
+}
+
+TEST(Eligibility, MultiCpuRaisesCeiling) {
+  LeastLoadPolicy policy;
+  CacheEntry smp = Entry(1.5);
+  smp.num_cpus = 4;  // ceiling = 1.0 + 4 - 1 = 4.0
+  std::vector<CacheEntry> cache{smp};
+  EXPECT_TRUE(policy.Select(cache, SelectionContext{}).found());
+}
+
+TEST(Eligibility, AllocatedExcluded) {
+  LeastLoadPolicy policy;
+  CacheEntry taken = Entry(0.0);
+  taken.allocated = true;
+  std::vector<CacheEntry> cache{taken};
+  EXPECT_FALSE(policy.Select(cache, SelectionContext{}).found());
+}
+
+TEST(Filter, ExcludesByIndex) {
+  LeastLoadPolicy policy;
+  std::vector<CacheEntry> cache{Entry(0.0), Entry(0.5)};
+  std::function<bool(std::size_t, const CacheEntry&)> filter =
+      [](std::size_t i, const CacheEntry&) { return i != 0; };
+  SelectionContext ctx;
+  ctx.filter = &filter;
+  auto sel = policy.Select(cache, ctx);
+  ASSERT_TRUE(sel.found());
+  EXPECT_EQ(sel.index, 1u);
+}
+
+TEST(ReplicationBias, InstancesPreferDistinctStrides) {
+  // 8 idle machines, 2 instances: instance 0 should pick an even index,
+  // instance 1 an odd index (Fig. 8's "instance i prefers every i-th").
+  LeastLoadPolicy policy;
+  std::vector<CacheEntry> cache;
+  for (int i = 0; i < 8; ++i) cache.push_back(Entry(0.1 * i));
+
+  SelectionContext ctx0;
+  ctx0.instance = 0;
+  ctx0.instance_count = 2;
+  SelectionContext ctx1;
+  ctx1.instance = 1;
+  ctx1.instance_count = 2;
+
+  const auto sel0 = policy.Select(cache, ctx0);
+  const auto sel1 = policy.Select(cache, ctx1);
+  ASSERT_TRUE(sel0.found());
+  ASSERT_TRUE(sel1.found());
+  EXPECT_EQ(sel0.index % 2, 0u);
+  EXPECT_EQ(sel1.index % 2, 1u);
+  EXPECT_NE(sel0.index, sel1.index);
+}
+
+TEST(ReplicationBias, FallsBackToOtherStride) {
+  LeastLoadPolicy policy;
+  // Only index 1 (odd) is eligible; instance 0 must still find it.
+  std::vector<CacheEntry> cache{Entry(5.0), Entry(0.1), Entry(5.0),
+                                Entry(5.0)};
+  SelectionContext ctx;
+  ctx.instance = 0;
+  ctx.instance_count = 2;
+  auto sel = policy.Select(cache, ctx);
+  ASSERT_TRUE(sel.found());
+  EXPECT_EQ(sel.index, 1u);
+  // Preferred stride (2 entries) + fallback examination.
+  EXPECT_GT(sel.examined, 2u);
+}
+
+TEST(RoundRobin, CyclesThroughMachines) {
+  RoundRobinPolicy policy;
+  std::vector<CacheEntry> cache{Entry(0.0), Entry(0.0), Entry(0.0)};
+  SelectionContext ctx;
+  std::vector<std::size_t> picks;
+  for (int i = 0; i < 6; ++i) picks.push_back(policy.Select(cache, ctx).index);
+  EXPECT_EQ(picks, (std::vector<std::size_t>{0, 1, 2, 0, 1, 2}));
+}
+
+TEST(RoundRobin, SkipsIneligible) {
+  RoundRobinPolicy policy;
+  std::vector<CacheEntry> cache{Entry(0.0), Entry(9.0), Entry(0.0)};
+  SelectionContext ctx;
+  EXPECT_EQ(policy.Select(cache, ctx).index, 0u);
+  EXPECT_EQ(policy.Select(cache, ctx).index, 2u);
+  EXPECT_EQ(policy.Select(cache, ctx).index, 0u);
+}
+
+TEST(Random, FindsEligibleEntry) {
+  RandomPolicy policy;
+  std::vector<CacheEntry> cache{Entry(9.0), Entry(9.0), Entry(0.0),
+                                Entry(9.0)};
+  Rng rng(3);
+  SelectionContext ctx;
+  ctx.rng = &rng;
+  for (int i = 0; i < 20; ++i) {
+    auto sel = policy.Select(cache, ctx);
+    ASSERT_TRUE(sel.found());
+    EXPECT_EQ(sel.index, 2u);
+  }
+}
+
+TEST(Random, RequiresRng) {
+  RandomPolicy policy;
+  std::vector<CacheEntry> cache{Entry(0.0)};
+  EXPECT_FALSE(policy.Select(cache, SelectionContext{}).found());
+}
+
+TEST(EmptyCache, NothingFound) {
+  LeastLoadPolicy policy;
+  std::vector<CacheEntry> cache;
+  auto sel = policy.Select(cache, SelectionContext{});
+  EXPECT_FALSE(sel.found());
+  EXPECT_EQ(sel.examined, 0u);
+}
+
+TEST(Factory, CreatesAllPolicies) {
+  for (const char* name :
+       {"least-load", "most-memory", "fastest", "round-robin", "random"}) {
+    auto policy = MakePolicy(name);
+    ASSERT_TRUE(policy.ok()) << name;
+    EXPECT_EQ((*policy)->name(), name);
+  }
+  EXPECT_TRUE(MakePolicy("").ok());  // default
+  EXPECT_FALSE(MakePolicy("quantum").ok());
+}
+
+// Property sweep: every policy must return an eligible entry whenever one
+// exists, and must examine at most 2n entries.
+class PolicyProperty : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(PolicyProperty, AlwaysFindsEligibleWhenPresent) {
+  auto policy = MakePolicy(GetParam());
+  ASSERT_TRUE(policy.ok());
+  Rng rng(77);
+  for (int trial = 0; trial < 50; ++trial) {
+    const std::size_t n = 1 + rng.NextBounded(40);
+    std::vector<CacheEntry> cache;
+    bool any_eligible = false;
+    for (std::size_t i = 0; i < n; ++i) {
+      const bool eligible = rng.Bernoulli(0.4);
+      cache.push_back(Entry(eligible ? rng.Uniform(0, 0.9) : 9.0));
+      any_eligible |= eligible;
+    }
+    SelectionContext ctx;
+    ctx.rng = &rng;
+    ctx.instance = static_cast<std::uint32_t>(rng.NextBounded(3));
+    ctx.instance_count = 3;
+    auto sel = (*policy)->Select(cache, ctx);
+    EXPECT_EQ(sel.found(), any_eligible);
+    if (sel.found()) {
+      EXPECT_LT(cache[sel.index].load, 1.0);
+    }
+    EXPECT_LE(sel.examined, 2 * n);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPolicies, PolicyProperty,
+                         ::testing::Values("least-load", "most-memory",
+                                           "fastest", "round-robin",
+                                           "random"));
+
+}  // namespace
+}  // namespace actyp::sched

@@ -1,0 +1,339 @@
+// Tests for the discrete-event kernel, the topology/latency model, and
+// the simulated network's queueing behaviour (service times, node
+// serialization, host core limits).
+#include <gtest/gtest.h>
+
+#include "simnet/kernel.hpp"
+#include "simnet/sim_network.hpp"
+#include "simnet/topology.hpp"
+
+namespace actyp::simnet {
+namespace {
+
+// --- kernel ---
+
+TEST(Kernel, ExecutesInTimeOrder) {
+  SimKernel kernel;
+  std::vector<int> order;
+  kernel.Schedule(Millis(30), [&] { order.push_back(3); });
+  kernel.Schedule(Millis(10), [&] { order.push_back(1); });
+  kernel.Schedule(Millis(20), [&] { order.push_back(2); });
+  kernel.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(kernel.Now(), Millis(30));
+}
+
+TEST(Kernel, TieBreakIsInsertionOrder) {
+  SimKernel kernel;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    kernel.Schedule(Millis(10), [&order, i] { order.push_back(i); });
+  }
+  kernel.Run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Kernel, EventsMayScheduleEvents) {
+  SimKernel kernel;
+  int fired = 0;
+  std::function<void()> chain = [&] {
+    ++fired;
+    if (fired < 10) kernel.Schedule(Millis(1), chain);
+  };
+  kernel.Schedule(0, chain);
+  kernel.Run();
+  EXPECT_EQ(fired, 10);
+  EXPECT_EQ(kernel.Now(), Millis(9));
+}
+
+TEST(Kernel, RunUntilStopsAtBoundary) {
+  SimKernel kernel;
+  int fired = 0;
+  kernel.Schedule(Millis(5), [&] { ++fired; });
+  kernel.Schedule(Millis(15), [&] { ++fired; });
+  kernel.RunUntil(Millis(10));
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(kernel.Now(), Millis(10));  // clock advances to the boundary
+  EXPECT_EQ(kernel.pending(), 1u);
+  kernel.Run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Kernel, NegativeDelayClampsToNow) {
+  SimKernel kernel;
+  kernel.Schedule(Millis(5), [] {});
+  kernel.Run();
+  bool fired = false;
+  kernel.Schedule(-100, [&] { fired = true; });
+  kernel.Run();
+  EXPECT_TRUE(fired);
+  EXPECT_EQ(kernel.Now(), Millis(5));
+}
+
+TEST(Kernel, ClockAdapterTracksKernel) {
+  SimKernel kernel;
+  const Clock& clock = kernel.clock();
+  kernel.Schedule(Millis(7), [] {});
+  kernel.Run();
+  EXPECT_EQ(clock.Now(), Millis(7));
+}
+
+// --- topology ---
+
+TEST(Topology, IntraSiteIsLan) {
+  Topology topology;
+  Rng rng(1);
+  for (int i = 0; i < 100; ++i) {
+    const SimDuration latency = topology.SampleLatency("a", "b", 100, rng);
+    EXPECT_GE(latency, Micros(150));
+    EXPECT_LE(latency, Micros(150 + 50 + 10));
+  }
+}
+
+TEST(Topology, InterSiteIsWan) {
+  Topology topology = Topology::WanTwoSites("purdue", "upc");
+  topology.SetHostSite("client", "purdue");
+  topology.SetHostSite("server", "upc");
+  Rng rng(1);
+  for (int i = 0; i < 100; ++i) {
+    const SimDuration latency =
+        topology.SampleLatency("client", "server", 100, rng);
+    EXPECT_GE(latency, Millis(30));
+    EXPECT_LE(latency, Millis(36));
+  }
+}
+
+TEST(Topology, LoopbackIsCheap) {
+  Topology topology;
+  Rng rng(1);
+  EXPECT_LE(topology.SampleLatency("h", "h", 1000, rng), Micros(5));
+}
+
+TEST(Topology, BandwidthTermGrowsWithSize) {
+  Topology topology;
+  topology.SetIntraSiteLink(LinkSpec{Micros(100), 0, 10.0});
+  Rng rng(1);
+  const SimDuration small = topology.SampleLatency("a", "b", 0, rng);
+  const SimDuration big = topology.SampleLatency("a", "b", 10000, rng);
+  EXPECT_EQ(big - small, Micros(1000));  // 10000 bytes / 10 B per us
+}
+
+TEST(Topology, PerLinkOverride) {
+  Topology topology;
+  topology.SetHostSite("a", "s1");
+  topology.SetHostSite("b", "s2");
+  topology.SetLink("s1", "s2", LinkSpec{Millis(100), 0, 1e9});
+  Rng rng(1);
+  EXPECT_GE(topology.SampleLatency("a", "b", 10, rng), Millis(100));
+  EXPECT_GE(topology.SampleLatency("b", "a", 10, rng), Millis(100));
+}
+
+// --- simulated network ---
+
+// Consumes a fixed service time and acknowledges to the sender.
+class ServerNode final : public net::Node {
+ public:
+  explicit ServerNode(SimDuration service) : service_(service) {}
+  void OnMessage(const net::Envelope& env, net::NodeContext& ctx) override {
+    ctx.Consume(service_);
+    net::Message done{"done"};
+    done.SetHeader("n", env.message.Header("n"));
+    ctx.Send(env.from, std::move(done));
+  }
+
+ private:
+  SimDuration service_;
+};
+
+class RecorderNode final : public net::Node {
+ public:
+  void OnMessage(const net::Envelope& env, net::NodeContext& ctx) override {
+    arrivals.push_back(ctx.Now());
+    labels.push_back(env.message.Header("n"));
+  }
+  std::vector<SimTime> arrivals;
+  std::vector<std::string> labels;
+};
+
+TEST(SimNetwork, ServiceTimeSerializesSingleServer) {
+  SimKernel kernel;
+  Topology topology;
+  topology.SetIntraSiteLink(LinkSpec{Micros(100), 0, 0});  // fixed latency
+  SimNetwork network(&kernel, topology);
+  network.AddHost("server", 8);
+  network.AddHost("client", 8);
+
+  auto server = std::make_shared<ServerNode>(Millis(10));
+  auto recorder = std::make_shared<RecorderNode>();
+  network.AddNode("server0", server, {"server", 1});
+  network.AddNode("rec", recorder, {"client", 8});
+
+  // Two back-to-back requests from the recorder's address.
+  for (int i = 0; i < 2; ++i) {
+    net::Message m{"work"};
+    m.SetHeader("n", std::to_string(i));
+    network.Post("rec", "server0", std::move(m));
+  }
+  kernel.Run();
+
+  ASSERT_EQ(recorder->arrivals.size(), 2u);
+  // First: 100us there + 10ms service + 100us back = 10.2 ms.
+  EXPECT_EQ(recorder->arrivals[0], Micros(100) + Millis(10) + Micros(100));
+  // Second: queued behind the first -> +10ms service.
+  EXPECT_EQ(recorder->arrivals[1],
+            Micros(100) + Millis(20) + Micros(100));
+}
+
+TEST(SimNetwork, MultipleServersOverlap) {
+  SimKernel kernel;
+  Topology topology;
+  topology.SetIntraSiteLink(LinkSpec{Micros(100), 0, 0});
+  SimNetwork network(&kernel, topology);
+  network.AddHost("server", 8);
+  network.AddHost("client", 8);
+  network.AddNode("server0", std::make_shared<ServerNode>(Millis(10)),
+                  {"server", 2});
+  auto recorder = std::make_shared<RecorderNode>();
+  network.AddNode("rec", recorder, {"client", 8});
+
+  for (int i = 0; i < 2; ++i) {
+    network.Post("rec", "server0", net::Message{"work"});
+  }
+  kernel.Run();
+  ASSERT_EQ(recorder->arrivals.size(), 2u);
+  // Both served in parallel: same completion time.
+  EXPECT_EQ(recorder->arrivals[0], recorder->arrivals[1]);
+}
+
+TEST(SimNetwork, HostCoreLimitThrottlesNodes) {
+  SimKernel kernel;
+  Topology topology;
+  topology.SetIntraSiteLink(LinkSpec{Micros(100), 0, 0});
+  SimNetwork network(&kernel, topology);
+  network.AddHost("server", 1);  // one core shared by two nodes
+  network.AddHost("client", 8);
+  network.AddNode("s0", std::make_shared<ServerNode>(Millis(10)),
+                  {"server", 1});
+  network.AddNode("s1", std::make_shared<ServerNode>(Millis(10)),
+                  {"server", 1});
+  auto recorder = std::make_shared<RecorderNode>();
+  network.AddNode("rec", recorder, {"client", 8});
+
+  network.Post("rec", "s0", net::Message{"work"});
+  network.Post("rec", "s1", net::Message{"work"});
+  kernel.Run();
+  ASSERT_EQ(recorder->arrivals.size(), 2u);
+  // The single core serializes the two nodes: 10ms apart.
+  EXPECT_EQ(recorder->arrivals[1] - recorder->arrivals[0], Millis(10));
+}
+
+TEST(SimNetwork, TwelveCoreHostRunsTwelveConcurrently) {
+  SimKernel kernel;
+  Topology topology;
+  topology.SetIntraSiteLink(LinkSpec{Micros(100), 0, 0});
+  SimNetwork network(&kernel, topology);
+  network.AddHost("alpha", 12);
+  network.AddHost("client", 16);
+  for (int i = 0; i < 16; ++i) {
+    network.AddNode("s" + std::to_string(i),
+                    std::make_shared<ServerNode>(Millis(10)), {"alpha", 1});
+  }
+  auto recorder = std::make_shared<RecorderNode>();
+  network.AddNode("rec", recorder, {"client", 16});
+  for (int i = 0; i < 16; ++i) {
+    network.Post("rec", "s" + std::to_string(i), net::Message{"work"});
+  }
+  kernel.Run();
+  ASSERT_EQ(recorder->arrivals.size(), 16u);
+  std::multiset<SimTime> times(recorder->arrivals.begin(),
+                               recorder->arrivals.end());
+  // 12 finish in the first wave, 4 in the second.
+  EXPECT_EQ(times.count(*times.begin()), 12u);
+}
+
+TEST(SimNetwork, DropsToUnknownNodeCounted) {
+  SimKernel kernel;
+  SimNetwork network(&kernel, Topology{});
+  network.Post("x", "ghost", net::Message{"m"});
+  kernel.Run();
+  EXPECT_EQ(network.dropped_messages(), 1u);
+}
+
+TEST(SimNetwork, RemoveNodeStopsProcessing) {
+  SimKernel kernel;
+  SimNetwork network(&kernel, Topology{});
+  auto recorder = std::make_shared<RecorderNode>();
+  network.AddNode("rec", recorder, {});
+  EXPECT_TRUE(network.HasNode("rec"));
+  ASSERT_TRUE(network.RemoveNode("rec").ok());
+  EXPECT_FALSE(network.HasNode("rec"));
+  network.Post("x", "rec", net::Message{"m"});
+  kernel.Run();
+  EXPECT_TRUE(recorder->arrivals.empty());
+  EXPECT_EQ(network.dropped_messages(), 1u);
+}
+
+TEST(SimNetwork, StatsTrackServiceAndQueue) {
+  SimKernel kernel;
+  Topology topology;
+  topology.SetIntraSiteLink(LinkSpec{Micros(100), 0, 0});
+  SimNetwork network(&kernel, topology);
+  network.AddHost("server", 4);
+  network.AddNode("s0", std::make_shared<ServerNode>(Millis(5)),
+                  {"server", 1});
+  for (int i = 0; i < 3; ++i) network.Post("x", "s0", net::Message{"w"});
+  kernel.Run();
+  const NodeStats stats = network.StatsFor("s0");
+  EXPECT_EQ(stats.messages, 3u);
+  EXPECT_EQ(stats.busy_time, Millis(15));
+  EXPECT_GE(stats.max_queue, 2u);
+  EXPECT_EQ(network.StatsFor("missing").messages, 0u);
+}
+
+TEST(SimNetwork, DeterministicAcrossRuns) {
+  auto run = [] {
+    SimKernel kernel;
+    SimNetwork network(&kernel, Topology{}, 99);
+    network.AddHost("server", 2);
+    network.AddNode("s0", std::make_shared<ServerNode>(Millis(3)),
+                    {"server", 1});
+    auto recorder = std::make_shared<RecorderNode>();
+    network.AddNode("rec", recorder, {"server", 2});
+    for (int i = 0; i < 10; ++i) {
+      net::Message m{"w"};
+      m.SetHeader("n", std::to_string(i));
+      network.Post("rec", "s0", std::move(m));
+    }
+    kernel.Run();
+    return recorder->arrivals;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+class SelfTickNode final : public net::Node {
+ public:
+  void OnStart(net::NodeContext& ctx) override {
+    ctx.ScheduleSelf(Millis(10), net::Message{"tick"});
+  }
+  void OnMessage(const net::Envelope& env, net::NodeContext& ctx) override {
+    if (env.message.type != "tick") return;
+    times.push_back(ctx.Now());
+    if (times.size() < 3) ctx.ScheduleSelf(Millis(10), net::Message{"tick"});
+  }
+  std::vector<SimTime> times;
+};
+
+TEST(SimNetwork, ScheduleSelfIsPeriodic) {
+  SimKernel kernel;
+  SimNetwork network(&kernel, Topology{});
+  auto node = std::make_shared<SelfTickNode>();
+  network.AddNode("timer", node, {});
+  kernel.Run();
+  ASSERT_EQ(node->times.size(), 3u);
+  EXPECT_EQ(node->times[0], Millis(10));
+  EXPECT_EQ(node->times[1], Millis(20));
+  EXPECT_EQ(node->times[2], Millis(30));
+}
+
+}  // namespace
+}  // namespace actyp::simnet
