@@ -3,7 +3,9 @@
 // per-machine scan cost, same closed-loop clients — the differences are
 // purely architectural: decentralized pools vs one scan of the whole
 // database per query vs batched negotiation cycles.
-#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
 
 #include "baseline/central.hpp"
 #include "baseline/matchmaker.hpp"
@@ -13,14 +15,14 @@
 #include "workload/client.hpp"
 #include "workload/generator.hpp"
 
+namespace actyp {
 namespace {
-
-using namespace actyp;
 
 // Assembles fleet + baseline scheduler + clients on the standard
 // topology and measures client response time.
 bench::CellResult RunBaseline(const std::string& kind, std::size_t machines,
-                              std::size_t clients, std::uint64_t seed) {
+                              std::size_t clients, std::uint64_t seed,
+                              double time_scale) {
   simnet::SimKernel kernel;
   simnet::SimNetwork network(&kernel, simnet::Topology::Lan(), seed);
   network.AddHost("alpha", 12);
@@ -33,20 +35,18 @@ bench::CellResult RunBaseline(const std::string& kind, std::size_t machines,
   fleet.cluster_count = 4;
   BuildFleet(fleet, rng, &database, nullptr);
 
-  net::Address entry;
+  net::Address entry = "sched";
   std::shared_ptr<baseline::CentralScheduler> central;
   std::shared_ptr<baseline::Matchmaker> matchmaker;
   if (kind == "central") {
     central = std::make_shared<baseline::CentralScheduler>(
         baseline::CentralSchedulerConfig{}, &database);
     network.AddNode("sched", central, {"alpha", 1});
-    entry = "sched";
   } else {
     baseline::MatchmakerConfig config;
     config.cycle_period = Seconds(5.0);
     matchmaker = std::make_shared<baseline::Matchmaker>(config, &database);
     network.AddNode("sched", matchmaker, {"alpha", 1});
-    entry = "sched";
   }
 
   workload::QuerySpec query_spec;
@@ -65,9 +65,9 @@ bench::CellResult RunBaseline(const std::string& kind, std::size_t machines,
     network.AddNode("client" + std::to_string(i), client, {"clients", 1});
   }
 
-  kernel.RunUntil(Seconds(3));
+  kernel.RunUntil(Seconds(3 * time_scale));
   collector.Reset();
-  kernel.RunUntil(Seconds(18));
+  kernel.RunUntil(Seconds(18 * time_scale));
 
   bench::CellResult result;
   result.mean_s = collector.response_stats().mean();
@@ -78,36 +78,53 @@ bench::CellResult RunBaseline(const std::string& kind, std::size_t machines,
   return result;
 }
 
-}  // namespace
-
-int main() {
-  std::printf("== Ablation — ActYP pipeline vs centralized baselines ==\n");
-  std::printf("%12s %8s %12s %12s %12s %10s\n", "system", "clients", "mean(s)",
-              "p50(s)", "p95(s)", "queries");
-  for (const std::size_t clients : {8, 32, 64}) {
+ScenarioReport RunAblBaselines(const ScenarioRunOptions& options) {
+  ScenarioReport report;
+  report.scenario = "abl_baselines";
+  report.title = "Ablation — ActYP pipeline vs centralized baselines";
+  const std::size_t machines = options.machines.value_or(3200);
+  for (const std::size_t clients :
+       bench::SweepOr(options.clients, {8, 32, 64})) {
     {
       ScenarioConfig config;
-      config.machines = 3200;
+      config.machines = machines;
       config.clusters = 4;
       config.clients = clients;
-      config.seed = 100 + clients;
-      const auto r = bench::RunCell(config);
-      std::printf("%12s %8zu %12.4f %12.4f %12.4f %10llu\n", "actyp", clients,
-                  r.mean_s, r.p50_s, r.p95_s,
-                  static_cast<unsigned long long>(r.completed));
+      config.seed = bench::CellSeed(options, 100, clients);
+      const auto result =
+          bench::RunCell(config, bench::ScaledSeconds(options, 3),
+                         bench::ScaledSeconds(options, 15));
+      ScenarioCell cell;
+      cell.labels.emplace_back("system", "actyp");
+      cell.dims.emplace_back("clients", static_cast<double>(clients));
+      bench::AppendMetrics(result, &cell);
+      report.cells.push_back(std::move(cell));
     }
     for (const char* kind : {"central", "matchmaker"}) {
-      const auto r = RunBaseline(kind, 3200, clients, 200 + clients);
-      std::printf("%12s %8zu %12.4f %12.4f %12.4f %10llu\n", kind, clients,
-                  r.mean_s, r.p50_s, r.p95_s,
-                  static_cast<unsigned long long>(r.completed));
+      const auto result =
+          RunBaseline(kind, machines, clients,
+                      bench::CellSeed(options, 200, clients),
+                      options.time_scale);
+      ScenarioCell cell;
+      cell.labels.emplace_back("system", kind);
+      cell.dims.emplace_back("clients", static_cast<double>(clients));
+      bench::AppendMetrics(result, &cell);
+      report.cells.push_back(std::move(cell));
     }
   }
-  std::printf(
-      "\nshape check: ActYP's pooled, decentralized scan beats the\n"
-      "centralized full-database scan as clients grow, and beats the\n"
-      "matchmaker's negotiation-cycle latency floor (>= one 5s cycle for\n"
-      "closed-loop clients) by orders of magnitude for the short jobs\n"
-      "PUNCH serves.\n");
-  return 0;
+  report.note =
+      "shape check: ActYP's pooled, decentralized scan beats the "
+      "centralized full-database scan as clients grow, and beats the "
+      "matchmaker's negotiation-cycle latency floor (>= one 5s cycle for "
+      "closed-loop clients) by orders of magnitude for the short jobs "
+      "PUNCH serves.";
+  return report;
 }
+
+const ScenarioRegistrar kRegistrar(
+    "abl_baselines",
+    "ActYP pipeline vs centralized scheduler and matchmaker baselines",
+    RunAblBaselines);
+
+}  // namespace
+}  // namespace actyp

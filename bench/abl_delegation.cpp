@@ -1,19 +1,20 @@
 // Ablation: pool-manager delegation (§5.2.2). A query that no local pool
 // manager can satisfy walks the peer list — each hop appends the manager
 // to the visited list and decrements the TTL, exactly like an IP packet.
-// This bench measures how long an unsatisfiable query takes to fail as a
-// function of its TTL and the number of peers.
-#include <cstdio>
+// This scenario measures how long an unsatisfiable query takes to fail
+// as a function of its TTL and the number of peers.
+#include <memory>
+#include <string>
 
+#include "bench_common.hpp"
 #include "directory/directory.hpp"
 #include "pipeline/pool_manager.hpp"
 #include "query/parser.hpp"
 #include "simnet/kernel.hpp"
 #include "simnet/sim_network.hpp"
 
+namespace actyp {
 namespace {
-
-using namespace actyp;
 
 struct Probe final : net::Node {
   void OnMessage(const net::Envelope& env, net::NodeContext& ctx) override {
@@ -26,27 +27,26 @@ struct Probe final : net::Node {
   std::string error;
 };
 
-}  // namespace
-
-int main() {
-  std::printf("== Ablation — delegation chains (TTL walk to failure) ==\n");
-  std::printf("%6s %8s %16s %s\n", "ttl", "peers", "time-to-fail(ms)",
-              "terminating condition");
+ScenarioReport RunAblDelegation(const ScenarioRunOptions& options) {
+  ScenarioReport report;
+  report.scenario = "abl_delegation";
+  report.title = "Ablation — delegation chains (TTL walk to failure)";
   for (const int peers : {4, 8, 16}) {
     for (const int ttl : {2, 4, 8, 16}) {
       simnet::SimKernel kernel;
-      simnet::SimNetwork network(&kernel, simnet::Topology::Lan(),
-                                 900 + peers * 31 + ttl);
+      simnet::SimNetwork network(
+          &kernel, simnet::Topology::Lan(),
+          bench::CellSeed(options, 900, peers * 31 + ttl));
       network.AddHost("alpha", 12);
       directory::DirectoryService directory;
       for (int i = 0; i < peers; ++i) {
         pipeline::PoolManagerConfig config;
         config.name = "pm" + std::to_string(i);
         config.allow_create = false;  // force delegation
-        network.AddNode(config.name,
-                        std::make_shared<pipeline::PoolManager>(config,
-                                                                &directory),
-                        {"alpha", 1});
+        network.AddNode(
+            config.name,
+            std::make_shared<pipeline::PoolManager>(config, &directory),
+            {"alpha", 1});
       }
       auto probe = std::make_shared<Probe>();
       network.AddNode("probe", probe, {"alpha", 1});
@@ -61,14 +61,27 @@ int main() {
       kernel.Run();
 
       const bool ttl_hit = probe->error.find("TTL") != std::string::npos;
-      std::printf("%6d %8d %16.2f %s\n", ttl, peers,
-                  ToMillis(probe->failed_at),
-                  ttl_hit ? "ttl-expired" : "all-peers-visited");
+      ScenarioCell cell;
+      cell.labels.emplace_back(
+          "terminated_by", ttl_hit ? "ttl-expired" : "all-peers-visited");
+      cell.dims.emplace_back("ttl", ttl);
+      cell.dims.emplace_back("peers", peers);
+      cell.metrics.emplace_back("time_to_fail_ms",
+                                ToMillis(probe->failed_at));
+      report.cells.push_back(std::move(cell));
     }
   }
-  std::printf(
-      "\nshape check: time-to-failure grows with min(ttl, peers); with few\n"
-      "peers the visited list terminates the walk, with many peers the TTL\n"
-      "does — queries can never circulate forever.\n");
-  return 0;
+  report.note =
+      "shape check: time-to-failure grows with min(ttl, peers); with few "
+      "peers the visited list terminates the walk, with many peers the TTL "
+      "does — queries can never circulate forever.";
+  return report;
 }
+
+const ScenarioRegistrar kRegistrar(
+    "abl_delegation",
+    "time-to-failure of unsatisfiable queries walking the peer list",
+    RunAblDelegation);
+
+}  // namespace
+}  // namespace actyp

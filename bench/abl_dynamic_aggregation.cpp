@@ -5,52 +5,73 @@
 // class working on an assignment, §6's temporal-locality example) and
 // compare a static partition against ActYP reacting by splitting or
 // replicating the hot aggregate.
-#include <cstdio>
+#include <string>
 
-#include "actyp/scenario.hpp"
+#include "bench_common.hpp"
 
+namespace actyp {
 namespace {
 
-using namespace actyp;
-
-double Run(std::uint32_t segments, std::uint32_t replicas,
-           double hot_fraction, std::uint64_t seed) {
+double RunMix(const ScenarioRunOptions& options, std::uint32_t segments,
+              std::uint32_t replicas, double hot_fraction,
+              std::uint64_t seed_offset) {
   ScenarioConfig config;
-  config.machines = 3200;
+  config.machines = options.machines.value_or(3200);
   config.clusters = 4;
   config.pool_segments = segments;
   config.pool_replicas = replicas;
-  config.clients = 32;
+  config.clients = options.clients.value_or(32);
   config.hot_fraction = hot_fraction;
-  config.seed = seed;
+  config.seed = bench::CellSeed(options, 50, seed_offset);
   SimScenario scenario(config);
-  scenario.Measure(Seconds(3), Seconds(15));
+  scenario.Measure(bench::ScaledSeconds(options, 3),
+                   bench::ScaledSeconds(options, 15));
   return scenario.collector().response_stats().mean();
 }
 
-}  // namespace
+ScenarioReport RunAblDynamicAggregation(const ScenarioRunOptions& options) {
+  ScenarioReport report;
+  report.scenario = "abl_dynamic_aggregation";
+  report.title = "Ablation — static vs dynamically re-aggregated pools";
 
-int main() {
-  std::printf("== Ablation — static vs dynamically re-aggregated pools ==\n");
-  std::printf("%26s %14s %12s\n", "configuration", "hot-fraction", "mean(s)");
+  struct Row {
+    const char* configuration;
+    std::uint32_t segments;
+    std::uint32_t replicas;
+    double hot_fraction;
+    std::uint64_t seed_offset;
+  };
+  // Uniform mix (static partition perfectly sized), then the class logs
+  // in (90% of queries hit one pool), then ActYP reacts by splitting or
+  // replicating the hot aggregate.
+  const Row rows[] = {
+      {"static-4-pools", 1, 1, 0.0, 1},
+      {"static-4-pools", 1, 1, 0.9, 2},
+      {"split-x4", 4, 1, 0.9, 3},
+      {"replicate-x4", 1, 4, 0.9, 4},
+  };
+  for (const Row& row : rows) {
+    ScenarioCell cell;
+    cell.labels.emplace_back("configuration", row.configuration);
+    cell.dims.emplace_back("hot_fraction", row.hot_fraction);
+    cell.metrics.emplace_back(
+        "mean_s", RunMix(options, row.segments, row.replicas,
+                         row.hot_fraction, row.seed_offset));
+    report.cells.push_back(std::move(cell));
+  }
 
-  // Uniform mix: the static partition is perfectly sized.
-  std::printf("%26s %14.2f %12.4f\n", "static 4 pools", 0.0,
-              Run(1, 1, 0.0, 51));
-  // The class logs in: 90% of queries hit one pool.
-  std::printf("%26s %14.2f %12.4f\n", "static 4 pools", 0.9,
-              Run(1, 1, 0.9, 52));
-  // ActYP reacts: the hot aggregate is split into 4 concurrent segments.
-  std::printf("%26s %14.2f %12.4f\n", "re-aggregated (split x4)", 0.9,
-              Run(4, 1, 0.9, 53));
-  // Or replicated into 4 concurrent schedulers.
-  std::printf("%26s %14.2f %12.4f\n", "re-aggregated (repl x4)", 0.9,
-              Run(1, 4, 0.9, 54));
-
-  std::printf(
-      "\nshape check: the hot-spot mix degrades the static partition well\n"
-      "below its uniform-mix response; re-defining the aggregation on the\n"
-      "fly (splitting or replicating the hot pool) recovers most of it —\n"
-      "the active yellow pages' reason to exist.\n");
-  return 0;
+  report.note =
+      "shape check: the hot-spot mix degrades the static partition well "
+      "below its uniform-mix response; re-defining the aggregation on the "
+      "fly (splitting or replicating the hot pool) recovers most of it — "
+      "the active yellow pages' reason to exist.";
+  return report;
 }
+
+const ScenarioRegistrar kRegistrar(
+    "abl_dynamic_aggregation",
+    "hot-spot mix: static partition vs splitting/replicating the hot pool",
+    RunAblDynamicAggregation);
+
+}  // namespace
+}  // namespace actyp

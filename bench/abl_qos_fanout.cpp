@@ -3,38 +3,43 @@
 // pool objects, and utilizing the best response"). Replicated pools give
 // the duplicates somewhere to go; the reintegrator keeps the best
 // response and releases the rest.
-#include <cstdio>
+#include "bench_common.hpp"
 
-#include "actyp/scenario.hpp"
+namespace actyp {
+namespace {
 
-int main() {
-  using namespace actyp;
-  std::printf("== Ablation — QoS fan-out (best-of-N duplicates) ==\n");
-  std::printf("%8s %12s %12s %12s %10s %8s\n", "fanout", "mean(s)", "p50(s)",
-              "p95(s)", "queries", "fail");
+ScenarioReport RunAblQosFanout(const ScenarioRunOptions& options) {
+  ScenarioReport report;
+  report.scenario = "abl_qos_fanout";
+  report.title = "Ablation — QoS fan-out (best-of-N duplicates)";
   for (const std::uint32_t fanout : {1u, 2u, 4u}) {
     ScenarioConfig config;
-    config.machines = 1600;
+    config.machines = options.machines.value_or(1600);
     config.clusters = 1;
-    config.pool_replicas = 4;   // duplicates land on distinct replicas
+    config.pool_replicas = 4;  // duplicates land on distinct replicas
     config.pool_managers = 4;
     config.qos_fanout = fanout;
-    config.clients = 8;
-    config.seed = 4242 + fanout;
-    SimScenario scenario(config);
-    scenario.Measure(Seconds(3), Seconds(20));
-    std::printf("%8u %12.4f %12.4f %12.4f %10llu %8llu\n", fanout,
-                scenario.collector().response_stats().mean(),
-                scenario.collector().QuantileSeconds(0.5),
-                scenario.collector().QuantileSeconds(0.95),
-                static_cast<unsigned long long>(
-                    scenario.collector().completed()),
-                static_cast<unsigned long long>(
-                    scenario.collector().failures()));
+    config.clients = options.clients.value_or(8);
+    config.seed = bench::CellSeed(options, 4242, fanout);
+    const auto result =
+        bench::RunCell(config, bench::ScaledSeconds(options, 3),
+                       bench::ScaledSeconds(options, 20));
+    ScenarioCell cell;
+    cell.dims.emplace_back("fanout", static_cast<double>(fanout));
+    bench::AppendMetrics(result, &cell);
+    report.cells.push_back(std::move(cell));
   }
-  std::printf(
-      "\nshape check: fan-out trades aggregate work for tail latency — the\n"
-      "p95 narrows toward the p50 as N grows, while total pool work (and\n"
-      "released duplicates) increases.\n");
-  return 0;
+  report.note =
+      "shape check: fan-out trades aggregate work for tail latency — the "
+      "p95 narrows toward the p50 as N grows, while total pool work (and "
+      "released duplicates) increases.";
+  return report;
 }
+
+const ScenarioRegistrar kRegistrar(
+    "abl_qos_fanout",
+    "duplicate queries to N replicas, reintegrator keeps the best response",
+    RunAblQosFanout);
+
+}  // namespace
+}  // namespace actyp

@@ -1,13 +1,17 @@
-// Ablation: query-language microbenchmarks (google-benchmark). The
-// pipeline's per-stage costs assume parsing, signature construction, and
-// decomposition are microsecond-scale; this bench verifies that and
-// tracks regressions.
-#include <benchmark/benchmark.h>
+// Ablation: query-language microbenchmarks. The pipeline's per-stage
+// costs assume parsing, signature construction, and decomposition are
+// microsecond-scale; this scenario verifies that and tracks regressions
+// with simple wall-clock timing loops (self-calibrating iteration
+// counts, no external benchmark dependency).
+#include <chrono>
+#include <string>
 
+#include "bench_common.hpp"
 #include "common/strings.hpp"
 #include "net/message.hpp"
 #include "query/parser.hpp"
 
+namespace actyp {
 namespace {
 
 constexpr const char* kPaperQuery =
@@ -19,80 +23,91 @@ constexpr const char* kPaperQuery =
     "punch.user.login = kapadia\n"
     "punch.user.accessgroup = ece\n";
 
-void BM_ParseBasic(benchmark::State& state) {
-  for (auto _ : state) {
-    auto q = actyp::query::Parser::ParseBasic(kPaperQuery);
-    benchmark::DoNotOptimize(q);
+// Keeps `value` observable so the timed bodies are not optimized away.
+template <typename T>
+inline void DoNotOptimize(const T& value) {
+  asm volatile("" : : "g"(value) : "memory");
+}
+
+// Times `op` with enough iterations to pass a minimum wall-clock
+// budget; returns {ns_per_op, iterations}. Template on the callable so
+// the timed body inlines — a std::function indirection would add
+// non-inlinable dispatch overhead comparable to the cheapest ops.
+template <typename Op>
+std::pair<double, double> TimeOp(Op&& op, double min_seconds) {
+  using Clock = std::chrono::steady_clock;
+  std::uint64_t iterations = 64;
+  for (;;) {
+    const auto start = Clock::now();
+    for (std::uint64_t i = 0; i < iterations; ++i) op();
+    const double elapsed =
+        std::chrono::duration<double>(Clock::now() - start).count();
+    if (elapsed >= min_seconds || iterations >= (1ULL << 24)) {
+      return {elapsed * 1e9 / static_cast<double>(iterations),
+              static_cast<double>(iterations)};
+    }
+    iterations *= 4;
   }
 }
-BENCHMARK(BM_ParseBasic);
 
-void BM_Signature(benchmark::State& state) {
-  auto q = actyp::query::Parser::ParseBasic(kPaperQuery);
-  for (auto _ : state) {
-    auto name = q->PoolName();
-    benchmark::DoNotOptimize(name);
-  }
-}
-BENCHMARK(BM_Signature);
+ScenarioReport RunAblQueryMicro(const ScenarioRunOptions& options) {
+  ScenarioReport report;
+  report.scenario = "abl_query_micro";
+  report.title = "Ablation — query-language microbenchmarks";
 
-void BM_DecomposeComposite(benchmark::State& state) {
-  const std::string text =
+  // --time-scale shrinks/stretches the per-op timing budget.
+  const double min_seconds = 0.05 * options.time_scale;
+
+  const auto parsed = query::Parser::ParseBasic(kPaperQuery);
+  const std::string composite_text =
       "punch.rsrc.arch = sun|hp|sgi|linux\n"
       "punch.rsrc.memory = >=10|>=100\n"
       "punch.user.login = kapadia\n";
-  for (auto _ : state) {
-    auto composite = actyp::query::Parser::Parse(text);
-    benchmark::DoNotOptimize(composite);
-  }
-}
-BENCHMARK(BM_DecomposeComposite);
-
-void BM_QueryToText(benchmark::State& state) {
-  auto q = actyp::query::Parser::ParseBasic(kPaperQuery);
-  for (auto _ : state) {
-    auto text = q->ToText();
-    benchmark::DoNotOptimize(text);
-  }
-}
-BENCHMARK(BM_QueryToText);
-
-void BM_Match(benchmark::State& state) {
-  auto q = actyp::query::Parser::ParseBasic(kPaperQuery);
-  auto attrs = [](const std::string& name) -> std::optional<std::string> {
+  net::Message message{"query"};
+  message.SetHeader("reply-to", "client1");
+  message.SetHeader("request-id", "123456");
+  message.body = kPaperQuery;
+  const auto attrs =
+      [](const std::string& name) -> std::optional<std::string> {
     if (name == "arch") return "sun";
     if (name == "memory") return "512";
     if (name == "license") return "tsuprem4";
     if (name == "domain") return "purdue";
     return std::nullopt;
   };
-  for (auto _ : state) {
-    bool matches = q->Matches(attrs);
-    benchmark::DoNotOptimize(matches);
-  }
-}
-BENCHMARK(BM_Match);
 
-void BM_MessageEncodeDecode(benchmark::State& state) {
-  actyp::net::Message m{"query"};
-  m.SetHeader("reply-to", "client1");
-  m.SetHeader("request-id", "123456");
-  m.body = kPaperQuery;
-  for (auto _ : state) {
-    auto round = actyp::net::Message::Decode(m.Encode());
-    benchmark::DoNotOptimize(round);
-  }
-}
-BENCHMARK(BM_MessageEncodeDecode);
+  const auto measure = [&](const char* name, auto&& op) {
+    const auto [ns_per_op, iterations] = TimeOp(op, min_seconds);
+    ScenarioCell cell;
+    cell.labels.emplace_back("op", name);
+    cell.metrics.emplace_back("ns_per_op", ns_per_op);
+    cell.metrics.emplace_back("iterations", iterations);
+    report.cells.push_back(std::move(cell));
+  };
+  measure("parse_basic",
+          [&] { DoNotOptimize(query::Parser::ParseBasic(kPaperQuery)); });
+  measure("pool_signature", [&] { DoNotOptimize(parsed->PoolName()); });
+  measure("decompose_composite",
+          [&] { DoNotOptimize(query::Parser::Parse(composite_text)); });
+  measure("query_to_text", [&] { DoNotOptimize(parsed->ToText()); });
+  measure("match", [&] { DoNotOptimize(parsed->Matches(attrs)); });
+  measure("message_encode_decode",
+          [&] { DoNotOptimize(net::Message::Decode(message.Encode())); });
+  measure("glob_match", [&] {
+    DoNotOptimize(GlobMatch("sparc*ultra-?", "sparc-iii-ultra-5"));
+  });
 
-void BM_GlobMatch(benchmark::State& state) {
-  for (auto _ : state) {
-    bool match = actyp::GlobMatch("sparc*ultra-?", "sparc-iii-ultra-5");
-    benchmark::DoNotOptimize(match);
-  }
+  report.note =
+      "shape check: every operation is microsecond-scale or below, "
+      "consistent with the per-stage costs the pipeline's cost model "
+      "assumes.";
+  return report;
 }
-BENCHMARK(BM_GlobMatch);
+
+const ScenarioRegistrar kRegistrar(
+    "abl_query_micro",
+    "wall-clock microbenchmarks of parse/signature/decompose/match",
+    RunAblQueryMicro);
 
 }  // namespace
-
-BENCHMARK_MAIN();
+}  // namespace actyp

@@ -1,48 +1,61 @@
 // Ablation: scheduling objectives (§5.2.3 lets pool objects be
 // configured with different objectives). Jobs hold machines for an
 // exponential service time, so the placement decision matters: this
-// bench compares the policies on response time and on how hard the pool
-// has to oversubscribe.
-#include <cstdio>
+// scenario compares the policies on response time and on how hard the
+// pool has to oversubscribe.
+#include "bench_common.hpp"
 
-#include "actyp/scenario.hpp"
+namespace actyp {
+namespace {
 
-int main() {
-  using namespace actyp;
-  std::printf("== Ablation — scheduling policy under held jobs ==\n");
-  std::printf("%12s %12s %12s %10s %14s\n", "policy", "mean(s)", "p95(s)",
-              "queries", "oversubscribed");
+ScenarioReport RunAblSchedPolicy(const ScenarioRunOptions& options) {
+  ScenarioReport report;
+  report.scenario = "abl_sched_policy";
+  report.title = "Ablation — scheduling policy under held jobs";
   for (const char* policy :
        {"least-load", "most-memory", "fastest", "round-robin", "random"}) {
     ScenarioConfig config;
     // Demand exceeds supply: 48 closed-loop clients holding ~8s jobs on
     // 40 machines, so placement quality shows up as forced
     // oversubscription and response-time spread.
-    config.machines = 40;
+    config.machines = options.machines.value_or(40);
     config.clusters = 1;
-    config.clients = 48;
+    config.clients = options.clients.value_or(48);
     config.policy = policy;
-    config.seed = 31337;
+    config.seed = options.seed.value_or(31337);
     config.job_duration = [](Rng& rng) {
       return static_cast<SimDuration>(rng.Exponential(8e6));
     };
     SimScenario scenario(config);
-    scenario.Measure(Seconds(5), Seconds(60));
+    scenario.Measure(bench::ScaledSeconds(options, 5),
+                     bench::ScaledSeconds(options, 60));
     const auto stats = scenario.TotalPoolStats();
-    std::printf("%12s %12.4f %12.4f %10llu %14llu\n", policy,
-                scenario.collector().response_stats().mean(),
-                scenario.collector().QuantileSeconds(0.95),
-                static_cast<unsigned long long>(
-                    scenario.collector().completed()),
-                static_cast<unsigned long long>(stats.oversubscribed));
+    ScenarioCell cell;
+    cell.labels.emplace_back("policy", policy);
+    cell.metrics.emplace_back(
+        "mean_s", scenario.collector().response_stats().mean());
+    cell.metrics.emplace_back("p95_s",
+                              scenario.collector().QuantileSeconds(0.95));
+    cell.metrics.emplace_back(
+        "completed", static_cast<double>(scenario.collector().completed()));
+    cell.metrics.emplace_back("oversubscribed",
+                              static_cast<double>(stats.oversubscribed));
+    report.cells.push_back(std::move(cell));
   }
-  std::printf(
-      "\nshape check: at saturation every policy is forced to\n"
-      "oversubscribe occasionally and throughput converges (the load\n"
-      "ceiling in Eligible() equalizes placement); the residual\n"
-      "difference is per-query scan cost — round-robin/random stop at\n"
-      "the first eligible machine while the objective-driven policies\n"
-      "examine the whole cache, which is why pools pair them with the\n"
-      "periodic re-sort (§5.2.3).\n");
-  return 0;
+  report.note =
+      "shape check: at saturation every policy is forced to oversubscribe "
+      "occasionally and throughput converges (the load ceiling in "
+      "Eligible() equalizes placement); the residual difference is "
+      "per-query scan cost — round-robin/random stop at the first eligible "
+      "machine while the objective-driven policies examine the whole "
+      "cache, which is why pools pair them with the periodic re-sort "
+      "(§5.2.3).";
+  return report;
 }
+
+const ScenarioRegistrar kRegistrar(
+    "abl_sched_policy",
+    "placement policies under held jobs at saturation", RunAblSchedPolicy);
+
+}  // namespace
+}  // namespace actyp

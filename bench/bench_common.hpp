@@ -1,10 +1,16 @@
-// Shared helpers for the figure-reproduction benches: run one simulated
-// measurement cell and print aligned result rows.
+// Shared helpers for the figure/ablation scenarios: run one simulated
+// measurement cell, apply driver overrides, and build report cells.
 #pragma once
 
-#include <cstdio>
+#include <cstddef>
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "actyp/scenario.hpp"
+#include "actyp/scenario_registry.hpp"
 
 namespace actyp::bench {
 
@@ -31,18 +37,36 @@ inline CellResult RunCell(ScenarioConfig config,
   return result;
 }
 
-inline void PrintHeader(const char* title, const char* dim1,
-                        const char* dim2) {
-  std::printf("\n== %s ==\n", title);
-  std::printf("%10s %10s %12s %12s %12s %10s %8s\n", dim1, dim2, "mean(s)",
-              "p50(s)", "p95(s)", "queries", "fail");
+// A sweep dimension collapses to the override when the driver pins it.
+inline std::vector<std::size_t> SweepOr(
+    const std::optional<std::size_t>& pinned,
+    std::initializer_list<std::size_t> defaults) {
+  if (pinned) return {*pinned};
+  return defaults;
 }
 
-inline void PrintRow(long d1, long d2, const CellResult& r) {
-  std::printf("%10ld %10ld %12.4f %12.4f %12.4f %10llu %8llu\n", d1, d2,
-              r.mean_s, r.p50_s, r.p95_s,
-              static_cast<unsigned long long>(r.completed),
-              static_cast<unsigned long long>(r.failures));
+// Simulated duration scaled by the driver's --time-scale.
+inline SimDuration ScaledSeconds(const ScenarioRunOptions& options,
+                                 double seconds) {
+  return Seconds(seconds * options.time_scale);
+}
+
+// Per-cell seed: the driver's --seed replaces the scenario's base seed,
+// the per-cell offset keeps cells decorrelated either way.
+inline std::uint64_t CellSeed(const ScenarioRunOptions& options,
+                              std::uint64_t base, std::uint64_t offset) {
+  return options.seed.value_or(base) + offset;
+}
+
+// Appends the standard response-time metrics to a report cell.
+inline void AppendMetrics(const CellResult& result, ScenarioCell* cell) {
+  cell->metrics.emplace_back("mean_s", result.mean_s);
+  cell->metrics.emplace_back("p50_s", result.p50_s);
+  cell->metrics.emplace_back("p95_s", result.p95_s);
+  cell->metrics.emplace_back("completed",
+                             static_cast<double>(result.completed));
+  cell->metrics.emplace_back("failures",
+                             static_cast<double>(result.failures));
 }
 
 }  // namespace actyp::bench

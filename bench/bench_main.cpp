@@ -1,0 +1,26 @@
+// Shared main for the standalone bench binaries: each target sets
+// ACTYP_BENCH_SCENARIO to its registered scenario name at compile time
+// and prints the table report. The unified driver (tools/actyp_sim.cpp)
+// is the richer front end; these binaries keep the one-figure-per-binary
+// workflow alive.
+#include <cstdio>
+#include <iostream>
+
+#include "actyp/scenario_registry.hpp"
+
+#ifndef ACTYP_BENCH_SCENARIO
+#error "ACTYP_BENCH_SCENARIO must name a registered scenario"
+#endif
+
+int main() {
+  const auto* info =
+      actyp::ScenarioRegistry::Instance().Find(ACTYP_BENCH_SCENARIO);
+  if (info == nullptr) {
+    std::fprintf(stderr, "scenario '%s' is not registered\n",
+                 ACTYP_BENCH_SCENARIO);
+    return 1;
+  }
+  const actyp::ScenarioReport report = info->run(actyp::ScenarioRunOptions{});
+  actyp::WriteReportTable(report, std::cout);
+  return 0;
+}

@@ -8,25 +8,42 @@
 // 1-2 to 16, flattening as fixed pipeline costs dominate.
 #include "bench_common.hpp"
 
-int main() {
-  using namespace actyp;
-  bench::PrintHeader("Fig. 4 — pools vs response time (LAN), 3200 machines",
-                     "pools", "clients");
-  for (const std::size_t clients : {8, 16, 32, 64}) {
+namespace actyp {
+namespace {
+
+ScenarioReport RunFig4(const ScenarioRunOptions& options) {
+  ScenarioReport report;
+  report.scenario = "fig4_pools_lan";
+  report.title = "Fig. 4 — pools vs response time (LAN), 3200 machines";
+  const std::size_t machines = options.machines.value_or(3200);
+  for (const std::size_t clients :
+       bench::SweepOr(options.clients, {8, 16, 32, 64})) {
     for (const std::size_t pools : {1, 2, 4, 8, 16}) {
       ScenarioConfig config;
-      config.machines = 3200;
+      config.machines = machines;
       config.clusters = pools;
       config.clients = clients;
-      config.seed = 4000 + pools * 100 + clients;
-      const auto result = bench::RunCell(config);
-      bench::PrintRow(static_cast<long>(pools), static_cast<long>(clients),
-                      result);
+      config.seed = bench::CellSeed(options, 4000, pools * 100 + clients);
+      const auto result =
+          bench::RunCell(config, bench::ScaledSeconds(options, 3),
+                         bench::ScaledSeconds(options, 15));
+      ScenarioCell cell;
+      cell.dims.emplace_back("pools", static_cast<double>(pools));
+      cell.dims.emplace_back("clients", static_cast<double>(clients));
+      bench::AppendMetrics(result, &cell);
+      report.cells.push_back(std::move(cell));
     }
   }
-  std::printf(
-      "\nshape check: response time decreases monotonically with pools for\n"
-      "every client count; the 64-client curve spans roughly an order of\n"
-      "magnitude from 1-2 pools to 16 pools (paper Fig. 4: ~1.2s -> ~0.1s).\n");
-  return 0;
+  report.note =
+      "shape check: response time decreases monotonically with pools for "
+      "every client count; the 64-client curve spans roughly an order of "
+      "magnitude from 1-2 pools to 16 pools (paper Fig. 4: ~1.2s -> ~0.1s).";
+  return report;
 }
+
+const ScenarioRegistrar kRegistrar(
+    "fig4_pools_lan",
+    "pools vs response time, clients and service in one LAN site", RunFig4);
+
+}  // namespace
+}  // namespace actyp

@@ -5,27 +5,45 @@
 // floor).
 #include "bench_common.hpp"
 
-int main() {
-  using namespace actyp;
-  bench::PrintHeader(
-      "Fig. 5 — pools vs response time (WAN, ~60ms RTT), 3200 machines",
-      "pools", "clients");
-  for (const std::size_t clients : {8, 16, 32, 64}) {
+namespace actyp {
+namespace {
+
+ScenarioReport RunFig5(const ScenarioRunOptions& options) {
+  ScenarioReport report;
+  report.scenario = "fig5_pools_wan";
+  report.title =
+      "Fig. 5 — pools vs response time (WAN, ~60ms RTT), 3200 machines";
+  const std::size_t machines = options.machines.value_or(3200);
+  for (const std::size_t clients :
+       bench::SweepOr(options.clients, {8, 16, 32, 64})) {
     for (const std::size_t pools : {1, 2, 4, 8, 16}) {
       ScenarioConfig config;
-      config.machines = 3200;
+      config.machines = machines;
       config.clusters = pools;
       config.clients = clients;
       config.wan = true;
-      config.seed = 5000 + pools * 100 + clients;
-      const auto result = bench::RunCell(config);
-      bench::PrintRow(static_cast<long>(pools), static_cast<long>(clients),
-                      result);
+      config.seed = bench::CellSeed(options, 5000, pools * 100 + clients);
+      const auto result =
+          bench::RunCell(config, bench::ScaledSeconds(options, 3),
+                         bench::ScaledSeconds(options, 15));
+      ScenarioCell cell;
+      cell.dims.emplace_back("pools", static_cast<double>(pools));
+      cell.dims.emplace_back("clients", static_cast<double>(clients));
+      bench::AppendMetrics(result, &cell);
+      report.cells.push_back(std::move(cell));
     }
   }
-  std::printf(
-      "\nshape check: curves mirror Fig. 4 but flatten onto a floor of a\n"
-      "few times the WAN RTT (4 message legs x ~30ms one-way) instead of\n"
-      "continuing to fall — 'network latency limits the reduction'.\n");
-  return 0;
+  report.note =
+      "shape check: curves mirror Fig. 4 but flatten onto a floor of a few "
+      "times the WAN RTT (4 message legs x ~30ms one-way) instead of "
+      "continuing to fall — 'network latency limits the reduction'.";
+  return report;
 }
+
+const ScenarioRegistrar kRegistrar(
+    "fig5_pools_wan",
+    "pools vs response time with clients across a ~60ms-RTT WAN link",
+    RunFig5);
+
+}  // namespace
+}  // namespace actyp

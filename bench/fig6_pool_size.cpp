@@ -4,25 +4,43 @@
 // the linear search the scheduling processes run over the pool cache.
 #include "bench_common.hpp"
 
-int main() {
-  using namespace actyp;
-  bench::PrintHeader("Fig. 6 — response time vs clients for pool sizes",
-                     "machines", "clients");
-  for (const std::size_t machines : {800, 1600, 3200}) {
-    for (const std::size_t clients : {1, 5, 10, 20, 30, 40, 50, 60, 70}) {
+namespace actyp {
+namespace {
+
+ScenarioReport RunFig6(const ScenarioRunOptions& options) {
+  ScenarioReport report;
+  report.scenario = "fig6_pool_size";
+  report.title = "Fig. 6 — response time vs clients for pool sizes";
+  for (const std::size_t machines :
+       bench::SweepOr(options.machines, {800, 1600, 3200})) {
+    for (const std::size_t clients : bench::SweepOr(
+             options.clients, {1, 5, 10, 20, 30, 40, 50, 60, 70})) {
       ScenarioConfig config;
       config.machines = machines;
       config.clusters = 1;  // a single pool of the given size
       config.clients = clients;
-      config.seed = 6000 + machines + clients;
-      const auto result = bench::RunCell(config);
-      bench::PrintRow(static_cast<long>(machines),
-                      static_cast<long>(clients), result);
+      config.seed = bench::CellSeed(options, 6000, machines + clients);
+      const auto result =
+          bench::RunCell(config, bench::ScaledSeconds(options, 3),
+                         bench::ScaledSeconds(options, 15));
+      ScenarioCell cell;
+      cell.dims.emplace_back("machines", static_cast<double>(machines));
+      cell.dims.emplace_back("clients", static_cast<double>(clients));
+      bench::AppendMetrics(result, &cell);
+      report.cells.push_back(std::move(cell));
     }
   }
-  std::printf(
-      "\nshape check: for each pool size the response time grows linearly\n"
-      "with the number of clients (single-server queue, linear scan); the\n"
-      "slope grows with pool size (scan cost per query ~ machines).\n");
-  return 0;
+  report.note =
+      "shape check: for each pool size the response time grows linearly "
+      "with the number of clients (single-server queue, linear scan); the "
+      "slope grows with pool size (scan cost per query ~ machines).";
+  return report;
 }
+
+const ScenarioRegistrar kRegistrar(
+    "fig6_pool_size",
+    "response time vs closed-loop clients for 800/1600/3200-machine pools",
+    RunFig6);
+
+}  // namespace
+}  // namespace actyp

@@ -4,26 +4,44 @@
 // reintegrator aggregates the results.
 #include "bench_common.hpp"
 
-int main() {
-  using namespace actyp;
-  bench::PrintHeader("Fig. 7 — splitting a 3,200-machine pool", "segments",
-                     "clients");
+namespace actyp {
+namespace {
+
+ScenarioReport RunFig7(const ScenarioRunOptions& options) {
+  ScenarioReport report;
+  report.scenario = "fig7_splitting";
+  report.title = "Fig. 7 — splitting a 3,200-machine pool";
+  const std::size_t machines = options.machines.value_or(3200);
   for (const std::uint32_t segments : {1u, 2u, 4u}) {
-    for (const std::size_t clients : {1, 10, 20, 30, 40, 50, 60, 70}) {
+    for (const std::size_t clients : bench::SweepOr(
+             options.clients, {1, 10, 20, 30, 40, 50, 60, 70})) {
       ScenarioConfig config;
-      config.machines = 3200;
+      config.machines = machines;
       config.clusters = 1;
       config.pool_segments = segments;
       config.clients = clients;
-      config.seed = 7000 + segments * 100 + clients;
-      const auto result = bench::RunCell(config);
-      bench::PrintRow(static_cast<long>(segments),
-                      static_cast<long>(clients), result);
+      config.seed = bench::CellSeed(options, 7000, segments * 100 + clients);
+      const auto result =
+          bench::RunCell(config, bench::ScaledSeconds(options, 3),
+                         bench::ScaledSeconds(options, 15));
+      ScenarioCell cell;
+      cell.dims.emplace_back("segments", static_cast<double>(segments));
+      cell.dims.emplace_back("clients", static_cast<double>(clients));
+      bench::AppendMetrics(result, &cell);
+      report.cells.push_back(std::move(cell));
     }
   }
-  std::printf(
-      "\nshape check: splitting improves response time at every client\n"
-      "count; 4x800 beats 2x1600 beats 1x3200 (concurrent partial scans,\n"
-      "paper Fig. 7).\n");
-  return 0;
+  report.note =
+      "shape check: splitting improves response time at every client "
+      "count; 4x800 beats 2x1600 beats 1x3200 (concurrent partial scans, "
+      "paper Fig. 7).";
+  return report;
 }
+
+const ScenarioRegistrar kRegistrar(
+    "fig7_splitting",
+    "splitting one hot pool into 2x1600 / 4x800 concurrent segments",
+    RunFig7);
+
+}  // namespace
+}  // namespace actyp

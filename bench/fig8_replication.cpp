@@ -4,26 +4,43 @@
 // (instance i prefers every i-th machine).
 #include "bench_common.hpp"
 
-int main() {
-  using namespace actyp;
-  bench::PrintHeader("Fig. 8 — replicating a 3,200-machine pool", "replicas",
-                     "clients");
+namespace actyp {
+namespace {
+
+ScenarioReport RunFig8(const ScenarioRunOptions& options) {
+  ScenarioReport report;
+  report.scenario = "fig8_replication";
+  report.title = "Fig. 8 — replicating a 3,200-machine pool";
+  const std::size_t machines = options.machines.value_or(3200);
   for (const std::uint32_t replicas : {1u, 2u, 4u}) {
-    for (const std::size_t clients : {1, 10, 20, 30, 40, 50, 60, 70}) {
+    for (const std::size_t clients : bench::SweepOr(
+             options.clients, {1, 10, 20, 30, 40, 50, 60, 70})) {
       ScenarioConfig config;
-      config.machines = 3200;
+      config.machines = machines;
       config.clusters = 1;
       config.pool_replicas = replicas;
       config.clients = clients;
-      config.seed = 8000 + replicas * 100 + clients;
-      const auto result = bench::RunCell(config);
-      bench::PrintRow(static_cast<long>(replicas),
-                      static_cast<long>(clients), result);
+      config.seed = bench::CellSeed(options, 8000, replicas * 100 + clients);
+      const auto result =
+          bench::RunCell(config, bench::ScaledSeconds(options, 3),
+                         bench::ScaledSeconds(options, 15));
+      ScenarioCell cell;
+      cell.dims.emplace_back("replicas", static_cast<double>(replicas));
+      cell.dims.emplace_back("clients", static_cast<double>(clients));
+      bench::AppendMetrics(result, &cell);
+      report.cells.push_back(std::move(cell));
     }
   }
-  std::printf(
-      "\nshape check: replication improves throughput for a fixed machine\n"
-      "set — the response-time-vs-clients slope drops roughly with the\n"
-      "number of concurrent pool processes (paper Fig. 8).\n");
-  return 0;
+  report.note =
+      "shape check: replication improves throughput for a fixed machine "
+      "set — the response-time-vs-clients slope drops roughly with the "
+      "number of concurrent pool processes (paper Fig. 8).";
+  return report;
 }
+
+const ScenarioRegistrar kRegistrar(
+    "fig8_replication",
+    "replicating one pool into 1/2/4 concurrent pool processes", RunFig8);
+
+}  // namespace
+}  // namespace actyp

@@ -1,0 +1,77 @@
+// ScenarioRegistry: the single front door to every experiment the repo
+// reproduces. Each paper figure (fig4_pools_lan ... fig9_workload) and
+// ablation (abl_baselines ... abl_sched_policy) registers itself by
+// name; the unified `actyp_sim` driver lists, configures, and runs them
+// and emits either an aligned table or machine-readable JSON. Benches,
+// CI smoke tests, and future BENCH_*.json perf tracking all run through
+// this layer.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace actyp {
+
+// Overrides applied uniformly to a scenario's sweep: pin a dimension
+// (machines/clients), rescale simulated warmup/measure durations, or
+// replace the seed so perf tracking can vary runs deterministically.
+struct ScenarioRunOptions {
+  std::optional<std::uint64_t> seed;
+  std::optional<std::size_t> machines;
+  std::optional<std::size_t> clients;
+  double time_scale = 1.0;
+};
+
+// One measured cell of a scenario sweep: ordered string labels
+// (e.g. policy=least-load), ordered numeric dimensions (pools=4,
+// clients=32), and ordered metric values (mean_s, ...).
+struct ScenarioCell {
+  std::vector<std::pair<std::string, std::string>> labels;
+  std::vector<std::pair<std::string, double>> dims;
+  std::vector<std::pair<std::string, double>> metrics;
+};
+
+// A completed scenario run.
+struct ScenarioReport {
+  std::string scenario;
+  std::string title;
+  std::vector<ScenarioCell> cells;
+  std::string note;  // the qualitative shape check behind the figure
+};
+
+using ScenarioFn = std::function<ScenarioReport(const ScenarioRunOptions&)>;
+
+struct ScenarioInfo {
+  std::string name;
+  std::string summary;
+  ScenarioFn run;
+};
+
+class ScenarioRegistry {
+ public:
+  static ScenarioRegistry& Instance();
+
+  void Register(ScenarioInfo info);
+  [[nodiscard]] const ScenarioInfo* Find(const std::string& name) const;
+  [[nodiscard]] std::vector<const ScenarioInfo*> List() const;
+
+ private:
+  std::map<std::string, ScenarioInfo> scenarios_;
+};
+
+// File-scope registrar: construct one per scenario translation unit.
+struct ScenarioRegistrar {
+  ScenarioRegistrar(std::string name, std::string summary, ScenarioFn fn);
+};
+
+// Report emitters shared by actyp_sim and the standalone bench mains.
+void WriteReportTable(const ScenarioReport& report, std::ostream& out);
+void WriteReportJson(const ScenarioReport& report, std::ostream& out);
+
+}  // namespace actyp

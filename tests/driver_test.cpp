@@ -1,0 +1,261 @@
+// Smoke tests for the unified scenario driver substrate: every paper
+// figure and ablation must be registered by name, runs must honor the
+// driver overrides, and the JSON report emission must be parseable.
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cmath>
+#include <limits>
+#include <sstream>
+#include <string>
+
+#include "actyp/scenario_registry.hpp"
+
+namespace actyp {
+namespace {
+
+// A minimal recursive-descent JSON validity checker — enough to assert
+// the driver's output is real JSON (objects, arrays, strings, numbers,
+// null) without an external parser dependency.
+class JsonChecker {
+ public:
+  explicit JsonChecker(const std::string& text) : text_(text) {}
+
+  bool Valid() {
+    SkipSpace();
+    if (!Value()) return false;
+    SkipSpace();
+    return pos_ == text_.size();
+  }
+
+ private:
+  bool Value() {
+    if (pos_ >= text_.size()) return false;
+    switch (text_[pos_]) {
+      case '{':
+        return Object();
+      case '[':
+        return Array();
+      case '"':
+        return String();
+      case 't':
+        return Literal("true");
+      case 'f':
+        return Literal("false");
+      case 'n':
+        return Literal("null");
+      default:
+        return Number();
+    }
+  }
+
+  bool Object() {
+    ++pos_;  // '{'
+    SkipSpace();
+    if (Peek() == '}') {
+      ++pos_;
+      return true;
+    }
+    for (;;) {
+      SkipSpace();
+      if (!String()) return false;
+      SkipSpace();
+      if (Peek() != ':') return false;
+      ++pos_;
+      SkipSpace();
+      if (!Value()) return false;
+      SkipSpace();
+      if (Peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (Peek() == '}') {
+        ++pos_;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  bool Array() {
+    ++pos_;  // '['
+    SkipSpace();
+    if (Peek() == ']') {
+      ++pos_;
+      return true;
+    }
+    for (;;) {
+      SkipSpace();
+      if (!Value()) return false;
+      SkipSpace();
+      if (Peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (Peek() == ']') {
+        ++pos_;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  bool String() {
+    if (Peek() != '"') return false;
+    ++pos_;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      if (text_[pos_] == '\\') {
+        ++pos_;
+        if (pos_ >= text_.size()) return false;
+      }
+      ++pos_;
+    }
+    if (pos_ >= text_.size()) return false;
+    ++pos_;  // closing quote
+    return true;
+  }
+
+  bool Number() {
+    const std::size_t start = pos_;
+    if (Peek() == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    return pos_ > start;
+  }
+
+  bool Literal(const std::string& word) {
+    if (text_.compare(pos_, word.size(), word) != 0) return false;
+    pos_ += word.size();
+    return true;
+  }
+
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])) != 0) {
+      ++pos_;
+    }
+  }
+
+  [[nodiscard]] char Peek() const {
+    return pos_ < text_.size() ? text_[pos_] : '\0';
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+constexpr const char* kExpectedScenarios[] = {
+    "fig4_pools_lan",  "fig5_pools_wan",
+    "fig6_pool_size",  "fig7_splitting",
+    "fig8_replication", "fig9_workload",
+    "abl_baselines",   "abl_delegation",
+    "abl_dynamic_aggregation", "abl_qos_fanout",
+    "abl_query_micro", "abl_sched_policy",
+};
+
+TEST(ScenarioRegistry, AllPaperScenariosRegistered) {
+  auto& registry = ScenarioRegistry::Instance();
+  for (const char* name : kExpectedScenarios) {
+    const ScenarioInfo* info = registry.Find(name);
+    ASSERT_NE(info, nullptr) << "missing scenario: " << name;
+    EXPECT_EQ(info->name, name);
+    EXPECT_FALSE(info->summary.empty()) << name;
+    EXPECT_TRUE(static_cast<bool>(info->run)) << name;
+  }
+  EXPECT_GE(registry.List().size(), 12u);
+}
+
+TEST(ScenarioRegistry, ListIsSortedAndFindRejectsUnknown) {
+  auto& registry = ScenarioRegistry::Instance();
+  const auto list = registry.List();
+  for (std::size_t i = 1; i < list.size(); ++i) {
+    EXPECT_LT(list[i - 1]->name, list[i]->name);
+  }
+  EXPECT_EQ(registry.Find("no_such_scenario"), nullptr);
+}
+
+TEST(ScenarioRegistry, Fig6HonorsOverridesAndProducesCells) {
+  ScenarioRunOptions options;
+  options.machines = 100;
+  options.clients = 2;
+  options.time_scale = 0.1;
+  options.seed = 7;
+  const auto* info = ScenarioRegistry::Instance().Find("fig6_pool_size");
+  ASSERT_NE(info, nullptr);
+  const ScenarioReport report = info->run(options);
+  EXPECT_EQ(report.scenario, "fig6_pool_size");
+  ASSERT_EQ(report.cells.size(), 1u);  // both sweep dims pinned
+  const ScenarioCell& cell = report.cells.front();
+  ASSERT_EQ(cell.dims.size(), 2u);
+  EXPECT_EQ(cell.dims[0].first, "machines");
+  EXPECT_EQ(cell.dims[0].second, 100.0);
+  EXPECT_EQ(cell.dims[1].first, "clients");
+  EXPECT_EQ(cell.dims[1].second, 2.0);
+  double completed = 0;
+  for (const auto& [name, value] : cell.metrics) {
+    if (name == "completed") completed = value;
+  }
+  EXPECT_GT(completed, 0.0);
+}
+
+TEST(ScenarioRegistry, Fig6JsonIsParseable) {
+  ScenarioRunOptions options;
+  options.machines = 100;
+  options.clients = 2;
+  options.time_scale = 0.1;
+  const auto* info = ScenarioRegistry::Instance().Find("fig6_pool_size");
+  ASSERT_NE(info, nullptr);
+  std::ostringstream out;
+  WriteReportJson(info->run(options), out);
+  const std::string json = out.str();
+  EXPECT_NE(json.find("\"scenario\":\"fig6_pool_size\""), std::string::npos);
+  EXPECT_TRUE(JsonChecker(json).Valid()) << json;
+}
+
+TEST(ReportEmitters, JsonEscapesAndNonFiniteValues) {
+  ScenarioReport report;
+  report.scenario = "synthetic";
+  report.title = "quotes \" backslash \\ newline \n tab \t";
+  ScenarioCell cell;
+  cell.labels.emplace_back("label", "va\"lue");
+  cell.dims.emplace_back("dim", 1.5);
+  cell.metrics.emplace_back("nan_metric", std::nan(""));
+  cell.metrics.emplace_back("inf_metric",
+                            std::numeric_limits<double>::infinity());
+  report.cells.push_back(cell);
+  report.note = "control char \x01 and unicode-free text";
+  std::ostringstream out;
+  WriteReportJson(report, out);
+  const std::string json = out.str();
+  EXPECT_TRUE(JsonChecker(json).Valid()) << json;
+  EXPECT_NE(json.find("\"nan_metric\":null"), std::string::npos);
+  EXPECT_NE(json.find("\"inf_metric\":null"), std::string::npos);
+}
+
+TEST(ReportEmitters, TableContainsTitleHeadersAndNote) {
+  ScenarioReport report;
+  report.scenario = "synthetic";
+  report.title = "synthetic title";
+  ScenarioCell cell;
+  cell.labels.emplace_back("policy", "least-load");
+  cell.dims.emplace_back("clients", 8);
+  cell.metrics.emplace_back("mean_s", 0.25);
+  report.cells.push_back(cell);
+  report.note = "shape check: synthetic";
+  std::ostringstream out;
+  WriteReportTable(report, out);
+  const std::string table = out.str();
+  EXPECT_NE(table.find("synthetic title"), std::string::npos);
+  EXPECT_NE(table.find("policy"), std::string::npos);
+  EXPECT_NE(table.find("least-load"), std::string::npos);
+  EXPECT_NE(table.find("clients"), std::string::npos);
+  EXPECT_NE(table.find("mean_s"), std::string::npos);
+  EXPECT_NE(table.find("shape check: synthetic"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace actyp

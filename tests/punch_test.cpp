@@ -20,7 +20,9 @@ TEST(KnowledgeBase, RegisterAndLookup) {
   KnowledgeBase kb;
   ToolSpec tool;
   tool.name = "mytool";
-  tool.algorithms.push_back(AlgorithmSpec{.name = "solo"});
+  AlgorithmSpec solo;
+  solo.name = "solo";
+  tool.algorithms.push_back(solo);
   ASSERT_TRUE(kb.RegisterTool(tool).ok());
   EXPECT_FALSE(kb.RegisterTool(tool).ok());
   EXPECT_TRUE(kb.Lookup("MyTool").ok());  // case-insensitive

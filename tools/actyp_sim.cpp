@@ -1,0 +1,156 @@
+// actyp_sim: the unified scenario driver — one front door to every
+// paper figure and ablation the repo reproduces.
+//
+//   list:      actyp_sim --list
+//   run:       actyp_sim --scenario fig6_pool_size
+//   JSON:      actyp_sim --scenario fig6_pool_size --json
+//   overrides: actyp_sim --scenario fig4_pools_lan --machines 800
+//                  --clients 8 --seed 7 --time-scale 0.25
+//   everything: actyp_sim --all --json
+//
+// JSON goes to stdout, one object per scenario run, with a stable
+// {scenario, title, cells[], note} shape for perf tracking.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "actyp/scenario_registry.hpp"
+#include "common/strings.hpp"
+
+namespace {
+
+using actyp::ScenarioInfo;
+using actyp::ScenarioRegistry;
+using actyp::ScenarioRunOptions;
+
+int Usage(int code) {
+  std::fprintf(
+      code == 0 ? stdout : stderr,
+      "usage: actyp_sim [--list] [--scenario <name>] [--all] [--json]\n"
+      "                 [--seed N] [--machines N] [--clients N]\n"
+      "                 [--time-scale X]\n"
+      "\n"
+      "  --list          list registered scenarios and exit\n"
+      "  --scenario <s>  run one scenario (repeatable)\n"
+      "  --all           run every registered scenario\n"
+      "  --json          emit one JSON object per run to stdout\n"
+      "  --seed N        override the scenario's base seed\n"
+      "  --machines N    pin the fleet-size sweep dimension\n"
+      "  --clients N     pin the client-count sweep dimension\n"
+      "  --time-scale X  scale simulated warmup/measure durations\n");
+  return code;
+}
+
+int ListScenarios() {
+  for (const ScenarioInfo* info : ScenarioRegistry::Instance().List()) {
+    std::printf("%-26s %s\n", info->name.c_str(), info->summary.c_str());
+  }
+  return 0;
+}
+
+int MissingValue(const char* flag) {
+  std::fprintf(stderr, "actyp_sim: %s requires a value\n", flag);
+  return Usage(2);
+}
+
+int BadValue(const char* flag, const char* text) {
+  std::fprintf(stderr, "actyp_sim: invalid value '%s' for %s\n", text, flag);
+  return Usage(2);
+}
+
+bool ParseLong(const char* text, long min_value, long* out) {
+  const auto value = actyp::ParseInt(text);
+  if (!value || *value < min_value) return false;
+  *out = *value;
+  return true;
+}
+
+// Strict double parse: the whole token must be consumed.
+bool ParseDouble(const char* text, double* out) {
+  char* end = nullptr;
+  const double value = std::strtod(text, &end);
+  if (end == text || *end != '\0') return false;
+  *out = value;
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool list = false;
+  bool all = false;
+  bool json = false;
+  std::vector<std::string> names;
+  ScenarioRunOptions options;
+
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--list") == 0) {
+      list = true;
+    } else if (std::strcmp(arg, "--all") == 0) {
+      all = true;
+    } else if (std::strcmp(arg, "--json") == 0) {
+      json = true;
+    } else if (std::strcmp(arg, "--help") == 0 ||
+               std::strcmp(arg, "-h") == 0) {
+      return Usage(0);
+    } else if (std::strcmp(arg, "--scenario") == 0) {
+      if (i + 1 >= argc) return MissingValue(arg);
+      names.emplace_back(argv[++i]);
+    } else if (std::strcmp(arg, "--seed") == 0) {
+      if (i + 1 >= argc) return MissingValue(arg);
+      long value = 0;  // 0 is a legitimate seed
+      if (!ParseLong(argv[++i], 0, &value)) return BadValue(arg, argv[i]);
+      options.seed = static_cast<std::uint64_t>(value);
+    } else if (std::strcmp(arg, "--machines") == 0) {
+      if (i + 1 >= argc) return MissingValue(arg);
+      long value = 0;
+      if (!ParseLong(argv[++i], 1, &value)) return BadValue(arg, argv[i]);
+      options.machines = static_cast<std::size_t>(value);
+    } else if (std::strcmp(arg, "--clients") == 0) {
+      if (i + 1 >= argc) return MissingValue(arg);
+      long value = 0;
+      if (!ParseLong(argv[++i], 1, &value)) return BadValue(arg, argv[i]);
+      options.clients = static_cast<std::size_t>(value);
+    } else if (std::strcmp(arg, "--time-scale") == 0) {
+      if (i + 1 >= argc) return MissingValue(arg);
+      double value = 0;
+      if (!ParseDouble(argv[++i], &value) || !(value > 0)) {
+        return BadValue(arg, argv[i]);
+      }
+      options.time_scale = value;
+    } else {
+      std::fprintf(stderr, "actyp_sim: unknown argument '%s'\n", arg);
+      return Usage(2);
+    }
+  }
+
+  if (list) return ListScenarios();
+
+  if (all) {
+    for (const ScenarioInfo* info : ScenarioRegistry::Instance().List()) {
+      names.push_back(info->name);
+    }
+  }
+  if (names.empty()) return Usage(2);
+
+  for (const std::string& name : names) {
+    const ScenarioInfo* info = ScenarioRegistry::Instance().Find(name);
+    if (info == nullptr) {
+      std::fprintf(stderr,
+                   "actyp_sim: unknown scenario '%s' (try --list)\n",
+                   name.c_str());
+      return 1;
+    }
+    const actyp::ScenarioReport report = info->run(options);
+    if (json) {
+      actyp::WriteReportJson(report, std::cout);
+    } else {
+      actyp::WriteReportTable(report, std::cout);
+    }
+  }
+  return 0;
+}
