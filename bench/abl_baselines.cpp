@@ -92,7 +92,7 @@ ScenarioReport RunAblBaselines(const ScenarioRunOptions& options) {
       config.clients = clients;
       config.seed = bench::CellSeed(options, 100, clients);
       const auto result =
-          bench::RunCell(config, bench::ScaledSeconds(options, 3),
+          bench::RunCell(config, options, bench::ScaledSeconds(options, 3),
                          bench::ScaledSeconds(options, 15));
       ScenarioCell cell;
       cell.labels.emplace_back("system", "actyp");

@@ -22,7 +22,7 @@ ScenarioReport RunAblQosFanout(const ScenarioRunOptions& options) {
     config.clients = options.clients.value_or(8);
     config.seed = bench::CellSeed(options, 4242, fanout);
     const auto result =
-        bench::RunCell(config, bench::ScaledSeconds(options, 3),
+        bench::RunCell(config, options, bench::ScaledSeconds(options, 3),
                        bench::ScaledSeconds(options, 20));
     ScenarioCell cell;
     cell.dims.emplace_back("fanout", static_cast<double>(fanout));

@@ -11,6 +11,8 @@
 
 #include "actyp/scenario.hpp"
 #include "actyp/scenario_registry.hpp"
+#include "common/logging.hpp"
+#include "fault/fault_plan.hpp"
 
 namespace actyp::bench {
 
@@ -20,7 +22,44 @@ struct CellResult {
   double p95_s = 0;
   std::uint64_t completed = 0;
   std::uint64_t failures = 0;
+  // Fault-regime observables (all zero on a healthy network).
+  double success_rate = 0;  // completed / (completed + failures)
+  std::uint64_t lost = 0;   // messages dropped by loss + partitions
+  std::uint64_t machines_crashed = 0;
+  std::uint64_t services_crashed = 0;
+  std::uint64_t pools_created = 0;  // on-demand creations via the proxy
 };
+
+// Merges the driver's fault overrides (--loss / --churn-rate /
+// --fault-plan) into a scenario config. Lossy or churny runs also need
+// a client give-up timer, or the closed loop deadlocks on the first
+// dropped reply — default one when the scenario did not set its own.
+inline void ApplyFaults(const ScenarioRunOptions& options,
+                        ScenarioConfig* config) {
+  if (options.loss) config->message_loss_probability = *options.loss;
+  if (!options.fault_plan_text.empty()) {
+    auto plan = fault::FaultPlan::Parse(options.fault_plan_text);
+    if (plan.ok()) {
+      for (auto& event : plan->events) {
+        config->fault_plan.events.push_back(std::move(event));
+      }
+    } else {
+      // The driver validates before running; other callers must not get
+      // a silently fault-free run from a bad plan.
+      ACTYP_WARN << "fault plan ignored: " << plan.status().ToString();
+    }
+  }
+  if (options.churn_rate && *options.churn_rate > 0) {
+    config->fault_plan.AddChurn(*options.churn_rate, Seconds(5.0));
+  }
+  if ((config->message_loss_probability > 0 ||
+       !config->fault_plan.empty()) &&
+      config->client_request_timeout == 0) {
+    // Scaled like the measurement window, so smoke runs still recover.
+    config->client_request_timeout =
+        Seconds((config->wan ? 5.0 : 2.0) * options.time_scale);
+  }
+}
 
 // Runs one scenario cell: warm up, reset the collector, measure.
 inline CellResult RunCell(ScenarioConfig config,
@@ -34,7 +73,28 @@ inline CellResult RunCell(ScenarioConfig config,
   result.p95_s = scenario.collector().QuantileSeconds(0.95);
   result.completed = scenario.collector().completed();
   result.failures = scenario.collector().failures();
+  const std::uint64_t attempts = result.completed + result.failures;
+  result.success_rate =
+      attempts == 0 ? 0.0
+                    : static_cast<double>(result.completed) /
+                          static_cast<double>(attempts);
+  result.lost = scenario.network().lost_messages() +
+                scenario.network().partition_dropped();
+  result.machines_crashed = scenario.fault_stats().machines_crashed;
+  result.services_crashed =
+      scenario.fault_stats().services_crashed + scenario.fault_stats().pools_killed;
+  result.pools_created = scenario.proxy_stats().pools_created;
   return result;
+}
+
+// RunCell with the driver's fault overrides applied first; every
+// scenario routes through this so --loss / --churn-rate / --fault-plan
+// compose with any figure or ablation.
+inline CellResult RunCell(ScenarioConfig config,
+                          const ScenarioRunOptions& options,
+                          SimDuration warmup, SimDuration measure) {
+  ApplyFaults(options, &config);
+  return RunCell(std::move(config), warmup, measure);
 }
 
 // A sweep dimension collapses to the override when the driver pins it.
@@ -67,6 +127,13 @@ inline void AppendMetrics(const CellResult& result, ScenarioCell* cell) {
                              static_cast<double>(result.completed));
   cell->metrics.emplace_back("failures",
                              static_cast<double>(result.failures));
+}
+
+// Appends the fault-regime metrics the lossy/churn scenarios report on
+// top of the standard ones.
+inline void AppendFaultMetrics(const CellResult& result, ScenarioCell* cell) {
+  cell->metrics.emplace_back("success_rate", result.success_rate);
+  cell->metrics.emplace_back("lost", static_cast<double>(result.lost));
 }
 
 }  // namespace actyp::bench

@@ -25,7 +25,7 @@ ScenarioReport RunFig4(const ScenarioRunOptions& options) {
       config.clients = clients;
       config.seed = bench::CellSeed(options, 4000, pools * 100 + clients);
       const auto result =
-          bench::RunCell(config, bench::ScaledSeconds(options, 3),
+          bench::RunCell(config, options, bench::ScaledSeconds(options, 3),
                          bench::ScaledSeconds(options, 15));
       ScenarioCell cell;
       cell.dims.emplace_back("pools", static_cast<double>(pools));

@@ -24,7 +24,7 @@ ScenarioReport RunFig5(const ScenarioRunOptions& options) {
       config.wan = true;
       config.seed = bench::CellSeed(options, 5000, pools * 100 + clients);
       const auto result =
-          bench::RunCell(config, bench::ScaledSeconds(options, 3),
+          bench::RunCell(config, options, bench::ScaledSeconds(options, 3),
                          bench::ScaledSeconds(options, 15));
       ScenarioCell cell;
       cell.dims.emplace_back("pools", static_cast<double>(pools));

@@ -21,7 +21,7 @@ ScenarioReport RunFig6(const ScenarioRunOptions& options) {
       config.clients = clients;
       config.seed = bench::CellSeed(options, 6000, machines + clients);
       const auto result =
-          bench::RunCell(config, bench::ScaledSeconds(options, 3),
+          bench::RunCell(config, options, bench::ScaledSeconds(options, 3),
                          bench::ScaledSeconds(options, 15));
       ScenarioCell cell;
       cell.dims.emplace_back("machines", static_cast<double>(machines));

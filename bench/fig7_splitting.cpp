@@ -22,7 +22,7 @@ ScenarioReport RunFig7(const ScenarioRunOptions& options) {
       config.clients = clients;
       config.seed = bench::CellSeed(options, 7000, segments * 100 + clients);
       const auto result =
-          bench::RunCell(config, bench::ScaledSeconds(options, 3),
+          bench::RunCell(config, options, bench::ScaledSeconds(options, 3),
                          bench::ScaledSeconds(options, 15));
       ScenarioCell cell;
       cell.dims.emplace_back("segments", static_cast<double>(segments));

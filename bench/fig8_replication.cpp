@@ -22,7 +22,7 @@ ScenarioReport RunFig8(const ScenarioRunOptions& options) {
       config.clients = clients;
       config.seed = bench::CellSeed(options, 8000, replicas * 100 + clients);
       const auto result =
-          bench::RunCell(config, bench::ScaledSeconds(options, 3),
+          bench::RunCell(config, options, bench::ScaledSeconds(options, 3),
                          bench::ScaledSeconds(options, 15));
       ScenarioCell cell;
       cell.dims.emplace_back("replicas", static_cast<double>(replicas));

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "actyp/monitor_node.hpp"
+#include "common/logging.hpp"
 #include "query/parser.hpp"
 
 namespace actyp {
@@ -30,6 +31,9 @@ void SimScenario::Build() {
   network_ = std::make_unique<simnet::SimNetwork>(&kernel_, topology,
                                                   config_.seed ^ 0x6e0d3ULL);
   network_->SetLossProbability(config_.message_loss_probability);
+  fault_ = std::make_unique<fault::FaultInjector>(
+      &kernel_, network_.get(), config_.seed ^ 0xfa017ULL);
+  InstallFaultHooks();
   network_->AddHost(kServerHost, config_.server_cores,
                     config_.wan ? "upc" : "local");
   network_->AddHost(kClientHost,
@@ -63,11 +67,10 @@ void SimScenario::Build() {
   proxy_config.pool_policy = config_.policy;
   proxy_config.pool_resort_period = config_.resort_period;
   proxy_config.costs = config_.costs;
-  network_->AddNode("proxy",
-                    std::make_shared<pipeline::ProxyServer>(
-                        proxy_config, network_.get(), &database_, &directory_,
-                        &shadows_, &policies_),
-                    net::NodePlacement{kServerHost, 1});
+  proxy_ = std::make_shared<pipeline::ProxyServer>(
+      proxy_config, network_.get(), &database_, &directory_, &shadows_,
+      &policies_);
+  network_->AddNode("proxy", proxy_, net::NodePlacement{kServerHost, 1});
 
   // --- pool managers ---
   std::vector<net::Address> pm_addresses;
@@ -85,6 +88,14 @@ void SimScenario::Build() {
         std::make_shared<pipeline::PoolManager>(pm_config, &directory_),
         net::NodePlacement{kServerHost, 1});
     pm_addresses.push_back(address);
+    fault_->RegisterService(
+        address, [this, address] { network_->RemoveNode(address); },
+        [this, address, pm_config] {
+          network_->AddNode(
+              address,
+              std::make_shared<pipeline::PoolManager>(pm_config, &directory_),
+              net::NodePlacement{kServerHost, 1});
+        });
   }
 
   // --- query managers ---
@@ -102,6 +113,13 @@ void SimScenario::Build() {
                       std::make_shared<pipeline::QueryManager>(qm_config),
                       net::NodePlacement{kServerHost, 1});
     qm_addresses.push_back(address);
+    fault_->RegisterService(
+        address, [this, address] { network_->RemoveNode(address); },
+        [this, address, qm_config] {
+          network_->AddNode(address,
+                            std::make_shared<pipeline::QueryManager>(qm_config),
+                            net::NodePlacement{kServerHost, 1});
+        });
   }
 
   // --- resource pools ---
@@ -109,6 +127,43 @@ void SimScenario::Build() {
   query_spec.cluster_count = std::max<std::size_t>(1, config_.clusters);
   query_spec.hot_fraction = config_.hot_fraction;
   workload::QueryGenerator generator(query_spec);
+
+  // Creates a pool node, tracks it for stats, and registers it with the
+  // fault injector: a crash removes the node, unregisters it from the
+  // directory, and frees its claim once the last live instance is gone
+  // (surviving replicas keep the shared machine set); a restart brings
+  // up a fresh instance that re-adopts or re-claims its machines.
+  auto add_pool = [this](const net::Address& address,
+                         const pipeline::ResourcePoolConfig& pool_config) {
+    auto pool = std::make_shared<pipeline::ResourcePool>(
+        pool_config, &database_, &directory_, &shadows_, &policies_);
+    pools_.push_back(pool);
+    network_->AddNode(address, pool, net::NodePlacement{kServerHost, 1});
+    const std::string claim = pool_config.claim_name.empty()
+                                  ? pool_config.pool_name
+                                  : pool_config.claim_name;
+    fault_->RegisterService(
+        address,
+        [this, address, pool_name = pool_config.pool_name,
+         instance = pool_config.instance, claim,
+         segment = pool_config.segment] {
+          network_->RemoveNode(address);
+          directory_.UnregisterPool(pool_name, instance);
+          // A segment's claim is its own (distinct claim names partition
+          // the machines), so free it immediately; replicas share one
+          // claim that must survive until the last live instance dies.
+          if (segment || directory_.Lookup(pool_name).empty()) {
+            database_.ReleaseAllFrom(claim);
+          }
+        },
+        [this, address, pool_config] {
+          auto restarted = std::make_shared<pipeline::ResourcePool>(
+              pool_config, &database_, &directory_, &shadows_, &policies_);
+          pools_.push_back(restarted);
+          network_->AddNode(address, restarted,
+                            net::NodePlacement{kServerHost, 1});
+        });
+  };
 
   if (config_.precreate_pools) {
     const std::size_t clusters = std::max<std::size_t>(1, config_.clusters);
@@ -141,12 +196,8 @@ void SimScenario::Build() {
           pool_config.claim_limit =
               s + 1 == segments ? 0 : per_cluster / segments;
           pool_config.costs = config_.costs;
-          auto pool = std::make_shared<pipeline::ResourcePool>(
-              pool_config, &database_, &directory_, &shadows_, &policies_);
-          pools_.push_back(pool);
-          network_->AddNode(
-              "pool.c" + std::to_string(c) + ".s" + std::to_string(s), pool,
-              net::NodePlacement{kServerHost, 1});
+          add_pool("pool.c" + std::to_string(c) + ".s" + std::to_string(s),
+                   pool_config);
         }
       } else {
         // Replicated (or single) pool: shared machine set, biased
@@ -160,12 +211,8 @@ void SimScenario::Build() {
           pool_config.policy = config_.policy;
           pool_config.resort_period = config_.resort_period;
           pool_config.costs = config_.costs;
-          auto pool = std::make_shared<pipeline::ResourcePool>(
-              pool_config, &database_, &directory_, &shadows_, &policies_);
-          pools_.push_back(pool);
-          network_->AddNode(
-              "pool.c" + std::to_string(c) + ".r" + std::to_string(r), pool,
-              net::NodePlacement{kServerHost, 1});
+          add_pool("pool.c" + std::to_string(c) + ".r" + std::to_string(r),
+                   pool_config);
         }
       }
     }
@@ -189,6 +236,77 @@ void SimScenario::Build() {
     network_->AddNode("client" + std::to_string(i), client,
                       net::NodePlacement{kClientHost, 1});
   }
+
+  // --- fault plan (after every service is registered) ---
+  fault_status_ = fault_->Arm(config_.fault_plan);
+  if (!fault_status_.ok()) {
+    ACTYP_WARN << "scenario: fault plan not armed: "
+               << fault_status_.ToString();
+  }
+}
+
+void SimScenario::InstallFaultHooks() {
+  // Machine churn: crash picks uniformly among currently-up machines
+  // and flips them down in the white pages; pools notice on their next
+  // refresh sweep and stop handing them out until they come back.
+  fault_->SetMachineHooks(
+      [this](std::size_t n, Rng& rng) {
+        std::vector<db::MachineId> up;
+        database_.ForEach([&up](const db::MachineRecord& rec) {
+          if (rec.state == db::MachineState::kUp) up.push_back(rec.id);
+        });
+        std::vector<db::MachineId> victims;
+        victims.reserve(std::min(n, up.size()));
+        for (std::size_t k = 0; k < n && !up.empty(); ++k) {
+          const std::size_t i =
+              static_cast<std::size_t>(rng.NextBounded(up.size()));
+          victims.push_back(up[i]);
+          up[i] = up.back();
+          up.pop_back();
+        }
+        for (const db::MachineId id : victims) {
+          database_.Update(id, [](db::MachineRecord& rec) {
+            rec.state = db::MachineState::kDown;
+          });
+        }
+        return victims;
+      },
+      [this](const std::vector<db::MachineId>& ids) {
+        for (const db::MachineId id : ids) {
+          database_.Update(id, [](db::MachineRecord& rec) {
+            rec.state = db::MachineState::kUp;
+          });
+        }
+      });
+
+  // Pool churn: kill a random live instance straight out of the
+  // directory — this also covers pools the proxy created on demand,
+  // which the injector cannot know by name at build time.
+  fault_->SetPoolHook([this](Rng& rng) {
+    std::vector<directory::PoolInstance> instances;
+    for (const std::string& name : directory_.PoolNames()) {
+      for (auto& instance : directory_.Lookup(name)) {
+        instances.push_back(std::move(instance));
+      }
+    }
+    if (instances.empty()) return false;
+    const directory::PoolInstance& victim =
+        instances[rng.NextBounded(instances.size())];
+    network_->RemoveNode(victim.address);
+    directory_.UnregisterPool(victim.pool_name, victim.instance);
+    // Proxy-created pools and replicas claim under the pool name
+    // (freed when the last live instance dies, so the next query can
+    // re-create the pool from scratch); a segment claims under the
+    // "<pool>#<instance>" name Build assigned it and owns that claim
+    // alone, so it is freed immediately.
+    if (victim.segment) {
+      database_.ReleaseAllFrom(victim.pool_name + "#" +
+                               std::to_string(victim.instance));
+    } else if (directory_.Lookup(victim.pool_name).empty()) {
+      database_.ReleaseAllFrom(victim.pool_name);
+    }
+    return true;
+  });
 }
 
 void SimScenario::RunUntil(SimTime until) { kernel_.RunUntil(until); }
@@ -211,6 +329,10 @@ pipeline::PoolStats SimScenario::TotalPoolStats() const {
     total.entries_examined += s.entries_examined;
   }
   return total;
+}
+
+pipeline::ProxyStats SimScenario::proxy_stats() const {
+  return proxy_ != nullptr ? proxy_->stats() : pipeline::ProxyStats{};
 }
 
 std::uint64_t SimScenario::total_client_failures() const {

@@ -19,6 +19,8 @@
 #include "db/policy.hpp"
 #include "db/shadow.hpp"
 #include "directory/directory.hpp"
+#include "fault/fault_injector.hpp"
+#include "fault/fault_plan.hpp"
 #include "monitor/monitor.hpp"
 #include "pipeline/pool_manager.hpp"
 #include "pipeline/proxy.hpp"
@@ -58,6 +60,9 @@ struct ScenarioConfig {
   SimDuration client_request_timeout = 0;
   // Probability that any inter-node message is lost (fault injection).
   double message_loss_probability = 0.0;
+  // Timed fault events — loss windows, latency spikes, partitions,
+  // machine/service churn — armed against the simulation at t=0.
+  fault::FaultPlan fault_plan;
 
   // Deployment.
   bool wan = false;  // clients across a WAN link (Fig. 5)
@@ -102,8 +107,19 @@ class SimScenario {
   [[nodiscard]] pipeline::PoolStats TotalPoolStats() const;
   [[nodiscard]] std::uint64_t total_client_failures() const;
 
+  // Fault subsystem: the injector is always built (with machine, pool,
+  // and service hooks installed); the configured plan is armed during
+  // Build. `fault_status()` reports whether arming succeeded.
+  [[nodiscard]] fault::FaultInjector& fault_injector() { return *fault_; }
+  [[nodiscard]] const fault::FaultStats& fault_stats() const {
+    return fault_->stats();
+  }
+  [[nodiscard]] const Status& fault_status() const { return fault_status_; }
+  [[nodiscard]] pipeline::ProxyStats proxy_stats() const;
+
  private:
   void Build();
+  void InstallFaultHooks();
   void ResetCollector();
 
   ScenarioConfig config_;
@@ -114,6 +130,9 @@ class SimScenario {
   db::PolicyRegistry policies_;
   directory::DirectoryService directory_;
   std::unique_ptr<monitor::ResourceMonitor> monitor_;
+  std::unique_ptr<fault::FaultInjector> fault_;
+  Status fault_status_;
+  std::shared_ptr<pipeline::ProxyServer> proxy_;
   workload::ResponseCollector collector_;
   Rng rng_;
 

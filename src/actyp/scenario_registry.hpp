@@ -21,11 +21,17 @@ namespace actyp {
 // Overrides applied uniformly to a scenario's sweep: pin a dimension
 // (machines/clients), rescale simulated warmup/measure durations, or
 // replace the seed so perf tracking can vary runs deterministically.
+// The fault overrides layer deterministic fault injection onto any
+// scenario: a flat message-loss probability, a machine-churn rate, or a
+// full fault-plan text (see fault/fault_plan.hpp for the format).
 struct ScenarioRunOptions {
   std::optional<std::uint64_t> seed;
   std::optional<std::size_t> machines;
   std::optional<std::size_t> clients;
   double time_scale = 1.0;
+  std::optional<double> loss;        // --loss: message-loss probability
+  std::optional<double> churn_rate;  // --churn-rate: machine crashes per s
+  std::string fault_plan_text;       // --fault-plan: full plan text
 };
 
 // One measured cell of a scenario sweep: ordered string labels

@@ -87,6 +87,17 @@ bool Config::GetBool(const std::string& key, bool fallback) const {
   return fallback;
 }
 
+std::vector<std::pair<std::string, std::string>> Config::SectionEntries(
+    const std::string& section) const {
+  std::vector<std::pair<std::string, std::string>> out;
+  const std::string prefix = section + ".";
+  for (auto it = entries_.lower_bound(prefix); it != entries_.end(); ++it) {
+    if (it->first.compare(0, prefix.size(), prefix) != 0) break;
+    out.emplace_back(it->first.substr(prefix.size()), it->second);
+  }
+  return out;
+}
+
 std::string Config::Serialize() const {
   std::string out;
   for (const auto& [key, value] : entries_) {

@@ -6,6 +6,8 @@
 #include <optional>
 #include <string>
 #include <string_view>
+#include <utility>
+#include <vector>
 
 #include "common/status.hpp"
 
@@ -34,6 +36,11 @@ class Config {
   [[nodiscard]] const std::map<std::string, std::string>& entries() const {
     return entries_;
   }
+
+  // Entries under "<section>." with the prefix stripped, in key order —
+  // used for list-valued sections (e.g. the numbered fault-plan lines).
+  [[nodiscard]] std::vector<std::pair<std::string, std::string>>
+  SectionEntries(const std::string& section) const;
 
   [[nodiscard]] std::string Serialize() const;
 

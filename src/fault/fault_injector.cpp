@@ -1,0 +1,237 @@
+#include "fault/fault_injector.hpp"
+
+#include <algorithm>
+#include <memory>
+
+#include "common/strings.hpp"
+
+namespace actyp::fault {
+
+FaultInjector::FaultInjector(simnet::SimKernel* kernel,
+                             simnet::SimNetwork* network, std::uint64_t seed)
+    : kernel_(kernel), network_(network), rng_(seed) {}
+
+void FaultInjector::SetMachineHooks(CrashMachinesFn crash,
+                                    RestoreMachinesFn restore) {
+  crash_machines_ = std::move(crash);
+  restore_machines_ = std::move(restore);
+}
+
+void FaultInjector::SetPoolHook(KillPoolFn kill) {
+  kill_pool_ = std::move(kill);
+}
+
+void FaultInjector::RegisterService(const std::string& name,
+                                    std::function<void()> crash,
+                                    std::function<void()> restart) {
+  services_[name] = Service{std::move(crash), std::move(restart), false};
+}
+
+std::vector<std::string> FaultInjector::ServiceNames() const {
+  std::vector<std::string> names;
+  names.reserve(services_.size());
+  for (const auto& [name, service] : services_) names.push_back(name);
+  return names;
+}
+
+Status FaultInjector::CheckHooks(const FaultEvent& event) const {
+  if (event.kind != FaultKind::kCrash && event.kind != FaultKind::kChurn) {
+    return Status::Ok();
+  }
+  if (event.target == "machines") {
+    if (!crash_machines_ || !restore_machines_) {
+      return InvalidArgument("fault plan targets machines but no machine "
+                                "hooks are installed");
+    }
+    return Status::Ok();
+  }
+  if (event.target == "pools") {
+    if (!kill_pool_) {
+      return InvalidArgument("fault plan targets pools but no pool hook "
+                                "is installed");
+    }
+    return Status::Ok();
+  }
+  if (MatchServices(event.target).empty()) {
+    return InvalidArgument("fault plan targets '" + event.target +
+                              "' but no registered service matches");
+  }
+  return Status::Ok();
+}
+
+Status FaultInjector::Arm(const FaultPlan& plan) {
+  for (const FaultEvent& event : plan.events) {
+    if (Status status = CheckHooks(event); !status.ok()) return status;
+  }
+  for (const FaultEvent& event : plan.events) {
+    switch (event.kind) {
+      case FaultKind::kLoss:
+        ArmLoss(event);
+        break;
+      case FaultKind::kLatency:
+        ArmLatency(event);
+        break;
+      case FaultKind::kPartition:
+        ArmPartition(event);
+        break;
+      case FaultKind::kCrash:
+        ArmCrash(event);
+        break;
+      case FaultKind::kChurn:
+        ArmChurn(event);
+        break;
+    }
+  }
+  return Status::Ok();
+}
+
+FaultInjector::SitePair FaultInjector::MakeSitePair(const FaultEvent& event) {
+  return event.site_a <= event.site_b
+             ? SitePair{event.site_a, event.site_b}
+             : SitePair{event.site_b, event.site_a};
+}
+
+void FaultInjector::ArmLoss(const FaultEvent& event) {
+  // Open windows stack: the most recently opened probability is in
+  // force, closing one restores the next one down (or the base rate the
+  // scenario configured, captured when the first window opens).
+  const std::uint64_t id = next_window_id_++;
+  kernel_->ScheduleAt(event.start, [this, event, id] {
+    if (open_loss_.empty()) base_loss_ = network_->loss_probability();
+    open_loss_.emplace_back(id, event.probability);
+    network_->SetLossProbability(event.probability);
+    ++stats_.loss_windows_opened;
+  });
+  if (event.end > event.start) {
+    kernel_->ScheduleAt(event.end, [this, id] {
+      std::erase_if(open_loss_,
+                    [id](const auto& window) { return window.first == id; });
+      network_->SetLossProbability(
+          open_loss_.empty() ? base_loss_ : open_loss_.back().second);
+      ++stats_.loss_windows_closed;
+    });
+  }
+}
+
+void FaultInjector::ArmLatency(const FaultEvent& event) {
+  // Concurrent spikes on one site pair add up; each close subtracts its
+  // own contribution, so an early end never cancels a still-open spike.
+  const SitePair pair = MakeSitePair(event);
+  kernel_->ScheduleAt(event.start, [this, event, pair] {
+    open_latency_[pair] += event.extra_latency;
+    network_->topology().SetLatencyPenalty(event.site_a, event.site_b,
+                                           open_latency_[pair]);
+    ++stats_.latency_spikes;
+  });
+  if (event.end > event.start) {
+    kernel_->ScheduleAt(event.end, [this, event, pair] {
+      open_latency_[pair] -= event.extra_latency;
+      network_->topology().SetLatencyPenalty(event.site_a, event.site_b,
+                                             open_latency_[pair]);
+    });
+  }
+}
+
+void FaultInjector::ArmPartition(const FaultEvent& event) {
+  // A pair heals only when every overlapping cut on it has healed.
+  const SitePair pair = MakeSitePair(event);
+  kernel_->ScheduleAt(event.start, [this, event, pair] {
+    if (++open_partitions_[pair] == 1) {
+      network_->topology().SetPartition(event.site_a, event.site_b, true);
+    }
+    ++stats_.partitions_cut;
+  });
+  if (event.end > event.start) {
+    kernel_->ScheduleAt(event.end, [this, event, pair] {
+      if (--open_partitions_[pair] == 0) {
+        network_->topology().SetPartition(event.site_a, event.site_b, false);
+      }
+      ++stats_.partitions_healed;
+    });
+  }
+}
+
+void FaultInjector::ArmCrash(const FaultEvent& event) {
+  kernel_->ScheduleAt(event.start, [this, event] { Strike(event); });
+}
+
+void FaultInjector::ArmChurn(const FaultEvent& event) {
+  const SimDuration interval = std::max<SimDuration>(
+      Micros(1), Seconds(1.0 / event.rate_per_s));
+  // First strike lands one interval after the window opens; each tick
+  // re-arms the next, so the cadence is exact and fully deterministic.
+  kernel_->ScheduleAt(event.start + interval,
+                      [this, event, interval] { ChurnTick(event, interval); });
+}
+
+void FaultInjector::ChurnTick(const FaultEvent& event, SimDuration interval) {
+  if (event.end != 0 && kernel_->Now() >= event.end) return;
+  ++stats_.churn_ticks;
+  Strike(event);
+  kernel_->Schedule(interval,
+                    [this, event, interval] { ChurnTick(event, interval); });
+}
+
+void FaultInjector::Strike(const FaultEvent& event) {
+  if (event.target == "machines") {
+    CrashMachines(event.count, event.downtime);
+  } else if (event.target == "pools") {
+    if (kill_pool_(rng_)) ++stats_.pools_killed;
+  } else {
+    // A one-shot crash takes down every matching service; churn picks
+    // one victim per tick.
+    CrashService(event.target, event.downtime,
+                 /*pick_one=*/event.kind == FaultKind::kChurn);
+  }
+}
+
+void FaultInjector::CrashMachines(std::size_t count, SimDuration downtime) {
+  const std::vector<db::MachineId> victims = crash_machines_(count, rng_);
+  if (victims.empty()) return;
+  stats_.machines_crashed += victims.size();
+  if (downtime > 0) {
+    kernel_->Schedule(downtime, [this, victims] {
+      restore_machines_(victims);
+      stats_.machines_restored += victims.size();
+    });
+  }
+}
+
+void FaultInjector::CrashService(const std::string& glob, SimDuration downtime,
+                                 bool pick_one) {
+  std::vector<std::string> up;
+  for (const std::string& name : MatchServices(glob)) {
+    if (!services_.at(name).down) up.push_back(name);
+  }
+  if (up.empty()) return;
+  if (pick_one) {
+    const std::string victim = up[rng_.NextBounded(up.size())];
+    up = {victim};
+  }
+  for (const std::string& name : up) {
+    Service& service = services_.at(name);
+    service.down = true;
+    service.crash();
+    ++stats_.services_crashed;
+    if (downtime > 0) {
+      kernel_->Schedule(downtime, [this, name] {
+        auto it = services_.find(name);
+        if (it == services_.end() || !it->second.down) return;
+        it->second.restart();
+        it->second.down = false;
+        ++stats_.services_restarted;
+      });
+    }
+  }
+}
+
+std::vector<std::string> FaultInjector::MatchServices(
+    const std::string& glob) const {
+  std::vector<std::string> out;
+  for (const auto& [name, service] : services_) {
+    if (GlobMatch(glob, name)) out.push_back(name);
+  }
+  return out;
+}
+
+}  // namespace actyp::fault

@@ -1,0 +1,246 @@
+#include "fault/fault_plan.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/strings.hpp"
+
+namespace actyp::fault {
+namespace {
+
+std::string FormatSeconds(SimTime t) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%g", ToSeconds(t));
+  return buffer;
+}
+
+std::string FormatDouble(double v) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%g", v);
+  return buffer;
+}
+
+Status LineError(std::size_t line_no, const std::string& what) {
+  return InvalidArgument("fault plan line " + std::to_string(line_no) + ": " +
+                         what);
+}
+
+// Parses one `<kind> key=value ...` line into an event.
+Result<FaultEvent> ParseEventLine(std::string_view line, std::size_t line_no) {
+  const std::vector<std::string> tokens = SplitSkipEmpty(line, ' ');
+  FaultEvent event;
+  const std::string kind = ToLower(tokens.front());
+  if (kind == "loss") {
+    event.kind = FaultKind::kLoss;
+  } else if (kind == "latency") {
+    event.kind = FaultKind::kLatency;
+  } else if (kind == "partition") {
+    event.kind = FaultKind::kPartition;
+  } else if (kind == "crash") {
+    event.kind = FaultKind::kCrash;
+  } else if (kind == "churn") {
+    event.kind = FaultKind::kChurn;
+  } else {
+    return LineError(line_no, "unknown fault kind '" + kind + "'");
+  }
+
+  for (std::size_t i = 1; i < tokens.size(); ++i) {
+    const std::string& token = tokens[i];
+    const std::size_t eq = token.find('=');
+    if (eq == std::string::npos) {
+      return LineError(line_no, "expected key=value, got '" + token + "'");
+    }
+    const std::string key = ToLower(token.substr(0, eq));
+    const std::string value = token.substr(eq + 1);
+    const auto number = ParseDouble(value);
+    const auto need_number = [&]() -> Status {
+      if (number) return Status::Ok();
+      return LineError(line_no, "'" + key + "' needs a number, got '" + value +
+                                    "'");
+    };
+    if (key == "start" || key == "at") {
+      if (Status s = need_number(); !s.ok()) return s;
+      event.start = Seconds(*number);
+    } else if (key == "end") {
+      if (Status s = need_number(); !s.ok()) return s;
+      event.end = Seconds(*number);
+    } else if (key == "p" || key == "probability") {
+      if (Status s = need_number(); !s.ok()) return s;
+      event.probability = *number;
+    } else if (key == "extra_ms") {
+      if (Status s = need_number(); !s.ok()) return s;
+      event.extra_latency = static_cast<SimDuration>(*number * 1000.0);
+    } else if (key == "site_a") {
+      event.site_a = value;
+    } else if (key == "site_b") {
+      event.site_b = value;
+    } else if (key == "target") {
+      event.target = value;
+    } else if (key == "count") {
+      if (Status s = need_number(); !s.ok()) return s;
+      if (*number < 1) return LineError(line_no, "'count' must be >= 1");
+      event.count = static_cast<std::size_t>(*number);
+    } else if (key == "rate") {
+      if (Status s = need_number(); !s.ok()) return s;
+      event.rate_per_s = *number;
+    } else if (key == "downtime") {
+      if (Status s = need_number(); !s.ok()) return s;
+      event.downtime = Seconds(*number);
+    } else {
+      return LineError(line_no, "unknown key '" + key + "'");
+    }
+  }
+
+  // Per-kind validation, so a bad plan fails before the simulation runs.
+  if (event.end != 0 && event.end < event.start) {
+    return LineError(line_no, "'end' precedes 'start'");
+  }
+  switch (event.kind) {
+    case FaultKind::kLoss:
+      if (event.probability < 0.0 || event.probability > 1.0) {
+        return LineError(line_no, "loss needs p in [0, 1]");
+      }
+      break;
+    case FaultKind::kLatency:
+      if (event.extra_latency <= 0) {
+        return LineError(line_no, "latency needs extra_ms > 0");
+      }
+      break;
+    case FaultKind::kPartition:
+      break;
+    case FaultKind::kCrash:
+      if (event.target.empty()) {
+        return LineError(line_no, "crash needs a target");
+      }
+      break;
+    case FaultKind::kChurn:
+      if (event.rate_per_s <= 0.0) {
+        return LineError(line_no, "churn needs rate > 0");
+      }
+      if (event.target.empty()) {
+        return LineError(line_no, "churn needs a target");
+      }
+      break;
+  }
+  return event;
+}
+
+}  // namespace
+
+std::string_view FaultKindName(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kLoss:
+      return "loss";
+    case FaultKind::kLatency:
+      return "latency";
+    case FaultKind::kPartition:
+      return "partition";
+    case FaultKind::kCrash:
+      return "crash";
+    case FaultKind::kChurn:
+      return "churn";
+  }
+  return "unknown";
+}
+
+std::string FaultEvent::Serialize() const {
+  std::string out(FaultKindName(kind));
+  out += " start=" + FormatSeconds(start);
+  if (end != 0) out += " end=" + FormatSeconds(end);
+  switch (kind) {
+    case FaultKind::kLoss:
+      out += " p=" + FormatDouble(probability);
+      break;
+    case FaultKind::kLatency:
+      out += " extra_ms=" + FormatDouble(ToMillis(extra_latency));
+      out += " site_a=" + site_a + " site_b=" + site_b;
+      break;
+    case FaultKind::kPartition:
+      out += " site_a=" + site_a + " site_b=" + site_b;
+      break;
+    case FaultKind::kCrash:
+      out += " target=" + target;
+      if (target == "machines") out += " count=" + std::to_string(count);
+      if (downtime != 0) out += " downtime=" + FormatSeconds(downtime);
+      break;
+    case FaultKind::kChurn:
+      out += " rate=" + FormatDouble(rate_per_s);
+      out += " target=" + target;
+      if (downtime != 0) out += " downtime=" + FormatSeconds(downtime);
+      break;
+  }
+  return out;
+}
+
+Result<FaultPlan> FaultPlan::Parse(std::string_view text) {
+  FaultPlan plan;
+  std::size_t line_no = 0;
+  for (const auto& raw_line : Split(text, '\n')) {
+    ++line_no;
+    std::string_view line = TrimView(raw_line);
+    const std::size_t comment = line.find('#');
+    if (comment != std::string_view::npos) {
+      line = TrimView(line.substr(0, comment));
+    }
+    if (line.empty()) continue;
+    auto event = ParseEventLine(line, line_no);
+    if (!event.ok()) return event.status();
+    plan.events.push_back(std::move(event.value()));
+  }
+  return plan;
+}
+
+Result<FaultPlan> FaultPlan::FromConfig(const Config& config) {
+  // Collect `fault.<n>` entries and order them by <n>, so plans embedded
+  // in experiment configs replay in authoring order regardless of the
+  // map's lexicographic key order (fault.10 after fault.2).
+  std::vector<std::pair<std::int64_t, std::string>> lines;
+  for (const auto& [key, value] : config.SectionEntries("fault")) {
+    const auto n = ParseInt(key);
+    if (!n) {
+      return InvalidArgument("fault config key 'fault." + key +
+                             "' is not numbered");
+    }
+    lines.emplace_back(*n, value);
+  }
+  std::sort(lines.begin(), lines.end());
+  std::string text;
+  for (const auto& [n, line] : lines) {
+    text += line;
+    text += '\n';
+  }
+  return Parse(text);
+}
+
+std::string FaultPlan::Serialize() const {
+  std::string out;
+  for (const FaultEvent& event : events) {
+    out += event.Serialize();
+    out += '\n';
+  }
+  return out;
+}
+
+void FaultPlan::AddLossWindow(double p, SimTime start, SimTime end) {
+  FaultEvent event;
+  event.kind = FaultKind::kLoss;
+  event.probability = p;
+  event.start = start;
+  event.end = end;
+  events.push_back(std::move(event));
+}
+
+void FaultPlan::AddChurn(double rate_per_s, SimDuration downtime,
+                         const std::string& target, SimTime start,
+                         SimTime end) {
+  FaultEvent event;
+  event.kind = FaultKind::kChurn;
+  event.rate_per_s = rate_per_s;
+  event.downtime = downtime;
+  event.target = target;
+  event.start = start;
+  event.end = end;
+  events.push_back(std::move(event));
+}
+
+}  // namespace actyp::fault

@@ -1,0 +1,82 @@
+// FaultPlan: a declarative, deterministic schedule of fault events for
+// the discrete-event simulator — message-loss windows, per-link latency
+// spikes, site partitions, one-shot crashes, and recurring churn. A plan
+// is data only; the FaultInjector arms it against a running simulation.
+//
+// Text format: one event per line, `<kind> key=value ...`:
+//
+//   # seconds are simulated seconds (doubles)
+//   loss      start=2 end=8 p=0.05
+//   latency   start=3 end=6 extra_ms=50 site_a=purdue site_b=upc
+//   partition start=4 end=6 site_a=purdue site_b=upc
+//   crash     at=5 target=machines count=10 downtime=3
+//   crash     at=5 target=qm0 downtime=2
+//   churn     start=1 end=30 rate=2 downtime=5 target=machines
+//   churn     start=1 rate=0.5 target=pools
+//
+// `target` selects what a crash/churn event takes down: the literal
+// "machines" (random up machines from the white pages), the literal
+// "pools" (a random live pool instance from the directory), or a glob
+// matched against the services the scenario registered (e.g. "qm*",
+// "pool.*"). `site_a`/`site_b` accept "*" meaning every site pair.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/config.hpp"
+#include "common/sim_time.hpp"
+#include "common/status.hpp"
+
+namespace actyp::fault {
+
+enum class FaultKind {
+  kLoss,       // message-loss window at probability `probability`
+  kLatency,    // extra one-way latency on a site pair
+  kPartition,  // drop every message between two sites
+  kCrash,      // one-shot crash of machines or a service
+  kChurn,      // recurring crashes at `rate_per_s` within [start, end)
+};
+
+std::string_view FaultKindName(FaultKind kind);
+
+struct FaultEvent {
+  FaultKind kind = FaultKind::kLoss;
+  SimTime start = 0;  // when the fault begins (`start=` or `at=`)
+  SimTime end = 0;    // when it heals; 0 = never / instantaneous
+  double probability = 0.0;          // loss
+  SimDuration extra_latency = 0;     // latency spike (one-way)
+  std::string site_a = "*";          // latency/partition scope
+  std::string site_b = "*";
+  std::string target = "machines";   // crash/churn victim selector
+  std::size_t count = 1;             // machines taken down per crash
+  double rate_per_s = 0.0;           // churn: crashes per simulated second
+  SimDuration downtime = 0;          // how long a victim stays down; 0 = forever
+
+  [[nodiscard]] std::string Serialize() const;
+};
+
+struct FaultPlan {
+  std::vector<FaultEvent> events;
+
+  [[nodiscard]] bool empty() const { return events.empty(); }
+
+  // Parses the line-oriented text format above. '#' starts a comment.
+  static Result<FaultPlan> Parse(std::string_view text);
+
+  // Reads events from the `[fault]` section of a Config: every
+  // `fault.<n> = <kind> key=value ...` entry, in ascending numeric
+  // order of <n>.
+  static Result<FaultPlan> FromConfig(const Config& config);
+
+  // Round-trips through Parse.
+  [[nodiscard]] std::string Serialize() const;
+
+  // Convenience builders for the driver flags.
+  void AddLossWindow(double p, SimTime start = 0, SimTime end = 0);
+  void AddChurn(double rate_per_s, SimDuration downtime,
+                const std::string& target = "machines", SimTime start = 0,
+                SimTime end = 0);
+};
+
+}  // namespace actyp::fault

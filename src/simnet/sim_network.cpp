@@ -141,6 +141,11 @@ void SimNetwork::Post(const net::Address& from, const net::Address& to,
   const std::string to_host =
       to_host_it == node_host_.end() ? to : to_host_it->second;
 
+  if (topology_.IsPartitioned(from_host, to_host)) {
+    ++partition_dropped_;
+    return;
+  }
+
   const SimDuration latency = topology_.SampleLatency(
       from_host, to_host, message.WireSize(), seeder_);
   net::Envelope env{from, to, std::move(message), kernel_->Now()};

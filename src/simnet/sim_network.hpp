@@ -57,7 +57,12 @@ class SimNetwork final : public net::Network {
   // this probability (self-messages/timers are never dropped — they
   // model local state, not the network).
   void SetLossProbability(double p) { loss_probability_ = p; }
+  [[nodiscard]] double loss_probability() const { return loss_probability_; }
   [[nodiscard]] std::uint64_t lost_messages() const { return lost_; }
+  // Messages dropped on a cut site pair (Topology::SetPartition).
+  [[nodiscard]] std::uint64_t partition_dropped() const {
+    return partition_dropped_;
+  }
 
  private:
   struct Host {
@@ -95,6 +100,7 @@ class SimNetwork final : public net::Network {
   std::uint64_t dropped_ = 0;
   double loss_probability_ = 0.0;
   std::uint64_t lost_ = 0;
+  std::uint64_t partition_dropped_ = 0;
 };
 
 }  // namespace actyp::simnet

@@ -38,7 +38,9 @@ SimDuration Topology::SampleLatency(const std::string& host_a,
     // Loopback: negligible, but keep event ordering strictly causal.
     return Micros(5);
   }
-  const LinkSpec& link = LinkBetween(SiteOf(host_a), SiteOf(host_b));
+  const std::string site_a = SiteOf(host_a);
+  const std::string site_b = SiteOf(host_b);
+  const LinkSpec& link = LinkBetween(site_a, site_b);
   SimDuration latency = link.base_latency;
   if (link.jitter > 0) {
     latency += static_cast<SimDuration>(rng.NextDouble() *
@@ -48,7 +50,55 @@ SimDuration Topology::SampleLatency(const std::string& host_a,
     latency += static_cast<SimDuration>(static_cast<double>(bytes) /
                                         link.bytes_per_us);
   }
+  if (!penalties_.empty()) {
+    // Most specific match wins: exact pair, then one-sided wildcard,
+    // then the global {"*","*"} penalty.
+    auto it = penalties_.find(OrderedPair(site_a, site_b));
+    if (it == penalties_.end()) it = penalties_.find(OrderedPair(site_a, "*"));
+    if (it == penalties_.end()) it = penalties_.find(OrderedPair(site_b, "*"));
+    if (it == penalties_.end()) it = penalties_.find({"*", "*"});
+    if (it != penalties_.end()) latency += it->second;
+  }
   return std::max<SimDuration>(latency, Micros(1));
+}
+
+std::pair<std::string, std::string> Topology::OrderedPair(
+    const std::string& site_a, const std::string& site_b) {
+  return site_a <= site_b ? std::make_pair(site_a, site_b)
+                          : std::make_pair(site_b, site_a);
+}
+
+void Topology::SetPartition(const std::string& site_a,
+                            const std::string& site_b, bool cut) {
+  if (cut) {
+    partitions_.insert(OrderedPair(site_a, site_b));
+  } else {
+    partitions_.erase(OrderedPair(site_a, site_b));
+  }
+}
+
+bool Topology::IsPartitioned(const std::string& host_a,
+                             const std::string& host_b) const {
+  if (partitions_.empty() || host_a == host_b) return false;
+  const std::string site_a = SiteOf(host_a);
+  const std::string site_b = SiteOf(host_b);
+  if (partitions_.count(OrderedPair(site_a, site_b)) > 0) return true;
+  // "*" cuts: against one named site, or between all distinct sites.
+  if (partitions_.count(OrderedPair(site_a, "*")) > 0 ||
+      partitions_.count(OrderedPair(site_b, "*")) > 0) {
+    return true;
+  }
+  return site_a != site_b && partitions_.count({"*", "*"}) > 0;
+}
+
+void Topology::SetLatencyPenalty(const std::string& site_a,
+                                 const std::string& site_b,
+                                 SimDuration extra) {
+  if (extra > 0) {
+    penalties_[OrderedPair(site_a, site_b)] = extra;
+  } else {
+    penalties_.erase(OrderedPair(site_a, site_b));
+  }
 }
 
 Topology Topology::Lan() { return Topology(); }

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <map>
+#include <set>
 #include <string>
 
 #include "common/rng.hpp"
@@ -40,6 +41,20 @@ class Topology {
                                           const std::string& host_b,
                                           std::size_t bytes, Rng& rng) const;
 
+  // --- fault-injection hooks (driven by fault::FaultInjector) ---
+  // Cuts (or heals) every link between two sites; "*" for either side
+  // means every site. Messages across a cut link are dropped by the
+  // network. Intra-host traffic is never partitioned.
+  void SetPartition(const std::string& site_a, const std::string& site_b,
+                    bool cut);
+  [[nodiscard]] bool IsPartitioned(const std::string& host_a,
+                                   const std::string& host_b) const;
+
+  // Adds `extra` one-way latency between two sites ("*" = every pair,
+  // including intra-site). Setting 0 clears the penalty.
+  void SetLatencyPenalty(const std::string& site_a, const std::string& site_b,
+                         SimDuration extra);
+
   // Convenience factories used by benches.
   static Topology Lan();
   static Topology WanTwoSites(const std::string& client_site,
@@ -50,11 +65,18 @@ class Topology {
  private:
   [[nodiscard]] const LinkSpec& LinkBetween(const std::string& site_a,
                                             const std::string& site_b) const;
+  // Canonical (sorted) key for the symmetric partition/penalty maps.
+  [[nodiscard]] static std::pair<std::string, std::string> OrderedPair(
+      const std::string& site_a, const std::string& site_b);
 
   LinkSpec intra_site_;
   LinkSpec inter_site_;
   std::map<std::string, std::string> host_site_;
   std::map<std::pair<std::string, std::string>, LinkSpec> links_;
+  // Active faults: cut site pairs and per-pair extra latency (the "*"
+  // wildcard is stored literally and matched in the lookup).
+  std::set<std::pair<std::string, std::string>> partitions_;
+  std::map<std::pair<std::string, std::string>, SimDuration> penalties_;
 };
 
 }  // namespace actyp::simnet

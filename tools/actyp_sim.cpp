@@ -6,6 +6,9 @@
 //   JSON:      actyp_sim --scenario fig6_pool_size --json
 //   overrides: actyp_sim --scenario fig4_pools_lan --machines 800
 //                  --clients 8 --seed 7 --time-scale 0.25
+//   faults:    actyp_sim --scenario lossy_lan --loss 0.05
+//              actyp_sim --scenario pool_churn --churn-rate 2
+//              actyp_sim --scenario fig4_pools_lan --fault-plan plan.txt
 //   everything: actyp_sim --all --json
 //
 // JSON goes to stdout, one object per scenario run, with a stable
@@ -13,12 +16,15 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "actyp/scenario_registry.hpp"
 #include "common/strings.hpp"
+#include "fault/fault_plan.hpp"
 
 namespace {
 
@@ -31,16 +37,21 @@ int Usage(int code) {
       code == 0 ? stdout : stderr,
       "usage: actyp_sim [--list] [--scenario <name>] [--all] [--json]\n"
       "                 [--seed N] [--machines N] [--clients N]\n"
-      "                 [--time-scale X]\n"
+      "                 [--time-scale X] [--loss P] [--churn-rate R]\n"
+      "                 [--fault-plan FILE]\n"
       "\n"
-      "  --list          list registered scenarios and exit\n"
-      "  --scenario <s>  run one scenario (repeatable)\n"
-      "  --all           run every registered scenario\n"
-      "  --json          emit one JSON object per run to stdout\n"
-      "  --seed N        override the scenario's base seed\n"
-      "  --machines N    pin the fleet-size sweep dimension\n"
-      "  --clients N     pin the client-count sweep dimension\n"
-      "  --time-scale X  scale simulated warmup/measure durations\n");
+      "  --list            list registered scenarios and exit\n"
+      "  --scenario <s>    run one scenario (repeatable)\n"
+      "  --all             run every registered scenario\n"
+      "  --json            emit one JSON object per run to stdout\n"
+      "  --seed N          override the scenario's base seed\n"
+      "  --machines N      pin the fleet-size sweep dimension\n"
+      "  --clients N       pin the client-count sweep dimension\n"
+      "  --time-scale X    scale simulated warmup/measure durations\n"
+      "  --loss P          inject message loss with probability P\n"
+      "  --churn-rate R    crash R random machines per simulated second\n"
+      "  --fault-plan FILE apply the fault plan in FILE (loss windows,\n"
+      "                    latency spikes, partitions, crashes, churn)\n");
   return code;
 }
 
@@ -122,6 +133,38 @@ int main(int argc, char** argv) {
         return BadValue(arg, argv[i]);
       }
       options.time_scale = value;
+    } else if (std::strcmp(arg, "--loss") == 0) {
+      if (i + 1 >= argc) return MissingValue(arg);
+      double value = 0;
+      if (!ParseDouble(argv[++i], &value) || value < 0 || value > 1) {
+        return BadValue(arg, argv[i]);
+      }
+      options.loss = value;
+    } else if (std::strcmp(arg, "--churn-rate") == 0) {
+      if (i + 1 >= argc) return MissingValue(arg);
+      double value = 0;
+      if (!ParseDouble(argv[++i], &value) || !(value >= 0)) {
+        return BadValue(arg, argv[i]);
+      }
+      options.churn_rate = value;
+    } else if (std::strcmp(arg, "--fault-plan") == 0) {
+      if (i + 1 >= argc) return MissingValue(arg);
+      std::ifstream file(argv[++i]);
+      if (!file) {
+        std::fprintf(stderr, "actyp_sim: cannot read fault plan '%s'\n",
+                     argv[i]);
+        return 1;
+      }
+      std::ostringstream text;
+      text << file.rdbuf();
+      // Validate up front so a bad plan fails before any scenario runs.
+      const auto plan = actyp::fault::FaultPlan::Parse(text.str());
+      if (!plan.ok()) {
+        std::fprintf(stderr, "actyp_sim: %s\n",
+                     plan.status().ToString().c_str());
+        return 1;
+      }
+      options.fault_plan_text = text.str();
     } else {
       std::fprintf(stderr, "actyp_sim: unknown argument '%s'\n", arg);
       return Usage(2);

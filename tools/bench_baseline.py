@@ -1,0 +1,189 @@
+#!/usr/bin/env python3
+"""Perf tracking for the actyp_sim scenario sweep.
+
+Runs ``actyp_sim --all --json`` at pinned, deterministic settings,
+writes the result to ``BENCH_<sha>.json``, and diffs the key metrics of
+every scenario cell against a checked-in ``BENCH_baseline.json``.
+
+Usage:
+    tools/bench_baseline.py                      # run + diff
+    tools/bench_baseline.py --update             # refresh the baseline
+    tools/bench_baseline.py --binary build/actyp_sim --tolerance 0.25
+
+Exit status: 0 when every compared metric is within tolerance (or no
+baseline exists yet), 1 on drift, 2 on harness errors. The CI step that
+runs this is advisory: drift is a signal to investigate, not a gate,
+because simulated metrics shift legitimately when the model changes —
+refresh the baseline in the same PR when that happens.
+
+Wall-clock scenarios and wall-clock metrics (the TCP roundtrip
+latencies, the query micro-benchmark timings) are excluded from the
+diff; everything else in the sweep is a deterministic function of the
+pinned seed.
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+
+# Pinned run: deterministic, and small enough for a CI sidecar (~10 s).
+RUN_ARGS = [
+    "--all", "--json",
+    "--seed", "1",
+    "--machines", "400",
+    "--clients", "4",
+    "--time-scale", "0.2",
+]
+
+# Scenarios whose numbers are wall-clock, not simulated time.
+WALL_CLOCK_SCENARIOS = {"tcp_roundtrip", "abl_query_micro"}
+# Wall-clock metric names excluded wherever they appear.
+WALL_CLOCK_METRICS = {"mean_ms", "max_ms", "p95_ms", "ns_per_op"}
+
+DIMENSION_KEYS = {
+    "pools", "clients", "machines", "segments", "replicas", "fanout",
+    "loss", "rate", "calls", "bucket_lo", "bucket_hi",
+}
+
+
+def run_sweep(binary):
+    try:
+        out = subprocess.run(
+            [binary] + RUN_ARGS, capture_output=True, text=True, check=True)
+    except FileNotFoundError:
+        print(f"bench_baseline: binary not found: {binary}", file=sys.stderr)
+        sys.exit(2)
+    except subprocess.CalledProcessError as err:
+        sys.stderr.write(err.stderr)
+        print(f"bench_baseline: {binary} failed with {err.returncode}",
+              file=sys.stderr)
+        sys.exit(2)
+    reports = []
+    for line in out.stdout.splitlines():
+        line = line.strip()
+        if line:
+            reports.append(json.loads(line))
+    return reports
+
+
+def git_sha(repo_root):
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"], cwd=repo_root,
+            capture_output=True, text=True, check=True)
+        return out.stdout.strip()
+    except (OSError, subprocess.CalledProcessError):
+        return "worktree"
+
+
+def cell_key(cell):
+    """Identity of a cell: its labels and dimensions, not its metrics."""
+    parts = []
+    for key, value in sorted(cell.items()):
+        if isinstance(value, str) or key in DIMENSION_KEYS:
+            parts.append(f"{key}={value}")
+    return " ".join(parts)
+
+
+def cell_metrics(scenario, cell):
+    metrics = {}
+    for key, value in cell.items():
+        if isinstance(value, str) or key in DIMENSION_KEYS:
+            continue
+        if key in WALL_CLOCK_METRICS or scenario in WALL_CLOCK_SCENARIOS:
+            continue
+        if isinstance(value, (int, float)):
+            metrics[key] = float(value)
+    return metrics
+
+
+def index_reports(reports):
+    indexed = {}
+    for report in reports:
+        scenario = report["scenario"]
+        for cell in report.get("cells", []):
+            indexed[(scenario, cell_key(cell))] = cell_metrics(scenario, cell)
+    return indexed
+
+
+def diff(baseline, current, tolerance):
+    """Returns a list of human-readable drift lines."""
+    drift = []
+    for key, base_metrics in sorted(baseline.items()):
+        scenario, cell = key
+        cur_metrics = current.get(key)
+        if cur_metrics is None:
+            drift.append(f"{scenario} [{cell}]: cell missing from this run")
+            continue
+        for name, base_value in sorted(base_metrics.items()):
+            if name not in cur_metrics:
+                drift.append(f"{scenario} [{cell}] {name}: metric missing")
+                continue
+            cur_value = cur_metrics[name]
+            if base_value == cur_value:
+                continue
+            scale = max(abs(base_value), abs(cur_value), 1e-12)
+            rel = abs(cur_value - base_value) / scale
+            if rel > tolerance:
+                drift.append(
+                    f"{scenario} [{cell}] {name}: "
+                    f"{base_value:g} -> {cur_value:g} ({rel:+.1%})")
+    for key in sorted(set(current) - set(baseline)):
+        drift.append(f"{key[0]} [{key[1]}]: new cell (not in baseline)")
+    return drift
+
+
+def main():
+    repo_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--binary",
+                        default=os.path.join(repo_root, "build", "actyp_sim"))
+    parser.add_argument("--baseline",
+                        default=os.path.join(repo_root, "BENCH_baseline.json"))
+    parser.add_argument("--output-dir", default=repo_root,
+                        help="where BENCH_<sha>.json is written")
+    parser.add_argument("--tolerance", type=float, default=0.10,
+                        help="max relative drift per metric (default 10%%)")
+    parser.add_argument("--update", action="store_true",
+                        help="rewrite the baseline from this run")
+    args = parser.parse_args()
+
+    reports = run_sweep(args.binary)
+    sha = git_sha(repo_root)
+    run_path = os.path.join(args.output_dir, f"BENCH_{sha}.json")
+    with open(run_path, "w") as fh:
+        json.dump(reports, fh, indent=1, sort_keys=True)
+        fh.write("\n")
+    print(f"bench_baseline: wrote {run_path}")
+
+    if args.update:
+        with open(args.baseline, "w") as fh:
+            json.dump(reports, fh, indent=1, sort_keys=True)
+            fh.write("\n")
+        print(f"bench_baseline: baseline refreshed at {args.baseline}")
+        return 0
+
+    if not os.path.exists(args.baseline):
+        print("bench_baseline: no baseline checked in; "
+              "run with --update to create one")
+        return 0
+
+    with open(args.baseline) as fh:
+        baseline = index_reports(json.load(fh))
+    current = index_reports(reports)
+    drift = diff(baseline, current, args.tolerance)
+    if not drift:
+        print(f"bench_baseline: {len(current)} cells within "
+              f"{args.tolerance:.0%} of baseline")
+        return 0
+    print(f"bench_baseline: {len(drift)} metric(s) drifted beyond "
+          f"{args.tolerance:.0%}:")
+    for line in drift:
+        print(f"  {line}")
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())
