@@ -2,6 +2,7 @@
 // measurement cell, apply driver overrides, and build report cells.
 #pragma once
 
+#include <chrono>
 #include <cstddef>
 #include <cstdint>
 #include <initializer_list>
@@ -28,6 +29,11 @@ struct CellResult {
   std::uint64_t machines_crashed = 0;
   std::uint64_t services_crashed = 0;
   std::uint64_t pools_created = 0;  // on-demand creations via the proxy
+  // Engine observables for the scaling sweeps.
+  std::uint64_t events = 0;          // kernel events executed (whole run)
+  double wall_s = 0;                 // host wall-clock for the cell
+  std::uint64_t allocations = 0;     // pool allocations granted
+  std::uint64_t entries_examined = 0;  // selection cost across the run
 };
 
 // Merges the driver's fault overrides (--loss / --churn-rate /
@@ -65,9 +71,14 @@ inline void ApplyFaults(const ScenarioRunOptions& options,
 inline CellResult RunCell(ScenarioConfig config,
                           SimDuration warmup = Seconds(3),
                           SimDuration measure = Seconds(15)) {
+  const auto wall_start = std::chrono::steady_clock::now();
   SimScenario scenario(std::move(config));
   scenario.Measure(warmup, measure);
   CellResult result;
+  result.wall_s = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - wall_start)
+                      .count();
+  result.events = scenario.kernel().executed();
   result.mean_s = scenario.collector().response_stats().mean();
   result.p50_s = scenario.collector().QuantileSeconds(0.50);
   result.p95_s = scenario.collector().QuantileSeconds(0.95);
@@ -84,6 +95,9 @@ inline CellResult RunCell(ScenarioConfig config,
   result.services_crashed =
       scenario.fault_stats().services_crashed + scenario.fault_stats().pools_killed;
   result.pools_created = scenario.proxy_stats().pools_created;
+  const auto pool_stats = scenario.TotalPoolStats();
+  result.allocations = pool_stats.allocations;
+  result.entries_examined = pool_stats.entries_examined;
   return result;
 }
 
@@ -134,6 +148,23 @@ inline void AppendMetrics(const CellResult& result, ScenarioCell* cell) {
 inline void AppendFaultMetrics(const CellResult& result, ScenarioCell* cell) {
   cell->metrics.emplace_back("success_rate", result.success_rate);
   cell->metrics.emplace_back("lost", static_cast<double>(result.lost));
+}
+
+// Appends the engine metrics the scaling sweeps report: selection cost
+// (entries examined per allocation — the indexed-vs-linear headroom) and
+// host-side event throughput. ev_per_s_wall is wall-clock derived
+// and excluded from the perf baseline diff.
+inline void AppendEngineMetrics(const CellResult& result, ScenarioCell* cell) {
+  const double per_alloc =
+      result.allocations == 0
+          ? 0.0
+          : static_cast<double>(result.entries_examined) /
+                static_cast<double>(result.allocations);
+  cell->metrics.emplace_back("sel_cost", per_alloc);
+  cell->metrics.emplace_back(
+      "ev_per_s_wall",
+      result.wall_s <= 0 ? 0.0
+                         : static_cast<double>(result.events) / result.wall_s);
 }
 
 }  // namespace actyp::bench

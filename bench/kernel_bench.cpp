@@ -1,0 +1,154 @@
+// Microbenchmark for the discrete-event kernel's slab-allocated 4-ary
+// heap: schedule/pop throughput, cancellation cost, and a side-by-side
+// against the std::priority_queue<Event> structure the kernel replaced.
+//
+//   kernel_bench [events] [pending]
+//
+// `events` is the total number of events pushed through each benchmark
+// (default 2,000,000; the ctest smoke passes a small count), `pending`
+// the steady-state queue depth (default 4,096). Results are ops/sec on
+// the host — wall-clock numbers, not part of the deterministic
+// baseline.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "simnet/kernel.hpp"
+
+namespace {
+
+using actyp::Rng;
+using actyp::SimTime;
+using actyp::simnet::SimKernel;
+
+double Seconds(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+void Report(const char* name, std::size_t ops, double elapsed) {
+  std::printf("%-28s %10zu events  %8.3f s  %12.0f events/s\n", name, ops,
+              elapsed, elapsed > 0 ? static_cast<double>(ops) / elapsed : 0);
+}
+
+// The pre-refactor structure, for comparison: a binary heap of fat
+// events, no cancellation, move-out via const_cast.
+struct LegacyQueue {
+  struct Event {
+    SimTime at;
+    std::uint64_t seq;
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      return a.at != b.at ? a.at > b.at : a.seq > b.seq;
+    }
+  };
+  std::priority_queue<Event, std::vector<Event>, Later> events;
+  std::uint64_t seq = 0;
+
+  void Schedule(SimTime at, std::function<void()> fn) {
+    events.push(Event{at, seq++, std::move(fn)});
+  }
+  bool Step() {
+    if (events.empty()) return false;
+    Event event = std::move(const_cast<Event&>(events.top()));
+    events.pop();
+    event.fn();
+    return true;
+  }
+};
+
+// Steady-state churn: keep `pending` events queued; every pop schedules
+// one replacement at a pseudo-random future time.
+void BenchLegacy(std::size_t total, std::size_t pending) {
+  LegacyQueue queue;
+  Rng rng(7);
+  SimTime now = 0;
+  std::size_t fired = 0;
+  const auto start = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < pending; ++i) {
+    queue.Schedule(static_cast<SimTime>(rng.NextBounded(1000)), [&fired] {
+      ++fired;
+    });
+  }
+  while (fired < total) {
+    now += 1;
+    queue.Schedule(now + static_cast<SimTime>(rng.NextBounded(1000)),
+                   [&fired] { ++fired; });
+    queue.Step();
+  }
+  Report("legacy priority_queue", fired, Seconds(start));
+}
+
+void BenchSlab(std::size_t total, std::size_t pending) {
+  SimKernel kernel;
+  kernel.Reserve(pending + 1);
+  Rng rng(7);
+  std::size_t fired = 0;
+  const auto start = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < pending; ++i) {
+    kernel.Schedule(static_cast<SimTime>(rng.NextBounded(1000)), [&fired] {
+      ++fired;
+    });
+  }
+  while (fired < total) {
+    kernel.Schedule(static_cast<SimTime>(1 + rng.NextBounded(1000)),
+                    [&fired] { ++fired; });
+    kernel.Step();
+  }
+  Report("slab 4-ary heap", fired, Seconds(start));
+}
+
+// Same churn, but half the scheduled events are cancelled before they
+// can fire — the give-up-timer pattern lossy scenarios produce.
+void BenchSlabCancel(std::size_t total, std::size_t pending) {
+  SimKernel kernel;
+  kernel.Reserve(pending + 2);
+  Rng rng(7);
+  std::size_t fired = 0;
+  std::size_t cancelled = 0;
+  const auto start = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < pending; ++i) {
+    kernel.Schedule(static_cast<SimTime>(rng.NextBounded(1000)), [&fired] {
+      ++fired;
+    });
+  }
+  while (fired + cancelled < total) {
+    const SimKernel::TimerId doomed = kernel.Schedule(
+        static_cast<SimTime>(1 + rng.NextBounded(1000)), [] {});
+    kernel.Schedule(static_cast<SimTime>(1 + rng.NextBounded(1000)),
+                    [&fired] { ++fired; });
+    if (kernel.Cancel(doomed)) ++cancelled;
+    kernel.Step();
+  }
+  Report("slab with 50% cancels", fired + cancelled, Seconds(start));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::size_t total = 2'000'000;
+  std::size_t pending = 4'096;
+  if (argc > 1) {
+    total = static_cast<std::size_t>(std::strtoull(argv[1], nullptr, 10));
+  }
+  if (argc > 2) {
+    pending = static_cast<std::size_t>(std::strtoull(argv[2], nullptr, 10));
+  }
+  if (total == 0 || pending == 0) {
+    std::fprintf(stderr, "usage: kernel_bench [events] [pending]\n");
+    return 2;
+  }
+  std::printf("kernel_bench: %zu events, %zu steady-state pending\n", total,
+              pending);
+  BenchLegacy(total, pending);
+  BenchSlab(total, pending);
+  BenchSlabCancel(total, pending);
+  return 0;
+}

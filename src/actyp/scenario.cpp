@@ -22,6 +22,10 @@ SimScenario::SimScenario(ScenarioConfig config)
 SimScenario::~SimScenario() = default;
 
 void SimScenario::Build() {
+  // Typical concurrent event population: one or two timers per client
+  // plus per-node ticks; pre-sizing avoids slab growth mid-run.
+  kernel_.Reserve(config_.clients * 4 + config_.machines / 8 + 64);
+
   // --- topology ---
   simnet::Topology topology = simnet::Topology::Lan();
   if (config_.wan) {

@@ -52,6 +52,13 @@ std::string_view TrimView(std::string_view text) {
 
 std::string Trim(std::string_view text) { return std::string(TrimView(text)); }
 
+bool IsLower(std::string_view text) {
+  for (const char c : text) {
+    if (std::isupper(static_cast<unsigned char>(c))) return false;
+  }
+  return true;
+}
+
 std::string ToLower(std::string_view text) {
   std::string out(text);
   for (char& c : out) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));

@@ -15,6 +15,26 @@ std::vector<std::string> Split(std::string_view text, char sep);
 std::vector<std::string> SplitSkipEmpty(std::string_view text, char sep);
 std::string Join(const std::vector<std::string>& parts, std::string_view sep);
 
+// Allocation-free split: calls fn(piece) for every sep-separated piece
+// (empty pieces included) — the hot-path alternative to Split.
+template <typename Fn>
+void ForEachPiece(std::string_view text, char sep, Fn&& fn) {
+  std::size_t start = 0;
+  for (;;) {
+    const std::size_t pos = text.find(sep, start);
+    if (pos == std::string_view::npos) {
+      fn(text.substr(start));
+      return;
+    }
+    fn(text.substr(start, pos - start));
+    start = pos + 1;
+  }
+}
+
+// True when the text contains no uppercase letters — lets hot paths
+// skip the allocating ToLower for already-canonical keys.
+bool IsLower(std::string_view text);
+
 std::string_view TrimView(std::string_view text);
 std::string Trim(std::string_view text);
 std::string ToLower(std::string_view text);

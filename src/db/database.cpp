@@ -121,6 +121,16 @@ std::vector<MachineId> ResourceDatabase::ListTakenBy(
   return out;
 }
 
+void ResourceDatabase::VisitRecords(
+    const std::vector<MachineId>& ids,
+    const std::function<void(std::size_t, const MachineRecord*)>& fn) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    const auto it = records_.find(ids[i]);
+    fn(i, it == records_.end() ? nullptr : &it->second);
+  }
+}
+
 void ResourceDatabase::ForEach(
     const std::function<void(const MachineRecord&)>& fn) const {
   std::vector<MachineRecord> snapshot;

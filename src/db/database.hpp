@@ -58,6 +58,13 @@ class ResourceDatabase {
   // Walks all records (copy per record) — used by baselines and tools.
   void ForEach(const std::function<void(const MachineRecord&)>& fn) const;
 
+  // Batched read for the pools' periodic refresh sweep: one lock, no
+  // record copies. Calls fn(position, record) for each id, with a null
+  // record for unknown ids; the reference is only valid inside fn.
+  void VisitRecords(
+      const std::vector<MachineId>& ids,
+      const std::function<void(std::size_t, const MachineRecord*)>& fn) const;
+
   [[nodiscard]] std::size_t size() const;
   [[nodiscard]] std::size_t free_count() const;
 

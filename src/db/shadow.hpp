@@ -4,9 +4,9 @@
 #pragma once
 
 #include <cstdint>
-#include <map>
 #include <mutex>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "common/status.hpp"
@@ -49,7 +49,7 @@ class ShadowAccountRegistry {
 
  private:
   std::mutex mu_;
-  std::map<std::string, ShadowAccountPool> pools_;
+  std::unordered_map<std::string, ShadowAccountPool> pools_;
 };
 
 }  // namespace actyp::db

@@ -38,10 +38,11 @@ class InProcNetwork::Context final : public NodeContext {
     }
   }
 
-  void ScheduleSelf(SimDuration delay, Message message) override {
+  TimerId ScheduleSelf(SimDuration delay, Message message) override {
     Envelope env{runtime_->address, runtime_->address, std::move(message),
                  Now()};
     network_->Deliver(std::move(env), delay);
+    return 0;  // the threaded transport does not support cancellation
   }
 
   Rng& rng() override { return runtime_->rng; }

@@ -49,7 +49,7 @@ Result<Message> Message::Decode(std::string_view wire) {
       if (!n || *n < 0) return InvalidArgument("bad content-length");
       declared_length = static_cast<std::size_t>(*n);
     } else {
-      message.headers[key] = value;
+      message.SetHeader(key, value);
     }
   }
   if (first) return InvalidArgument("empty message");

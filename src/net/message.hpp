@@ -13,9 +13,10 @@
 #pragma once
 
 #include <cstdint>
-#include <map>
 #include <string>
 #include <string_view>
+#include <utility>
+#include <vector>
 
 #include "common/status.hpp"
 
@@ -47,22 +48,47 @@ inline constexpr std::string_view kError = "error";
 }  // namespace hdr
 
 struct Message {
+  // Messages carry a handful of headers, so a flat vector searched
+  // linearly beats a node-based map on every hot path (set, get, copy);
+  // insertion order is preserved on the wire.
+  using HeaderList = std::vector<std::pair<std::string, std::string>>;
+
   std::string type;
-  std::map<std::string, std::string> headers;
+  HeaderList headers;
   std::string body;
 
   Message() = default;
   explicit Message(std::string_view t) : type(t) {}
 
+  [[nodiscard]] const std::string* FindHeader(std::string_view key) const {
+    for (const auto& [name, value] : headers) {
+      if (name == key) return &value;
+    }
+    return nullptr;
+  }
   [[nodiscard]] std::string Header(std::string_view key) const {
-    auto it = headers.find(std::string(key));
-    return it == headers.end() ? std::string() : it->second;
+    const std::string* value = FindHeader(key);
+    return value == nullptr ? std::string() : *value;
   }
   void SetHeader(std::string_view key, std::string value) {
-    headers[std::string(key)] = std::move(value);
+    for (auto& [name, existing] : headers) {
+      if (name == key) {
+        existing = std::move(value);
+        return;
+      }
+    }
+    headers.emplace_back(std::string(key), std::move(value));
+  }
+  void RemoveHeader(std::string_view key) {
+    for (auto it = headers.begin(); it != headers.end(); ++it) {
+      if (it->first == key) {
+        headers.erase(it);
+        return;
+      }
+    }
   }
   [[nodiscard]] bool HasHeader(std::string_view key) const {
-    return headers.count(std::string(key)) > 0;
+    return FindHeader(key) != nullptr;
   }
 
   [[nodiscard]] std::string Encode() const;

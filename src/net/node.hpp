@@ -6,6 +6,7 @@
 // independently distributed and replicated" is expressed in code.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <string>
 
@@ -25,6 +26,10 @@ struct Envelope {
   SimTime sent_at = 0;
 };
 
+// Handle for a self-scheduled timer; 0 means "not cancellable" (either
+// an invalid id or a transport without cancellation support).
+using TimerId = std::uint64_t;
+
 // Execution context handed to a node while it processes one message.
 class NodeContext {
  public:
@@ -40,8 +45,17 @@ class NodeContext {
   // for `duration`; under the threaded runtime it is a scaled sleep.
   virtual void Consume(SimDuration duration) = 0;
 
-  // Delivers `message` back to this node after `delay` (timer).
-  virtual void ScheduleSelf(SimDuration delay, Message message) = 0;
+  // Delivers `message` back to this node after `delay` (timer). Returns
+  // a handle for CancelSelf, or 0 when the transport cannot cancel.
+  virtual TimerId ScheduleSelf(SimDuration delay, Message message) = 0;
+
+  // Cancels a timer from a previous ScheduleSelf on this node before it
+  // delivers. Returns false for stale/unknown ids and on transports
+  // without cancellation; a cancelled timer never delivers its message.
+  virtual bool CancelSelf(TimerId id) {
+    (void)id;
+    return false;
+  }
 
   // Per-node deterministic random stream.
   virtual Rng& rng() = 0;

@@ -1,5 +1,7 @@
 #include "pipeline/pool_manager.hpp"
 
+#include <optional>
+
 #include "common/logging.hpp"
 #include "common/strings.hpp"
 #include "net/message.hpp"
@@ -38,15 +40,27 @@ void PoolManager::HandleQuery(const net::Envelope& envelope,
                               net::NodeContext& ctx) {
   ++stats_.queries;
   const net::Message& message = envelope.message;
-
-  auto parsed = query::Parser::ParseBasic(message.body);
   ctx.Consume(config_.costs.pm_map);
-  if (!parsed.ok()) {
-    Fail(envelope, ctx, parsed.status().ToString());
-    return;
+
+  // The entry stage precomputes the pool name (sched hints, §6); the
+  // common replicated-forward path then never re-parses the body. The
+  // split and delegation paths parse on demand, and queries injected
+  // mid-pipeline (no hint header) parse here as before.
+  std::optional<query::Query> q;
+  auto parse_query = [&]() {
+    auto parsed = query::Parser::ParseBasic(message.body);
+    if (!parsed.ok()) {
+      Fail(envelope, ctx, parsed.status().ToString());
+      return false;
+    }
+    q = std::move(parsed.value());
+    return true;
+  };
+  std::string pool_name = message.Header(net::hdr::kPoolName);
+  if (pool_name.empty()) {
+    if (!parse_query()) return;
+    pool_name = q->PoolName();
   }
-  query::Query q = std::move(parsed.value());
-  const std::string pool_name = q.PoolName();
 
   const auto instances = directory_->Lookup(pool_name);
   if (!instances.empty()) {
@@ -59,13 +73,14 @@ void PoolManager::HandleQuery(const net::Envelope& envelope,
         return;
       }
       ++stats_.fanouts;
+      if (!q.has_value() && !parse_query()) return;
       const auto total = static_cast<std::uint32_t>(instances.size());
       std::uint64_t request_id = 0;
       if (auto rid = ParseInt(message.Header(net::hdr::kRequestId))) {
         request_id = static_cast<std::uint64_t>(*rid);
       }
       for (std::uint32_t i = 0; i < total; ++i) {
-        query::Query fragment = q;
+        query::Query fragment = *q;
         query::FragmentInfo info;
         info.composite_id = request_id != 0 ? request_id : 1;
         info.index = i;
@@ -109,7 +124,8 @@ void PoolManager::HandleQuery(const net::Envelope& envelope,
   // Cannot create: delegate to a peer pool manager, carrying the visited
   // list and TTL with the query (§5.2.2).
   if (config_.allow_delegate) {
-    Delegate(envelope, ctx, std::move(q));
+    if (!q.has_value() && !parse_query()) return;
+    Delegate(envelope, ctx, std::move(*q));
     return;
   }
   Fail(envelope, ctx, "no pool for '" + pool_name + "' and creation disabled");

@@ -29,6 +29,16 @@ inline constexpr std::string_view kFragment = "fragment";      // "i/n"
 inline constexpr std::string_view kPoolAddress = "pool-address";
 inline constexpr std::string_view kLoad = "machine-load";
 inline constexpr std::string_view kQosFirstMatch = "qos-first-match";
+// Scheduling hints the query manager extracts once at the pipeline
+// entry so downstream stages (pool managers, pools) can route and
+// select without re-parsing the query text. kSchedHints marks them
+// authoritative: absent on queries injected mid-pipeline (tests,
+// external frontends), and those fall back to parsing the body.
+inline constexpr std::string_view kSchedHints = "sched-hints";
+inline constexpr std::string_view kAccessGroup = "access-group";
+inline constexpr std::string_view kCoAlloc = "co-alloc";       // count
+inline constexpr std::string_view kResvStart = "resv-start";   // seconds
+inline constexpr std::string_view kResvDuration = "resv-duration";
 }  // namespace phdr
 
 // Builds a query message. The query's own text body carries TTL/visited/

@@ -89,7 +89,7 @@ void ProxyServer::HandleCreatePool(const net::Envelope& envelope,
   // intact; the pool answers the original requester directly.
   net::Message forward{net::msg::kQuery};
   forward.headers = message.headers;
-  forward.headers.erase(std::string(net::hdr::kPoolName));
+  forward.RemoveHeader(net::hdr::kPoolName);
   forward.body = message.body;
   ctx.Send(pool_address, std::move(forward));
 }

@@ -123,9 +123,8 @@ void QueryManager::HandleQuery(const net::Envelope& envelope,
     if (config_.qos_fanout > 1 && candidates.size() > 1) {
       std::vector<net::Address> unused;
       for (const auto& c : candidates) {
-        if (std::find(used_pms.begin(), used_pms.end(), c) == unused.end() &&
-            std::find(used_pms.begin(), used_pms.end(), c) ==
-                used_pms.end()) {
+        if (std::find(used_pms.begin(), used_pms.end(), c) ==
+            used_pms.end()) {
           unused.push_back(c);
         }
       }
@@ -142,6 +141,26 @@ void QueryManager::HandleQuery(const net::Envelope& envelope,
     if (aggregated) {
       out.SetHeader(phdr::kFragment,
                     std::to_string(i) + "/" + std::to_string(total));
+    }
+    // Scheduling hints: the entry stage parsed the query once; carry the
+    // routing/selection state downstream so the PM and pool stages need
+    // not re-parse the body (the paper's "all state travels with the
+    // messages", §6 — here the parsed state travels too).
+    out.SetHeader(net::hdr::kPoolName, fragment.PoolName());
+    out.SetHeader(phdr::kSchedHints, "1");
+    if (std::string group = fragment.GetUser("accessgroup");
+        !group.empty()) {
+      out.SetHeader(phdr::kAccessGroup, std::move(group));
+    }
+    if (std::string count = fragment.GetAppl("count"); !count.empty()) {
+      out.SetHeader(phdr::kCoAlloc, std::move(count));
+    }
+    if (std::string start = fragment.GetAppl("starttime"); !start.empty()) {
+      out.SetHeader(phdr::kResvStart, std::move(start));
+      if (std::string duration = fragment.GetAppl("duration");
+          !duration.empty()) {
+        out.SetHeader(phdr::kResvDuration, std::move(duration));
+      }
     }
     out.body = fragment.ToText();
     ctx.Send(pm, std::move(out));

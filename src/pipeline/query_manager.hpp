@@ -7,8 +7,8 @@
 #pragma once
 
 #include <functional>
-#include <map>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "net/node.hpp"
@@ -75,7 +75,7 @@ class QueryManager final : public net::Node {
             const std::string& reason);
 
   QueryManagerConfig config_;
-  std::map<std::string, Translator> translators_;
+  std::unordered_map<std::string, Translator> translators_;
   QueryManagerStats stats_;
   std::size_t round_robin_ = 0;
   std::uint64_t composite_seq_ = 1;

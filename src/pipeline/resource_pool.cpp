@@ -26,6 +26,10 @@ ResourcePool::ResourcePool(ResourcePoolConfig config,
   auto policy = sched::MakePolicy(config_.policy);
   policy_ = policy.ok() ? std::move(policy.value())
                         : std::make_unique<sched::LeastLoadPolicy>();
+  if (policy_->indexed()) {
+    index_ = std::make_unique<sched::SchedulingIndex>(
+        policy_.get(), config_.instance, config_.instance_count);
+  }
 }
 
 ResourcePool::~ResourcePool() = default;
@@ -50,14 +54,17 @@ void ResourcePool::Initialize(net::NodeContext& ctx) {
 
   cache_.clear();
   meta_.clear();
+  cache_ids_.clear();
   cache_.reserve(ids.size());
   meta_.reserve(ids.size());
-  for (const auto id : ids) {
-    auto rec = database_->Get(id);
-    if (!rec.ok()) continue;
+  cache_ids_.reserve(ids.size());
+  any_user_groups_ = false;
+  any_usage_policy_ = false;
+  database_->VisitRecords(ids, [this](std::size_t, const db::MachineRecord*
+                                                      rec) {
+    if (rec == nullptr) return;
     sched::CacheEntry entry;
     entry.id = rec->id;
-    entry.name = rec->name;
     entry.load = rec->dyn.load;
     entry.available_memory_mb = rec->dyn.available_memory_mb;
     entry.effective_speed = rec->effective_speed;
@@ -66,14 +73,19 @@ void ResourcePool::Initialize(net::NodeContext& ctx) {
     entry.active_jobs = 0;
     entry.updated = rec->dyn.last_update;
     cache_.push_back(std::move(entry));
+    cache_ids_.push_back(rec->id);
 
     EntryMeta meta;
+    meta.name = rec->name;
     meta.user_groups = rec->user_groups;
     meta.usage_policy = rec->usage_policy;
     meta.shadow_pool = rec->shadow_pool;
     meta.execution_port = rec->execution_unit_port;
+    any_user_groups_ |= !meta.user_groups.empty();
+    any_usage_policy_ |= !meta.usage_policy.empty();
     meta_.push_back(std::move(meta));
-  }
+  });
+  if (index_) index_->Rebuild(cache_);
 
   initialized_ = true;
   if (config_.register_in_directory && directory_ != nullptr) {
@@ -124,65 +136,99 @@ void ResourcePool::HandleQuery(const net::Envelope& envelope,
     request_id = static_cast<std::uint64_t>(*rid);
   }
 
-  auto parsed = query::Parser::ParseBasic(message.body);
   ctx.Consume(config_.costs.pool_fixed);
-  if (!parsed.ok()) {
-    ++stats_.failures;
-    if (!reply_to.empty()) {
-      ctx.Send(reply_to,
-               MakeFailureMessage(request_id, parsed.status().ToString()));
+
+  // Facts selection needs: the access group, the co-allocation count,
+  // the reservation window, and the fragment coordinates. When the
+  // query manager attached its sched hints (§6 — parsed state travels
+  // with the message) they are read from headers; queries injected
+  // mid-pipeline parse the body as before.
+  std::string access_group;
+  std::size_t want = 1;
+  std::optional<double> resv_start_s;
+  double resv_duration_s = 3600.0;
+  std::uint32_t frag_index = 0, frag_total = 1;
+  ParseFragmentHeader(message, &frag_index, &frag_total);
+  if (message.HasHeader(phdr::kSchedHints)) {
+    access_group = message.Header(phdr::kAccessGroup);
+    if (auto count = ParseInt(message.Header(phdr::kCoAlloc));
+        count && *count > 1) {
+      want = static_cast<std::size_t>(*count);
     }
-    return;
+    if (auto start = ParseDouble(message.Header(phdr::kResvStart))) {
+      resv_start_s = *start;
+      resv_duration_s =
+          ParseDouble(message.Header(phdr::kResvDuration)).value_or(3600.0);
+    }
+  } else {
+    auto parsed = query::Parser::ParseBasic(message.body);
+    if (!parsed.ok()) {
+      ++stats_.failures;
+      if (!reply_to.empty()) {
+        ctx.Send(reply_to,
+                 MakeFailureMessage(request_id, parsed.status().ToString()));
+      }
+      return;
+    }
+    const query::Query& q = parsed.value();
+    access_group = q.GetUser("accessgroup");
+    if (auto count = ParseInt(q.GetAppl("count")); count && *count > 1) {
+      want = static_cast<std::size_t>(*count);
+    }
+    if (auto start = ParseDouble(q.GetAppl("starttime"))) {
+      resv_start_s = *start;
+      resv_duration_s = ParseDouble(q.GetAppl("duration")).value_or(3600.0);
+    }
+    if (const query::FragmentInfo frag = q.fragment(); frag.is_fragment()) {
+      frag_index = frag.index;
+      frag_total = frag.total;
+    }
   }
-  const query::Query& q = parsed.value();
-  const std::string access_group = q.GetUser("accessgroup");
+  const std::string access_group_lower = ToLower(access_group);
 
   // Per-query eligibility: user group lists (Fig. 3 field 16) and usage
-  // policies (field 19) applied to the pool's cached view.
-  std::function<bool(std::size_t, const sched::CacheEntry&)> filter =
-      [this, &access_group](std::size_t i, const sched::CacheEntry& entry) {
-        const EntryMeta& meta = meta_[i];
-        if (!meta.user_groups.empty() && !access_group.empty()) {
-          const std::string lower = ToLower(access_group);
-          const bool allowed = std::any_of(
-              meta.user_groups.begin(), meta.user_groups.end(),
-              [&lower](const std::string& g) { return ToLower(g) == lower; });
-          if (!allowed) return false;
-        }
-        if (policies_ != nullptr && !meta.usage_policy.empty()) {
-          // Evaluate the policy against the cached dynamic view.
-          db::MachineRecord synth;
-          synth.name = entry.name;
-          synth.dyn.load = entry.load;
-          synth.dyn.available_memory_mb = entry.available_memory_mb;
-          synth.effective_speed = entry.effective_speed;
-          synth.num_cpus = entry.num_cpus;
-          synth.max_allowed_load = entry.max_allowed_load;
-          synth.usage_policy = meta.usage_policy;
-          if (!policies_->Allows(synth, access_group)) return false;
-        }
-        return true;
-      };
+  // policies (field 19) applied to the pool's cached view. Most pools
+  // carry no such metadata — the selection scan must not pay an
+  // indirect filter call per entry for a check that always passes.
+  const bool needs_meta_filter =
+      (any_user_groups_ && !access_group.empty()) ||
+      (policies_ != nullptr && any_usage_policy_);
+  auto meta_allows = [this, &access_group, &access_group_lower](
+                         std::size_t i, const sched::CacheEntry& entry) {
+    const EntryMeta& meta = meta_[i];
+    if (!meta.user_groups.empty() && !access_group_lower.empty()) {
+      const bool allowed =
+          std::any_of(meta.user_groups.begin(), meta.user_groups.end(),
+                      [&access_group_lower](const std::string& g) {
+                        return ToLower(g) == access_group_lower;
+                      });
+      if (!allowed) return false;
+    }
+    if (policies_ != nullptr && !meta.usage_policy.empty()) {
+      // Evaluate the policy against the cached dynamic view.
+      db::MachineRecord synth;
+      synth.name = meta.name;
+      synth.dyn.load = entry.load;
+      synth.dyn.available_memory_mb = entry.available_memory_mb;
+      synth.effective_speed = entry.effective_speed;
+      synth.num_cpus = entry.num_cpus;
+      synth.max_allowed_load = entry.max_allowed_load;
+      synth.usage_policy = meta.usage_policy;
+      if (!policies_->Allows(synth, access_group)) return false;
+    }
+    return true;
+  };
 
-  // Co-allocation (an extension beyond the 2001 prototype, which — like
-  // advance reservations — the paper lists as unsupported): a query may
-  // ask for `punch.appl.count = N` machines, granted atomically or not
-  // at all.
-  std::size_t want = 1;
-  if (auto count = ParseInt(q.GetAppl("count")); count && *count > 1) {
-    want = static_cast<std::size_t>(*count);
-  }
-
-  // Advance reservation (extension): `punch.appl.starttime` (absolute
-  // seconds) + `punch.appl.duration` (seconds) turn the request into a
-  // booking of that future window instead of an immediate allocation.
+  // Co-allocation and advance reservations (extensions beyond the 2001
+  // prototype, which the paper lists as unsupported): `punch.appl.count
+  // = N` machines granted atomically or not at all; `punch.appl.
+  // starttime` (absolute seconds) + `punch.appl.duration` turn the
+  // request into a booking of that future window.
   SimTime resv_start = 0, resv_end = 0;
   bool is_reservation = false;
-  if (auto start = ParseDouble(q.GetAppl("starttime"))) {
-    const double duration =
-        ParseDouble(q.GetAppl("duration")).value_or(3600.0);
-    resv_start = Seconds(*start);
-    resv_end = resv_start + Seconds(duration);
+  if (resv_start_s.has_value()) {
+    resv_start = Seconds(*resv_start_s);
+    resv_end = resv_start + Seconds(resv_duration_s);
     is_reservation = resv_end > resv_start && resv_start >= ctx.Now();
     if (!is_reservation) {
       ++stats_.failures;
@@ -198,28 +244,32 @@ void ResourcePool::HandleQuery(const net::Envelope& envelope,
   sel_ctx.instance = config_.instance;
   sel_ctx.instance_count = config_.instance_count;
   sel_ctx.rng = &ctx.rng();
-  sel_ctx.filter = &filter;
 
   // Select `want` distinct machines; already-picked indices are excluded
-  // through the filter.
+  // through the filter. A plain single allocation with no access-control
+  // metadata in play needs no filter at all — the common fast path.
   std::vector<std::size_t> picked;
   std::size_t examined = 0;
   bool oversubscribed = false;
-  std::function<bool(std::size_t, const sched::CacheEntry&)> pick_filter =
-      [this, &filter, &picked, is_reservation, resv_start, resv_end](
-          std::size_t i, const sched::CacheEntry& entry) {
-        if (std::find(picked.begin(), picked.end(), i) != picked.end()) {
-          return false;
-        }
-        if (is_reservation &&
-            !reservations_.IsFree(entry.id, resv_start, resv_end)) {
-          return false;
-        }
-        return filter(i, entry);
-      };
-  sel_ctx.filter = &pick_filter;
+  std::function<bool(std::size_t, const sched::CacheEntry&)> pick_filter;
+  if (needs_meta_filter || is_reservation || want > 1) {
+    pick_filter = [this, &meta_allows, &picked, is_reservation,
+                   needs_meta_filter, resv_start, resv_end](
+                      std::size_t i, const sched::CacheEntry& entry) {
+      if (std::find(picked.begin(), picked.end(), i) != picked.end()) {
+        return false;
+      }
+      if (is_reservation &&
+          !reservations_.IsFree(entry.id, resv_start, resv_end)) {
+        return false;
+      }
+      return !needs_meta_filter || meta_allows(i, entry);
+    };
+    sel_ctx.filter = &pick_filter;
+  }
   while (picked.size() < want) {
-    sched::Selection selection = policy_->Select(cache_, sel_ctx);
+    sched::Selection selection = index_ ? index_->Select(cache_, sel_ctx)
+                                        : policy_->Select(cache_, sel_ctx);
     if (!selection.found() && config_.allow_oversubscribe &&
         !is_reservation) {
       // Every machine is at its ceiling: time-share the least-loaded one
@@ -228,7 +278,7 @@ void ResourcePool::HandleQuery(const net::Envelope& envelope,
       for (std::size_t i = 0; i < cache_.size(); ++i) {
         ++selection.examined;
         if (cache_[i].load >= kUnusableLoad) continue;  // machine is down
-        if (!pick_filter(i, cache_[i])) continue;
+        if (pick_filter && !pick_filter(i, cache_[i])) continue;
         if (!selection.found() || cache_[i].load < best_load) {
           selection.index = i;
           best_load = cache_[i].load;
@@ -268,13 +318,6 @@ void ResourcePool::HandleQuery(const net::Envelope& envelope,
 
   if (!selection.found()) {
     ++stats_.failures;
-    std::uint32_t frag_index = 0, frag_total = 1;
-    ParseFragmentHeader(message, &frag_index, &frag_total);
-    const query::FragmentInfo frag = q.fragment();
-    if (frag.is_fragment()) {
-      frag_index = frag.index;
-      frag_total = frag.total;
-    }
     if (!reply_to.empty()) {
       net::Message failure =
           MakeFailureMessage(request_id,
@@ -300,13 +343,14 @@ void ResourcePool::HandleQuery(const net::Envelope& envelope,
     for (const std::size_t index : picked) {
       cache_[index].active_jobs += 1;
       cache_[index].load += 1.0;
+      TouchIndex(index);
     }
   }
 
   const std::size_t primary = picked.front();
   sched::CacheEntry& chosen = cache_[primary];
   Allocation allocation;
-  allocation.machine_name = chosen.name;
+  allocation.machine_name = meta_[primary].name;
   allocation.machine_id = chosen.id;
   allocation.port = meta_[primary].execution_port;
   allocation.session_key = session_key;
@@ -314,9 +358,8 @@ void ResourcePool::HandleQuery(const net::Envelope& envelope,
   allocation.pool_address = ctx.self();
   allocation.machine_load = chosen.load;
   allocation.request_id = request_id;
-  const query::FragmentInfo frag = q.fragment();
-  allocation.fragment_index = frag.index;
-  allocation.fragment_total = frag.total;
+  allocation.fragment_index = frag_index;
+  allocation.fragment_total = frag_total;
 
   if (shadows_ != nullptr && !meta_[primary].shadow_pool.empty()) {
     auto* pool = shadows_->Find(meta_[primary].shadow_pool);
@@ -342,7 +385,9 @@ void ResourcePool::HandleQuery(const net::Envelope& envelope,
       // client can reach every member.
       std::vector<std::string> names;
       names.reserve(picked.size());
-      for (const std::size_t index : picked) names.push_back(cache_[index].name);
+      for (const std::size_t index : picked) {
+        names.push_back(meta_[index].name);
+      }
       out.SetHeader("machines", Join(names, ","));
     }
     propagate(out);
@@ -370,6 +415,7 @@ void ResourcePool::HandleRelease(const net::Envelope& envelope,
       sched::CacheEntry& entry = cache_[index];
       entry.active_jobs = std::max(0, entry.active_jobs - 1);
       entry.load = std::max(0.0, entry.load - 1.0);
+      TouchIndex(index);
     }
   }
 
@@ -387,56 +433,78 @@ void ResourcePool::HandleRelease(const net::Envelope& envelope,
 
 void ResourcePool::HandleTick(net::NodeContext& ctx) {
   RefreshFromDatabase();
-  Resort(ctx);
+  if (index_) {
+    // Indexed policies never reorder the cache; the refresh sweep is
+    // followed by an O(n) heapify instead of the periodic sort.
+    ctx.Consume(config_.costs.pool_sort_per_machine *
+                static_cast<SimDuration>(cache_.size()));
+    index_->Rebuild(cache_);
+  } else {
+    Resort(ctx);
+  }
   reservations_.Prune(ctx.Now());
   ctx.ScheduleSelf(config_.resort_period, net::Message{net::msg::kTick});
 }
 
 void ResourcePool::RefreshFromDatabase() {
-  for (auto& entry : cache_) {
-    auto rec = database_->Get(entry.id);
-    if (!rec.ok()) continue;
-    if (!rec->IsUsable()) {
-      // The machine went down or was blocked since the last sweep: make
-      // it unselectable (by any policy, including the oversubscribe
-      // fallback) until it comes back.
-      entry.load = kUnusableLoad;
-      entry.updated = rec->dyn.last_update;
-      continue;
-    }
-    // Background load from the monitor plus this pool's own allocations.
-    entry.load = rec->dyn.load + static_cast<double>(entry.active_jobs);
-    entry.available_memory_mb = rec->dyn.available_memory_mb;
-    entry.updated = rec->dyn.last_update;
-  }
+  // One locked sweep over the white pages, no record copies.
+  database_->VisitRecords(
+      cache_ids_, [this](std::size_t i, const db::MachineRecord* rec) {
+        if (rec == nullptr) return;
+        sched::CacheEntry& entry = cache_[i];
+        if (!rec->IsUsable()) {
+          // The machine went down or was blocked since the last sweep:
+          // make it unselectable (by any policy, including the
+          // oversubscribe fallback) until it comes back.
+          entry.load = kUnusableLoad;
+          entry.updated = rec->dyn.last_update;
+          return;
+        }
+        // Background load from the monitor plus this pool's own
+        // allocations.
+        entry.load = rec->dyn.load + static_cast<double>(entry.active_jobs);
+        entry.available_memory_mb = rec->dyn.available_memory_mb;
+        entry.updated = rec->dyn.last_update;
+      });
+}
+
+void ResourcePool::TouchIndex(std::size_t index) {
+  if (index_) index_->Update(cache_, index);
 }
 
 void ResourcePool::Resort(net::NodeContext& ctx) {
   ctx.Consume(config_.costs.pool_sort_per_machine *
               static_cast<SimDuration>(cache_.size()));
   // Sort cache and keep meta/session maps consistent via an index
-  // permutation.
-  std::vector<std::size_t> order(cache_.size());
-  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
-  std::stable_sort(order.begin(), order.end(),
+  // permutation; the permutation buffers persist across ticks.
+  sort_order_.resize(cache_.size());
+  for (std::size_t i = 0; i < sort_order_.size(); ++i) sort_order_[i] = i;
+  std::stable_sort(sort_order_.begin(), sort_order_.end(),
                    [this](std::size_t a, std::size_t b) {
                      return policy_->Better(cache_[a], cache_[b]);
                    });
+  const bool identity =
+      std::is_sorted(sort_order_.begin(), sort_order_.end());
+  if (identity) return;  // already in objective order; nothing to move
 
   std::vector<sched::CacheEntry> new_cache;
   std::vector<EntryMeta> new_meta;
+  std::vector<db::MachineId> new_ids;
   new_cache.reserve(cache_.size());
   new_meta.reserve(meta_.size());
-  std::vector<std::size_t> new_index(cache_.size());
-  for (std::size_t rank = 0; rank < order.size(); ++rank) {
-    new_index[order[rank]] = rank;
-    new_cache.push_back(std::move(cache_[order[rank]]));
-    new_meta.push_back(std::move(meta_[order[rank]]));
+  new_ids.reserve(cache_ids_.size());
+  sort_new_index_.resize(cache_.size());
+  for (std::size_t rank = 0; rank < sort_order_.size(); ++rank) {
+    sort_new_index_[sort_order_[rank]] = rank;
+    new_cache.push_back(std::move(cache_[sort_order_[rank]]));
+    new_meta.push_back(std::move(meta_[sort_order_[rank]]));
+    new_ids.push_back(cache_ids_[sort_order_[rank]]);
   }
   cache_ = std::move(new_cache);
   meta_ = std::move(new_meta);
+  cache_ids_ = std::move(new_ids);
   for (auto& [session, indices] : session_entry_) {
-    for (auto& index : indices) index = new_index[index];
+    for (auto& index : indices) index = sort_new_index_[index];
   }
 }
 

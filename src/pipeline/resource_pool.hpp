@@ -15,9 +15,10 @@
 // instance-specific selection bias of Fig. 8.
 #pragma once
 
-#include <map>
 #include <memory>
-#include <set>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "common/status.hpp"
@@ -30,6 +31,7 @@
 #include "pipeline/protocol.hpp"
 #include "pipeline/reservations.hpp"
 #include "query/query.hpp"
+#include "sched/index.hpp"
 #include "sched/policy.hpp"
 
 namespace actyp::pipeline {
@@ -85,6 +87,8 @@ class ResourcePool final : public net::Node {
 
  private:
   struct EntryMeta {
+    std::string name;  // machine name (identity lives here, off the
+                       // scheduling scan's hot cache entries)
     std::vector<std::string> user_groups;
     std::string usage_policy;
     std::string shadow_pool;
@@ -97,6 +101,9 @@ class ResourcePool final : public net::Node {
   void HandleTick(net::NodeContext& ctx);
   void RefreshFromDatabase();
   void Resort(net::NodeContext& ctx);
+  // Re-positions entry `index` in the scheduling index after its load
+  // changed (no-op for the legacy linear policies).
+  void TouchIndex(std::size_t index);
   [[nodiscard]] std::string MakeSessionKey(net::NodeContext& ctx);
 
   ResourcePoolConfig config_;
@@ -106,14 +113,23 @@ class ResourcePool final : public net::Node {
   db::PolicyRegistry* policies_;
 
   std::unique_ptr<sched::SchedulingPolicy> policy_;
+  // Present iff the policy is indexed: maintained on allocate/release/
+  // refresh, consulted instead of the linear scan.
+  std::unique_ptr<sched::SchedulingIndex> index_;
   std::vector<sched::CacheEntry> cache_;
   std::vector<EntryMeta> meta_;             // parallel to cache_
+  std::vector<db::MachineId> cache_ids_;    // parallel to cache_ (refresh)
+  bool any_user_groups_ = false;            // per-query filter fast path
+  bool any_usage_policy_ = false;
   // session -> cache indices (one entry normally; several for
   // co-allocated requests, released together).
-  std::map<std::string, std::vector<std::size_t>> session_entry_;
-  std::map<std::string, std::uint32_t> session_uid_;  // session -> shadow uid
+  std::unordered_map<std::string, std::vector<std::size_t>> session_entry_;
+  std::unordered_map<std::string, std::uint32_t> session_uid_;
   ReservationBook reservations_;  // advance reservations (extension)
-  std::set<std::string> reservation_sessions_;
+  std::unordered_set<std::string> reservation_sessions_;
+  // Scratch for Resort, reused across ticks.
+  std::vector<std::size_t> sort_order_;
+  std::vector<std::size_t> sort_new_index_;
   PoolStats stats_;
   bool registered_ = false;
   bool initialized_ = false;

@@ -1,6 +1,7 @@
 #include "query/parser.hpp"
 
 #include <algorithm>
+#include <cctype>
 
 #include "common/strings.hpp"
 
@@ -17,18 +18,21 @@ struct RawTerm {
 Result<std::vector<RawTerm>> Tokenize(std::string_view text) {
   std::vector<RawTerm> terms;
   std::size_t line_no = 0;
-  for (const auto& raw_line : Split(text, '\n')) {
+  Status error = Status::Ok();
+  ForEachPiece(text, '\n', [&](std::string_view raw_line) {
+    if (!error.ok()) return;
     ++line_no;
     std::string_view line = TrimView(raw_line);
-    if (line.empty() || line.front() == '#') continue;
+    if (line.empty() || line.front() == '#') return;
     const std::size_t eq = line.find('=');
     // Careful: the first '=' may belong to an operator only when it is
     // the separator "key = value"; keys never contain '='.
     if (eq == std::string_view::npos) {
-      return InvalidArgument("query line " + std::to_string(line_no) +
-                             ": expected 'key = value'");
+      error = InvalidArgument("query line " + std::to_string(line_no) +
+                              ": expected 'key = value'");
+      return;
     }
-    const std::string key = Trim(line.substr(0, eq));
+    const std::string_view key = TrimView(line.substr(0, eq));
     // "key == value" writes the separator twice; absorb the second '='
     // only when it is adjacent to the first (a detached "= ==value" is
     // an operator-prefixed value, not a doubled separator).
@@ -36,42 +40,84 @@ Result<std::vector<RawTerm>> Tokenize(std::string_view text) {
     if (value_start < line.size() && line[value_start] == '=') ++value_start;
     const std::string_view value = TrimView(line.substr(value_start));
     auto parts = SplitKey(key);
-    if (!parts.ok()) return parts.status();
+    if (!parts.ok()) {
+      error = parts.status();
+      return;
+    }
 
     RawTerm term;
     term.key = std::move(parts.value());
     term.raw_value = std::string(value);
-    for (const auto& alt : Split(value, '|')) {
+    ForEachPiece(value, '|', [&](std::string_view alt) {
+      if (!error.ok()) return;
       const auto trimmed = TrimView(alt);
       if (trimmed.empty()) {
-        return InvalidArgument("query line " + std::to_string(line_no) +
-                               ": empty alternative in or-clause");
+        error = InvalidArgument("query line " + std::to_string(line_no) +
+                                ": empty alternative in or-clause");
+        return;
       }
       term.alternatives.push_back(ParseCondition(trimmed));
-    }
+    });
+    if (!error.ok()) return;
     if (term.alternatives.empty()) {
-      return InvalidArgument("query line " + std::to_string(line_no) +
-                             ": missing value");
+      error = InvalidArgument("query line " + std::to_string(line_no) +
+                              ": missing value");
+      return;
     }
     terms.push_back(std::move(term));
-  }
+  });
+  if (!error.ok()) return error;
   return terms;
 }
 
 }  // namespace
 
 Result<KeyParts> SplitKey(std::string_view key) {
-  auto pieces = SplitSkipEmpty(key, '.');
-  if (pieces.size() < 3) {
-    return InvalidArgument("key '" + std::string(key) +
-                           "' must have the form family.type.name");
+  // family.type.name[.more]: empty segments are skipped; the name keeps
+  // any further dots ("punch.rsrc.a.b" -> name "a.b").
+  std::string_view family;
+  std::string_view type;
+  std::size_t name_begin = std::string_view::npos;
+  std::size_t seen = 0;
+  std::size_t offset = 0;
+  for (;;) {
+    const std::size_t dot = key.find('.', offset);
+    const std::string_view piece =
+        dot == std::string_view::npos ? key.substr(offset)
+                                      : key.substr(offset, dot - offset);
+    if (!piece.empty()) {
+      if (seen == 0) {
+        family = piece;
+      } else {
+        type = piece;
+        name_begin = dot == std::string_view::npos ? key.size() : dot + 1;
+      }
+      if (++seen == 2) break;
+    }
+    if (dot == std::string_view::npos) break;
+    offset = dot + 1;
   }
   KeyParts parts;
-  parts.family = ToLower(pieces[0]);
-  parts.type = ToLower(pieces[1]);
-  std::vector<std::string> rest(pieces.begin() + 2, pieces.end());
-  parts.name = ToLower(Join(rest, "."));
-  return parts;
+  if (seen == 2 && name_begin < key.size()) {
+    // Lower-case the name while collapsing empty segments.
+    std::string name;
+    name.reserve(key.size() - name_begin);
+    ForEachPiece(key.substr(name_begin), '.', [&name](std::string_view piece) {
+      if (piece.empty()) return;
+      if (!name.empty()) name += '.';
+      for (const char c : piece) {
+        name += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+      }
+    });
+    if (!name.empty()) {
+      parts.family = ToLower(family);
+      parts.type = ToLower(type);
+      parts.name = std::move(name);
+      return parts;
+    }
+  }
+  return InvalidArgument("key '" + std::string(key) +
+                         "' must have the form family.type.name");
 }
 
 Condition ParseCondition(std::string_view text) {

@@ -6,38 +6,84 @@
 
 namespace actyp::query {
 
-void Query::SetRsrc(const std::string& name, Condition cond) {
-  rsrc_[ToLower(name)] = std::move(cond);
+namespace {
+
+// Sorted-vector upsert/lookup helpers. Keys are stored lower-cased;
+// callers almost always pass already-lower keys, so the common path
+// avoids the allocating ToLower.
+template <typename List, typename V>
+void UpsertTerm(List& list, std::string_view name, V value) {
+  const std::string lowered = IsLower(name) ? std::string(name)
+                                            : ToLower(name);
+  auto it = std::lower_bound(
+      list.begin(), list.end(), lowered,
+      [](const auto& entry, const std::string& key) {
+        return entry.first < key;
+      });
+  if (it != list.end() && it->first == lowered) {
+    it->second = std::move(value);
+    return;
+  }
+  list.emplace(it, lowered, std::move(value));
 }
 
-void Query::SetRsrc(const std::string& name, CmpOp op,
+template <typename List>
+auto FindTerm(const List& list, std::string_view name) {
+  // Lookup keys are short literals; compare case-insensitively without
+  // materializing a lowered copy.
+  auto lower = [](char c) {
+    return static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  };
+  auto less = [&lower](std::string_view a, std::string_view b) {
+    return std::lexicographical_compare(
+        a.begin(), a.end(), b.begin(), b.end(),
+        [&lower](char x, char y) { return lower(x) < lower(y); });
+  };
+  auto it = std::lower_bound(list.begin(), list.end(), name,
+                             [&less](const auto& entry, std::string_view key) {
+                               return less(entry.first, key);
+                             });
+  if (it != list.end() && !less(name, it->first)) return it;
+  return list.end();
+}
+
+}  // namespace
+
+void Query::SetRsrc(std::string_view name, Condition cond) {
+  UpsertTerm(rsrc_, name, std::move(cond));
+}
+
+void Query::SetRsrc(std::string_view name, CmpOp op,
                     const std::string& value) {
   SetRsrc(name, Condition{op, Value(value)});
 }
 
-std::optional<Condition> Query::GetRsrc(const std::string& name) const {
-  auto it = rsrc_.find(ToLower(name));
+std::optional<Condition> Query::GetRsrc(std::string_view name) const {
+  auto it = FindTerm(rsrc_, name);
   if (it == rsrc_.end()) return std::nullopt;
   return it->second;
 }
 
-void Query::RemoveRsrc(const std::string& name) { rsrc_.erase(ToLower(name)); }
-
-void Query::SetAppl(const std::string& name, std::string value) {
-  appl_[ToLower(name)] = std::move(value);
+void Query::RemoveRsrc(std::string_view name) {
+  auto it = FindTerm(rsrc_, name);
+  if (it != rsrc_.end()) rsrc_.erase(it);
 }
 
-void Query::SetUser(const std::string& name, std::string value) {
-  user_[ToLower(name)] = std::move(value);
+void Query::SetAppl(std::string_view name, std::string value) {
+  UpsertTerm(appl_, name, std::move(value));
 }
 
-std::string Query::GetAppl(const std::string& name) const {
-  auto it = appl_.find(ToLower(name));
+void Query::SetUser(std::string_view name, std::string value) {
+  UpsertTerm(user_, name, std::move(value));
+}
+
+std::string Query::GetAppl(std::string_view name) const {
+  auto it = FindTerm(appl_, name);
   return it == appl_.end() ? std::string() : it->second;
 }
 
-std::string Query::GetUser(const std::string& name) const {
-  auto it = user_.find(ToLower(name));
+std::string Query::GetUser(std::string_view name) const {
+  auto it = FindTerm(user_, name);
   return it == user_.end() ? std::string() : it->second;
 }
 

@@ -16,9 +16,10 @@
 
 #include <cstdint>
 #include <functional>
-#include <map>
 #include <optional>
 #include <string>
+#include <string_view>
+#include <utility>
 #include <vector>
 
 #include "common/status.hpp"
@@ -57,6 +58,12 @@ using AttributeFn =
 
 class Query {
  public:
+  // Terms live in flat vectors kept sorted by (lower-cased) key: queries
+  // carry a handful of terms, and the per-stage parse/copy cost of
+  // node-based maps dominated the pipeline's hot path.
+  using RsrcList = std::vector<std::pair<std::string, Condition>>;
+  using TermList = std::vector<std::pair<std::string, std::string>>;
+
   Query() = default;
   explicit Query(std::string family) : family_(std::move(family)) {}
 
@@ -64,25 +71,20 @@ class Query {
   void set_family(std::string family) { family_ = std::move(family); }
 
   // --- resource requirement terms (keyed by final name component) ---
-  void SetRsrc(const std::string& name, Condition cond);
-  void SetRsrc(const std::string& name, CmpOp op, const std::string& value);
-  [[nodiscard]] const std::map<std::string, Condition>& rsrc() const {
-    return rsrc_;
-  }
-  [[nodiscard]] std::optional<Condition> GetRsrc(const std::string& name) const;
-  void RemoveRsrc(const std::string& name);
+  void SetRsrc(std::string_view name, Condition cond);
+  void SetRsrc(std::string_view name, CmpOp op, const std::string& value);
+  [[nodiscard]] const RsrcList& rsrc() const { return rsrc_; }
+  [[nodiscard]] std::optional<Condition> GetRsrc(std::string_view name) const;
+  void RemoveRsrc(std::string_view name);
 
   // --- application / user terms (plain values) ---
-  void SetAppl(const std::string& name, std::string value);
-  void SetUser(const std::string& name, std::string value);
-  [[nodiscard]] const std::map<std::string, std::string>& appl() const {
-    return appl_;
-  }
-  [[nodiscard]] const std::map<std::string, std::string>& user() const {
-    return user_;
-  }
-  [[nodiscard]] std::string GetAppl(const std::string& name) const;  // "" if absent
-  [[nodiscard]] std::string GetUser(const std::string& name) const;
+  void SetAppl(std::string_view name, std::string value);
+  void SetUser(std::string_view name, std::string value);
+  [[nodiscard]] const TermList& appl() const { return appl_; }
+  [[nodiscard]] const TermList& user() const { return user_; }
+  // "" when absent.
+  [[nodiscard]] std::string GetAppl(std::string_view name) const;
+  [[nodiscard]] std::string GetUser(std::string_view name) const;
 
   // --- pipeline state carried with the query ---
   [[nodiscard]] int ttl() const { return ttl_; }
@@ -129,9 +131,9 @@ class Query {
 
  private:
   std::string family_ = "punch";
-  std::map<std::string, Condition> rsrc_;
-  std::map<std::string, std::string> appl_;
-  std::map<std::string, std::string> user_;
+  RsrcList rsrc_;  // sorted by key
+  TermList appl_;  // sorted by key
+  TermList user_;  // sorted by key
   int ttl_ = kDefaultTtl;
   std::vector<std::string> visited_;
   FragmentInfo fragment_;

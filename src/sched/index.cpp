@@ -1,0 +1,142 @@
+#include "sched/index.hpp"
+
+#include <algorithm>
+
+namespace actyp::sched {
+namespace {
+
+constexpr std::uint32_t kArity = 4;
+
+}  // namespace
+
+SchedulingIndex::SchedulingIndex(const SchedulingPolicy* policy,
+                                 std::uint32_t instance,
+                                 std::uint32_t instance_count)
+    : policy_(policy),
+      instance_(instance),
+      stride_(std::max<std::uint32_t>(1, instance_count)) {
+  heaps_.resize(stride_);
+}
+
+void SchedulingIndex::Rebuild(const std::vector<CacheEntry>& cache) {
+  for (auto& heap : heaps_) heap.clear();
+  pos_.resize(cache.size());
+  for (std::size_t i = 0; i < cache.size(); ++i) {
+    const auto cls = static_cast<std::uint32_t>(i % stride_);
+    pos_[i] = Node{cls, static_cast<std::uint32_t>(heaps_[cls].size())};
+    heaps_[cls].push_back(static_cast<std::uint32_t>(i));
+  }
+  for (std::uint32_t cls = 0; cls < stride_; ++cls) {
+    const std::size_t n = heaps_[cls].size();
+    if (n < 2) continue;
+    for (std::size_t p = (n - 2) / kArity + 1; p-- > 0;) {
+      SiftDown(cache, cls, p);
+    }
+  }
+}
+
+void SchedulingIndex::Update(const std::vector<CacheEntry>& cache,
+                             std::size_t index) {
+  const Node node = pos_[index];
+  SiftUp(cache, node.cls, node.heap_pos);
+  SiftDown(cache, node.cls, pos_[index].heap_pos);
+}
+
+void SchedulingIndex::SiftUp(const std::vector<CacheEntry>& cache,
+                             std::uint32_t cls, std::size_t pos) {
+  auto& heap = heaps_[cls];
+  const std::uint32_t entry = heap[pos];
+  while (pos > 0) {
+    const std::size_t parent = (pos - 1) / kArity;
+    if (!Less(cache, entry, heap[parent])) break;
+    heap[pos] = heap[parent];
+    pos_[heap[pos]].heap_pos = static_cast<std::uint32_t>(pos);
+    pos = parent;
+  }
+  heap[pos] = entry;
+  pos_[entry].heap_pos = static_cast<std::uint32_t>(pos);
+}
+
+void SchedulingIndex::SiftDown(const std::vector<CacheEntry>& cache,
+                               std::uint32_t cls, std::size_t pos) {
+  auto& heap = heaps_[cls];
+  const std::uint32_t entry = heap[pos];
+  const std::size_t n = heap.size();
+  for (;;) {
+    const std::size_t first_child = pos * kArity + 1;
+    if (first_child >= n) break;
+    const std::size_t last_child = std::min(first_child + kArity, n);
+    std::size_t best = first_child;
+    for (std::size_t c = first_child + 1; c < last_child; ++c) {
+      if (Less(cache, heap[c], heap[best])) best = c;
+    }
+    if (!Less(cache, heap[best], entry)) break;
+    heap[pos] = heap[best];
+    pos_[heap[pos]].heap_pos = static_cast<std::uint32_t>(pos);
+    pos = best;
+  }
+  heap[pos] = entry;
+  pos_[entry].heap_pos = static_cast<std::uint32_t>(pos);
+}
+
+std::size_t SchedulingIndex::Search(const std::vector<CacheEntry>& cache,
+                                    const SelectionContext& ctx,
+                                    std::uint32_t own_cls, bool own,
+                                    std::size_t* examined) const {
+  frontier_.clear();
+  if (own) {
+    if (!heaps_[own_cls].empty()) frontier_.emplace_back(own_cls, 0);
+  } else {
+    for (std::uint32_t cls = 0; cls < stride_; ++cls) {
+      if (cls != own_cls && !heaps_[cls].empty()) {
+        frontier_.emplace_back(cls, 0);
+      }
+    }
+  }
+
+  while (!frontier_.empty()) {
+    // Pop the frontier node whose entry is minimal in (objective, index)
+    // order; the heap property guarantees the traversal visits entries
+    // in exactly the order the linear scan would prefer them.
+    std::size_t best = 0;
+    for (std::size_t f = 1; f < frontier_.size(); ++f) {
+      if (Less(cache, heaps_[frontier_[f].first][frontier_[f].second],
+               heaps_[frontier_[best].first][frontier_[best].second])) {
+        best = f;
+      }
+    }
+    const auto [cls, pos] = frontier_[best];
+    frontier_[best] = frontier_.back();
+    frontier_.pop_back();
+
+    const std::uint32_t entry = heaps_[cls][pos];
+    ++*examined;
+    if (SchedulingPolicy::Eligible(cache[entry]) &&
+        (!ctx.filter || (*ctx.filter)(entry, cache[entry]))) {
+      return entry;
+    }
+    const std::size_t n = heaps_[cls].size();
+    const std::size_t first_child =
+        static_cast<std::size_t>(pos) * kArity + 1;
+    const std::size_t last_child = std::min(first_child + kArity, n);
+    for (std::size_t c = first_child; c < last_child; ++c) {
+      frontier_.emplace_back(cls, static_cast<std::uint32_t>(c));
+    }
+  }
+  return SIZE_MAX;
+}
+
+Selection SchedulingIndex::Select(const std::vector<CacheEntry>& cache,
+                                  const SelectionContext& ctx) const {
+  Selection result;
+  if (cache.empty()) return result;
+  const std::uint32_t own_cls = ctx.instance % stride_;
+  result.index = Search(cache, ctx, own_cls, /*own=*/true, &result.examined);
+  if (result.index == SIZE_MAX && stride_ > 1) {
+    result.index =
+        Search(cache, ctx, own_cls, /*own=*/false, &result.examined);
+  }
+  return result;
+}
+
+}  // namespace actyp::sched

@@ -1,0 +1,84 @@
+// SchedulingIndex: the incrementally-maintained replacement for the
+// paper's "sort every 2 s + linear scan" scheduling process. The pool's
+// cache order never changes; the index keeps one 4-ary min-heap of
+// cache indices per replication stride class, ordered by the policy
+// objective with the cache index as the deterministic tie-break — the
+// exact total order the legacy linear scan resolves.
+//
+// Selection is a best-first traversal of the instance's own class heap
+// (then, only when that class has no eligible machine, of the sibling
+// classes merged): each visited node counts as one entry examined, so
+// `entries_examined` shows the asymptotic win over the O(n) scan while
+// remaining an honest service-time driver. On a mostly-idle pool a
+// query examines one or two entries instead of the whole cache.
+//
+// The pool calls Update(i) whenever entry i's objective inputs change
+// (allocate, release, refresh) and Rebuild() after bulk reloads; both
+// reuse the heap storage, allocation-free in steady state.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sched/policy.hpp"
+
+namespace actyp::sched {
+
+class SchedulingIndex {
+ public:
+  // `policy` must outlive the index. `instance_count` fixes the stride
+  // partition (class of entry i = i mod instance_count).
+  SchedulingIndex(const SchedulingPolicy* policy, std::uint32_t instance,
+                  std::uint32_t instance_count);
+
+  // Rebuilds every class heap from `cache` (Floyd heapify, O(n)).
+  void Rebuild(const std::vector<CacheEntry>& cache);
+
+  // Re-positions entry `index` after its objective inputs changed.
+  void Update(const std::vector<CacheEntry>& cache, std::size_t index);
+
+  // Equivalent to the legacy linear SchedulingPolicy::Select on the
+  // same cache and context (same chosen index), in near-constant
+  // examined entries. `ctx.instance` may override the constructor's
+  // instance; `ctx.instance_count` must match the constructor's.
+  [[nodiscard]] Selection Select(const std::vector<CacheEntry>& cache,
+                                 const SelectionContext& ctx) const;
+
+  [[nodiscard]] std::size_t size() const { return pos_.size(); }
+
+ private:
+  struct Node {
+    std::uint32_t cls;
+    std::uint32_t heap_pos;
+  };
+
+  [[nodiscard]] bool Less(const std::vector<CacheEntry>& cache,
+                          std::uint32_t a, std::uint32_t b) const {
+    if (policy_->Better(cache[a], cache[b])) return true;
+    if (policy_->Better(cache[b], cache[a])) return false;
+    return a < b;  // the linear scan's first-wins tie-break
+  }
+
+  void SiftUp(const std::vector<CacheEntry>& cache, std::uint32_t cls,
+              std::size_t pos);
+  void SiftDown(const std::vector<CacheEntry>& cache, std::uint32_t cls,
+                std::size_t pos);
+
+  // Best-first traversal of one class heap (own == true) or of every
+  // class except `own_cls` merged. Returns SIZE_MAX when no eligible
+  // entry passes the filter; adds visited nodes to `examined`.
+  [[nodiscard]] std::size_t Search(const std::vector<CacheEntry>& cache,
+                                   const SelectionContext& ctx,
+                                   std::uint32_t own_cls, bool own,
+                                   std::size_t* examined) const;
+
+  const SchedulingPolicy* policy_;
+  std::uint32_t instance_;
+  std::uint32_t stride_;
+  std::vector<std::vector<std::uint32_t>> heaps_;  // per class: cache indices
+  std::vector<Node> pos_;                          // cache index -> heap slot
+  // Scratch for Search: (class, heap position) frontier.
+  mutable std::vector<std::pair<std::uint32_t, std::uint32_t>> frontier_;
+};
+
+}  // namespace actyp::sched

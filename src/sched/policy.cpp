@@ -3,24 +3,25 @@
 #include <algorithm>
 
 namespace actyp::sched {
+namespace {
 
-bool SchedulingPolicy::Eligible(const CacheEntry& entry) {
-  return !entry.allocated && entry.load < entry.max_allowed_load +
-                                              static_cast<double>(entry.num_cpus) -
-                                              1.0;
-}
-
-Selection SchedulingPolicy::Select(const std::vector<CacheEntry>& cache,
-                                   const SelectionContext& ctx) const {
+// The linear scan shared by the ordered policies, templated on the
+// concrete (final) policy type so the per-entry Better comparison
+// inlines instead of going through the vtable ~n times per query.
+template <typename Policy>
+Selection LinearSelect(const Policy& policy,
+                       const std::vector<CacheEntry>& cache,
+                       const SelectionContext& ctx) {
   Selection result;
   if (cache.empty()) return result;
 
   const std::uint32_t stride = std::max<std::uint32_t>(1, ctx.instance_count);
+  const auto* filter = ctx.filter;
   auto consider = [&](std::size_t i) {
     ++result.examined;
-    if (!Eligible(cache[i])) return;
-    if (ctx.filter && !(*ctx.filter)(i, cache[i])) return;
-    if (!result.found() || Better(cache[i], cache[result.index])) {
+    if (!SchedulingPolicy::Eligible(cache[i])) return;
+    if (filter && !(*filter)(i, cache[i])) return;
+    if (!result.found() || policy.Better(cache[i], cache[result.index])) {
       result.index = i;
     }
   };
@@ -39,9 +40,21 @@ Selection SchedulingPolicy::Select(const std::vector<CacheEntry>& cache,
   return result;
 }
 
+}  // namespace
+
+Selection SchedulingPolicy::Select(const std::vector<CacheEntry>& cache,
+                                   const SelectionContext& ctx) const {
+  return LinearSelect(*this, cache, ctx);
+}
+
 bool LeastLoadPolicy::Better(const CacheEntry& a, const CacheEntry& b) const {
   if (a.load != b.load) return a.load < b.load;
   return a.effective_speed > b.effective_speed;
+}
+
+Selection LeastLoadPolicy::Select(const std::vector<CacheEntry>& cache,
+                                  const SelectionContext& ctx) const {
+  return LinearSelect(*this, cache, ctx);
 }
 
 bool MostMemoryPolicy::Better(const CacheEntry& a, const CacheEntry& b) const {
@@ -49,6 +62,11 @@ bool MostMemoryPolicy::Better(const CacheEntry& a, const CacheEntry& b) const {
     return a.available_memory_mb > b.available_memory_mb;
   }
   return a.load < b.load;
+}
+
+Selection MostMemoryPolicy::Select(const std::vector<CacheEntry>& cache,
+                                   const SelectionContext& ctx) const {
+  return LinearSelect(*this, cache, ctx);
 }
 
 bool FastestPolicy::Better(const CacheEntry& a, const CacheEntry& b) const {
@@ -60,6 +78,11 @@ bool FastestPolicy::Better(const CacheEntry& a, const CacheEntry& b) const {
                     (1.0 + b.load / static_cast<double>(b.num_cpus));
   if (ea != eb) return ea > eb;
   return a.load < b.load;
+}
+
+Selection FastestPolicy::Select(const std::vector<CacheEntry>& cache,
+                                const SelectionContext& ctx) const {
+  return LinearSelect(*this, cache, ctx);
 }
 
 bool RoundRobinPolicy::Better(const CacheEntry& a, const CacheEntry& b) const {
@@ -120,19 +143,23 @@ Selection RandomPolicy::Select(const std::vector<CacheEntry>& cache,
 }
 
 Result<std::unique_ptr<SchedulingPolicy>> MakePolicy(const std::string& name) {
-  if (name == "least-load" || name.empty()) {
-    return std::unique_ptr<SchedulingPolicy>(new LeastLoadPolicy());
+  // The bare names are the indexed fast paths; the "linear-" prefix
+  // keeps the paper's O(n) scan + periodic sort behaviour.
+  const bool linear = name.rfind("linear-", 0) == 0;
+  const std::string base = linear ? name.substr(7) : name;
+  if (base == "least-load" || base.empty()) {
+    return std::unique_ptr<SchedulingPolicy>(new LeastLoadPolicy(!linear));
   }
-  if (name == "most-memory") {
-    return std::unique_ptr<SchedulingPolicy>(new MostMemoryPolicy());
+  if (base == "most-memory") {
+    return std::unique_ptr<SchedulingPolicy>(new MostMemoryPolicy(!linear));
   }
-  if (name == "fastest") {
-    return std::unique_ptr<SchedulingPolicy>(new FastestPolicy());
+  if (base == "fastest") {
+    return std::unique_ptr<SchedulingPolicy>(new FastestPolicy(!linear));
   }
-  if (name == "round-robin") {
+  if (!linear && base == "round-robin") {
     return std::unique_ptr<SchedulingPolicy>(new RoundRobinPolicy());
   }
-  if (name == "random") {
+  if (!linear && base == "random") {
     return std::unique_ptr<SchedulingPolicy>(new RandomPolicy());
   }
   return InvalidArgument("unknown scheduling policy '" + name + "'");

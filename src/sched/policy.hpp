@@ -6,6 +6,13 @@
 // linear search algorithms employed for scheduling", so selection cost
 // is proportional to the number of entries examined.
 //
+// This reproduction keeps that legacy behaviour behind the "linear-*"
+// policy names (linear-least-load, linear-most-memory, linear-fastest)
+// so Fig. 6's curves stay reproducible, and makes the bare names
+// (least-load, most-memory, fastest) *indexed*: pools maintain an
+// incrementally-updated SchedulingIndex (sched/index.hpp) and answer
+// queries in near-constant entries examined instead of O(n).
+//
 // Replicated pool instances maintain scheduling integrity via an
 // instance-specific bias: instance i of n prefers every i-th machine
 // (Fig. 8), so replicas racing over the same machine set rarely collide.
@@ -25,10 +32,12 @@
 namespace actyp::sched {
 
 // A pool's cached view of one machine (loaded from the white pages at
-// pool initialization, refreshed from monitor data).
+// pool initialization, refreshed from monitor data). Deliberately kept
+// to the plain scheduling attributes — the selection scan walks these
+// back to back, and identity strings live in the pool's parallel
+// metadata table instead of widening every entry.
 struct CacheEntry {
   db::MachineId id = db::kInvalidMachine;
-  std::string name;
   double load = 0.0;
   double available_memory_mb = 0.0;
   double effective_speed = 1.0;
@@ -58,12 +67,17 @@ struct Selection {
 
 class SchedulingPolicy {
  public:
+  explicit SchedulingPolicy(bool indexed = false) : indexed_(indexed) {}
   virtual ~SchedulingPolicy() = default;
 
   [[nodiscard]] virtual std::string name() const = 0;
 
+  // True when the pool should maintain a SchedulingIndex and select
+  // through it; false runs the legacy Select scan on every query.
+  [[nodiscard]] bool indexed() const { return indexed_; }
+
   // True when `a` should be preferred over `b` (used by the periodic
-  // re-sort process).
+  // re-sort process and as the index ordering).
   [[nodiscard]] virtual bool Better(const CacheEntry& a,
                                     const CacheEntry& b) const = 0;
 
@@ -73,33 +87,54 @@ class SchedulingPolicy {
   [[nodiscard]] virtual Selection Select(const std::vector<CacheEntry>& cache,
                                          const SelectionContext& ctx) const;
 
- protected:
-  // Eligibility shared by all policies.
-  [[nodiscard]] static bool Eligible(const CacheEntry& entry);
+  // Eligibility shared by all policies and by the index.
+  [[nodiscard]] static bool Eligible(const CacheEntry& entry) {
+    return !entry.allocated &&
+           entry.load < entry.max_allowed_load +
+                            static_cast<double>(entry.num_cpus) - 1.0;
+  }
+
+ private:
+  bool indexed_ = false;
 };
 
 // Lowest current load wins (default PUNCH objective).
 class LeastLoadPolicy final : public SchedulingPolicy {
  public:
-  [[nodiscard]] std::string name() const override { return "least-load"; }
+  explicit LeastLoadPolicy(bool indexed = true) : SchedulingPolicy(indexed) {}
+  [[nodiscard]] std::string name() const override {
+    return indexed() ? "least-load" : "linear-least-load";
+  }
   [[nodiscard]] bool Better(const CacheEntry& a,
                             const CacheEntry& b) const override;
+  [[nodiscard]] Selection Select(const std::vector<CacheEntry>& cache,
+                                 const SelectionContext& ctx) const override;
 };
 
 // Largest available memory wins.
 class MostMemoryPolicy final : public SchedulingPolicy {
  public:
-  [[nodiscard]] std::string name() const override { return "most-memory"; }
+  explicit MostMemoryPolicy(bool indexed = true) : SchedulingPolicy(indexed) {}
+  [[nodiscard]] std::string name() const override {
+    return indexed() ? "most-memory" : "linear-most-memory";
+  }
   [[nodiscard]] bool Better(const CacheEntry& a,
                             const CacheEntry& b) const override;
+  [[nodiscard]] Selection Select(const std::vector<CacheEntry>& cache,
+                                 const SelectionContext& ctx) const override;
 };
 
 // Highest effective speed wins; ties broken by load.
 class FastestPolicy final : public SchedulingPolicy {
  public:
-  [[nodiscard]] std::string name() const override { return "fastest"; }
+  explicit FastestPolicy(bool indexed = true) : SchedulingPolicy(indexed) {}
+  [[nodiscard]] std::string name() const override {
+    return indexed() ? "fastest" : "linear-fastest";
+  }
   [[nodiscard]] bool Better(const CacheEntry& a,
                             const CacheEntry& b) const override;
+  [[nodiscard]] Selection Select(const std::vector<CacheEntry>& cache,
+                                 const SelectionContext& ctx) const override;
 };
 
 // First free machine after a moving cursor (cheap, fair).
@@ -125,8 +160,10 @@ class RandomPolicy final : public SchedulingPolicy {
                                  const SelectionContext& ctx) const override;
 };
 
-// Factory by name ("least-load", "most-memory", "fastest", "round-robin",
-// "random").
+// Factory by name. Indexed fast paths: "least-load", "most-memory",
+// "fastest". Legacy linear scans: "linear-least-load",
+// "linear-most-memory", "linear-fastest". Unordered: "round-robin",
+// "random".
 Result<std::unique_ptr<SchedulingPolicy>> MakePolicy(const std::string& name);
 
 }  // namespace actyp::sched

@@ -1,28 +1,139 @@
 #include "simnet/kernel.hpp"
 
 #include <cassert>
+#include <utility>
 
 namespace actyp::simnet {
+namespace {
 
-void SimKernel::Schedule(SimDuration delay, std::function<void()> fn) {
-  if (delay < 0) delay = 0;
-  ScheduleAt(now_ + delay, std::move(fn));
+constexpr std::uint32_t kArity = 4;
+
+constexpr SimKernel::TimerId MakeTimerId(std::uint32_t slot,
+                                         std::uint32_t generation) {
+  return (static_cast<std::uint64_t>(generation) << 32) | slot;
 }
 
-void SimKernel::ScheduleAt(SimTime at, std::function<void()> fn) {
+}  // namespace
+
+SimKernel::TimerId SimKernel::Schedule(SimDuration delay,
+                                       std::function<void()> fn) {
+  if (delay < 0) delay = 0;
+  return ScheduleAt(now_ + delay, std::move(fn));
+}
+
+SimKernel::TimerId SimKernel::ScheduleAt(SimTime at, std::function<void()> fn) {
   assert(at >= now_ && "cannot schedule into the past");
-  events_.push(Event{at, seq_++, std::move(fn)});
+  std::uint32_t slot;
+  if (!free_.empty()) {
+    slot = free_.back();
+    free_.pop_back();
+  } else {
+    slot = static_cast<std::uint32_t>(slots_.size());
+    slots_.emplace_back();
+    slot_pos_.push_back(0);
+  }
+  slots_[slot].fn = std::move(fn);
+  heap_.push_back(HeapEntry{at, seq_++, slot});
+  slot_pos_[slot] = static_cast<std::uint32_t>(heap_.size() - 1);
+  SiftUp(heap_.size() - 1);
+  return MakeTimerId(slot, slots_[slot].generation);
+}
+
+bool SimKernel::Cancel(TimerId id) {
+  const auto slot = static_cast<std::uint32_t>(id & 0xffffffffu);
+  const auto generation = static_cast<std::uint32_t>(id >> 32);
+  if (id == kInvalidTimer || slot >= slots_.size() ||
+      slots_[slot].generation != generation) {
+    return false;  // stale: fired, cancelled, or never issued
+  }
+  RemoveAt(slot_pos_[slot]);
+  ++cancelled_;
+  return true;
+}
+
+void SimKernel::Reserve(std::size_t events) {
+  slots_.reserve(events);
+  slot_pos_.reserve(events);
+  heap_.reserve(events);
+  free_.reserve(events);
+}
+
+void SimKernel::SiftUp(std::size_t pos) {
+  const HeapEntry entry = heap_[pos];
+  while (pos > 0) {
+    const std::size_t parent = (pos - 1) / kArity;
+    if (!entry.Earlier(heap_[parent])) break;
+    Place(pos, heap_[parent]);
+    pos = parent;
+  }
+  Place(pos, entry);
+}
+
+void SimKernel::SiftDown(std::size_t pos) {
+  const HeapEntry entry = heap_[pos];
+  const std::size_t n = heap_.size();
+  for (;;) {
+    const std::size_t first_child = pos * kArity + 1;
+    if (first_child >= n) break;
+    const std::size_t last_child = std::min(first_child + kArity, n);
+    std::size_t best = first_child;
+    for (std::size_t c = first_child + 1; c < last_child; ++c) {
+      if (heap_[c].Earlier(heap_[best])) best = c;
+    }
+    if (!heap_[best].Earlier(entry)) break;
+    Place(pos, heap_[best]);
+    pos = best;
+  }
+  Place(pos, entry);
+}
+
+void SimKernel::RemoveAt(std::size_t pos) {
+  FreeSlot(heap_[pos].slot);
+  const HeapEntry moved = heap_.back();
+  heap_.pop_back();
+  const std::size_t n = heap_.size();
+  if (pos == n) return;
+  if (pos == 0) {
+    // Pop fast path (bottom-up heap repair): walk the hole down along
+    // minimal children without comparing against the tail entry — the
+    // tail almost always belongs near a leaf, so the final SiftUp is
+    // nearly free and each level costs only the min-of-children scan.
+    for (;;) {
+      const std::size_t first_child = pos * kArity + 1;
+      if (first_child >= n) break;
+      const std::size_t last_child = std::min(first_child + kArity, n);
+      std::size_t best = first_child;
+      for (std::size_t c = first_child + 1; c < last_child; ++c) {
+        if (heap_[c].Earlier(heap_[best])) best = c;
+      }
+      Place(pos, heap_[best]);
+      pos = best;
+    }
+    Place(pos, moved);
+    SiftUp(pos);
+    return;
+  }
+  Place(pos, moved);
+  // The swapped-in tail can violate either direction relative to `pos`.
+  SiftUp(pos);
+  SiftDown(slot_pos_[moved.slot]);
+}
+
+void SimKernel::FreeSlot(std::uint32_t slot) {
+  Slot& s = slots_[slot];
+  s.fn = nullptr;
+  ++s.generation;  // invalidates every outstanding TimerId for the slot
+  free_.push_back(slot);
 }
 
 bool SimKernel::Step() {
-  if (events_.empty()) return false;
-  // priority_queue::top is const; move out via const_cast on the
-  // function only (the event is popped immediately after).
-  Event event = std::move(const_cast<Event&>(events_.top()));
-  events_.pop();
-  now_ = event.at;
+  if (heap_.empty()) return false;
+  const std::uint32_t slot = heap_[0].slot;
+  now_ = heap_[0].at;
+  std::function<void()> fn = std::move(slots_[slot].fn);
+  RemoveAt(0);  // frees the slot before fn runs, so fn may reuse it
   ++executed_;
-  event.fn();
+  fn();
   return true;
 }
 
@@ -34,7 +145,7 @@ std::size_t SimKernel::Run(std::size_t max_events) {
 
 std::size_t SimKernel::RunUntil(SimTime until) {
   std::size_t n = 0;
-  while (!events_.empty() && events_.top().at <= until) {
+  while (!heap_.empty() && heap_[0].at <= until) {
     Step();
     ++n;
   }

@@ -2,11 +2,18 @@
 // deterministic tie-break (insertion order). All figure-reproduction
 // benchmarks run on this kernel, replacing the paper's physical testbed
 // (UltraSPARC clients + 12-CPU Alpha server across a LAN/WAN).
+//
+// Storage is a slab of event slots indexed by a 4-ary heap: scheduling
+// reuses freed slots instead of growing a binary heap of fat elements,
+// pops are O(log4 n), and every scheduled event returns a TimerId that
+// can cancel it in O(log4 n) before it fires. Cancellation is what lets
+// pool re-sort ticks, injector churn timers, and client give-up timers
+// disappear from the queue when their owner dies, instead of firing as
+// dead no-op events.
 #pragma once
 
 #include <cstdint>
 #include <functional>
-#include <queue>
 #include <vector>
 
 #include "common/clock.hpp"
@@ -16,14 +23,28 @@ namespace actyp::simnet {
 
 class SimKernel {
  public:
+  // Handle for a scheduled event; kInvalidTimer (0) is never issued.
+  // Ids embed a slot generation, so a handle kept past its event firing
+  // (or cancellation) can never cancel an unrelated reused slot.
+  using TimerId = std::uint64_t;
+  static constexpr TimerId kInvalidTimer = 0;
+
   SimKernel() = default;
 
   [[nodiscard]] SimTime Now() const { return now_; }
   [[nodiscard]] const Clock& clock() const { return clock_adapter_; }
 
   // Schedules `fn` to run `delay` microseconds from now (>= 0).
-  void Schedule(SimDuration delay, std::function<void()> fn);
-  void ScheduleAt(SimTime at, std::function<void()> fn);
+  TimerId Schedule(SimDuration delay, std::function<void()> fn);
+  TimerId ScheduleAt(SimTime at, std::function<void()> fn);
+
+  // Removes a pending event before it fires. Returns false when the
+  // handle is stale: the event already fired or was already cancelled.
+  bool Cancel(TimerId id);
+
+  // Pre-sizes the slab and heap for an expected number of concurrently
+  // pending events (bulk schedule without reallocation).
+  void Reserve(std::size_t events);
 
   // Executes the next event; returns false when the queue is empty.
   bool Step();
@@ -36,19 +57,27 @@ class SimKernel {
   // if fewer events exist.
   std::size_t RunUntil(SimTime until);
 
-  [[nodiscard]] bool Empty() const { return events_.empty(); }
-  [[nodiscard]] std::size_t pending() const { return events_.size(); }
+  [[nodiscard]] bool Empty() const { return heap_.empty(); }
+  [[nodiscard]] std::size_t pending() const { return heap_.size(); }
   [[nodiscard]] std::uint64_t executed() const { return executed_; }
+  [[nodiscard]] std::uint64_t cancelled() const { return cancelled_; }
 
  private:
-  struct Event {
-    SimTime at;
-    std::uint64_t seq;
+  struct Slot {
+    std::uint32_t generation = 1;  // bumped on free; stale-id detection
     std::function<void()> fn;
   };
-  struct Later {
-    bool operator()(const Event& a, const Event& b) const {
-      return a.at != b.at ? a.at > b.at : a.seq > b.seq;
+
+  // Heap entries carry the ordering key, so sift comparisons walk the
+  // contiguous heap array without dereferencing the slab.
+  struct HeapEntry {
+    SimTime at;
+    std::uint64_t seq;  // insertion order, the tie-break
+    std::uint32_t slot;
+
+    // (at, seq) total order: no two events compare equal.
+    [[nodiscard]] bool Earlier(const HeapEntry& other) const {
+      return at != other.at ? at < other.at : seq < other.seq;
     }
   };
 
@@ -61,10 +90,26 @@ class SimKernel {
     const SimKernel* kernel_;
   };
 
+  void Place(std::size_t pos, const HeapEntry& entry) {
+    heap_[pos] = entry;
+    slot_pos_[entry.slot] = static_cast<std::uint32_t>(pos);
+  }
+  void SiftUp(std::size_t pos);
+  void SiftDown(std::size_t pos);
+  void RemoveAt(std::size_t pos);
+  void FreeSlot(std::uint32_t slot);
+
   SimTime now_ = 0;
   std::uint64_t seq_ = 0;
   std::uint64_t executed_ = 0;
-  std::priority_queue<Event, std::vector<Event>, Later> events_;
+  std::uint64_t cancelled_ = 0;
+  std::vector<Slot> slots_;          // slab; index = low 32 bits of TimerId
+  // Heap position per slot, parallel to slots_: kept out of Slot so the
+  // sift loops' position writes stay in a dense array instead of
+  // dirtying the cache lines holding the callbacks.
+  std::vector<std::uint32_t> slot_pos_;
+  std::vector<std::uint32_t> free_;  // free slot indices
+  std::vector<HeapEntry> heap_;      // 4-ary min-heap
   ClockAdapter clock_adapter_{this};
 };
 

@@ -8,7 +8,21 @@
 namespace actyp::simnet {
 
 // Collects the effects of one handler invocation; they are applied when
-// the declared service time elapses.
+// the declared service time elapses. The context itself lives on the
+// stack of the dispatching frame — the buffered effects are moved into
+// the completion event, so no per-dispatch heap allocation is needed
+// for the context.
+struct SimNetwork::Effects {
+  SimDuration consumed = 0;
+  std::vector<std::pair<net::Address, net::Message>> sends;
+  struct SelfTimer {
+    SimDuration delay;
+    net::TimerId id;
+    net::Message message;
+  };
+  std::vector<SelfTimer> self_schedules;
+};
+
 class SimNetwork::Context final : public net::NodeContext {
  public:
   Context(SimNetwork* network, NodeRuntime* runtime)
@@ -19,15 +33,40 @@ class SimNetwork::Context final : public net::NodeContext {
   }
 
   void Send(const net::Address& to, net::Message message) override {
-    sends_.push_back({to, std::move(message)});
+    effects_.sends.push_back({to, std::move(message)});
   }
 
   void Consume(SimDuration duration) override {
-    if (duration > 0) consumed_ += duration;
+    if (duration > 0) effects_.consumed += duration;
   }
 
-  void ScheduleSelf(SimDuration delay, net::Message message) override {
-    self_schedules_.push_back({delay, std::move(message)});
+  net::TimerId ScheduleSelf(SimDuration delay, net::Message message) override {
+    const net::TimerId id = network_->next_timer_id_++;
+    effects_.self_schedules.push_back({delay, id, std::move(message)});
+    return id;
+  }
+
+  bool CancelSelf(net::TimerId id) override {
+    // Unlike sends, cancellation takes effect immediately rather than
+    // at service completion: a timer whose deadline falls inside the
+    // current service window must not deliver once cancelled (the
+    // node.hpp contract). Timers armed by an earlier invocation are
+    // removed from the kernel; one buffered in this very invocation is
+    // simply dropped before it ever arms.
+    auto it = runtime_->timers.find(id);
+    if (it != runtime_->timers.end()) {
+      network_->kernel_->Cancel(it->second);
+      runtime_->timers.erase(it);
+      return true;
+    }
+    for (auto timer = effects_.self_schedules.begin();
+         timer != effects_.self_schedules.end(); ++timer) {
+      if (timer->id == id) {
+        effects_.self_schedules.erase(timer);
+        return true;
+      }
+    }
+    return false;
   }
 
   Rng& rng() override { return runtime_->rng; }
@@ -36,31 +75,13 @@ class SimNetwork::Context final : public net::NodeContext {
     return runtime_->address;
   }
 
-  [[nodiscard]] SimDuration consumed() const { return consumed_; }
-
-  // Applies buffered sends/self-schedules; called at completion time.
-  void Flush() {
-    for (auto& [to, message] : sends_) {
-      network_->Post(runtime_->address, to, std::move(message));
-    }
-    sends_.clear();
-    for (auto& [delay, message] : self_schedules_) {
-      net::Envelope env{runtime_->address, runtime_->address,
-                        std::move(message), network_->kernel_->Now()};
-      network_->kernel_->Schedule(
-          delay, [network = network_, env = std::move(env)]() mutable {
-            network->Deliver(std::move(env));
-          });
-    }
-    self_schedules_.clear();
-  }
+  [[nodiscard]] SimDuration consumed() const { return effects_.consumed; }
+  [[nodiscard]] Effects TakeEffects() { return std::move(effects_); }
 
  private:
   SimNetwork* network_;
   NodeRuntime* runtime_;
-  SimDuration consumed_ = 0;
-  std::vector<std::pair<net::Address, net::Message>> sends_;
-  std::vector<std::pair<SimDuration, net::Message>> self_schedules_;
+  Effects effects_;
 };
 
 SimNetwork::SimNetwork(SimKernel* kernel, Topology topology,
@@ -108,7 +129,7 @@ Status SimNetwork::AddNode(const net::Address& address,
   // part of query response time).
   Context ctx(this, runtime.get());
   runtime->node->OnStart(ctx);
-  ctx.Flush();
+  ApplyEffects(runtime, ctx.TakeEffects());
   return Status::Ok();
 }
 
@@ -116,6 +137,13 @@ Status SimNetwork::RemoveNode(const net::Address& address) {
   auto it = nodes_.find(address);
   if (it == nodes_.end()) return NotFound("node '" + address + "'");
   it->second->removed = true;  // in-flight completions check this flag
+  // A removed node's pending self-timers die with it: its periodic
+  // ticks and give-up timers must not deliver to a later node reusing
+  // the address (the restarted service arms its own timers in OnStart).
+  for (const auto& [id, kernel_id] : it->second->timers) {
+    kernel_->Cancel(kernel_id);
+  }
+  it->second->timers.clear();
   auto& addresses = it->second->host->node_addresses;
   addresses.erase(std::remove(addresses.begin(), addresses.end(), address),
                   addresses.end());
@@ -171,6 +199,18 @@ void SimNetwork::Deliver(net::Envelope envelope) {
 }
 
 void SimNetwork::TryDispatch(const std::shared_ptr<NodeRuntime>& runtime) {
+  // A node stalled only by the host core limit parks itself on the
+  // host's wait queue; WakeHost hands freed cores to parked nodes in
+  // blocking order instead of polling every node on the host.
+  const auto park_if_core_starved = [this, &runtime] {
+    if (!runtime->removed && !runtime->in_wait_queue &&
+        !runtime->pending.empty() &&
+        runtime->busy < runtime->placement.servers &&
+        runtime->host->busy >= runtime->host->cores) {
+      runtime->in_wait_queue = true;
+      runtime->host->waiting.push_back(runtime);
+    }
+  };
   while (!runtime->removed && !runtime->pending.empty() &&
          runtime->busy < runtime->placement.servers &&
          runtime->host->busy < runtime->host->cores) {
@@ -182,30 +222,52 @@ void SimNetwork::TryDispatch(const std::shared_ptr<NodeRuntime>& runtime) {
 
     // Run the handler logic now (state transitions happen at start of
     // service); effects release at completion.
-    auto ctx = std::make_shared<Context>(this, runtime.get());
-    runtime->node->OnMessage(envelope, *ctx);
-    const SimDuration service = ctx->consumed();
+    Context ctx(this, runtime.get());
+    runtime->node->OnMessage(envelope, ctx);
+    const SimDuration service = ctx.consumed();
     runtime->stats.busy_time += service;
 
     Host* host = runtime->host;
-    kernel_->Schedule(service, [this, runtime, ctx, host] {
-      --runtime->busy;
-      --host->busy;
-      ctx->Flush();
-      TryDispatch(runtime);
-      WakeHost(host);
-    });
+    kernel_->Schedule(
+        service, [this, runtime, host, effects = ctx.TakeEffects()]() mutable {
+          --runtime->busy;
+          --host->busy;
+          ApplyEffects(runtime, std::move(effects));
+          TryDispatch(runtime);
+          WakeHost(host);
+        });
+  }
+  park_if_core_starved();
+}
+
+void SimNetwork::ApplyEffects(const std::shared_ptr<NodeRuntime>& runtime,
+                              Effects effects) {
+  for (auto& [to, message] : effects.sends) {
+    Post(runtime->address, to, std::move(message));
+  }
+  for (auto& timer : effects.self_schedules) {
+    if (runtime->removed) break;  // a dead node arms no new timers
+    net::Envelope env{runtime->address, runtime->address,
+                      std::move(timer.message), kernel_->Now()};
+    const SimKernel::TimerId kernel_id = kernel_->Schedule(
+        timer.delay,
+        [this, runtime, id = timer.id, env = std::move(env)]() mutable {
+          runtime->timers.erase(id);
+          Deliver(std::move(env));
+        });
+    runtime->timers.emplace(timer.id, kernel_id);
   }
 }
 
 void SimNetwork::WakeHost(Host* host) {
-  if (host->busy >= host->cores) return;
-  // Give other nodes on this host a chance to start queued work.
-  for (const auto& address : host->node_addresses) {
-    auto it = nodes_.find(address);
-    if (it == nodes_.end()) continue;
-    if (host->busy >= host->cores) break;
-    TryDispatch(it->second);
+  // Hand freed cores to nodes that parked on the core limit, oldest
+  // blocked first; TryDispatch re-parks a node that is still starved.
+  while (host->busy < host->cores && !host->waiting.empty()) {
+    std::shared_ptr<NodeRuntime> runtime = std::move(host->waiting.front());
+    host->waiting.pop_front();
+    runtime->in_wait_queue = false;
+    if (runtime->removed) continue;
+    TryDispatch(runtime);
   }
 }
 

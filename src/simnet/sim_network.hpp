@@ -14,6 +14,7 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -65,11 +66,17 @@ class SimNetwork final : public net::Network {
   }
 
  private:
+  struct NodeRuntime;
+
   struct Host {
     std::string name;
     int cores = 1;
     int busy = 0;
-    std::vector<std::string> node_addresses;  // for wakeups on core free
+    std::vector<std::string> node_addresses;
+    // Nodes with queued work that could not start because every core was
+    // busy, in blocking order. Freed cores go to these nodes directly
+    // instead of polling every node on the host.
+    std::deque<std::shared_ptr<NodeRuntime>> waiting;
   };
 
   struct NodeRuntime {
@@ -80,23 +87,34 @@ class SimNetwork final : public net::Network {
     std::deque<net::Envelope> pending;
     int busy = 0;
     bool removed = false;
+    bool in_wait_queue = false;
     Rng rng;
     NodeStats stats;
+    // Outstanding self-scheduled timers: node-level id -> kernel timer.
+    // RemoveNode cancels them all, so a crashed service's periodic ticks
+    // and give-up timers vanish instead of delivering to its successor.
+    std::unordered_map<net::TimerId, SimKernel::TimerId> timers;
   };
 
   class Context;
+  struct Effects;
 
   Host* GetOrCreateHost(const std::string& name);
   void Deliver(net::Envelope envelope);
   void TryDispatch(const std::shared_ptr<NodeRuntime>& runtime);
   void WakeHost(Host* host);
+  // Applies a handler's buffered sends/timer ops at completion time.
+  void ApplyEffects(const std::shared_ptr<NodeRuntime>& runtime,
+                    Effects effects);
 
   SimKernel* kernel_;
   Topology topology_;
   Rng seeder_;
+  net::TimerId next_timer_id_ = 1;
   std::map<std::string, std::unique_ptr<Host>> hosts_;
-  std::map<net::Address, std::shared_ptr<NodeRuntime>> nodes_;
-  std::map<net::Address, std::string> node_host_;  // survives node removal
+  // Looked up per message delivery; no ordered iteration anywhere.
+  std::unordered_map<net::Address, std::shared_ptr<NodeRuntime>> nodes_;
+  std::unordered_map<net::Address, std::string> node_host_;  // survives removal
   std::uint64_t dropped_ = 0;
   double loss_probability_ = 0.0;
   std::uint64_t lost_ = 0;

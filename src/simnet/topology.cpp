@@ -13,9 +13,10 @@ void Topology::SetHostSite(const std::string& host, const std::string& site) {
   host_site_[host] = site;
 }
 
-std::string Topology::SiteOf(const std::string& host) const {
+const std::string& Topology::SiteOf(const std::string& host) const {
+  static const std::string kDefaultSite = "local";
   auto it = host_site_.find(host);
-  return it == host_site_.end() ? std::string("local") : it->second;
+  return it == host_site_.end() ? kDefaultSite : it->second;
 }
 
 void Topology::SetLink(const std::string& site_a, const std::string& site_b,

@@ -10,6 +10,7 @@
 #include <map>
 #include <set>
 #include <string>
+#include <unordered_map>
 
 #include "common/rng.hpp"
 #include "common/sim_time.hpp"
@@ -28,7 +29,7 @@ class Topology {
 
   // Site management. Hosts default to site "local".
   void SetHostSite(const std::string& host, const std::string& site);
-  [[nodiscard]] std::string SiteOf(const std::string& host) const;
+  [[nodiscard]] const std::string& SiteOf(const std::string& host) const;
 
   void SetIntraSiteLink(LinkSpec spec) { intra_site_ = spec; }
   void SetDefaultInterSiteLink(LinkSpec spec) { inter_site_ = spec; }
@@ -71,7 +72,7 @@ class Topology {
 
   LinkSpec intra_site_;
   LinkSpec inter_site_;
-  std::map<std::string, std::string> host_site_;
+  std::unordered_map<std::string, std::string> host_site_;
   std::map<std::pair<std::string, std::string>, LinkSpec> links_;
   // Active faults: cut site pairs and per-pair extra latency (the "*"
   // wildcard is stored literally and matched in the lookup).

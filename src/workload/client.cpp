@@ -73,6 +73,7 @@ void ClientNode::OnMessage(const net::Envelope& envelope,
         ++stats_.failures;
         if (config_.collector != nullptr) config_.collector->RecordFailure();
         inflight_request_ = 0;
+        timeout_timer_ = 0;
         CompleteInteraction(ctx);
       }
     } else if (action == "job-done") {
@@ -111,6 +112,10 @@ void ClientNode::OnMessage(const net::Envelope& envelope,
       config_.collector->RecordResponse(ctx.Now() - inflight_sent_at_);
     }
     inflight_request_ = 0;
+    if (timeout_timer_ != 0) {
+      ctx.CancelSelf(timeout_timer_);
+      timeout_timer_ = 0;
+    }
 
     const SimDuration job = config_.job_duration != nullptr
                                 ? config_.job_duration(ctx.rng())
@@ -140,6 +145,10 @@ void ClientNode::OnMessage(const net::Envelope& envelope,
     ++stats_.failures;
     if (config_.collector != nullptr) config_.collector->RecordFailure();
     inflight_request_ = 0;
+    if (timeout_timer_ != 0) {
+      ctx.CancelSelf(timeout_timer_);
+      timeout_timer_ = 0;
+    }
     CompleteInteraction(ctx);
     return;
   }
@@ -169,7 +178,8 @@ void ClientNode::SendNextQuery(net::NodeContext& ctx) {
     net::Message timeout{net::msg::kTick};
     timeout.SetHeader("action", "request-timeout");
     timeout.SetHeader(net::hdr::kRequestId, std::to_string(request_id));
-    ctx.ScheduleSelf(config_.request_timeout, std::move(timeout));
+    timeout_timer_ =
+        ctx.ScheduleSelf(config_.request_timeout, std::move(timeout));
   }
 }
 

@@ -79,6 +79,9 @@ class ClientNode final : public net::Node {
   std::uint64_t next_seq_ = 1;
   std::uint64_t inflight_request_ = 0;
   SimTime inflight_sent_at_ = 0;
+  // Give-up timer for the in-flight request; cancelled when the reply
+  // arrives so lossy runs do not drown in dead timeout events.
+  net::TimerId timeout_timer_ = 0;
   std::map<std::uint64_t, pipeline::Allocation> held_;  // keyed by request id
 };
 

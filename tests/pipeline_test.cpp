@@ -403,6 +403,75 @@ TEST_F(PipelineTest, CoAllocationIsAllOrNothing) {
 
 // --- advance reservations (extension; future work in the paper) ---
 
+// The indexed policies must grant exactly the allocations the legacy
+// linear scans grant on the same trace: same machines, same queries,
+// same interleaved releases (re-sort off, so the cache order is fixed
+// and the sched-level equivalence applies end to end).
+TEST(PoolPolicyEquivalence, IndexedMatchesLinearOnSameTrace) {
+  auto run = [](const std::string& policy_name) {
+    simnet::SimKernel kernel;
+    simnet::SimNetwork network(&kernel, simnet::Topology::Lan(), 7);
+    network.AddHost("alpha", 12);
+    db::ResourceDatabase database;
+    db::ShadowAccountRegistry shadows;
+    db::PolicyRegistry policies;
+    directory::DirectoryService directory;
+    auto probe = std::make_shared<Probe>();
+    network.AddNode("probe", probe, {"alpha", 4});
+    for (int i = 0; i < 24; ++i) {
+      db::MachineRecord rec;
+      rec.name = "sun" + std::to_string(i);
+      rec.params["arch"] = "sun";
+      rec.dyn.load = 0.1 * static_cast<double>(i % 7);
+      rec.dyn.available_memory_mb = 256 + 64 * (i % 5);
+      rec.effective_speed = 1.0 + 0.5 * static_cast<double>(i % 3);
+      EXPECT_TRUE(database.Add(std::move(rec)).ok());
+    }
+    auto criteria = query::Parser::ParseBasic("punch.rsrc.arch = sun\n");
+    EXPECT_TRUE(criteria.ok());
+    ResourcePoolConfig config;
+    config.criteria = *criteria;
+    config.pool_name = criteria->PoolName();
+    config.resort_period = 0;
+    config.policy = policy_name;
+    auto pool = std::make_shared<ResourcePool>(config, &database, &directory,
+                                               &shadows, &policies);
+    network.AddNode("pool0", pool, {"alpha", 1});
+
+    std::vector<std::string> order;
+    std::vector<std::pair<db::MachineId, std::string>> held;
+    std::uint64_t request_id = 1;
+    for (int step = 0; step < 40; ++step) {
+      net::Message query{net::msg::kQuery};
+      query.SetHeader(net::hdr::kReplyTo, "probe");
+      query.SetHeader(net::hdr::kRequestId, std::to_string(request_id++));
+      query.body = "punch.rsrc.arch = sun\n";
+      network.Post("probe", "pool0", std::move(query));
+      kernel.Run();
+      if (const auto* m = probe->last(net::msg::kAllocation)) {
+        order.push_back(m->Header(net::hdr::kMachine));
+        db::MachineId id = 0;
+        if (auto parsed = ParseInt(m->Header(net::hdr::kMachineId))) {
+          id = static_cast<db::MachineId>(*parsed);
+        }
+        held.emplace_back(id, m->Header(net::hdr::kSessionKey));
+      }
+      if (step % 3 == 2 && !held.empty()) {
+        const auto [id, session] = held.front();
+        held.erase(held.begin());
+        network.Post("probe", "pool0", MakeReleaseMessage(id, session));
+        kernel.Run();
+      }
+    }
+    EXPECT_EQ(order.size(), 40u) << policy_name;
+    return order;
+  };
+
+  EXPECT_EQ(run("least-load"), run("linear-least-load"));
+  EXPECT_EQ(run("most-memory"), run("linear-most-memory"));
+  EXPECT_EQ(run("fastest"), run("linear-fastest"));
+}
+
 TEST(ReservationBookUnit, BookConflictCancelPrune) {
   ReservationBook book;
   EXPECT_TRUE(book.IsFree(1, Seconds(10), Seconds(20)));

@@ -151,6 +151,56 @@ TEST(Scenario, QosFanoutStillAnswersOnce) {
   EXPECT_EQ(scenario.collector().failures(), 0u);
 }
 
+TEST(Scenario, IndexedPolicyCutsSelectionCost) {
+  // The indexed least-load policy must serve the same closed loop with
+  // near-constant entries examined per allocation, where the paper's
+  // linear scan pays ~pool-size; response time drops accordingly.
+  ScenarioConfig linear = BaseConfig();
+  linear.machines = 1600;
+  linear.clients = 4;
+  ScenarioConfig indexed = linear;
+  indexed.policy = "least-load";
+
+  SimScenario linear_run(linear);
+  linear_run.Measure(Seconds(2), Seconds(6));
+  SimScenario indexed_run(indexed);
+  indexed_run.Measure(Seconds(1), Seconds(3));
+
+  EXPECT_GT(linear_run.collector().completed(), 100u);
+  EXPECT_GT(indexed_run.collector().completed(), 100u);
+  EXPECT_EQ(indexed_run.collector().failures(), 0u);
+
+  const auto linear_stats = linear_run.TotalPoolStats();
+  const auto indexed_stats = indexed_run.TotalPoolStats();
+  const double linear_cost =
+      static_cast<double>(linear_stats.entries_examined) /
+      static_cast<double>(linear_stats.allocations);
+  const double indexed_cost =
+      static_cast<double>(indexed_stats.entries_examined) /
+      static_cast<double>(indexed_stats.allocations);
+  EXPECT_GT(linear_cost, 1000.0) << "linear scan should touch ~every entry";
+  EXPECT_LT(indexed_cost, 8.0) << "index should examine O(1) entries";
+  EXPECT_LT(indexed_run.collector().response_stats().mean(),
+            linear_run.collector().response_stats().mean());
+}
+
+TEST(Scenario, MultiQmPmDeploymentServesAllClients) {
+  // The qm_scaling/pm_scaling dimensions: several query managers and
+  // pool managers in one deployment, indexed policy, no failures.
+  ScenarioConfig config = BaseConfig();
+  config.machines = 400;
+  config.clusters = 4;
+  config.query_managers = 4;
+  config.pool_managers = 3;
+  config.clients = 12;
+  config.policy = "least-load";
+  SimScenario scenario(config);
+  scenario.Measure(Seconds(2), Seconds(6));
+  EXPECT_GT(scenario.collector().completed(), 100u);
+  EXPECT_EQ(scenario.collector().failures(), 0u);
+  EXPECT_EQ(scenario.network().dropped_messages(), 0u);
+}
+
 TEST(Scenario, DeterministicForSeed) {
   auto run = [] {
     ScenarioConfig config;

@@ -1,9 +1,11 @@
 // Tests for the scheduling policies: objective ordering, linear-search
-// accounting, eligibility, per-query filters, and the Fig. 8
-// instance-bias used by replicated pools.
+// accounting, eligibility, per-query filters, the Fig. 8 instance-bias
+// used by replicated pools, and the incrementally-maintained index's
+// exact equivalence with the legacy linear scan.
 #include <gtest/gtest.h>
 
 #include "common/rng.hpp"
+#include "sched/index.hpp"
 #include "sched/policy.hpp"
 
 namespace actyp::sched {
@@ -175,13 +177,23 @@ TEST(EmptyCache, NothingFound) {
 
 TEST(Factory, CreatesAllPolicies) {
   for (const char* name :
-       {"least-load", "most-memory", "fastest", "round-robin", "random"}) {
+       {"least-load", "most-memory", "fastest", "round-robin", "random",
+        "linear-least-load", "linear-most-memory", "linear-fastest"}) {
     auto policy = MakePolicy(name);
     ASSERT_TRUE(policy.ok()) << name;
     EXPECT_EQ((*policy)->name(), name);
   }
   EXPECT_TRUE(MakePolicy("").ok());  // default
   EXPECT_FALSE(MakePolicy("quantum").ok());
+  EXPECT_FALSE(MakePolicy("linear-random").ok());  // no legacy variant
+}
+
+TEST(Factory, BareNamesAreIndexedLinearNamesAreNot) {
+  EXPECT_TRUE((*MakePolicy("least-load"))->indexed());
+  EXPECT_TRUE((*MakePolicy("fastest"))->indexed());
+  EXPECT_FALSE((*MakePolicy("linear-least-load"))->indexed());
+  EXPECT_FALSE((*MakePolicy("round-robin"))->indexed());
+  EXPECT_FALSE((*MakePolicy("random"))->indexed());
 }
 
 // Property sweep: every policy must return an eligible entry whenever one
@@ -218,6 +230,127 @@ INSTANTIATE_TEST_SUITE_P(AllPolicies, PolicyProperty,
                          ::testing::Values("least-load", "most-memory",
                                            "fastest", "round-robin",
                                            "random"));
+
+// --- the scheduling index ---
+
+CacheEntry RandomEntry(Rng& rng) {
+  CacheEntry entry;
+  entry.load = rng.Bernoulli(0.4) ? rng.Uniform(0, 0.95) : rng.Uniform(1, 9);
+  entry.available_memory_mb = 64 * (1 + rng.NextBounded(32));
+  entry.effective_speed = 0.5 + 0.25 * static_cast<double>(rng.NextBounded(8));
+  entry.num_cpus = 1 + static_cast<int>(rng.NextBounded(3));
+  entry.max_allowed_load = 1.0;
+  return entry;
+}
+
+// The index must choose exactly the entry the legacy linear scan does,
+// on any cache, any instance bias, and with any filter.
+TEST(SchedulingIndex, MatchesLinearScanOnRandomCaches) {
+  Rng rng(4242);
+  for (const char* name : {"least-load", "most-memory", "fastest"}) {
+    auto policy = MakePolicy(name);
+    ASSERT_TRUE(policy.ok());
+    for (int trial = 0; trial < 60; ++trial) {
+      const std::uint32_t stride = 1 + rng.NextBounded(4);
+      const std::size_t n = 1 + rng.NextBounded(60);
+      std::vector<CacheEntry> cache;
+      for (std::size_t i = 0; i < n; ++i) cache.push_back(RandomEntry(rng));
+
+      SchedulingIndex index(policy->get(), 0, stride);
+      index.Rebuild(cache);
+
+      std::function<bool(std::size_t, const CacheEntry&)> filter =
+          [](std::size_t i, const CacheEntry&) { return i % 5 != 3; };
+      for (std::uint32_t instance = 0; instance < stride; ++instance) {
+        SelectionContext ctx;
+        ctx.instance = instance;
+        ctx.instance_count = stride;
+        if (trial % 2 == 0) ctx.filter = &filter;
+        const Selection linear = (*policy)->Select(cache, ctx);
+        const Selection indexed = index.Select(cache, ctx);
+        EXPECT_EQ(indexed.index, linear.index)
+            << name << " trial=" << trial << " instance=" << instance;
+        EXPECT_EQ(indexed.found(), linear.found());
+      }
+    }
+  }
+}
+
+// Equivalence on a mutating trace: allocate/release load changes with
+// incremental Update() must keep the index's answers identical to the
+// linear scan — the "same allocations on the same trace" property.
+TEST(SchedulingIndex, TraceOfUpdatesStaysEquivalent) {
+  Rng rng(99);
+  auto policy = MakePolicy("least-load");
+  ASSERT_TRUE(policy.ok());
+  std::vector<CacheEntry> cache;
+  for (int i = 0; i < 40; ++i) cache.push_back(RandomEntry(rng));
+  SchedulingIndex index(policy->get(), 1, 2);
+  index.Rebuild(cache);
+
+  std::vector<std::size_t> held;
+  SelectionContext ctx;
+  ctx.instance = 1;
+  ctx.instance_count = 2;
+  for (int step = 0; step < 500; ++step) {
+    const Selection linear = (*policy)->Select(cache, ctx);
+    const Selection indexed = index.Select(cache, ctx);
+    ASSERT_EQ(indexed.index, linear.index) << "step " << step;
+    if (linear.found() && rng.Bernoulli(0.7)) {
+      cache[linear.index].load += 1.0;  // allocate
+      index.Update(cache, linear.index);
+      held.push_back(linear.index);
+    } else if (!held.empty()) {
+      const std::size_t h = rng.NextBounded(held.size());
+      cache[held[h]].load -= 1.0;  // release
+      index.Update(cache, held[h]);
+      held[h] = held.back();
+      held.pop_back();
+    }
+  }
+}
+
+// The asymptotic win the refactor is for: a mostly-idle pool answers in
+// O(1) examined entries instead of O(n).
+TEST(SchedulingIndex, ExaminedStaysConstantOnIdlePool) {
+  auto policy = MakePolicy("least-load");
+  ASSERT_TRUE(policy.ok());
+  std::vector<CacheEntry> cache;
+  for (int i = 0; i < 3200; ++i) {
+    CacheEntry entry;
+    entry.load = 0.1;
+    entry.effective_speed = 1.0;
+    cache.push_back(entry);
+  }
+  SchedulingIndex index(policy->get(), 0, 1);
+  index.Rebuild(cache);
+  SelectionContext ctx;
+  const Selection linear = (*policy)->Select(cache, ctx);
+  const Selection indexed = index.Select(cache, ctx);
+  EXPECT_EQ(indexed.index, linear.index);
+  EXPECT_EQ(linear.examined, 3200u);
+  EXPECT_LE(indexed.examined, 4u);
+}
+
+TEST(SchedulingIndex, FallsBackToSiblingStrides) {
+  // Only an off-stride entry is eligible; the index must fall back the
+  // way the linear scan's second phase does.
+  auto policy = MakePolicy("least-load");
+  std::vector<CacheEntry> cache;
+  for (int i = 0; i < 6; ++i) {
+    CacheEntry entry;
+    entry.load = (i == 3) ? 0.2 : 5.0;  // index 3 is odd-stride
+    cache.push_back(entry);
+  }
+  SchedulingIndex index(policy->get(), 0, 2);
+  index.Rebuild(cache);
+  SelectionContext ctx;
+  ctx.instance = 0;
+  ctx.instance_count = 2;
+  const Selection sel = index.Select(cache, ctx);
+  ASSERT_TRUE(sel.found());
+  EXPECT_EQ(sel.index, 3u);
+}
 
 }  // namespace
 }  // namespace actyp::sched

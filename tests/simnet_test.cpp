@@ -3,6 +3,8 @@
 // serialization, host core limits).
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "simnet/kernel.hpp"
 #include "simnet/sim_network.hpp"
 #include "simnet/topology.hpp"
@@ -76,6 +78,122 @@ TEST(Kernel, ClockAdapterTracksKernel) {
   kernel.Schedule(Millis(7), [] {});
   kernel.Run();
   EXPECT_EQ(clock.Now(), Millis(7));
+}
+
+// --- cancellation ---
+
+TEST(Kernel, CancelPreventsExecution) {
+  SimKernel kernel;
+  int fired = 0;
+  const auto id = kernel.Schedule(Millis(5), [&] { ++fired; });
+  kernel.Schedule(Millis(10), [&] { fired += 10; });
+  EXPECT_EQ(kernel.pending(), 2u);
+  EXPECT_TRUE(kernel.Cancel(id));
+  EXPECT_EQ(kernel.pending(), 1u);
+  kernel.Run();
+  EXPECT_EQ(fired, 10);  // only the surviving event ran
+  EXPECT_EQ(kernel.executed(), 1u);
+  EXPECT_EQ(kernel.cancelled(), 1u);
+}
+
+TEST(Kernel, CancelIsStaleAfterFiring) {
+  SimKernel kernel;
+  const auto id = kernel.Schedule(Millis(1), [] {});
+  kernel.Run();
+  EXPECT_FALSE(kernel.Cancel(id));
+  EXPECT_FALSE(kernel.Cancel(id));  // idempotently stale
+  EXPECT_FALSE(kernel.Cancel(SimKernel::kInvalidTimer));
+}
+
+TEST(Kernel, StaleIdCannotCancelReusedSlot) {
+  SimKernel kernel;
+  const auto first = kernel.Schedule(Millis(1), [] {});
+  ASSERT_TRUE(kernel.Cancel(first));
+  // The freed slot is reused; the old handle's generation is dead.
+  bool fired = false;
+  kernel.Schedule(Millis(2), [&] { fired = true; });
+  EXPECT_FALSE(kernel.Cancel(first));
+  kernel.Run();
+  EXPECT_TRUE(fired);
+}
+
+TEST(Kernel, CancelHeadThenRunUntil) {
+  SimKernel kernel;
+  int fired = 0;
+  const auto head = kernel.Schedule(Millis(1), [&] { ++fired; });
+  kernel.Schedule(Millis(20), [&] { ++fired; });
+  ASSERT_TRUE(kernel.Cancel(head));
+  kernel.RunUntil(Millis(10));
+  EXPECT_EQ(fired, 0);
+  EXPECT_EQ(kernel.Now(), Millis(10));
+  kernel.Run();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(Kernel, CancelKeepsTieBreakOrder) {
+  SimKernel kernel;
+  std::vector<int> order;
+  std::vector<SimKernel::TimerId> ids;
+  for (int i = 0; i < 9; ++i) {
+    ids.push_back(kernel.Schedule(Millis(10), [&order, i] {
+      order.push_back(i);
+    }));
+  }
+  // Cancel every third event; survivors must still run in insertion
+  // order despite heap removals moving slots around.
+  for (int i = 0; i < 9; i += 3) EXPECT_TRUE(kernel.Cancel(ids[i]));
+  kernel.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 4, 5, 7, 8}));
+}
+
+TEST(Kernel, RescheduleAfterCancelPattern) {
+  // The give-up-timer pattern: arm, cancel, re-arm, repeatedly.
+  SimKernel kernel;
+  int fired = 0;
+  SimKernel::TimerId timer = SimKernel::kInvalidTimer;
+  for (int round = 0; round < 100; ++round) {
+    timer = kernel.Schedule(Millis(5), [&] { ++fired; });
+    if (round % 2 == 0) {
+      EXPECT_TRUE(kernel.Cancel(timer));
+    }
+    kernel.Run();
+  }
+  EXPECT_EQ(fired, 50);
+  EXPECT_EQ(kernel.cancelled(), 50u);
+  EXPECT_TRUE(kernel.Empty());
+}
+
+TEST(Kernel, RandomizedCancelMatchesReference) {
+  // Heap invariant fuzz: a mix of schedules and cancels must fire the
+  // surviving events in exact (time, insertion) order.
+  SimKernel kernel;
+  Rng rng(2024);
+  std::vector<std::pair<SimTime, std::uint64_t>> fired;
+  std::vector<std::pair<SimTime, std::uint64_t>> expected;
+  std::vector<SimKernel::TimerId> live;
+  std::vector<std::pair<SimTime, std::uint64_t>> live_keys;
+  std::uint64_t seq = 0;
+  for (int i = 0; i < 2000; ++i) {
+    if (!live.empty() && rng.Bernoulli(0.3)) {
+      const std::size_t victim = rng.NextBounded(live.size());
+      EXPECT_TRUE(kernel.Cancel(live[victim]));
+      live[victim] = live.back();
+      live.pop_back();
+      live_keys[victim] = live_keys.back();
+      live_keys.pop_back();
+    } else {
+      const SimTime at = static_cast<SimTime>(rng.NextBounded(100000));
+      const std::uint64_t s = seq++;
+      live.push_back(kernel.ScheduleAt(at, [&fired, at, s] {
+        fired.emplace_back(at, s);
+      }));
+      live_keys.emplace_back(at, s);
+    }
+  }
+  expected = live_keys;
+  std::sort(expected.begin(), expected.end());
+  kernel.Run();
+  EXPECT_EQ(fired, expected);
 }
 
 // --- topology ---
@@ -333,6 +451,58 @@ TEST(SimNetwork, ScheduleSelfIsPeriodic) {
   EXPECT_EQ(node->times[0], Millis(10));
   EXPECT_EQ(node->times[1], Millis(20));
   EXPECT_EQ(node->times[2], Millis(30));
+}
+
+// Arms a timer on start, then cancels it when told to.
+class CancellingNode final : public net::Node {
+ public:
+  void OnStart(net::NodeContext& ctx) override {
+    timer_ = ctx.ScheduleSelf(Millis(50), net::Message{"late-tick"});
+    EXPECT_NE(timer_, 0u);
+  }
+  void OnMessage(const net::Envelope& env, net::NodeContext& ctx) override {
+    if (env.message.type == "cancel") {
+      cancel_result = ctx.CancelSelf(timer_);
+    } else if (env.message.type == "late-tick") {
+      ++late_ticks;
+    }
+  }
+  net::TimerId timer_ = 0;
+  bool cancel_result = false;
+  int late_ticks = 0;
+};
+
+TEST(SimNetwork, CancelSelfStopsPendingTimer) {
+  SimKernel kernel;
+  SimNetwork network(&kernel, Topology{});
+  auto node = std::make_shared<CancellingNode>();
+  network.AddNode("n", node, {});
+  network.Post("x", "n", net::Message{"cancel"});
+  kernel.Run();
+  EXPECT_TRUE(node->cancel_result);
+  EXPECT_EQ(node->late_ticks, 0);
+  EXPECT_EQ(kernel.pending(), 0u);
+}
+
+TEST(SimNetwork, RemoveNodeCancelsItsSelfTimers) {
+  // A crashed service's periodic tick must not deliver to the fresh
+  // instance registered later under the same address (tick storms).
+  SimKernel kernel;
+  SimNetwork network(&kernel, Topology{});
+  auto first = std::make_shared<SelfTickNode>();
+  network.AddNode("svc", first, {});
+  kernel.RunUntil(Millis(15));  // one tick fired, the next is pending
+  ASSERT_EQ(first->times.size(), 1u);
+  ASSERT_TRUE(network.RemoveNode("svc").ok());
+
+  auto second = std::make_shared<SelfTickNode>();
+  network.AddNode("svc", second, {});
+  kernel.Run();
+  // The replacement saw only its own cadence; the orphaned timer died
+  // with the removed node instead of being delivered (or dropped).
+  EXPECT_EQ(first->times.size(), 1u);
+  EXPECT_EQ(second->times.size(), 3u);
+  EXPECT_EQ(network.dropped_messages(), 0u);
 }
 
 }  // namespace

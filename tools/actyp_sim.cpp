@@ -9,7 +9,12 @@
 //   faults:    actyp_sim --scenario lossy_lan --loss 0.05
 //              actyp_sim --scenario pool_churn --churn-rate 2
 //              actyp_sim --scenario fig4_pools_lan --fault-plan plan.txt
+//   config:    actyp_sim --config examples/experiment.conf
 //   everything: actyp_sim --all --json
+//
+// --config loads a full experiment from one file (scenario selection,
+// overrides, and a [fault] section parsed via FaultPlan::FromConfig);
+// flags given after --config override the file's values.
 //
 // JSON goes to stdout, one object per scenario run, with a stable
 // {scenario, title, cells[], note} shape for perf tracking.
@@ -23,6 +28,7 @@
 #include <vector>
 
 #include "actyp/scenario_registry.hpp"
+#include "common/config.hpp"
 #include "common/strings.hpp"
 #include "fault/fault_plan.hpp"
 
@@ -36,12 +42,15 @@ int Usage(int code) {
   std::fprintf(
       code == 0 ? stdout : stderr,
       "usage: actyp_sim [--list] [--scenario <name>] [--all] [--json]\n"
-      "                 [--seed N] [--machines N] [--clients N]\n"
-      "                 [--time-scale X] [--loss P] [--churn-rate R]\n"
-      "                 [--fault-plan FILE]\n"
+      "                 [--config FILE] [--seed N] [--machines N]\n"
+      "                 [--clients N] [--time-scale X] [--loss P]\n"
+      "                 [--churn-rate R] [--fault-plan FILE]\n"
       "\n"
       "  --list            list registered scenarios and exit\n"
       "  --scenario <s>    run one scenario (repeatable)\n"
+      "  --config FILE     load a full experiment config: scenario name,\n"
+      "                    overrides, and a [fault] section (see\n"
+      "                    examples/experiment.conf); later flags override\n"
       "  --all             run every registered scenario\n"
       "  --json            emit one JSON object per run to stdout\n"
       "  --seed N          override the scenario's base seed\n"
@@ -88,6 +97,85 @@ bool ParseDouble(const char* text, double* out) {
   return true;
 }
 
+// Loads a full experiment config into the run list and options: the
+// scenario selection ("scenario = fig4_pools_lan" or a comma list),
+// the driver overrides (seed / machines / clients / time-scale / loss /
+// churn-rate / json), and a [fault] section in FaultPlan::FromConfig
+// form. Returns 0 on success.
+int ApplyConfigFile(const char* path, std::vector<std::string>* names,
+                    ScenarioRunOptions* options, bool* json, bool* all) {
+  std::ifstream file(path);
+  if (!file) {
+    std::fprintf(stderr, "actyp_sim: cannot read config '%s'\n", path);
+    return 1;
+  }
+  std::ostringstream text;
+  text << file.rdbuf();
+  const auto config = actyp::Config::Parse(text.str());
+  if (!config.ok()) {
+    std::fprintf(stderr, "actyp_sim: %s: %s\n", path,
+                 config.status().ToString().c_str());
+    return 1;
+  }
+
+  const auto bad = [path](const char* key, const std::string& value) {
+    std::fprintf(stderr, "actyp_sim: %s: invalid value '%s' for '%s'\n",
+                 path, value.c_str(), key);
+    return 1;
+  };
+
+  if (const auto scenario = config->Get("scenario")) {
+    for (const auto& name : actyp::SplitSkipEmpty(*scenario, ',')) {
+      const std::string trimmed = actyp::Trim(name);
+      if (trimmed == "all") {
+        *all = true;
+      } else {
+        names->push_back(trimmed);
+      }
+    }
+  }
+  *json = config->GetBool("json", *json);
+  if (const auto value = config->Get("seed")) {
+    const auto parsed = actyp::ParseInt(*value);
+    if (!parsed || *parsed < 0) return bad("seed", *value);
+    options->seed = static_cast<std::uint64_t>(*parsed);
+  }
+  if (const auto value = config->Get("machines")) {
+    const auto parsed = actyp::ParseInt(*value);
+    if (!parsed || *parsed < 1) return bad("machines", *value);
+    options->machines = static_cast<std::size_t>(*parsed);
+  }
+  if (const auto value = config->Get("clients")) {
+    const auto parsed = actyp::ParseInt(*value);
+    if (!parsed || *parsed < 1) return bad("clients", *value);
+    options->clients = static_cast<std::size_t>(*parsed);
+  }
+  if (const auto value = config->Get("time-scale")) {
+    const auto parsed = actyp::ParseDouble(*value);
+    if (!parsed || !(*parsed > 0)) return bad("time-scale", *value);
+    options->time_scale = *parsed;
+  }
+  if (const auto value = config->Get("loss")) {
+    const auto parsed = actyp::ParseDouble(*value);
+    if (!parsed || *parsed < 0 || *parsed > 1) return bad("loss", *value);
+    options->loss = *parsed;
+  }
+  if (const auto value = config->Get("churn-rate")) {
+    const auto parsed = actyp::ParseDouble(*value);
+    if (!parsed || !(*parsed >= 0)) return bad("churn-rate", *value);
+    options->churn_rate = *parsed;
+  }
+
+  const auto plan = actyp::fault::FaultPlan::FromConfig(config.value());
+  if (!plan.ok()) {
+    std::fprintf(stderr, "actyp_sim: %s: %s\n", path,
+                 plan.status().ToString().c_str());
+    return 1;
+  }
+  if (!plan->empty()) options->fault_plan_text = plan->Serialize();
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -111,6 +199,13 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(arg, "--scenario") == 0) {
       if (i + 1 >= argc) return MissingValue(arg);
       names.emplace_back(argv[++i]);
+    } else if (std::strcmp(arg, "--config") == 0) {
+      if (i + 1 >= argc) return MissingValue(arg);
+      if (const int rc = ApplyConfigFile(argv[++i], &names, &options, &json,
+                                         &all);
+          rc != 0) {
+        return rc;
+      }
     } else if (std::strcmp(arg, "--seed") == 0) {
       if (i + 1 >= argc) return MissingValue(arg);
       long value = 0;  // 0 is a legitimate seed

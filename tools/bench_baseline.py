@@ -17,9 +17,11 @@ because simulated metrics shift legitimately when the model changes —
 refresh the baseline in the same PR when that happens.
 
 Wall-clock scenarios and wall-clock metrics (the TCP roundtrip
-latencies, the query micro-benchmark timings) are excluded from the
-diff; everything else in the sweep is a deterministic function of the
-pinned seed.
+latencies, the query micro-benchmark timings, the scaling sweeps'
+ev_per_s_wall throughput) are excluded from the diff; everything
+else in the sweep is a deterministic function of the pinned seed. The
+sweep's own wall-clock is recorded in the snapshot under a
+"_sweep_meta" entry for perf tracking over time, and also excluded.
 """
 
 import argparse
@@ -27,6 +29,7 @@ import json
 import os
 import subprocess
 import sys
+import time
 
 # Pinned run: deterministic, and small enough for a CI sidecar (~10 s).
 RUN_ARGS = [
@@ -38,17 +41,19 @@ RUN_ARGS = [
 ]
 
 # Scenarios whose numbers are wall-clock, not simulated time.
-WALL_CLOCK_SCENARIOS = {"tcp_roundtrip", "abl_query_micro"}
+WALL_CLOCK_SCENARIOS = {"tcp_roundtrip", "abl_query_micro", "_sweep_meta"}
 # Wall-clock metric names excluded wherever they appear.
-WALL_CLOCK_METRICS = {"mean_ms", "max_ms", "p95_ms", "ns_per_op"}
+WALL_CLOCK_METRICS = {"mean_ms", "max_ms", "p95_ms", "ns_per_op",
+                      "ev_per_s_wall"}
 
 DIMENSION_KEYS = {
     "pools", "clients", "machines", "segments", "replicas", "fanout",
-    "loss", "rate", "calls", "bucket_lo", "bucket_hi",
+    "loss", "rate", "calls", "bucket_lo", "bucket_hi", "qms", "pms",
 }
 
 
 def run_sweep(binary):
+    start = time.monotonic()
     try:
         out = subprocess.run(
             [binary] + RUN_ARGS, capture_output=True, text=True, check=True)
@@ -60,11 +65,21 @@ def run_sweep(binary):
         print(f"bench_baseline: {binary} failed with {err.returncode}",
               file=sys.stderr)
         sys.exit(2)
+    elapsed = time.monotonic() - start
     reports = []
     for line in out.stdout.splitlines():
         line = line.strip()
         if line:
             reports.append(json.loads(line))
+    # Host-side perf record for the whole sweep (excluded from the diff:
+    # wall-clock, machine-dependent).
+    reports.append({
+        "scenario": "_sweep_meta",
+        "title": "sweep harness record",
+        "cells": [{"wall_clock_s": round(elapsed, 3)}],
+        "note": "wall-clock of the pinned --all sweep on the CI host",
+    })
+    print(f"bench_baseline: sweep wall-clock {elapsed:.1f}s")
     return reports
 
 
