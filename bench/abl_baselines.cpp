@@ -83,6 +83,7 @@ ScenarioReport RunAblBaselines(const ScenarioRunOptions& options) {
   report.scenario = "abl_baselines";
   report.title = "Ablation — ActYP pipeline vs centralized baselines";
   const std::size_t machines = options.machines.value_or(3200);
+  std::vector<bench::CellTask> tasks;
   for (const std::size_t clients :
        bench::SweepOr(options.clients, {8, 32, 64})) {
     {
@@ -91,27 +92,32 @@ ScenarioReport RunAblBaselines(const ScenarioRunOptions& options) {
       config.clusters = 4;
       config.clients = clients;
       config.seed = bench::CellSeed(options, 100, clients);
-      const auto result =
-          bench::RunCell(config, options, bench::ScaledSeconds(options, 3),
-                         bench::ScaledSeconds(options, 15));
-      ScenarioCell cell;
-      cell.labels.emplace_back("system", "actyp");
-      cell.dims.emplace_back("clients", static_cast<double>(clients));
-      bench::AppendMetrics(result, &cell);
-      report.cells.push_back(std::move(cell));
+      tasks.push_back([config = std::move(config), &options, clients] {
+        const auto result =
+            bench::RunCell(config, options, bench::ScaledSeconds(options, 3),
+                           bench::ScaledSeconds(options, 15));
+        ScenarioCell cell;
+        cell.labels.emplace_back("system", "actyp");
+        cell.dims.emplace_back("clients", static_cast<double>(clients));
+        bench::AppendMetrics(result, &cell);
+        return cell;
+      });
     }
     for (const char* kind : {"central", "matchmaker"}) {
-      const auto result =
-          RunBaseline(kind, machines, clients,
-                      bench::CellSeed(options, 200, clients),
-                      options.time_scale);
-      ScenarioCell cell;
-      cell.labels.emplace_back("system", kind);
-      cell.dims.emplace_back("clients", static_cast<double>(clients));
-      bench::AppendMetrics(result, &cell);
-      report.cells.push_back(std::move(cell));
+      tasks.push_back([kind, machines, clients, &options] {
+        const auto result =
+            RunBaseline(kind, machines, clients,
+                        bench::CellSeed(options, 200, clients),
+                        options.time_scale);
+        ScenarioCell cell;
+        cell.labels.emplace_back("system", kind);
+        cell.dims.emplace_back("clients", static_cast<double>(clients));
+        bench::AppendMetrics(result, &cell);
+        return cell;
+      });
     }
   }
+  bench::RunCellTasks(options, std::move(tasks), &report);
   report.note =
       "shape check: ActYP's pooled, decentralized scan beats the "
       "centralized full-database scan as clients grow, and beats the "

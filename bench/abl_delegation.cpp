@@ -31,46 +31,50 @@ ScenarioReport RunAblDelegation(const ScenarioRunOptions& options) {
   ScenarioReport report;
   report.scenario = "abl_delegation";
   report.title = "Ablation — delegation chains (TTL walk to failure)";
+  std::vector<bench::CellTask> tasks;
   for (const int peers : {4, 8, 16}) {
     for (const int ttl : {2, 4, 8, 16}) {
-      simnet::SimKernel kernel;
-      simnet::SimNetwork network(
-          &kernel, simnet::Topology::Lan(),
-          bench::CellSeed(options, 900, peers * 31 + ttl));
-      network.AddHost("alpha", 12);
-      directory::DirectoryService directory;
-      for (int i = 0; i < peers; ++i) {
-        pipeline::PoolManagerConfig config;
-        config.name = "pm" + std::to_string(i);
-        config.allow_create = false;  // force delegation
-        network.AddNode(
-            config.name,
-            std::make_shared<pipeline::PoolManager>(config, &directory),
-            {"alpha", 1});
-      }
-      auto probe = std::make_shared<Probe>();
-      network.AddNode("probe", probe, {"alpha", 1});
+      tasks.push_back([peers, ttl, &options] {
+        simnet::SimKernel kernel;
+        simnet::SimNetwork network(
+            &kernel, simnet::Topology::Lan(),
+            bench::CellSeed(options, 900, peers * 31 + ttl));
+        network.AddHost("alpha", 12);
+        directory::DirectoryService directory;
+        for (int i = 0; i < peers; ++i) {
+          pipeline::PoolManagerConfig config;
+          config.name = "pm" + std::to_string(i);
+          config.allow_create = false;  // force delegation
+          network.AddNode(
+              config.name,
+              std::make_shared<pipeline::PoolManager>(config, &directory),
+              {"alpha", 1});
+        }
+        auto probe = std::make_shared<Probe>();
+        network.AddNode("probe", probe, {"alpha", 1});
 
-      auto q = query::Parser::ParseBasic("punch.rsrc.arch = vax\n");
-      q->set_ttl(ttl);
-      net::Message m{net::msg::kQuery};
-      m.SetHeader(net::hdr::kReplyTo, "probe");
-      m.SetHeader(net::hdr::kRequestId, "1");
-      m.body = q->ToText();
-      network.Post("probe", "pm0", std::move(m));
-      kernel.Run();
+        auto q = query::Parser::ParseBasic("punch.rsrc.arch = vax\n");
+        q->set_ttl(ttl);
+        net::Message m{net::msg::kQuery};
+        m.SetHeader(net::hdr::kReplyTo, "probe");
+        m.SetHeader(net::hdr::kRequestId, "1");
+        m.body = q->ToText();
+        network.Post("probe", "pm0", std::move(m));
+        kernel.Run();
 
-      const bool ttl_hit = probe->error.find("TTL") != std::string::npos;
-      ScenarioCell cell;
-      cell.labels.emplace_back(
-          "terminated_by", ttl_hit ? "ttl-expired" : "all-peers-visited");
-      cell.dims.emplace_back("ttl", ttl);
-      cell.dims.emplace_back("peers", peers);
-      cell.metrics.emplace_back("time_to_fail_ms",
-                                ToMillis(probe->failed_at));
-      report.cells.push_back(std::move(cell));
+        const bool ttl_hit = probe->error.find("TTL") != std::string::npos;
+        ScenarioCell cell;
+        cell.labels.emplace_back(
+            "terminated_by", ttl_hit ? "ttl-expired" : "all-peers-visited");
+        cell.dims.emplace_back("ttl", ttl);
+        cell.dims.emplace_back("peers", peers);
+        cell.metrics.emplace_back("time_to_fail_ms",
+                                  ToMillis(probe->failed_at));
+        return cell;
+      });
     }
   }
+  bench::RunCellTasks(options, std::move(tasks), &report);
   report.note =
       "shape check: time-to-failure grows with min(ttl, peers); with few "
       "peers the visited list terminates the walk, with many peers the TTL "

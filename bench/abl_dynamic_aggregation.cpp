@@ -50,15 +50,19 @@ ScenarioReport RunAblDynamicAggregation(const ScenarioRunOptions& options) {
       {"split-x4", 4, 1, 0.9, 3},
       {"replicate-x4", 1, 4, 0.9, 4},
   };
+  std::vector<bench::CellTask> tasks;
   for (const Row& row : rows) {
-    ScenarioCell cell;
-    cell.labels.emplace_back("configuration", row.configuration);
-    cell.dims.emplace_back("hot_fraction", row.hot_fraction);
-    cell.metrics.emplace_back(
-        "mean_s", RunMix(options, row.segments, row.replicas,
-                         row.hot_fraction, row.seed_offset));
-    report.cells.push_back(std::move(cell));
+    tasks.push_back([row, &options] {
+      ScenarioCell cell;
+      cell.labels.emplace_back("configuration", row.configuration);
+      cell.dims.emplace_back("hot_fraction", row.hot_fraction);
+      cell.metrics.emplace_back(
+          "mean_s", RunMix(options, row.segments, row.replicas,
+                           row.hot_fraction, row.seed_offset));
+      return cell;
+    });
   }
+  bench::RunCellTasks(options, std::move(tasks), &report);
 
   report.note =
       "shape check: the hot-spot mix degrades the static partition well "

@@ -12,6 +12,7 @@ ScenarioReport RunAblQosFanout(const ScenarioRunOptions& options) {
   ScenarioReport report;
   report.scenario = "abl_qos_fanout";
   report.title = "Ablation — QoS fan-out (best-of-N duplicates)";
+  std::vector<bench::CellTask> tasks;
   for (const std::uint32_t fanout : {1u, 2u, 4u}) {
     ScenarioConfig config;
     config.machines = options.machines.value_or(1600);
@@ -21,14 +22,17 @@ ScenarioReport RunAblQosFanout(const ScenarioRunOptions& options) {
     config.qos_fanout = fanout;
     config.clients = options.clients.value_or(8);
     config.seed = bench::CellSeed(options, 4242, fanout);
-    const auto result =
-        bench::RunCell(config, options, bench::ScaledSeconds(options, 3),
-                       bench::ScaledSeconds(options, 20));
-    ScenarioCell cell;
-    cell.dims.emplace_back("fanout", static_cast<double>(fanout));
-    bench::AppendMetrics(result, &cell);
-    report.cells.push_back(std::move(cell));
+    tasks.push_back([config = std::move(config), &options, fanout] {
+      const auto result =
+          bench::RunCell(config, options, bench::ScaledSeconds(options, 3),
+                         bench::ScaledSeconds(options, 20));
+      ScenarioCell cell;
+      cell.dims.emplace_back("fanout", static_cast<double>(fanout));
+      bench::AppendMetrics(result, &cell);
+      return cell;
+    });
   }
+  bench::RunCellTasks(options, std::move(tasks), &report);
   report.note =
       "shape check: fan-out trades aggregate work for tail latency — the "
       "p95 narrows toward the p50 as N grows, while total pool work (and "

@@ -2,7 +2,9 @@
 // costs assume parsing, signature construction, and decomposition are
 // microsecond-scale; this scenario verifies that and tracks regressions
 // with simple wall-clock timing loops (self-calibrating iteration
-// counts, no external benchmark dependency).
+// counts, no external benchmark dependency). Deliberately ignores
+// --jobs: concurrent cells would contend for cores and corrupt the
+// timings.
 #include <chrono>
 #include <string>
 
@@ -107,7 +109,7 @@ ScenarioReport RunAblQueryMicro(const ScenarioRunOptions& options) {
 const ScenarioRegistrar kRegistrar(
     "abl_query_micro",
     "wall-clock microbenchmarks of parse/signature/decompose/match",
-    RunAblQueryMicro);
+    RunAblQueryMicro, /*wall_clock=*/true);
 
 }  // namespace
 }  // namespace actyp

@@ -12,39 +12,43 @@ ScenarioReport RunAblSchedPolicy(const ScenarioRunOptions& options) {
   ScenarioReport report;
   report.scenario = "abl_sched_policy";
   report.title = "Ablation — scheduling policy under held jobs";
+  std::vector<bench::CellTask> tasks;
   for (const char* policy :
        {"least-load", "linear-least-load", "most-memory", "fastest",
         "round-robin", "random"}) {
-    ScenarioConfig config;
-    // Demand exceeds supply: 48 closed-loop clients holding ~8s jobs on
-    // 40 machines, so placement quality shows up as forced
-    // oversubscription and response-time spread.
-    config.machines = options.machines.value_or(40);
-    config.clusters = 1;
-    config.clients = options.clients.value_or(48);
-    config.policy = policy;
-    config.seed = options.seed.value_or(31337);
-    config.job_duration = [](Rng& rng) {
-      return static_cast<SimDuration>(rng.Exponential(8e6));
-    };
-    SimScenario scenario(config);
-    scenario.Measure(bench::ScaledSeconds(options, 5),
-                     bench::ScaledSeconds(options, 60));
-    const auto stats = scenario.TotalPoolStats();
-    ScenarioCell cell;
-    cell.labels.emplace_back("policy", policy);
-    cell.metrics.emplace_back(
-        "mean_s", scenario.collector().response_stats().mean());
-    cell.metrics.emplace_back("p95_s",
-                              scenario.collector().QuantileSeconds(0.95));
-    cell.metrics.emplace_back(
-        "completed", static_cast<double>(scenario.collector().completed()));
-    cell.metrics.emplace_back("oversubscribed",
-                              static_cast<double>(stats.oversubscribed));
-    cell.metrics.emplace_back("entries_examined",
-                              static_cast<double>(stats.entries_examined));
-    report.cells.push_back(std::move(cell));
+    tasks.push_back([policy, &options] {
+      ScenarioConfig config;
+      // Demand exceeds supply: 48 closed-loop clients holding ~8s jobs
+      // on 40 machines, so placement quality shows up as forced
+      // oversubscription and response-time spread.
+      config.machines = options.machines.value_or(40);
+      config.clusters = 1;
+      config.clients = options.clients.value_or(48);
+      config.policy = policy;
+      config.seed = options.seed.value_or(31337);
+      config.job_duration = [](Rng& rng) {
+        return static_cast<SimDuration>(rng.Exponential(8e6));
+      };
+      SimScenario scenario(config);
+      scenario.Measure(bench::ScaledSeconds(options, 5),
+                       bench::ScaledSeconds(options, 60));
+      const auto stats = scenario.TotalPoolStats();
+      ScenarioCell cell;
+      cell.labels.emplace_back("policy", policy);
+      cell.metrics.emplace_back(
+          "mean_s", scenario.collector().response_stats().mean());
+      cell.metrics.emplace_back("p95_s",
+                                scenario.collector().QuantileSeconds(0.95));
+      cell.metrics.emplace_back(
+          "completed", static_cast<double>(scenario.collector().completed()));
+      cell.metrics.emplace_back("oversubscribed",
+                                static_cast<double>(stats.oversubscribed));
+      cell.metrics.emplace_back("entries_examined",
+                                static_cast<double>(stats.entries_examined));
+      return cell;
+    });
   }
+  bench::RunCellTasks(options, std::move(tasks), &report);
   report.note =
       "shape check: at saturation every policy is forced to oversubscribe "
       "occasionally and throughput converges (the load ceiling in "

@@ -2,9 +2,11 @@
 // measurement cell, apply driver overrides, and build report cells.
 #pragma once
 
+#include <algorithm>
 #include <chrono>
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <initializer_list>
 #include <string>
 #include <utility>
@@ -13,6 +15,7 @@
 #include "actyp/scenario.hpp"
 #include "actyp/scenario_registry.hpp"
 #include "common/logging.hpp"
+#include "common/thread_pool.hpp"
 #include "fault/fault_plan.hpp"
 
 namespace actyp::bench {
@@ -34,6 +37,8 @@ struct CellResult {
   double wall_s = 0;                 // host wall-clock for the cell
   std::uint64_t allocations = 0;     // pool allocations granted
   std::uint64_t entries_examined = 0;  // selection cost across the run
+  std::uint64_t entries_refreshed = 0;  // cache entries re-read on ticks
+  std::uint64_t refresh_ticks = 0;      // periodic refresh sweeps run
 };
 
 // Merges the driver's fault overrides (--loss / --churn-rate /
@@ -98,6 +103,8 @@ inline CellResult RunCell(ScenarioConfig config,
   const auto pool_stats = scenario.TotalPoolStats();
   result.allocations = pool_stats.allocations;
   result.entries_examined = pool_stats.entries_examined;
+  result.entries_refreshed = pool_stats.entries_refreshed;
+  result.refresh_ticks = pool_stats.refresh_ticks;
   return result;
 }
 
@@ -151,20 +158,63 @@ inline void AppendFaultMetrics(const CellResult& result, ScenarioCell* cell) {
 }
 
 // Appends the engine metrics the scaling sweeps report: selection cost
-// (entries examined per allocation — the indexed-vs-linear headroom) and
-// host-side event throughput. ev_per_s_wall is wall-clock derived
-// and excluded from the perf baseline diff.
-inline void AppendEngineMetrics(const CellResult& result, ScenarioCell* cell) {
+// (entries examined per allocation — the indexed-vs-linear headroom),
+// refresh cost (cache entries re-read per periodic tick — with dirty-id
+// refresh this tracks monitor churn, not cache size), and host-side
+// event throughput. ev_per_s_wall is wall-clock derived: it is excluded
+// from the perf baseline diff and zeroed under --stable so fixed-seed
+// output is byte-identical across hosts and --jobs values.
+inline void AppendEngineMetrics(const CellResult& result,
+                                const ScenarioRunOptions& options,
+                                ScenarioCell* cell) {
   const double per_alloc =
       result.allocations == 0
           ? 0.0
           : static_cast<double>(result.entries_examined) /
                 static_cast<double>(result.allocations);
   cell->metrics.emplace_back("sel_cost", per_alloc);
+  cell->metrics.emplace_back("entries_refreshed",
+                             static_cast<double>(result.entries_refreshed));
+  const double per_tick =
+      result.refresh_ticks == 0
+          ? 0.0
+          : static_cast<double>(result.entries_refreshed) /
+                static_cast<double>(result.refresh_ticks);
+  cell->metrics.emplace_back("refresh_cost", per_tick);
   cell->metrics.emplace_back(
       "ev_per_s_wall",
-      result.wall_s <= 0 ? 0.0
-                         : static_cast<double>(result.events) / result.wall_s);
+      options.stable || result.wall_s <= 0
+          ? 0.0
+          : static_cast<double>(result.events) / result.wall_s);
+}
+
+// --- parallel sweep execution ---
+
+// One queued sweep cell: builds its own SimScenario (kernel, network,
+// RNG) from a config whose seed was already fixed by CellSeed, runs it,
+// and returns the finished report cell.
+using CellTask = std::function<ScenarioCell()>;
+
+// Runs the queued cells — serially for options.jobs <= 1, concurrently
+// on a ThreadPool otherwise — and appends them to the report in queue
+// order. Cells share no mutable state (each task owns its simulation),
+// so the report is byte-identical whatever the worker count.
+inline void RunCellTasks(const ScenarioRunOptions& options,
+                         std::vector<CellTask> tasks,
+                         ScenarioReport* report) {
+  std::vector<ScenarioCell> cells(tasks.size());
+  const std::size_t jobs = std::min(options.jobs, tasks.size());
+  if (jobs <= 1) {
+    for (std::size_t i = 0; i < tasks.size(); ++i) cells[i] = tasks[i]();
+  } else {
+    ThreadPool pool(jobs);
+    for (std::size_t i = 0; i < tasks.size(); ++i) {
+      pool.Submit([&cells, &tasks, i] { cells[i] = tasks[i](); });
+    }
+    pool.Drain();
+  }
+  report->cells.reserve(report->cells.size() + cells.size());
+  for (auto& cell : cells) report->cells.push_back(std::move(cell));
 }
 
 }  // namespace actyp::bench

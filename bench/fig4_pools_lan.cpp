@@ -16,6 +16,7 @@ ScenarioReport RunFig4(const ScenarioRunOptions& options) {
   report.scenario = "fig4_pools_lan";
   report.title = "Fig. 4 — pools vs response time (LAN), 3200 machines";
   const std::size_t machines = options.machines.value_or(3200);
+  std::vector<bench::CellTask> tasks;
   for (const std::size_t clients :
        bench::SweepOr(options.clients, {8, 16, 32, 64})) {
     for (const std::size_t pools : {1, 2, 4, 8, 16}) {
@@ -24,16 +25,19 @@ ScenarioReport RunFig4(const ScenarioRunOptions& options) {
       config.clusters = pools;
       config.clients = clients;
       config.seed = bench::CellSeed(options, 4000, pools * 100 + clients);
-      const auto result =
-          bench::RunCell(config, options, bench::ScaledSeconds(options, 3),
-                         bench::ScaledSeconds(options, 15));
-      ScenarioCell cell;
-      cell.dims.emplace_back("pools", static_cast<double>(pools));
-      cell.dims.emplace_back("clients", static_cast<double>(clients));
-      bench::AppendMetrics(result, &cell);
-      report.cells.push_back(std::move(cell));
+      tasks.push_back([config = std::move(config), &options, pools, clients] {
+        const auto result =
+            bench::RunCell(config, options, bench::ScaledSeconds(options, 3),
+                           bench::ScaledSeconds(options, 15));
+        ScenarioCell cell;
+        cell.dims.emplace_back("pools", static_cast<double>(pools));
+        cell.dims.emplace_back("clients", static_cast<double>(clients));
+        bench::AppendMetrics(result, &cell);
+        return cell;
+      });
     }
   }
+  bench::RunCellTasks(options, std::move(tasks), &report);
   report.note =
       "shape check: response time decreases monotonically with pools for "
       "every client count; the 64-client curve spans roughly an order of "

@@ -14,6 +14,7 @@ ScenarioReport RunFig5(const ScenarioRunOptions& options) {
   report.title =
       "Fig. 5 — pools vs response time (WAN, ~60ms RTT), 3200 machines";
   const std::size_t machines = options.machines.value_or(3200);
+  std::vector<bench::CellTask> tasks;
   for (const std::size_t clients :
        bench::SweepOr(options.clients, {8, 16, 32, 64})) {
     for (const std::size_t pools : {1, 2, 4, 8, 16}) {
@@ -23,16 +24,19 @@ ScenarioReport RunFig5(const ScenarioRunOptions& options) {
       config.clients = clients;
       config.wan = true;
       config.seed = bench::CellSeed(options, 5000, pools * 100 + clients);
-      const auto result =
-          bench::RunCell(config, options, bench::ScaledSeconds(options, 3),
-                         bench::ScaledSeconds(options, 15));
-      ScenarioCell cell;
-      cell.dims.emplace_back("pools", static_cast<double>(pools));
-      cell.dims.emplace_back("clients", static_cast<double>(clients));
-      bench::AppendMetrics(result, &cell);
-      report.cells.push_back(std::move(cell));
+      tasks.push_back([config = std::move(config), &options, pools, clients] {
+        const auto result =
+            bench::RunCell(config, options, bench::ScaledSeconds(options, 3),
+                           bench::ScaledSeconds(options, 15));
+        ScenarioCell cell;
+        cell.dims.emplace_back("pools", static_cast<double>(pools));
+        cell.dims.emplace_back("clients", static_cast<double>(clients));
+        bench::AppendMetrics(result, &cell);
+        return cell;
+      });
     }
   }
+  bench::RunCellTasks(options, std::move(tasks), &report);
   report.note =
       "shape check: curves mirror Fig. 4 but flatten onto a floor of a few "
       "times the WAN RTT (4 message legs x ~30ms one-way) instead of "

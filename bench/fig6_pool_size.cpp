@@ -11,6 +11,7 @@ ScenarioReport RunFig6(const ScenarioRunOptions& options) {
   ScenarioReport report;
   report.scenario = "fig6_pool_size";
   report.title = "Fig. 6 — response time vs clients for pool sizes";
+  std::vector<bench::CellTask> tasks;
   for (const std::size_t machines :
        bench::SweepOr(options.machines, {800, 1600, 3200})) {
     for (const std::size_t clients : bench::SweepOr(
@@ -20,16 +21,20 @@ ScenarioReport RunFig6(const ScenarioRunOptions& options) {
       config.clusters = 1;  // a single pool of the given size
       config.clients = clients;
       config.seed = bench::CellSeed(options, 6000, machines + clients);
-      const auto result =
-          bench::RunCell(config, options, bench::ScaledSeconds(options, 3),
-                         bench::ScaledSeconds(options, 15));
-      ScenarioCell cell;
-      cell.dims.emplace_back("machines", static_cast<double>(machines));
-      cell.dims.emplace_back("clients", static_cast<double>(clients));
-      bench::AppendMetrics(result, &cell);
-      report.cells.push_back(std::move(cell));
+      tasks.push_back(
+          [config = std::move(config), &options, machines, clients] {
+            const auto result = bench::RunCell(
+                config, options, bench::ScaledSeconds(options, 3),
+                bench::ScaledSeconds(options, 15));
+            ScenarioCell cell;
+            cell.dims.emplace_back("machines", static_cast<double>(machines));
+            cell.dims.emplace_back("clients", static_cast<double>(clients));
+            bench::AppendMetrics(result, &cell);
+            return cell;
+          });
     }
   }
+  bench::RunCellTasks(options, std::move(tasks), &report);
   report.note =
       "shape check: for each pool size the response time grows linearly "
       "with the number of clients (single-server queue, linear scan); the "

@@ -12,6 +12,7 @@ ScenarioReport RunFig7(const ScenarioRunOptions& options) {
   report.scenario = "fig7_splitting";
   report.title = "Fig. 7 — splitting a 3,200-machine pool";
   const std::size_t machines = options.machines.value_or(3200);
+  std::vector<bench::CellTask> tasks;
   for (const std::uint32_t segments : {1u, 2u, 4u}) {
     for (const std::size_t clients : bench::SweepOr(
              options.clients, {1, 10, 20, 30, 40, 50, 60, 70})) {
@@ -21,16 +22,20 @@ ScenarioReport RunFig7(const ScenarioRunOptions& options) {
       config.pool_segments = segments;
       config.clients = clients;
       config.seed = bench::CellSeed(options, 7000, segments * 100 + clients);
-      const auto result =
-          bench::RunCell(config, options, bench::ScaledSeconds(options, 3),
-                         bench::ScaledSeconds(options, 15));
-      ScenarioCell cell;
-      cell.dims.emplace_back("segments", static_cast<double>(segments));
-      cell.dims.emplace_back("clients", static_cast<double>(clients));
-      bench::AppendMetrics(result, &cell);
-      report.cells.push_back(std::move(cell));
+      tasks.push_back(
+          [config = std::move(config), &options, segments, clients] {
+            const auto result = bench::RunCell(
+                config, options, bench::ScaledSeconds(options, 3),
+                bench::ScaledSeconds(options, 15));
+            ScenarioCell cell;
+            cell.dims.emplace_back("segments", static_cast<double>(segments));
+            cell.dims.emplace_back("clients", static_cast<double>(clients));
+            bench::AppendMetrics(result, &cell);
+            return cell;
+          });
     }
   }
+  bench::RunCellTasks(options, std::move(tasks), &report);
   report.note =
       "shape check: splitting improves response time at every client "
       "count; 4x800 beats 2x1600 beats 1x3200 (concurrent partial scans, "

@@ -12,6 +12,7 @@ ScenarioReport RunFig8(const ScenarioRunOptions& options) {
   report.scenario = "fig8_replication";
   report.title = "Fig. 8 — replicating a 3,200-machine pool";
   const std::size_t machines = options.machines.value_or(3200);
+  std::vector<bench::CellTask> tasks;
   for (const std::uint32_t replicas : {1u, 2u, 4u}) {
     for (const std::size_t clients : bench::SweepOr(
              options.clients, {1, 10, 20, 30, 40, 50, 60, 70})) {
@@ -21,16 +22,20 @@ ScenarioReport RunFig8(const ScenarioRunOptions& options) {
       config.pool_replicas = replicas;
       config.clients = clients;
       config.seed = bench::CellSeed(options, 8000, replicas * 100 + clients);
-      const auto result =
-          bench::RunCell(config, options, bench::ScaledSeconds(options, 3),
-                         bench::ScaledSeconds(options, 15));
-      ScenarioCell cell;
-      cell.dims.emplace_back("replicas", static_cast<double>(replicas));
-      cell.dims.emplace_back("clients", static_cast<double>(clients));
-      bench::AppendMetrics(result, &cell);
-      report.cells.push_back(std::move(cell));
+      tasks.push_back(
+          [config = std::move(config), &options, replicas, clients] {
+            const auto result = bench::RunCell(
+                config, options, bench::ScaledSeconds(options, 3),
+                bench::ScaledSeconds(options, 15));
+            ScenarioCell cell;
+            cell.dims.emplace_back("replicas", static_cast<double>(replicas));
+            cell.dims.emplace_back("clients", static_cast<double>(clients));
+            bench::AppendMetrics(result, &cell);
+            return cell;
+          });
     }
   }
+  bench::RunCellTasks(options, std::move(tasks), &report);
   report.note =
       "shape check: replication improves throughput for a fixed machine "
       "set — the response-time-vs-clients slope drops roughly with the "

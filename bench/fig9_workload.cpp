@@ -3,6 +3,8 @@
 // 19,756-run peak on the Y axis; observed CPU times extend beyond 1e6 s.
 // This scenario draws the same number of samples from the synthetic
 // mixture and reports the truncated histogram plus the tail summary.
+// One sequential sampling pass feeding every cell — nothing for --jobs
+// to parallelize.
 #include <algorithm>
 #include <cmath>
 

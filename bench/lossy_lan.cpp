@@ -15,6 +15,7 @@ ScenarioReport RunLossyLan(const ScenarioRunOptions& options) {
   report.scenario = "lossy_lan";
   report.title = "Fault — message loss on a LAN, 4 pools, 1600 machines";
   const std::size_t machines = options.machines.value_or(1600);
+  std::vector<bench::CellTask> tasks;
   for (const std::size_t clients : bench::SweepOr(options.clients, {16})) {
     int index = 0;
     for (const double loss : {0.0, 0.01, 0.05, 0.10, 0.20}) {
@@ -28,17 +29,20 @@ ScenarioReport RunLossyLan(const ScenarioRunOptions& options) {
                                     static_cast<std::uint64_t>(index) * 100 +
                                         clients);
       ++index;
-      const auto result =
-          bench::RunCell(config, options, bench::ScaledSeconds(options, 3),
-                         bench::ScaledSeconds(options, 15));
-      ScenarioCell cell;
-      cell.dims.emplace_back("loss", loss);
-      cell.dims.emplace_back("clients", static_cast<double>(clients));
-      bench::AppendMetrics(result, &cell);
-      bench::AppendFaultMetrics(result, &cell);
-      report.cells.push_back(std::move(cell));
+      tasks.push_back([config = std::move(config), &options, loss, clients] {
+        const auto result =
+            bench::RunCell(config, options, bench::ScaledSeconds(options, 3),
+                           bench::ScaledSeconds(options, 15));
+        ScenarioCell cell;
+        cell.dims.emplace_back("loss", loss);
+        cell.dims.emplace_back("clients", static_cast<double>(clients));
+        bench::AppendMetrics(result, &cell);
+        bench::AppendFaultMetrics(result, &cell);
+        return cell;
+      });
     }
   }
+  bench::RunCellTasks(options, std::move(tasks), &report);
   report.note =
       "shape check: success_rate decays roughly like the probability that "
       "all four message legs survive ((1-p)^4); completed throughput falls "

@@ -17,6 +17,7 @@ ScenarioReport RunLossyWan(const ScenarioRunOptions& options) {
   report.title =
       "Fault — message loss across a ~60ms-RTT WAN, 4 pools, 3200 machines";
   const std::size_t machines = options.machines.value_or(3200);
+  std::vector<bench::CellTask> tasks;
   for (const std::size_t clients : bench::SweepOr(options.clients, {16})) {
     int index = 0;
     for (const double loss : {0.0, 0.01, 0.05, 0.10, 0.20}) {
@@ -31,17 +32,20 @@ ScenarioReport RunLossyWan(const ScenarioRunOptions& options) {
                                     static_cast<std::uint64_t>(index) * 100 +
                                         clients);
       ++index;
-      const auto result =
-          bench::RunCell(config, options, bench::ScaledSeconds(options, 3),
-                         bench::ScaledSeconds(options, 15));
-      ScenarioCell cell;
-      cell.dims.emplace_back("loss", loss);
-      cell.dims.emplace_back("clients", static_cast<double>(clients));
-      bench::AppendMetrics(result, &cell);
-      bench::AppendFaultMetrics(result, &cell);
-      report.cells.push_back(std::move(cell));
+      tasks.push_back([config = std::move(config), &options, loss, clients] {
+        const auto result =
+            bench::RunCell(config, options, bench::ScaledSeconds(options, 3),
+                           bench::ScaledSeconds(options, 15));
+        ScenarioCell cell;
+        cell.dims.emplace_back("loss", loss);
+        cell.dims.emplace_back("clients", static_cast<double>(clients));
+        bench::AppendMetrics(result, &cell);
+        bench::AppendFaultMetrics(result, &cell);
+        return cell;
+      });
     }
   }
+  bench::RunCellTasks(options, std::move(tasks), &report);
   report.note =
       "shape check: the loss=0 row matches fig5_pools_wan at 4 pools; as p "
       "rises the success rate decays like (1-p)^4 and mean response climbs "

@@ -21,6 +21,7 @@ ScenarioReport RunOndemandChurn(const ScenarioRunOptions& options) {
   const std::size_t clients = options.clients.value_or(16);
 
   int index = 0;
+  std::vector<bench::CellTask> tasks;
   for (const double rate : {0.0, 0.2, 0.5, 1.0}) {
     ScenarioConfig config;
     config.machines = machines;
@@ -33,17 +34,20 @@ ScenarioReport RunOndemandChurn(const ScenarioRunOptions& options) {
                                   static_cast<std::uint64_t>(index) * 100 +
                                       clients);
     ++index;
-    const auto result =
-        bench::RunCell(config, options, bench::ScaledSeconds(options, 3),
-                       bench::ScaledSeconds(options, 15));
-    ScenarioCell cell;
-    cell.dims.emplace_back("rate", rate);
-    bench::AppendMetrics(result, &cell);
-    bench::AppendFaultMetrics(result, &cell);
-    cell.metrics.emplace_back("pools_created",
-                              static_cast<double>(result.pools_created));
-    report.cells.push_back(std::move(cell));
+    tasks.push_back([config = std::move(config), &options, rate] {
+      const auto result =
+          bench::RunCell(config, options, bench::ScaledSeconds(options, 3),
+                         bench::ScaledSeconds(options, 15));
+      ScenarioCell cell;
+      cell.dims.emplace_back("rate", rate);
+      bench::AppendMetrics(result, &cell);
+      bench::AppendFaultMetrics(result, &cell);
+      cell.metrics.emplace_back("pools_created",
+                                static_cast<double>(result.pools_created));
+      return cell;
+    });
   }
+  bench::RunCellTasks(options, std::move(tasks), &report);
   report.note =
       "shape check: rate=0 pays only the cold-start burst (queries racing "
       "an unbuilt category can spawn duplicate replicas); under churn every "

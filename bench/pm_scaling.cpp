@@ -16,6 +16,7 @@ ScenarioReport RunPmScaling(const ScenarioRunOptions& options) {
   report.title =
       "PM scaling — pool managers vs response time, indexed least-load";
   const std::size_t machines = options.machines.value_or(1600);
+  std::vector<bench::CellTask> tasks;
   for (const std::size_t clients :
        bench::SweepOr(options.clients, {16, 64})) {
     for (const std::size_t pms : {1, 2, 4, 8}) {
@@ -27,17 +28,20 @@ ScenarioReport RunPmScaling(const ScenarioRunOptions& options) {
       config.clients = clients;
       config.policy = "least-load";  // the indexed fast path
       config.seed = bench::CellSeed(options, 220000, pms * 1000 + clients);
-      const auto result =
-          bench::RunCell(config, options, bench::ScaledSeconds(options, 3),
-                         bench::ScaledSeconds(options, 15));
-      ScenarioCell cell;
-      cell.dims.emplace_back("pms", static_cast<double>(pms));
-      cell.dims.emplace_back("clients", static_cast<double>(clients));
-      bench::AppendMetrics(result, &cell);
-      bench::AppendEngineMetrics(result, &cell);
-      report.cells.push_back(std::move(cell));
+      tasks.push_back([config = std::move(config), &options, pms, clients] {
+        const auto result =
+            bench::RunCell(config, options, bench::ScaledSeconds(options, 3),
+                           bench::ScaledSeconds(options, 15));
+        ScenarioCell cell;
+        cell.dims.emplace_back("pms", static_cast<double>(pms));
+        cell.dims.emplace_back("clients", static_cast<double>(clients));
+        bench::AppendMetrics(result, &cell);
+        bench::AppendEngineMetrics(result, options, &cell);
+        return cell;
+      });
     }
   }
+  bench::RunCellTasks(options, std::move(tasks), &report);
   report.note =
       "shape check: response time is flat or falling in pool managers "
       "for each client count (the PM stage pipelines; the pools bound "

@@ -37,6 +37,7 @@ ScenarioReport RunPoolChurn(const ScenarioRunOptions& options) {
   };
 
   int index = 0;
+  std::vector<bench::CellTask> tasks;
   for (const Regime& regime : regimes) {
     ScenarioConfig config;
     config.machines = machines;
@@ -51,20 +52,23 @@ ScenarioReport RunPoolChurn(const ScenarioRunOptions& options) {
                                   static_cast<std::uint64_t>(index) * 100 +
                                       clients);
     ++index;
-    const auto result =
-        bench::RunCell(config, options, bench::ScaledSeconds(options, 3),
-                       bench::ScaledSeconds(options, 15));
-    ScenarioCell cell;
-    cell.labels.emplace_back("churn", regime.label);
-    cell.dims.emplace_back("rate", regime.rate);
-    bench::AppendMetrics(result, &cell);
-    bench::AppendFaultMetrics(result, &cell);
-    cell.metrics.emplace_back("machines_crashed",
-                              static_cast<double>(result.machines_crashed));
-    cell.metrics.emplace_back("services_crashed",
-                              static_cast<double>(result.services_crashed));
-    report.cells.push_back(std::move(cell));
+    tasks.push_back([config = std::move(config), &options, regime] {
+      const auto result =
+          bench::RunCell(config, options, bench::ScaledSeconds(options, 3),
+                         bench::ScaledSeconds(options, 15));
+      ScenarioCell cell;
+      cell.labels.emplace_back("churn", regime.label);
+      cell.dims.emplace_back("rate", regime.rate);
+      bench::AppendMetrics(result, &cell);
+      bench::AppendFaultMetrics(result, &cell);
+      cell.metrics.emplace_back("machines_crashed",
+                                static_cast<double>(result.machines_crashed));
+      cell.metrics.emplace_back("services_crashed",
+                                static_cast<double>(result.services_crashed));
+      return cell;
+    });
   }
+  bench::RunCellTasks(options, std::move(tasks), &report);
   report.note =
       "shape check: machine churn barely moves the needle (pools bench the "
       "down machine and pick another of the ~400 per pool), while pool-"

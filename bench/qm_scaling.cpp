@@ -18,6 +18,7 @@ ScenarioReport RunQmScaling(const ScenarioRunOptions& options) {
   report.title =
       "QM scaling — query managers vs response time, indexed least-load";
   const std::size_t machines = options.machines.value_or(1600);
+  std::vector<bench::CellTask> tasks;
   for (const std::size_t clients :
        bench::SweepOr(options.clients, {16, 64})) {
     for (const std::size_t qms : {1, 2, 4, 8}) {
@@ -29,17 +30,20 @@ ScenarioReport RunQmScaling(const ScenarioRunOptions& options) {
       config.clients = clients;
       config.policy = "least-load";  // the indexed fast path
       config.seed = bench::CellSeed(options, 210000, qms * 1000 + clients);
-      const auto result =
-          bench::RunCell(config, options, bench::ScaledSeconds(options, 3),
-                         bench::ScaledSeconds(options, 15));
-      ScenarioCell cell;
-      cell.dims.emplace_back("qms", static_cast<double>(qms));
-      cell.dims.emplace_back("clients", static_cast<double>(clients));
-      bench::AppendMetrics(result, &cell);
-      bench::AppendEngineMetrics(result, &cell);
-      report.cells.push_back(std::move(cell));
+      tasks.push_back([config = std::move(config), &options, qms, clients] {
+        const auto result =
+            bench::RunCell(config, options, bench::ScaledSeconds(options, 3),
+                           bench::ScaledSeconds(options, 15));
+        ScenarioCell cell;
+        cell.dims.emplace_back("qms", static_cast<double>(qms));
+        cell.dims.emplace_back("clients", static_cast<double>(clients));
+        bench::AppendMetrics(result, &cell);
+        bench::AppendEngineMetrics(result, options, &cell);
+        return cell;
+      });
     }
   }
+  bench::RunCellTasks(options, std::move(tasks), &report);
   report.note =
       "shape check: with the indexed policy sel_cost stays O(1)-flat "
       "(a few entries per allocation, vs ~machines/pools for linear-*), "

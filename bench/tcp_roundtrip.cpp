@@ -4,8 +4,9 @@
 // fronted by a loopback TcpServer speaking the production wire format
 // (4-byte frame + encoded Message), and the scenario issues real socket
 // calls against it. Latency numbers are wall-clock (this is the one
-// scenario that is not a discrete-event simulation); the call/success
-// counters are deterministic and are what perf tracking diffs.
+// scenario that is not a discrete-event simulation), so --jobs is
+// deliberately ignored here; the call/success counters are
+// deterministic and are what perf tracking diffs.
 #include <chrono>
 #include <condition_variable>
 #include <map>
@@ -158,7 +159,7 @@ ScenarioReport RunTcpRoundtrip(const ScenarioRunOptions& options) {
 const ScenarioRegistrar kRegistrar(
     "tcp_roundtrip",
     "real TCP loopback roundtrips through the threaded pipeline",
-    RunTcpRoundtrip);
+    RunTcpRoundtrip, /*wall_clock=*/true);
 
 }  // namespace
 }  // namespace actyp

@@ -1,0 +1,26 @@
+# Asserts that a parallel sweep emits byte-identical JSON to a serial
+# one: actyp_sim --jobs 4 vs --jobs 1 at a fixed seed, --stable so the
+# wall-clock-derived metrics are zeroed. Invoked by ctest with
+# -DSIM=<path-to-actyp_sim>.
+set(args --scenario qm_scaling --json --stable
+    --seed 1 --machines 100 --clients 2 --time-scale 0.05)
+
+execute_process(COMMAND ${SIM} ${args} --jobs 1
+                OUTPUT_VARIABLE serial RESULT_VARIABLE serial_rc)
+execute_process(COMMAND ${SIM} ${args} --jobs 4
+                OUTPUT_VARIABLE parallel RESULT_VARIABLE parallel_rc)
+
+if(NOT serial_rc EQUAL 0)
+  message(FATAL_ERROR "serial run failed with ${serial_rc}")
+endif()
+if(NOT parallel_rc EQUAL 0)
+  message(FATAL_ERROR "parallel run failed with ${parallel_rc}")
+endif()
+if(serial STREQUAL "")
+  message(FATAL_ERROR "serial run produced no output")
+endif()
+if(NOT serial STREQUAL parallel)
+  message(FATAL_ERROR "--jobs 4 output differs from --jobs 1:\n"
+          "serial:   ${serial}\nparallel: ${parallel}")
+endif()
+message(STATUS "--jobs 4 output is byte-identical to --jobs 1")

@@ -331,6 +331,8 @@ pipeline::PoolStats SimScenario::TotalPoolStats() const {
     total.releases += s.releases;
     total.oversubscribed += s.oversubscribed;
     total.entries_examined += s.entries_examined;
+    total.entries_refreshed += s.entries_refreshed;
+    total.refresh_ticks += s.refresh_ticks;
   }
   return total;
 }

@@ -84,9 +84,9 @@ std::vector<const ScenarioInfo*> ScenarioRegistry::List() const {
 }
 
 ScenarioRegistrar::ScenarioRegistrar(std::string name, std::string summary,
-                                     ScenarioFn fn) {
+                                     ScenarioFn fn, bool wall_clock) {
   ScenarioRegistry::Instance().Register(
-      {std::move(name), std::move(summary), std::move(fn)});
+      {std::move(name), std::move(summary), std::move(fn), wall_clock});
 }
 
 namespace {

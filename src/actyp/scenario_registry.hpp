@@ -32,6 +32,14 @@ struct ScenarioRunOptions {
   std::optional<double> loss;        // --loss: message-loss probability
   std::optional<double> churn_rate;  // --churn-rate: machine crashes per s
   std::string fault_plan_text;       // --fault-plan: full plan text
+  // --jobs: run independent sweep cells concurrently on this many
+  // worker threads. Every cell owns its own kernel/network/RNG seeded
+  // from (base seed, cell position), and results are emitted in fixed
+  // cell order, so the output is independent of the worker count.
+  std::size_t jobs = 1;
+  // --stable: zero wall-clock-derived metrics (ev_per_s_wall) so
+  // fixed-seed runs are byte-identical across hosts and --jobs values.
+  bool stable = false;
 };
 
 // One measured cell of a scenario sweep: ordered string labels
@@ -57,6 +65,11 @@ struct ScenarioInfo {
   std::string name;
   std::string summary;
   ScenarioFn run;
+  // True for scenarios whose reported numbers are host wall-clock
+  // measurements (not simulated time): the driver must never run them
+  // concurrently with other scenarios, or contention corrupts the very
+  // timings they exist to report.
+  bool wall_clock = false;
 };
 
 class ScenarioRegistry {
@@ -73,7 +86,8 @@ class ScenarioRegistry {
 
 // File-scope registrar: construct one per scenario translation unit.
 struct ScenarioRegistrar {
-  ScenarioRegistrar(std::string name, std::string summary, ScenarioFn fn);
+  ScenarioRegistrar(std::string name, std::string summary, ScenarioFn fn,
+                    bool wall_clock = false);
 };
 
 // Report emitters shared by actyp_sim and the standalone bench mains.

@@ -9,10 +9,7 @@ ThreadPool::ThreadPool(std::size_t num_threads) {
     workers_.emplace_back([this] {
       while (auto task = tasks_.Pop()) {
         (*task)();
-        if (in_flight_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-          std::lock_guard<std::mutex> lock(drain_mu_);
-          drained_.notify_all();
-        }
+        FinishOne();
       }
     });
   }
@@ -24,9 +21,20 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
+  // Count the task before it becomes visible to workers, so a Drain
+  // racing this Submit either waits for it or provably started first.
   in_flight_.fetch_add(1, std::memory_order_acq_rel);
   if (!tasks_.Push(std::move(task))) {
-    in_flight_.fetch_sub(1, std::memory_order_acq_rel);
+    // Queue closed (pool shutting down): the task is dropped, so it
+    // must not be waited on either.
+    FinishOne();
+  }
+}
+
+void ThreadPool::FinishOne() {
+  if (in_flight_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    std::lock_guard<std::mutex> lock(drain_mu_);
+    drained_.notify_all();
   }
 }
 

@@ -1,8 +1,54 @@
 #include "db/database.hpp"
 
+#include <algorithm>
+
 #include "common/strings.hpp"
 
 namespace actyp::db {
+
+void ResourceDatabase::MarkDirtyLocked(MachineRecord& rec) {
+  rec.version = ++version_;
+  if (!journal_.empty() && journal_.back().second == rec.id) {
+    // Same record mutated again before anyone read the journal entry:
+    // advancing the tail entry's version keeps every cursor correct
+    // (cursors below the new version still see the id) without growing
+    // the journal — the common case for job-start/-end double updates.
+    journal_.back().first = version_;
+    return;
+  }
+  if (journal_.size() >= kJournalCapacity) {
+    // Drop the oldest half; consumers whose cursor predates the floor
+    // get a full-refresh signal from ChangesSince.
+    const std::size_t keep = kJournalCapacity / 2;
+    journal_floor_ = journal_[journal_.size() - keep - 1].first;
+    journal_.erase(journal_.begin(),
+                   journal_.end() - static_cast<std::ptrdiff_t>(keep));
+  }
+  journal_.emplace_back(version_, rec.id);
+}
+
+std::uint64_t ResourceDatabase::version() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return version_;
+}
+
+std::optional<std::uint64_t> ResourceDatabase::ChangesSince(
+    std::uint64_t since, std::vector<MachineId>* out) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (since < journal_floor_) return std::nullopt;
+  const auto begin = std::upper_bound(
+      journal_.begin(), journal_.end(), since,
+      [](std::uint64_t v, const auto& entry) { return v < entry.first; });
+  const std::size_t mark = out->size();
+  for (auto it = begin; it != journal_.end(); ++it) {
+    out->push_back(it->second);
+  }
+  std::sort(out->begin() + static_cast<std::ptrdiff_t>(mark), out->end());
+  out->erase(std::unique(out->begin() + static_cast<std::ptrdiff_t>(mark),
+                         out->end()),
+             out->end());
+  return version_;
+}
 
 Result<MachineId> ResourceDatabase::Add(MachineRecord record) {
   std::lock_guard<std::mutex> lock(mu_);
@@ -23,7 +69,9 @@ Result<MachineId> ResourceDatabase::Add(MachineRecord record) {
   }
   const MachineId id = record.id;
   by_name_[record.name] = id;
-  records_[id] = std::move(record);
+  auto& stored = records_[id];
+  stored = std::move(record);
+  MarkDirtyLocked(stored);
   return id;
 }
 
@@ -58,11 +106,23 @@ Status ResourceDatabase::Update(
     by_name_.erase(old_name);
     by_name_[it->second.name] = id;
   }
+  MarkDirtyLocked(it->second);
   return Status::Ok();
 }
 
 Status ResourceDatabase::UpdateDynamic(MachineId id, const DynamicState& dyn) {
   return Update(id, [&dyn](MachineRecord& rec) { rec.dyn = dyn; });
+}
+
+void ResourceDatabase::ApplyDynamic(
+    const std::vector<std::pair<MachineId, DynamicState>>& batch) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [id, dyn] : batch) {
+    auto it = records_.find(id);
+    if (it == records_.end()) continue;
+    it->second.dyn = dyn;
+    MarkDirtyLocked(it->second);
+  }
 }
 
 std::vector<MachineId> ResourceDatabase::ClaimMatching(
@@ -80,6 +140,7 @@ std::vector<MachineId> ResourceDatabase::ClaimMatching(
       continue;
     }
     rec.taken_by = pool_name;
+    MarkDirtyLocked(rec);
     claimed.push_back(id);
   }
   return claimed;
@@ -91,6 +152,7 @@ std::size_t ResourceDatabase::ReleaseAllFrom(const std::string& pool_name) {
   for (auto& [id, rec] : records_) {
     if (rec.taken_by == pool_name) {
       rec.taken_by.clear();
+      MarkDirtyLocked(rec);
       ++released;
     }
   }
@@ -108,6 +170,7 @@ Status ResourceDatabase::Release(MachineId id, const std::string& pool_name) {
                             " is not taken by '" + pool_name + "'");
   }
   it->second.taken_by.clear();
+  MarkDirtyLocked(it->second);
   return Status::Ok();
 }
 
@@ -140,6 +203,12 @@ void ResourceDatabase::ForEach(
     for (const auto& [id, rec] : records_) snapshot.push_back(rec);
   }
   for (const auto& rec : snapshot) fn(rec);
+}
+
+void ResourceDatabase::VisitAll(
+    const std::function<void(const MachineRecord&)>& fn) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [id, rec] : records_) fn(rec);
 }
 
 std::size_t ResourceDatabase::size() const {

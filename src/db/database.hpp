@@ -7,10 +7,13 @@
 // access but uses the same interface.
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <map>
 #include <mutex>
+#include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/status.hpp"
@@ -39,6 +42,11 @@ class ResourceDatabase {
   // Monitor fast path: overwrite dynamic state (fields 2-7).
   Status UpdateDynamic(MachineId id, const DynamicState& dyn);
 
+  // Monitor batch path: one lock, one journal entry per id. Unknown ids
+  // are skipped.
+  void ApplyDynamic(
+      const std::vector<std::pair<MachineId, DynamicState>>& batch);
+
   // --- taken marking (§5.2.3) ---
   // Atomically claims every *free, usable* machine matching the query,
   // up to `limit` (0 = unlimited), marking each taken by `pool_name`.
@@ -58,6 +66,27 @@ class ResourceDatabase {
   // Walks all records (copy per record) — used by baselines and tools.
   void ForEach(const std::function<void(const MachineRecord&)>& fn) const;
 
+  // Walks all records under one lock without copying — the monitor's
+  // sweep path. `fn` must not call back into the database (the lock is
+  // held) and must not retain the reference.
+  void VisitAll(const std::function<void(const MachineRecord&)>& fn) const;
+
+  // --- change tracking (dirty-id refresh) ---
+  // Every mutation bumps a global version, stamps it on the record, and
+  // appends the id to a bounded change journal. Consumers poll
+  // ChangesSince with their cursor to learn which records changed,
+  // making refresh cost proportional to churn instead of fleet size.
+
+  // Version of the most recent mutation (0 = pristine database).
+  [[nodiscard]] std::uint64_t version() const;
+
+  // Appends the ids of records mutated after `since` to `out`
+  // (ascending, deduplicated) and returns the new cursor. Returns
+  // nullopt when `since` predates the retained journal window — the
+  // caller must fall back to a full sweep and re-cursor at version().
+  [[nodiscard]] std::optional<std::uint64_t> ChangesSince(
+      std::uint64_t since, std::vector<MachineId>* out) const;
+
   // Batched read for the pools' periodic refresh sweep: one lock, no
   // record copies. Calls fn(position, record) for each id, with a null
   // record for unknown ids; the reference is only valid inside fn.
@@ -74,10 +103,23 @@ class ResourceDatabase {
   Status LoadFrom(std::string_view text);
 
  private:
+  // Stamps the next version on `rec` and journals the change. Caller
+  // holds mu_.
+  void MarkDirtyLocked(MachineRecord& rec);
+
   MachineId next_id_ = 1;
   mutable std::mutex mu_;
   std::map<MachineId, MachineRecord> records_;
   std::map<std::string, MachineId> by_name_;
+
+  // Change journal: (version, id) pairs in strictly increasing version
+  // order. Bounded: when it outgrows kJournalCapacity the oldest half
+  // is dropped and journal_floor_ records the last discarded version,
+  // so stale cursors are detected instead of silently missing changes.
+  static constexpr std::size_t kJournalCapacity = 1 << 16;
+  std::uint64_t version_ = 0;
+  std::uint64_t journal_floor_ = 0;
+  std::vector<std::pair<std::uint64_t, MachineId>> journal_;
 };
 
 }  // namespace actyp::db

@@ -85,6 +85,12 @@ struct MachineRecord {
   // field — it is the "taken" mark the paper describes.
   std::string taken_by;
 
+  // Change-tracking stamp maintained by ResourceDatabase: the global
+  // database version at this record's last mutation. Lets consumers
+  // (pool refresh sweeps, the monitor) skip records that did not change
+  // since their cursor. Not a Fig. 3 field and not serialized.
+  std::uint64_t version = 0;
+
   // Resolves a query rsrc attribute name against this record. Admin
   // params win; a set of built-in names map onto structured fields so
   // queries can constrain load, speed, cpus, memory, swap, and state.

@@ -24,7 +24,12 @@ void ResourceMonitor::EnsureTracked(db::MachineId id,
 
 void ResourceMonitor::Step(SimTime now) {
   std::lock_guard<std::mutex> lock(mu_);
-  database_->ForEach([&](const db::MachineRecord& rec) {
+  // One no-copy walk of the white pages computes the rewrites, then one
+  // batched write applies them: the sweep no longer snapshots every
+  // record, and only the machines actually rewritten are marked dirty
+  // (version-bumped), so pool refreshes stay proportional to churn.
+  batch_.clear();
+  database_->VisitAll([&](const db::MachineRecord& rec) {
     EnsureTracked(rec.id, rec);
     PerMachine& pm = machines_.at(rec.id);
     const SimDuration since = now - pm.last_update;
@@ -47,8 +52,9 @@ void ResourceMonitor::Step(SimTime now) {
     dyn.available_swap_mb = pm.base_swap_mb;
     dyn.last_update = now;
     dyn.service_flags = rec.dyn.service_flags;
-    database_->UpdateDynamic(rec.id, dyn);
+    batch_.emplace_back(rec.id, dyn);
   });
+  database_->ApplyDynamic(batch_);
 }
 
 void ResourceMonitor::OnJobStart(db::MachineId id) {

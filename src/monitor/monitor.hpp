@@ -10,6 +10,8 @@
 
 #include <map>
 #include <mutex>
+#include <utility>
+#include <vector>
 
 #include "common/rng.hpp"
 #include "common/sim_time.hpp"
@@ -58,6 +60,8 @@ class ResourceMonitor {
   Rng rng_;
   mutable std::mutex mu_;
   std::map<db::MachineId, PerMachine> machines_;
+  // Scratch for Step's batched write-back, reused across sweeps.
+  std::vector<std::pair<db::MachineId, db::DynamicState>> batch_;
 };
 
 }  // namespace actyp::monitor

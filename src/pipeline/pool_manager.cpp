@@ -1,5 +1,6 @@
 #include "pipeline/pool_manager.hpp"
 
+#include <algorithm>
 #include <optional>
 
 #include "common/logging.hpp"
@@ -67,32 +68,22 @@ void PoolManager::HandleQuery(const net::Envelope& envelope,
     const bool split = instances.front().segment;
     if (split && instances.size() > 1) {
       // Split pool: concurrent searches over every segment, aggregated
-      // by the reintegrator (Fig. 7).
+      // by the reintegrator (Fig. 7). Fragment coordinates ride on the
+      // header; the body is forwarded verbatim (the old path parsed and
+      // re-serialized it once per segment just to stamp actyp.meta.*).
       if (config_.reintegrator.empty()) {
         Fail(envelope, ctx, "split pool but no reintegrator configured");
         return;
       }
       ++stats_.fanouts;
-      if (!q.has_value() && !parse_query()) return;
       const auto total = static_cast<std::uint32_t>(instances.size());
-      std::uint64_t request_id = 0;
-      if (auto rid = ParseInt(message.Header(net::hdr::kRequestId))) {
-        request_id = static_cast<std::uint64_t>(*rid);
-      }
       for (std::uint32_t i = 0; i < total; ++i) {
-        query::Query fragment = *q;
-        query::FragmentInfo info;
-        info.composite_id = request_id != 0 ? request_id : 1;
-        info.index = i;
-        info.total = total;
-        fragment.set_fragment(info);
-
         net::Message out{net::msg::kQuery};
         out.headers = message.headers;
         out.SetHeader(net::hdr::kReplyTo, config_.reintegrator);
         out.SetHeader(phdr::kFragment,
                       std::to_string(i) + "/" + std::to_string(total));
-        out.body = fragment.ToText();
+        out.body = message.body;
         ctx.Send(instances[i].address, std::move(out));
       }
       return;
@@ -122,34 +113,68 @@ void PoolManager::HandleQuery(const net::Envelope& envelope,
   }
 
   // Cannot create: delegate to a peer pool manager, carrying the visited
-  // list and TTL with the query (§5.2.2).
+  // list and TTL with the query (§5.2.2) — on headers, so each hop
+  // forwards the body untouched.
   if (config_.allow_delegate) {
-    if (!q.has_value() && !parse_query()) return;
-    Delegate(envelope, ctx, std::move(*q));
+    Delegate(envelope, ctx, q.has_value() ? &*q : nullptr);
     return;
   }
   Fail(envelope, ctx, "no pool for '" + pool_name + "' and creation disabled");
 }
 
 void PoolManager::Delegate(const net::Envelope& envelope,
-                           net::NodeContext& ctx, query::Query q) {
+                           net::NodeContext& ctx,
+                           const query::Query* parsed) {
   ctx.Consume(config_.costs.pm_delegate);
-  q.AddVisited(config_.name);
-  if (!q.DecrementTtl()) {
+  const net::Message& message = envelope.message;
+
+  // TTL and visited list ride on headers; a query injected with only
+  // body meta (no entry stage) is lifted onto headers at its first hop,
+  // so every later hop skips the parse.
+  int ttl = query::kDefaultTtl;
+  std::vector<std::string> visited;
+  std::optional<query::Query> local;
+  if (message.HasHeader(phdr::kTtl)) {
+    if (const auto value = ParseInt(message.Header(phdr::kTtl))) {
+      ttl = static_cast<int>(*value);
+    }
+    visited = SplitSkipEmpty(message.Header(phdr::kVisited), ',');
+  } else {
+    if (parsed == nullptr) {
+      auto reparsed = query::Parser::ParseBasic(message.body);
+      if (!reparsed.ok()) {
+        Fail(envelope, ctx, reparsed.status().ToString());
+        return;
+      }
+      local = std::move(reparsed.value());
+      parsed = &*local;
+    }
+    ttl = parsed->ttl();
+    visited = parsed->visited();
+  }
+
+  if (std::find(visited.begin(), visited.end(), config_.name) ==
+      visited.end()) {
+    visited.push_back(config_.name);
+  }
+  --ttl;
+  if (ttl <= 0) {
     Fail(envelope, ctx, "query TTL expired at '" + config_.name + "'");
     return;
   }
-  const auto peers = directory_->PoolManagersExcluding(q.visited());
+  const auto peers = directory_->PoolManagersExcluding(visited);
   if (peers.empty()) {
     Fail(envelope, ctx,
          "no unvisited pool manager can satisfy the query (visited " +
-             std::to_string(q.visited().size()) + ")");
+             std::to_string(visited.size()) + ")");
     return;
   }
   const auto& peer = peers[ctx.rng().NextBounded(peers.size())];
   net::Message out{net::msg::kQuery};
-  out.headers = envelope.message.headers;
-  out.body = q.ToText();
+  out.headers = message.headers;
+  out.SetHeader(phdr::kTtl, std::to_string(ttl));
+  out.SetHeader(phdr::kVisited, Join(visited, ","));
+  out.body = message.body;
   ctx.Send(peer.address, std::move(out));
   ++stats_.delegated;
 }

@@ -54,8 +54,11 @@ class PoolManager final : public net::Node {
   void HandleQuery(const net::Envelope& envelope, net::NodeContext& ctx);
   void Fail(const net::Envelope& envelope, net::NodeContext& ctx,
             const std::string& reason);
+  // Forwards the query to an unvisited peer, tracking TTL and the
+  // visited list on headers. `parsed` may be null; the body is only
+  // parsed when the message carries neither headers nor a prior parse.
   void Delegate(const net::Envelope& envelope, net::NodeContext& ctx,
-                query::Query q);
+                const query::Query* parsed);
 
   PoolManagerConfig config_;
   directory::DirectoryService* directory_;

@@ -39,6 +39,14 @@ inline constexpr std::string_view kAccessGroup = "access-group";
 inline constexpr std::string_view kCoAlloc = "co-alloc";       // count
 inline constexpr std::string_view kResvStart = "resv-start";   // seconds
 inline constexpr std::string_view kResvDuration = "resv-duration";
+// Delegation state (§5.2.2), formerly re-serialized into the body as
+// actyp.meta.* on every hop: the remaining TTL and the comma-joined
+// visited pool-manager list now ride on headers, so the common
+// forward/delegate paths never rewrite the query text. Queries injected
+// mid-pipeline without these headers fall back to the body's
+// actyp.meta.* terms.
+inline constexpr std::string_view kTtl = "ttl";
+inline constexpr std::string_view kVisited = "visited";
 }  // namespace phdr
 
 // Builds a query message. The query's own text body carries TTL/visited/

@@ -71,16 +71,13 @@ void QueryManager::HandleQuery(const net::Envelope& envelope,
 
   // Expand QoS duplicates: each basic alternative is sent to `fanout`
   // distinct pool managers; the reintegrator keeps the best answer.
-  std::vector<query::Query> fragments;
-  for (const auto& alternative : composite->alternatives()) {
-    for (std::uint32_t dup = 0; dup < config_.qos_fanout; ++dup) {
-      fragments.push_back(alternative);
-    }
-  }
+  const auto& alternatives = composite->alternatives();
+  const std::size_t fragment_count =
+      alternatives.size() * config_.qos_fanout;
   ctx.Consume(config_.costs.qm_per_fragment *
-              static_cast<SimDuration>(fragments.size()));
+              static_cast<SimDuration>(fragment_count));
 
-  const bool aggregated = fragments.size() > 1;
+  const bool aggregated = fragment_count > 1;
   if (aggregated && config_.reintegrator.empty()) {
     ++stats_.routing_failures;
     Fail(envelope, ctx,
@@ -89,82 +86,80 @@ void QueryManager::HandleQuery(const net::Envelope& envelope,
   }
   if (aggregated) ++stats_.composites;
 
-  const auto total = static_cast<std::uint32_t>(fragments.size());
-  const std::uint64_t composite_id =
-      request_id != 0 ? request_id : composite_seq_++;
-
+  const auto total = static_cast<std::uint32_t>(fragment_count);
   std::vector<net::Address> used_pms;
-  for (std::uint32_t i = 0; i < total; ++i) {
-    query::Query& fragment = fragments[i];
-    fragment.set_request_id(request_id);
-    if (aggregated) {
-      query::FragmentInfo info;
-      info.composite_id = composite_id;
-      info.index = i;
-      info.total = total;
-      fragment.set_fragment(info);
-    }
-
-    auto candidates = CandidatePms(fragment);
-    if (candidates.empty()) {
-      ++stats_.routing_failures;
-      const net::Address target =
-          aggregated ? config_.reintegrator : client;
-      if (!target.empty()) {
-        net::Message failure = MakeFailureMessage(
-            request_id, "no pool manager configured for this query", i,
-            aggregated ? total : 1);
-        if (aggregated) failure.SetHeader(phdr::kFinalReplyTo, client);
-        ctx.Send(target, std::move(failure));
+  std::uint32_t index = 0;
+  for (const query::Query& alternative : alternatives) {
+    // Per-alternative state, computed once and shared by the QoS
+    // duplicates. Fragment coordinates, TTL, and the sched hints all
+    // ride on headers (§6 — the parsed state travels with the message),
+    // so the body never needs the per-fragment actyp.meta.* rewrite the
+    // old path paid: a basic query reuses the incoming text verbatim,
+    // a composite serializes each alternative exactly once.
+    const std::string body =
+        composite->IsBasic() ? std::move(native) : alternative.ToText();
+    const std::string pool_name = alternative.PoolName();
+    const std::string access_group = alternative.GetUser("accessgroup");
+    const std::string co_alloc = alternative.GetAppl("count");
+    const std::string resv_start = alternative.GetAppl("starttime");
+    const std::string resv_duration = alternative.GetAppl("duration");
+    const std::string ttl = std::to_string(alternative.ttl());
+    const auto base_candidates = CandidatePms(alternative);
+    for (std::uint32_t dup = 0; dup < config_.qos_fanout; ++dup, ++index) {
+      if (base_candidates.empty()) {
+        ++stats_.routing_failures;
+        const net::Address target =
+            aggregated ? config_.reintegrator : client;
+        if (!target.empty()) {
+          net::Message failure = MakeFailureMessage(
+              request_id, "no pool manager configured for this query",
+              index, aggregated ? total : 1);
+          if (aggregated) failure.SetHeader(phdr::kFinalReplyTo, client);
+          ctx.Send(target, std::move(failure));
+        }
+        continue;
       }
-      continue;
-    }
-    // Spread QoS duplicates over distinct pool managers when possible.
-    if (config_.qos_fanout > 1 && candidates.size() > 1) {
-      std::vector<net::Address> unused;
-      for (const auto& c : candidates) {
-        if (std::find(used_pms.begin(), used_pms.end(), c) ==
-            used_pms.end()) {
-          unused.push_back(c);
+      // Spread QoS duplicates over distinct pool managers when possible.
+      auto candidates = base_candidates;
+      if (config_.qos_fanout > 1 && candidates.size() > 1) {
+        std::vector<net::Address> unused;
+        for (const auto& c : candidates) {
+          if (std::find(used_pms.begin(), used_pms.end(), c) ==
+              used_pms.end()) {
+            unused.push_back(c);
+          }
+        }
+        if (!unused.empty()) candidates = std::move(unused);
+      }
+      const net::Address pm = PickPm(candidates, ctx);
+      used_pms.push_back(pm);
+
+      net::Message out{net::msg::kQuery};
+      out.headers = message.headers;
+      out.SetHeader(net::hdr::kReplyTo,
+                    aggregated ? config_.reintegrator : client);
+      out.SetHeader(phdr::kFinalReplyTo, client);
+      if (aggregated) {
+        out.SetHeader(phdr::kFragment,
+                      std::to_string(index) + "/" + std::to_string(total));
+      }
+      out.SetHeader(net::hdr::kPoolName, pool_name);
+      out.SetHeader(phdr::kSchedHints, "1");
+      out.SetHeader(phdr::kTtl, ttl);
+      if (!access_group.empty()) {
+        out.SetHeader(phdr::kAccessGroup, access_group);
+      }
+      if (!co_alloc.empty()) out.SetHeader(phdr::kCoAlloc, co_alloc);
+      if (!resv_start.empty()) {
+        out.SetHeader(phdr::kResvStart, resv_start);
+        if (!resv_duration.empty()) {
+          out.SetHeader(phdr::kResvDuration, resv_duration);
         }
       }
-      if (!unused.empty()) candidates = std::move(unused);
+      out.body = body;
+      ctx.Send(pm, std::move(out));
+      ++stats_.fragments;
     }
-    const net::Address pm = PickPm(candidates, ctx);
-    used_pms.push_back(pm);
-
-    net::Message out{net::msg::kQuery};
-    out.headers = message.headers;
-    out.SetHeader(net::hdr::kReplyTo,
-                  aggregated ? config_.reintegrator : client);
-    out.SetHeader(phdr::kFinalReplyTo, client);
-    if (aggregated) {
-      out.SetHeader(phdr::kFragment,
-                    std::to_string(i) + "/" + std::to_string(total));
-    }
-    // Scheduling hints: the entry stage parsed the query once; carry the
-    // routing/selection state downstream so the PM and pool stages need
-    // not re-parse the body (the paper's "all state travels with the
-    // messages", §6 — here the parsed state travels too).
-    out.SetHeader(net::hdr::kPoolName, fragment.PoolName());
-    out.SetHeader(phdr::kSchedHints, "1");
-    if (std::string group = fragment.GetUser("accessgroup");
-        !group.empty()) {
-      out.SetHeader(phdr::kAccessGroup, std::move(group));
-    }
-    if (std::string count = fragment.GetAppl("count"); !count.empty()) {
-      out.SetHeader(phdr::kCoAlloc, std::move(count));
-    }
-    if (std::string start = fragment.GetAppl("starttime"); !start.empty()) {
-      out.SetHeader(phdr::kResvStart, std::move(start));
-      if (std::string duration = fragment.GetAppl("duration");
-          !duration.empty()) {
-        out.SetHeader(phdr::kResvDuration, std::move(duration));
-      }
-    }
-    out.body = fragment.ToText();
-    ctx.Send(pm, std::move(out));
-    ++stats_.fragments;
   }
 }
 

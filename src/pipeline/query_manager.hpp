@@ -78,7 +78,6 @@ class QueryManager final : public net::Node {
   std::unordered_map<std::string, Translator> translators_;
   QueryManagerStats stats_;
   std::size_t round_robin_ = 0;
-  std::uint64_t composite_seq_ = 1;
 };
 
 }  // namespace actyp::pipeline

@@ -55,11 +55,16 @@ void ResourcePool::Initialize(net::NodeContext& ctx) {
   cache_.clear();
   meta_.clear();
   cache_ids_.clear();
+  id_index_.clear();
   cache_.reserve(ids.size());
   meta_.reserve(ids.size());
   cache_ids_.reserve(ids.size());
   any_user_groups_ = false;
   any_usage_policy_ = false;
+  // Cursor first, read second: changes landing between the two are
+  // re-applied by the first refresh tick, which is idempotent; taking
+  // the cursor after the read could silently skip them.
+  db_cursor_ = database_->version();
   database_->VisitRecords(ids, [this](std::size_t, const db::MachineRecord*
                                                       rec) {
     if (rec == nullptr) return;
@@ -72,6 +77,7 @@ void ResourcePool::Initialize(net::NodeContext& ctx) {
     entry.max_allowed_load = rec->max_allowed_load;
     entry.active_jobs = 0;
     entry.updated = rec->dyn.last_update;
+    id_index_[rec->id] = cache_.size();
     cache_.push_back(std::move(entry));
     cache_ids_.push_back(rec->id);
 
@@ -179,9 +185,14 @@ void ResourcePool::HandleQuery(const net::Envelope& envelope,
       resv_start_s = *start;
       resv_duration_s = ParseDouble(q.GetAppl("duration")).value_or(3600.0);
     }
-    if (const query::FragmentInfo frag = q.fragment(); frag.is_fragment()) {
-      frag_index = frag.index;
-      frag_total = frag.total;
+    // The fragment header is authoritative when present (split pools
+    // stamp it without rewriting the body); body meta only covers
+    // queries injected with neither hints nor a fragment header.
+    if (!message.HasHeader(phdr::kFragment)) {
+      if (const query::FragmentInfo frag = q.fragment(); frag.is_fragment()) {
+        frag_index = frag.index;
+        frag_total = frag.total;
+      }
     }
   }
   const std::string access_group_lower = ToLower(access_group);
@@ -432,13 +443,14 @@ void ResourcePool::HandleRelease(const net::Envelope& envelope,
 }
 
 void ResourcePool::HandleTick(net::NodeContext& ctx) {
-  RefreshFromDatabase();
+  const std::size_t refreshed = RefreshFromDatabase();
   if (index_) {
-    // Indexed policies never reorder the cache; the refresh sweep is
-    // followed by an O(n) heapify instead of the periodic sort.
+    // Indexed policies never reorder the cache. The dirty-id refresh
+    // already re-positioned each touched entry in O(log n), so the tick
+    // costs O(changed machines); only a full sweep (legacy mode or a
+    // stale cursor) pays the O(n) heapify inside RefreshFromDatabase.
     ctx.Consume(config_.costs.pool_sort_per_machine *
-                static_cast<SimDuration>(cache_.size()));
-    index_->Rebuild(cache_);
+                static_cast<SimDuration>(refreshed));
   } else {
     Resort(ctx);
   }
@@ -446,26 +458,62 @@ void ResourcePool::HandleTick(net::NodeContext& ctx) {
   ctx.ScheduleSelf(config_.resort_period, net::Message{net::msg::kTick});
 }
 
-void ResourcePool::RefreshFromDatabase() {
-  // One locked sweep over the white pages, no record copies.
+void ResourcePool::ApplyRecord(std::size_t index,
+                               const db::MachineRecord& rec) {
+  sched::CacheEntry& entry = cache_[index];
+  if (!rec.IsUsable()) {
+    // The machine went down or was blocked since the last sweep: make
+    // it unselectable (by any policy, including the oversubscribe
+    // fallback) until it comes back.
+    entry.load = kUnusableLoad;
+    entry.updated = rec.dyn.last_update;
+    return;
+  }
+  // Background load from the monitor plus this pool's own allocations.
+  entry.load = rec.dyn.load + static_cast<double>(entry.active_jobs);
+  entry.available_memory_mb = rec.dyn.available_memory_mb;
+  entry.updated = rec.dyn.last_update;
+}
+
+std::size_t ResourcePool::RefreshFromDatabase() {
+  ++stats_.refresh_ticks;
+  if (config_.incremental_refresh) {
+    dirty_ids_.clear();
+    if (const auto cursor = database_->ChangesSince(db_cursor_, &dirty_ids_)) {
+      db_cursor_ = *cursor;
+      // Only dirty ids that live in this pool's cache are fetched; the
+      // common quiet tick touches nothing at all.
+      fetch_ids_.clear();
+      fetch_index_.clear();
+      for (const db::MachineId id : dirty_ids_) {
+        const auto it = id_index_.find(id);
+        if (it == id_index_.end()) continue;
+        fetch_ids_.push_back(id);
+        fetch_index_.push_back(it->second);
+      }
+      if (!fetch_ids_.empty()) {
+        database_->VisitRecords(
+            fetch_ids_, [this](std::size_t i, const db::MachineRecord* rec) {
+              if (rec == nullptr) return;
+              ApplyRecord(fetch_index_[i], *rec);
+            });
+        for (const std::size_t index : fetch_index_) TouchIndex(index);
+      }
+      stats_.entries_refreshed += fetch_ids_.size();
+      return fetch_ids_.size();
+    }
+    // Cursor predates the db's retained change journal: re-anchor and
+    // fall through to one full sweep.
+    db_cursor_ = database_->version();
+  }
+  // Legacy path: one locked sweep over every cached record, no copies.
   database_->VisitRecords(
       cache_ids_, [this](std::size_t i, const db::MachineRecord* rec) {
-        if (rec == nullptr) return;
-        sched::CacheEntry& entry = cache_[i];
-        if (!rec->IsUsable()) {
-          // The machine went down or was blocked since the last sweep:
-          // make it unselectable (by any policy, including the
-          // oversubscribe fallback) until it comes back.
-          entry.load = kUnusableLoad;
-          entry.updated = rec->dyn.last_update;
-          return;
-        }
-        // Background load from the monitor plus this pool's own
-        // allocations.
-        entry.load = rec->dyn.load + static_cast<double>(entry.active_jobs);
-        entry.available_memory_mb = rec->dyn.available_memory_mb;
-        entry.updated = rec->dyn.last_update;
+        if (rec != nullptr) ApplyRecord(i, *rec);
       });
+  if (index_) index_->Rebuild(cache_);
+  stats_.entries_refreshed += cache_.size();
+  return cache_.size();
 }
 
 void ResourcePool::TouchIndex(std::size_t index) {
@@ -505,6 +553,9 @@ void ResourcePool::Resort(net::NodeContext& ctx) {
   cache_ids_ = std::move(new_ids);
   for (auto& [session, indices] : session_entry_) {
     for (auto& index : indices) index = sort_new_index_[index];
+  }
+  for (std::size_t i = 0; i < cache_ids_.size(); ++i) {
+    id_index_[cache_ids_[i]] = i;
   }
 }
 

@@ -51,6 +51,11 @@ struct ResourcePoolConfig {
   std::string policy = "least-load";
   SimDuration resort_period = Seconds(2.0);
   std::size_t claim_limit = 0;  // cap on machines claimed; 0 = all
+  // Refresh sweeps fetch only the records the white pages marked dirty
+  // since the last tick (cost proportional to churn). False restores
+  // the legacy full sweep over every cached record — kept for the
+  // incremental-vs-full equivalence test and as an escape hatch.
+  bool incremental_refresh = true;
   // When a query finds every machine at its load ceiling, hand out the
   // least-loaded one anyway (PUNCH machines are time-shared); when
   // false, reply with a failure instead.
@@ -67,6 +72,11 @@ struct PoolStats {
   std::uint64_t oversubscribed = 0;
   std::uint64_t entries_examined = 0;
   std::uint64_t reservations = 0;  // advance reservations granted
+  // Refresh economics: how many cache entries each periodic tick had to
+  // re-read from the white pages. With dirty-id refresh this tracks
+  // monitor/job churn, not cache size.
+  std::uint64_t entries_refreshed = 0;
+  std::uint64_t refresh_ticks = 0;
 };
 
 class ResourcePool final : public net::Node {
@@ -99,7 +109,16 @@ class ResourcePool final : public net::Node {
   void HandleQuery(const net::Envelope& envelope, net::NodeContext& ctx);
   void HandleRelease(const net::Envelope& envelope, net::NodeContext& ctx);
   void HandleTick(net::NodeContext& ctx);
-  void RefreshFromDatabase();
+  // Re-reads white-pages state into the cache. Incremental mode fetches
+  // only the records dirtied since the last tick and re-positions just
+  // those in the scheduling index; the fallback (legacy mode, or a
+  // cursor older than the db's change journal) sweeps everything and
+  // leaves the index rebuild to the caller. Returns the number of
+  // entries re-read (the simulated refresh cost).
+  std::size_t RefreshFromDatabase();
+  // Applies one record to cache entry `index` (shared by the initial
+  // load and both refresh paths).
+  void ApplyRecord(std::size_t index, const db::MachineRecord& rec);
   void Resort(net::NodeContext& ctx);
   // Re-positions entry `index` in the scheduling index after its load
   // changed (no-op for the legacy linear policies).
@@ -119,6 +138,14 @@ class ResourcePool final : public net::Node {
   std::vector<sched::CacheEntry> cache_;
   std::vector<EntryMeta> meta_;             // parallel to cache_
   std::vector<db::MachineId> cache_ids_;    // parallel to cache_ (refresh)
+  // machine id -> cache index, for routing dirty ids to entries.
+  std::unordered_map<db::MachineId, std::size_t> id_index_;
+  // White-pages change cursor for the incremental refresh sweep.
+  std::uint64_t db_cursor_ = 0;
+  // Scratch for the dirty-id refresh, reused across ticks.
+  std::vector<db::MachineId> dirty_ids_;
+  std::vector<db::MachineId> fetch_ids_;
+  std::vector<std::size_t> fetch_index_;
   bool any_user_groups_ = false;            // per-query filter fast path
   bool any_usage_policy_ = false;
   // session -> cache indices (one entry normally; several for

@@ -2,8 +2,11 @@
 // RNG, statistics, queues, thread pool, clocks.
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
 #include <set>
 #include <thread>
+#include <vector>
 
 #include "common/clock.hpp"
 #include "common/config.hpp"
@@ -384,6 +387,87 @@ TEST(ThreadPool, DrainWaitsForInFlight) {
   });
   pool.Drain();
   EXPECT_TRUE(done.load());
+}
+
+// Multi-producer stress: the scenario driver leans on Submit from the
+// sweep fan-out while Drain waits; every counted task must run exactly
+// once and Drain must never hang on a lost wakeup.
+TEST(ThreadPool, MultiProducerSubmitStress) {
+  constexpr int kProducers = 8;
+  constexpr int kTasksPerProducer = 2000;
+  ThreadPool pool(4);
+  std::atomic<int> executed{0};
+  std::vector<std::thread> producers;
+  producers.reserve(kProducers);
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&pool, &executed] {
+      for (int i = 0; i < kTasksPerProducer; ++i) {
+        pool.Submit([&executed] {
+          executed.fetch_add(1, std::memory_order_relaxed);
+        });
+      }
+    });
+  }
+  for (auto& producer : producers) producer.join();
+  pool.Drain();
+  EXPECT_EQ(executed.load(), kProducers * kTasksPerProducer);
+}
+
+// Drain called repeatedly and concurrently while producers are active:
+// each call must return (momentary idle) without deadlocking.
+TEST(ThreadPool, ConcurrentDrainsReturn) {
+  ThreadPool pool(3);
+  std::atomic<int> executed{0};
+  std::thread producer([&pool, &executed] {
+    for (int i = 0; i < 500; ++i) {
+      pool.Submit([&executed] {
+        executed.fetch_add(1, std::memory_order_relaxed);
+      });
+    }
+  });
+  std::vector<std::thread> drainers;
+  for (int d = 0; d < 3; ++d) {
+    drainers.emplace_back([&pool] {
+      for (int i = 0; i < 10; ++i) pool.Drain();
+    });
+  }
+  producer.join();
+  for (auto& drainer : drainers) drainer.join();
+  pool.Drain();
+  EXPECT_EQ(executed.load(), 500);
+}
+
+// Tasks submitting more tasks: Drain must cover the transitively
+// spawned work, not just the directly submitted tasks.
+TEST(ThreadPool, DrainCoversTasksSpawnedByTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> executed{0};
+  for (int i = 0; i < 50; ++i) {
+    pool.Submit([&pool, &executed] {
+      executed.fetch_add(1, std::memory_order_relaxed);
+      pool.Submit([&executed] {
+        executed.fetch_add(1, std::memory_order_relaxed);
+      });
+    });
+  }
+  pool.Drain();
+  EXPECT_EQ(executed.load(), 100);
+}
+
+// Shutdown race: destruction with queued work runs everything already
+// accepted before joining (the queue drains before workers exit).
+TEST(ThreadPool, DestructorRunsAcceptedTasks) {
+  std::atomic<int> executed{0};
+  {
+    ThreadPool pool(1);
+    for (int i = 0; i < 64; ++i) {
+      pool.Submit([&executed] {
+        std::this_thread::sleep_for(std::chrono::microseconds(100));
+        executed.fetch_add(1, std::memory_order_relaxed);
+      });
+    }
+  }
+  EXPECT_EQ(executed.load(), 64);
 }
 
 // --- clocks ---

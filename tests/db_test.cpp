@@ -256,6 +256,127 @@ TEST(ResourceDatabase, SnapshotRoundTrip) {
 
 // --- shadow accounts ---
 
+// --- change tracking (dirty-id refresh) ---
+
+TEST(ResourceDatabase, VersionsAdvanceOnEveryMutation) {
+  ResourceDatabase database;
+  EXPECT_EQ(database.version(), 0u);
+  auto id = database.Add(SampleMachine("host1"));
+  ASSERT_TRUE(id.ok());
+  const std::uint64_t after_add = database.version();
+  EXPECT_GT(after_add, 0u);
+  EXPECT_EQ(database.Get(*id)->version, after_add);
+
+  ASSERT_TRUE(database.UpdateDynamic(*id, DynamicState{}).ok());
+  EXPECT_GT(database.version(), after_add);
+  EXPECT_EQ(database.Get(*id)->version, database.version());
+}
+
+TEST(ResourceDatabase, ChangesSinceReportsOnlyDirtyIds) {
+  ResourceDatabase database;
+  std::vector<MachineId> ids;
+  for (int i = 0; i < 8; ++i) {
+    ids.push_back(*database.Add(SampleMachine("m" + std::to_string(i))));
+  }
+  std::vector<MachineId> dirty;
+  auto cursor = database.ChangesSince(0, &dirty);
+  ASSERT_TRUE(cursor.has_value());
+  EXPECT_EQ(dirty.size(), ids.size());  // adds are changes
+
+  dirty.clear();
+  cursor = database.ChangesSince(*cursor, &dirty);
+  ASSERT_TRUE(cursor.has_value());
+  EXPECT_TRUE(dirty.empty());  // quiescent database
+
+  // Touch two machines (one of them twice); exactly those come back,
+  // deduplicated and ascending.
+  ASSERT_TRUE(database.UpdateDynamic(ids[5], DynamicState{}).ok());
+  ASSERT_TRUE(database.UpdateDynamic(ids[2], DynamicState{}).ok());
+  ASSERT_TRUE(database.UpdateDynamic(ids[5], DynamicState{}).ok());
+  dirty.clear();
+  cursor = database.ChangesSince(*cursor, &dirty);
+  ASSERT_TRUE(cursor.has_value());
+  EXPECT_EQ(dirty, (std::vector<MachineId>{ids[2], ids[5]}));
+}
+
+TEST(ResourceDatabase, ChangesSinceCoversClaimAndRelease) {
+  ResourceDatabase database;
+  for (int i = 0; i < 4; ++i) {
+    database.Add(SampleMachine("m" + std::to_string(i)));
+  }
+  std::vector<MachineId> dirty;
+  const auto cursor = database.ChangesSince(0, &dirty);
+  ASSERT_TRUE(cursor.has_value());
+
+  auto q = query::Parser::ParseBasic("punch.rsrc.arch = sun\n");
+  ASSERT_TRUE(q.ok());
+  const auto claimed = database.ClaimMatching(*q, "poolA");
+  ASSERT_EQ(claimed.size(), 4u);
+  dirty.clear();
+  auto cursor2 = database.ChangesSince(*cursor, &dirty);
+  ASSERT_TRUE(cursor2.has_value());
+  EXPECT_EQ(dirty.size(), 4u);
+
+  database.ReleaseAllFrom("poolA");
+  dirty.clear();
+  cursor2 = database.ChangesSince(*cursor2, &dirty);
+  ASSERT_TRUE(cursor2.has_value());
+  EXPECT_EQ(dirty.size(), 4u);
+}
+
+TEST(ResourceDatabase, StaleCursorSignalsFullRefresh) {
+  ResourceDatabase database;
+  auto id = database.Add(SampleMachine("host1"));
+  ASSERT_TRUE(id.ok());
+  // Overflow the journal so the floor moves past version 0.
+  for (int i = 0; i < (1 << 16) + 100; ++i) {
+    // Alternate two records: consecutive same-id updates coalesce into
+    // one journal entry, so a single id would never trim.
+    database.Add(SampleMachine("churn" + std::to_string(i)));
+  }
+  std::vector<MachineId> dirty;
+  EXPECT_FALSE(database.ChangesSince(0, &dirty).has_value());
+  // A fresh cursor works again.
+  const auto cursor = database.ChangesSince(database.version(), &dirty);
+  ASSERT_TRUE(cursor.has_value());
+  EXPECT_EQ(*cursor, database.version());
+}
+
+TEST(ResourceDatabase, ApplyDynamicBatchesAndJournals) {
+  ResourceDatabase database;
+  std::vector<MachineId> ids;
+  for (int i = 0; i < 4; ++i) {
+    ids.push_back(*database.Add(SampleMachine("m" + std::to_string(i))));
+  }
+  std::vector<MachineId> dirty;
+  const auto cursor = database.ChangesSince(0, &dirty);
+  ASSERT_TRUE(cursor.has_value());
+
+  DynamicState dyn;
+  dyn.load = 2.25;
+  database.ApplyDynamic({{ids[1], dyn}, {ids[3], dyn}, {9999, dyn}});
+  EXPECT_DOUBLE_EQ(database.Get(ids[1])->dyn.load, 2.25);
+  EXPECT_DOUBLE_EQ(database.Get(ids[3])->dyn.load, 2.25);
+
+  dirty.clear();
+  const auto cursor2 = database.ChangesSince(*cursor, &dirty);
+  ASSERT_TRUE(cursor2.has_value());
+  EXPECT_EQ(dirty, (std::vector<MachineId>{ids[1], ids[3]}));
+}
+
+TEST(ResourceDatabase, VisitAllSeesEveryRecordWithoutCopies) {
+  ResourceDatabase database;
+  for (int i = 0; i < 6; ++i) {
+    database.Add(SampleMachine("m" + std::to_string(i)));
+  }
+  std::size_t seen = 0;
+  database.VisitAll([&seen](const MachineRecord& rec) {
+    EXPECT_NE(rec.id, kInvalidMachine);
+    ++seen;
+  });
+  EXPECT_EQ(seen, 6u);
+}
+
 TEST(ShadowAccountPool, AcquireReleaseCycle) {
   ShadowAccountPool pool(5000, 3);
   EXPECT_EQ(pool.total(), 3u);

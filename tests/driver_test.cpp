@@ -216,6 +216,51 @@ TEST(ScenarioRegistry, Fig6JsonIsParseable) {
   EXPECT_TRUE(JsonChecker(json).Valid()) << json;
 }
 
+// The tentpole guarantee of --jobs: a parallel sweep must emit exactly
+// the bytes the serial sweep emits — every cell owns its own kernel and
+// seed, and cells are collected in queue order. --stable zeroes the
+// wall-clock-derived metrics, the only legitimately nondeterministic
+// numbers in the report.
+TEST(ParallelSweep, JobsFourIsByteIdenticalToSerial) {
+  for (const char* name : {"qm_scaling", "pm_scaling"}) {
+    const auto* info = ScenarioRegistry::Instance().Find(name);
+    ASSERT_NE(info, nullptr);
+    ScenarioRunOptions options;
+    options.machines = 100;
+    options.clients = 2;
+    options.time_scale = 0.05;
+    options.seed = 17;
+    options.stable = true;
+
+    options.jobs = 1;
+    std::ostringstream serial;
+    WriteReportJson(info->run(options), serial);
+
+    options.jobs = 4;
+    std::ostringstream parallel;
+    WriteReportJson(info->run(options), parallel);
+
+    EXPECT_FALSE(serial.str().empty());
+    EXPECT_EQ(serial.str(), parallel.str()) << name;
+  }
+}
+
+// Repeated parallel runs are stable too (no run-order dependence left).
+TEST(ParallelSweep, ParallelRunsAreReproducible) {
+  const auto* info = ScenarioRegistry::Instance().Find("fig6_pool_size");
+  ASSERT_NE(info, nullptr);
+  ScenarioRunOptions options;
+  options.machines = 100;
+  options.time_scale = 0.05;
+  options.seed = 3;
+  options.jobs = 3;
+  options.stable = true;
+  std::ostringstream first, second;
+  WriteReportJson(info->run(options), first);
+  WriteReportJson(info->run(options), second);
+  EXPECT_EQ(first.str(), second.str());
+}
+
 TEST(ReportEmitters, JsonEscapesAndNonFiniteValues) {
   ScenarioReport report;
   report.scenario = "synthetic";

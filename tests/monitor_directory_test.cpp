@@ -98,6 +98,38 @@ TEST(Monitor, JobStartEndAdjustsLoadAndMemory) {
   EXPECT_EQ(monitor.active_jobs(*id), 0);
 }
 
+TEST(Monitor, StepMarksOnlyRewrittenMachinesDirty) {
+  db::ResourceDatabase database;
+  std::vector<db::MachineId> ids;
+  for (int i = 0; i < 10; ++i) {
+    ids.push_back(*database.Add(Machine("m" + std::to_string(i))));
+  }
+  monitor::MonitorConfig config;
+  config.update_period = Seconds(5);
+  monitor::ResourceMonitor monitor(&database, config, Rng(11));
+
+  // First sweep rewrites everything (all records are period-stale).
+  monitor.Step(Seconds(10));
+  std::vector<db::MachineId> dirty;
+  auto cursor = database.ChangesSince(0, &dirty);
+  ASSERT_TRUE(cursor.has_value());
+
+  // A sweep inside the update period rewrites nothing: no machine may
+  // gain a version bump, so pool refreshes see zero dirty ids.
+  monitor.Step(Seconds(12));
+  dirty.clear();
+  cursor = database.ChangesSince(*cursor, &dirty);
+  ASSERT_TRUE(cursor.has_value());
+  EXPECT_TRUE(dirty.empty());
+
+  // Past the period, the sweep rewrites the whole (due) fleet again.
+  monitor.Step(Seconds(16));
+  dirty.clear();
+  cursor = database.ChangesSince(*cursor, &dirty);
+  ASSERT_TRUE(cursor.has_value());
+  EXPECT_EQ(dirty.size(), ids.size());
+}
+
 TEST(Monitor, JobLoadPersistsAcrossSweeps) {
   db::ResourceDatabase database;
   auto id = database.Add(Machine("m0"));

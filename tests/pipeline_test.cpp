@@ -5,11 +5,13 @@
 // TTL), and query managers (routing rules, decomposition).
 #include <gtest/gtest.h>
 
+#include "common/rng.hpp"
 #include "common/strings.hpp"
 #include "db/database.hpp"
 #include "db/policy.hpp"
 #include "db/shadow.hpp"
 #include "directory/directory.hpp"
+#include "monitor/monitor.hpp"
 #include "pipeline/pool_manager.hpp"
 #include "pipeline/proxy.hpp"
 #include "pipeline/query_manager.hpp"
@@ -472,6 +474,150 @@ TEST(PoolPolicyEquivalence, IndexedMatchesLinearOnSameTrace) {
   EXPECT_EQ(run("fastest"), run("linear-fastest"));
 }
 
+// The dirty-id incremental refresh must leave the pool indistinguishable
+// from the legacy full sweep: same allocations on the same randomized
+// schedule of monitor sweeps, direct white-pages updates, machine
+// down/up churn, and interleaved queries/releases — while re-reading
+// only the records that actually changed.
+TEST(PoolRefreshEquivalence, IncrementalMatchesFullSweepUnderChurn) {
+  struct RunResult {
+    std::vector<std::string> allocations;
+    std::uint64_t entries_refreshed = 0;
+    std::uint64_t refresh_ticks = 0;
+  };
+  auto run = [](bool incremental) {
+    simnet::SimKernel kernel;
+    simnet::SimNetwork network(&kernel, simnet::Topology::Lan(), 7);
+    network.AddHost("alpha", 12);
+    db::ResourceDatabase database;
+    db::ShadowAccountRegistry shadows;
+    db::PolicyRegistry policies;
+    directory::DirectoryService directory;
+    auto probe = std::make_shared<Probe>();
+    network.AddNode("probe", probe, {"alpha", 4});
+    std::vector<db::MachineId> ids;
+    for (int i = 0; i < 30; ++i) {
+      db::MachineRecord rec;
+      rec.name = "sun" + std::to_string(i);
+      rec.params["arch"] = "sun";
+      rec.dyn.load = 0.05 * static_cast<double>(i % 9);
+      rec.dyn.available_memory_mb = 256;
+      ids.push_back(*database.Add(std::move(rec)));
+    }
+    monitor::MonitorConfig mon_config;
+    mon_config.update_period = Seconds(2);
+    monitor::ResourceMonitor monitor(&database, mon_config, Rng(99));
+
+    auto criteria = query::Parser::ParseBasic("punch.rsrc.arch = sun\n");
+    EXPECT_TRUE(criteria.ok());
+    ResourcePoolConfig config;
+    config.criteria = *criteria;
+    config.pool_name = criteria->PoolName();
+    config.policy = "least-load";
+    config.resort_period = Seconds(1);
+    config.incremental_refresh = incremental;
+    auto pool = std::make_shared<ResourcePool>(config, &database, &directory,
+                                               &shadows, &policies);
+    network.AddNode("pool0", pool, {"alpha", 1});
+
+    Rng churn(4242);  // same schedule for both modes
+    RunResult result;
+    std::vector<std::pair<db::MachineId, std::string>> held;
+    std::vector<db::MachineId> down;
+    std::uint64_t request_id = 1;
+    for (int step = 0; step < 60; ++step) {
+      const SimTime now = Seconds(0.7 * (step + 1));
+      // Random churn against the white pages: load nudges, machines
+      // flipping down and back up, periodic monitor sweeps.
+      if (churn.NextDouble() < 0.4) {
+        const db::MachineId id =
+            ids[churn.NextBounded(ids.size())];
+        database.Update(id, [&churn](db::MachineRecord& rec) {
+          rec.dyn.load = 2.0 * churn.NextDouble();
+        });
+      }
+      if (churn.NextDouble() < 0.15) {
+        const db::MachineId id = ids[churn.NextBounded(ids.size())];
+        database.Update(id, [](db::MachineRecord& rec) {
+          rec.state = db::MachineState::kDown;
+        });
+        down.push_back(id);
+      }
+      if (!down.empty() && churn.NextDouble() < 0.3) {
+        database.Update(down.back(), [](db::MachineRecord& rec) {
+          rec.state = db::MachineState::kUp;
+        });
+        down.pop_back();
+      }
+      if (step % 3 == 0) monitor.Step(now);
+
+      net::Message query{net::msg::kQuery};
+      query.SetHeader(net::hdr::kReplyTo, "probe");
+      query.SetHeader(net::hdr::kRequestId, std::to_string(request_id++));
+      query.body = "punch.rsrc.arch = sun\n";
+      network.Post("probe", "pool0", std::move(query));
+      kernel.RunUntil(now);
+      if (const auto* m = probe->last(net::msg::kAllocation)) {
+        result.allocations.push_back(m->Header(net::hdr::kMachine));
+        db::MachineId id = 0;
+        if (auto parsed = ParseInt(m->Header(net::hdr::kMachineId))) {
+          id = static_cast<db::MachineId>(*parsed);
+        }
+        held.emplace_back(id, m->Header(net::hdr::kSessionKey));
+      }
+      if (held.size() > 4) {
+        const auto [id, session] = held.front();
+        held.erase(held.begin());
+        network.Post("probe", "pool0", MakeReleaseMessage(id, session));
+        kernel.RunUntil(now + Millis(100));
+      }
+    }
+    result.entries_refreshed = pool->stats().entries_refreshed;
+    result.refresh_ticks = pool->stats().refresh_ticks;
+    return result;
+  };
+
+  const RunResult inc = run(true);
+  const RunResult full = run(false);
+  EXPECT_EQ(inc.allocations, full.allocations);
+  EXPECT_GT(inc.allocations.size(), 30u);
+  ASSERT_GT(full.refresh_ticks, 0u);
+  // The full sweep re-reads the whole 30-entry cache every tick; the
+  // dirty-id sweep re-reads only what changed.
+  EXPECT_EQ(full.entries_refreshed, full.refresh_ticks * 30u);
+  EXPECT_LT(inc.entries_refreshed, full.entries_refreshed / 2);
+}
+
+// A quiet fleet costs a quiet refresh: with no monitor sweeps and no
+// white-pages writes, the dirty-id refresh touches zero entries no
+// matter how many ticks elapse.
+TEST(PoolRefreshEquivalence, QuietTicksRefreshNothing) {
+  simnet::SimKernel kernel;
+  simnet::SimNetwork network(&kernel, simnet::Topology::Lan(), 7);
+  network.AddHost("alpha", 12);
+  db::ResourceDatabase database;
+  directory::DirectoryService directory;
+  for (int i = 0; i < 20; ++i) {
+    db::MachineRecord rec;
+    rec.name = "sun" + std::to_string(i);
+    rec.params["arch"] = "sun";
+    database.Add(std::move(rec));
+  }
+  auto criteria = query::Parser::ParseBasic("punch.rsrc.arch = sun\n");
+  ASSERT_TRUE(criteria.ok());
+  ResourcePoolConfig config;
+  config.criteria = *criteria;
+  config.pool_name = criteria->PoolName();
+  config.policy = "least-load";
+  config.resort_period = Seconds(1);
+  auto pool = std::make_shared<ResourcePool>(config, &database, &directory,
+                                             nullptr, nullptr);
+  network.AddNode("pool0", pool, {"alpha", 1});
+  kernel.RunUntil(Seconds(10));
+  EXPECT_GE(pool->stats().refresh_ticks, 9u);
+  EXPECT_EQ(pool->stats().entries_refreshed, 0u);
+}
+
 TEST(ReservationBookUnit, BookConflictCancelPrune) {
   ReservationBook book;
   EXPECT_TRUE(book.IsFree(1, Seconds(10), Seconds(20)));
@@ -723,6 +869,67 @@ TEST_F(PipelineTest, TtlBoundsDelegationChain) {
 }
 
 // --- query manager ---
+
+// Fragment bookkeeping travels on headers: QoS duplicates of one
+// alternative share a single serialized body (no per-fragment
+// actyp.meta.* rewrite), with fragment coordinates, sched hints, and
+// the TTL all carried as message headers.
+TEST_F(PipelineTest, QueryManagerCarriesFragmentStateOnHeaders) {
+  QueryManagerConfig config;
+  config.name = "qm";
+  config.default_pool_managers = {"probe"};
+  config.reintegrator = "probe";
+  config.qos_fanout = 2;
+  auto qm = std::make_shared<QueryManager>(config);
+  network_.AddNode("qm", qm, {"alpha", 1});
+
+  network_.Post("probe", "qm", QueryMessage(kSunQuery, 7));
+  kernel_.Run();
+
+  std::vector<const net::Message*> fragments;
+  for (const auto& m : probe_->messages) {
+    if (m.type == net::msg::kQuery) fragments.push_back(&m);
+  }
+  ASSERT_EQ(fragments.size(), 2u);
+  EXPECT_EQ(fragments[0]->Header(phdr::kFragment), "0/2");
+  EXPECT_EQ(fragments[1]->Header(phdr::kFragment), "1/2");
+  EXPECT_EQ(fragments[0]->Header(phdr::kSchedHints), "1");
+  EXPECT_EQ(fragments[0]->Header(phdr::kTtl), "8");
+  EXPECT_EQ(fragments[0]->Header(phdr::kAccessGroup), "ece");
+  // A basic query's body is forwarded verbatim — shared across the
+  // duplicates, no actyp.meta.* stamped in.
+  EXPECT_EQ(fragments[0]->body, fragments[1]->body);
+  EXPECT_EQ(fragments[0]->body, kSunQuery);
+  EXPECT_EQ(fragments[0]->body.find("actyp.meta."), std::string::npos);
+}
+
+// Delegation state travels on headers too: each hop appends itself to
+// the visited header, decrements the TTL header, and forwards the body
+// untouched.
+TEST_F(PipelineTest, DelegationTracksTtlAndVisitedOnHeaders) {
+  PoolManagerConfig pm_config;
+  pm_config.name = "pm0";
+  pm_config.allow_create = false;
+  network_.AddNode("pm0",
+                   std::make_shared<PoolManager>(pm_config, &directory_),
+                   {"alpha", 1});
+  // A probe masquerading as the peer pool manager captures the
+  // delegated message.
+  directory::PoolManagerEntry peer;
+  peer.name = "pm-peer";
+  peer.address = "probe";
+  ASSERT_TRUE(directory_.RegisterPoolManager(peer).ok());
+
+  const std::string body = "punch.rsrc.arch = vax\n";
+  network_.Post("probe", "pm0", QueryMessage(body, 5));
+  kernel_.Run();
+
+  const auto* delegated = probe_->last(net::msg::kQuery);
+  ASSERT_NE(delegated, nullptr);
+  EXPECT_EQ(delegated->Header(phdr::kTtl), "7");  // default 8, one hop
+  EXPECT_EQ(delegated->Header(phdr::kVisited), "pm0");
+  EXPECT_EQ(delegated->body, body);  // no re-serialization
+}
 
 TEST_F(PipelineTest, QueryManagerRoutesByParameterRule) {
   AddMachines(3, "sun");

@@ -11,6 +11,15 @@
 //              actyp_sim --scenario fig4_pools_lan --fault-plan plan.txt
 //   config:    actyp_sim --config examples/experiment.conf
 //   everything: actyp_sim --all --json
+//   parallel:  actyp_sim --scenario qm_scaling --jobs 8 --stable --json
+//
+// --jobs N runs independent scenario cells on N worker threads — each
+// cell owns its own kernel/network/RNG — and, when several scenarios
+// are requested (--all, repeated --scenario), whole scenarios too.
+// Reports are always emitted in request order, so the output stream is
+// independent of the worker count; --stable additionally zeroes the
+// wall-clock-derived metrics, making fixed-seed output byte-identical
+// across hosts and --jobs values.
 //
 // --config loads a full experiment from one file (scenario selection,
 // overrides, and a [fault] section parsed via FaultPlan::FromConfig);
@@ -18,6 +27,7 @@
 //
 // JSON goes to stdout, one object per scenario run, with a stable
 // {scenario, title, cells[], note} shape for perf tracking.
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -30,6 +40,7 @@
 #include "actyp/scenario_registry.hpp"
 #include "common/config.hpp"
 #include "common/strings.hpp"
+#include "common/thread_pool.hpp"
 #include "fault/fault_plan.hpp"
 
 namespace {
@@ -45,6 +56,7 @@ int Usage(int code) {
       "                 [--config FILE] [--seed N] [--machines N]\n"
       "                 [--clients N] [--time-scale X] [--loss P]\n"
       "                 [--churn-rate R] [--fault-plan FILE]\n"
+      "                 [--jobs N] [--stable]\n"
       "\n"
       "  --list            list registered scenarios and exit\n"
       "  --scenario <s>    run one scenario (repeatable)\n"
@@ -60,7 +72,12 @@ int Usage(int code) {
       "  --loss P          inject message loss with probability P\n"
       "  --churn-rate R    crash R random machines per simulated second\n"
       "  --fault-plan FILE apply the fault plan in FILE (loss windows,\n"
-      "                    latency spikes, partitions, crashes, churn)\n");
+      "                    latency spikes, partitions, crashes, churn)\n"
+      "  --jobs N          run independent sweep cells (and, for multi-\n"
+      "                    scenario runs, whole scenarios) on N worker\n"
+      "                    threads; output order is unchanged\n"
+      "  --stable          zero wall-clock-derived metrics so fixed-seed\n"
+      "                    output is byte-identical across hosts/--jobs\n");
   return code;
 }
 
@@ -165,6 +182,12 @@ int ApplyConfigFile(const char* path, std::vector<std::string>* names,
     if (!parsed || !(*parsed >= 0)) return bad("churn-rate", *value);
     options->churn_rate = *parsed;
   }
+  if (const auto value = config->Get("jobs")) {
+    const auto parsed = actyp::ParseInt(*value);
+    if (!parsed || *parsed < 1) return bad("jobs", *value);
+    options->jobs = static_cast<std::size_t>(*parsed);
+  }
+  options->stable = config->GetBool("stable", options->stable);
 
   const auto plan = actyp::fault::FaultPlan::FromConfig(config.value());
   if (!plan.ok()) {
@@ -242,6 +265,13 @@ int main(int argc, char** argv) {
         return BadValue(arg, argv[i]);
       }
       options.churn_rate = value;
+    } else if (std::strcmp(arg, "--jobs") == 0) {
+      if (i + 1 >= argc) return MissingValue(arg);
+      long value = 0;
+      if (!ParseLong(argv[++i], 1, &value)) return BadValue(arg, argv[i]);
+      options.jobs = static_cast<std::size_t>(value);
+    } else if (std::strcmp(arg, "--stable") == 0) {
+      options.stable = true;
     } else if (std::strcmp(arg, "--fault-plan") == 0) {
       if (i + 1 >= argc) return MissingValue(arg);
       std::ifstream file(argv[++i]);
@@ -275,6 +305,10 @@ int main(int argc, char** argv) {
   }
   if (names.empty()) return Usage(2);
 
+  // Resolve every requested scenario before running anything, so a typo
+  // fails fast instead of after minutes of sweeps.
+  std::vector<const ScenarioInfo*> infos;
+  infos.reserve(names.size());
   for (const std::string& name : names) {
     const ScenarioInfo* info = ScenarioRegistry::Instance().Find(name);
     if (info == nullptr) {
@@ -283,7 +317,40 @@ int main(int argc, char** argv) {
                    name.c_str());
       return 1;
     }
-    const actyp::ScenarioReport report = info->run(options);
+    infos.push_back(info);
+  }
+
+  // Multi-scenario runs parallelize across scenarios (each worker runs
+  // its scenario's cells serially); a single scenario parallelizes its
+  // own cells instead. Either way reports land in request order, so the
+  // emitted stream is identical to a --jobs 1 run.
+  std::vector<actyp::ScenarioReport> reports(infos.size());
+  if (options.jobs > 1 && infos.size() > 1) {
+    ScenarioRunOptions cell_options = options;
+    cell_options.jobs = 1;
+    {
+      actyp::ThreadPool pool(std::min(options.jobs, infos.size()));
+      for (std::size_t i = 0; i < infos.size(); ++i) {
+        if (infos[i]->wall_clock) continue;
+        pool.Submit([&reports, &infos, &cell_options, i] {
+          reports[i] = infos[i]->run(cell_options);
+        });
+      }
+      pool.Drain();
+    }
+    // Wall-clock scenarios measure host time: run them alone, after
+    // the pool is idle, so concurrent sweeps cannot inflate the very
+    // timings they report. Request order is preserved either way.
+    for (std::size_t i = 0; i < infos.size(); ++i) {
+      if (infos[i]->wall_clock) reports[i] = infos[i]->run(cell_options);
+    }
+  } else {
+    for (std::size_t i = 0; i < infos.size(); ++i) {
+      reports[i] = infos[i]->run(options);
+    }
+  }
+
+  for (const actyp::ScenarioReport& report : reports) {
     if (json) {
       actyp::WriteReportJson(report, std::cout);
     } else {

@@ -19,9 +19,12 @@ refresh the baseline in the same PR when that happens.
 Wall-clock scenarios and wall-clock metrics (the TCP roundtrip
 latencies, the query micro-benchmark timings, the scaling sweeps'
 ev_per_s_wall throughput) are excluded from the diff; everything
-else in the sweep is a deterministic function of the pinned seed. The
-sweep's own wall-clock is recorded in the snapshot under a
-"_sweep_meta" entry for perf tracking over time, and also excluded.
+else in the sweep — including the refresh-economics counters
+entries_refreshed and refresh_cost — is a deterministic function of
+the pinned seed and is tracked. The run is pinned with --stable so the
+snapshot itself is byte-reproducible. The sweep's own wall-clock is
+recorded in the snapshot under a "_sweep_meta" entry for perf tracking
+over time, and also excluded.
 """
 
 import argparse
@@ -32,12 +35,15 @@ import sys
 import time
 
 # Pinned run: deterministic, and small enough for a CI sidecar (~10 s).
+# time-scale 0.4 keeps the simulated window past the monitor's 5 s sweep
+# period, so the tracked entries_refreshed / refresh_cost metrics see
+# real monitor churn instead of a quiet fleet.
 RUN_ARGS = [
-    "--all", "--json",
+    "--all", "--json", "--stable",
     "--seed", "1",
     "--machines", "400",
     "--clients", "4",
-    "--time-scale", "0.2",
+    "--time-scale", "0.4",
 ]
 
 # Scenarios whose numbers are wall-clock, not simulated time.
