@@ -39,14 +39,38 @@ struct CellResult {
   std::uint64_t entries_examined = 0;  // selection cost across the run
   std::uint64_t entries_refreshed = 0;  // cache entries re-read on ticks
   std::uint64_t refresh_ticks = 0;      // periodic refresh sweeps run
+  // Client retry policy (zero unless retry-max is set).
+  std::uint64_t retries = 0;
+  // Replicated-directory observables (all zero when --replicas <= 1).
+  std::uint64_t sync_bytes = 0;      // anti-entropy wire bytes
+  std::uint64_t full_syncs = 0;      // bounded-journal fallbacks
+  std::uint64_t failovers = 0;       // reads/writes served off-site
+  std::uint64_t convergences = 0;    // disruptions fully reconciled
+  double max_staleness_s = 0;        // worst replica lag behind the group
+  double converge_time_s = 0;        // last disruption -> convergence
 };
 
-// Merges the driver's fault overrides (--loss / --churn-rate /
-// --fault-plan) into a scenario config. Lossy or churny runs also need
-// a client give-up timer, or the closed loop deadlocks on the first
-// dropped reply — default one when the scenario did not set its own.
+// Merges the driver's fault, replication, and retry overrides (--loss /
+// --churn-rate / --fault-plan / --replicas / --sync-period /
+// --retry-max / --retry-backoff) into a scenario config. Lossy or
+// churny runs also need a client give-up timer, or the closed loop
+// deadlocks on the first dropped reply — default one when the scenario
+// did not set its own.
 inline void ApplyFaults(const ScenarioRunOptions& options,
                         ScenarioConfig* config) {
+  if (options.replicas) config->directory_replicas = *options.replicas;
+  // Durations scale with --time-scale, exactly like the scenarios'
+  // fault schedules and their own defaults for these knobs — so the
+  // flags compose with smoke-run scaling instead of fighting it.
+  if (options.sync_period_s) {
+    config->directory_sync_period =
+        Seconds(*options.sync_period_s * options.time_scale);
+  }
+  if (options.retry_max) config->retry_max = *options.retry_max;
+  if (options.retry_backoff_s) {
+    config->retry_backoff =
+        Seconds(*options.retry_backoff_s * options.time_scale);
+  }
   if (options.loss) config->message_loss_probability = *options.loss;
   if (!options.fault_plan_text.empty()) {
     auto plan = fault::FaultPlan::Parse(options.fault_plan_text);
@@ -105,6 +129,14 @@ inline CellResult RunCell(ScenarioConfig config,
   result.entries_examined = pool_stats.entries_examined;
   result.entries_refreshed = pool_stats.entries_refreshed;
   result.refresh_ticks = pool_stats.refresh_ticks;
+  result.retries = scenario.total_client_retries();
+  const auto replica_stats = scenario.replica_stats();
+  result.sync_bytes = replica_stats.sync_bytes;
+  result.full_syncs = replica_stats.full_syncs;
+  result.failovers = replica_stats.failovers;
+  result.convergences = replica_stats.convergences;
+  result.max_staleness_s = replica_stats.max_staleness_s;
+  result.converge_time_s = replica_stats.converge_time_s;
   return result;
 }
 
@@ -155,6 +187,24 @@ inline void AppendMetrics(const CellResult& result, ScenarioCell* cell) {
 inline void AppendFaultMetrics(const CellResult& result, ScenarioCell* cell) {
   cell->metrics.emplace_back("success_rate", result.success_rate);
   cell->metrics.emplace_back("lost", static_cast<double>(result.lost));
+  cell->metrics.emplace_back("retries", static_cast<double>(result.retries));
+}
+
+// Appends the replicated-directory metrics (wan_partition_heal,
+// directory_failover, fig8's replicated-directory cells). All values
+// are deterministic functions of the seed and are perf-tracked.
+inline void AppendReplicaMetrics(const CellResult& result,
+                                 ScenarioCell* cell) {
+  cell->metrics.emplace_back("sync_bytes",
+                             static_cast<double>(result.sync_bytes));
+  cell->metrics.emplace_back("full_syncs",
+                             static_cast<double>(result.full_syncs));
+  cell->metrics.emplace_back("failovers",
+                             static_cast<double>(result.failovers));
+  cell->metrics.emplace_back("convergences",
+                             static_cast<double>(result.convergences));
+  cell->metrics.emplace_back("max_staleness_s", result.max_staleness_s);
+  cell->metrics.emplace_back("converge_time_s", result.converge_time_s);
 }
 
 // Appends the engine metrics the scaling sweeps report: selection cost

@@ -7,6 +7,7 @@
 // scenario that is not a discrete-event simulation), so --jobs is
 // deliberately ignored here; the call/success counters are
 // deterministic and are what perf tracking diffs.
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <map>
@@ -96,6 +97,23 @@ ScenarioReport RunTcpRoundtrip(const ScenarioRunOptions& options) {
 
   // --- TCP frontend on an ephemeral loopback port ---
   net::TcpServer server;
+  // Fault injection at the socket layer: every 5th reply in the second
+  // (faulty) phase is dropped — alternating a hard connection reset and
+  // a truncated frame — and the retrying client must still land every
+  // call. Installed before Start (the hook contract): the counters are
+  // atomic because the hook runs on connection threads.
+  std::atomic<int> reply_counter{0};
+  std::atomic<bool> faults_on{false};
+  server.SetFaultHook([&reply_counter, &faults_on]() -> net::TcpFault {
+    if (!faults_on.load()) return {};
+    const int n = reply_counter.fetch_add(1);
+    if (n % 5 != 4) return {};
+    net::TcpFault fault;
+    fault.action = (n / 5) % 2 == 0 ? net::TcpFault::Action::kReset
+                                    : net::TcpFault::Action::kTruncate;
+    fault.bytes = 3;
+    return fault;
+  });
   std::mutex request_mu;
   int next_request = 0;
   const Status started =
@@ -114,45 +132,61 @@ ScenarioReport RunTcpRoundtrip(const ScenarioRunOptions& options) {
 
   const std::size_t calls = std::max<std::size_t>(
       4, static_cast<std::size_t>(40.0 * options.time_scale));
-  std::uint64_t ok = 0;
-  std::uint64_t failures = 0;
-  RunningStats latency_ms;
-  if (started.ok()) {
-    workload::QuerySpec query_spec;
-    query_spec.cluster_count = 2;
-    workload::QueryGenerator generator(query_spec);
-    for (std::size_t i = 0; i < calls; ++i) {
-      net::Message request{net::msg::kQuery};
-      request.body = generator.Next(rng);
-      const auto begin = std::chrono::steady_clock::now();
-      const auto reply = net::TcpClient::Call("127.0.0.1", server.port(),
-                                              request);
-      const auto end = std::chrono::steady_clock::now();
-      if (reply.ok() && reply->type == net::msg::kAllocation) {
-        ++ok;
-        latency_ms.Add(
-            std::chrono::duration<double, std::milli>(end - begin).count());
-      } else {
-        ++failures;
+  struct Phase {
+    const char* label;
+    bool faulty;
+  };
+  const Phase phases[] = {{"clean", false}, {"reset", true}};
+  workload::QuerySpec query_spec;
+  query_spec.cluster_count = 2;
+  workload::QueryGenerator generator(query_spec);
+  for (const Phase& phase : phases) {
+    faults_on.store(phase.faulty);
+    std::uint64_t ok = 0;
+    std::uint64_t failures = 0;
+    RunningStats latency_ms;
+    if (started.ok()) {
+      for (std::size_t i = 0; i < calls; ++i) {
+        net::Message request{net::msg::kQuery};
+        request.body = generator.Next(rng);
+        const auto begin = std::chrono::steady_clock::now();
+        // The faulty phase survives one reset/truncation per call via
+        // the retrying client; the clean phase uses single-shot calls.
+        const auto reply =
+            phase.faulty
+                ? net::TcpClient::CallWithRetry("127.0.0.1", server.port(),
+                                                request, 2)
+                : net::TcpClient::Call("127.0.0.1", server.port(), request);
+        const auto end = std::chrono::steady_clock::now();
+        if (reply.ok() && reply->type == net::msg::kAllocation) {
+          ++ok;
+          latency_ms.Add(
+              std::chrono::duration<double, std::milli>(end - begin).count());
+        } else {
+          ++failures;
+        }
       }
     }
-    server.Stop();
+    ScenarioCell cell;
+    cell.labels.emplace_back("mode", phase.label);
+    cell.dims.emplace_back("calls", static_cast<double>(calls));
+    cell.metrics.emplace_back("ok", static_cast<double>(ok));
+    cell.metrics.emplace_back("failures",
+                              static_cast<double>(failures +
+                                                  (started.ok() ? 0 : calls)));
+    cell.metrics.emplace_back("mean_ms", latency_ms.mean());
+    cell.metrics.emplace_back("max_ms", latency_ms.max());
+    report.cells.push_back(std::move(cell));
   }
+  if (started.ok()) server.Stop();
   network.Shutdown();
 
-  ScenarioCell cell;
-  cell.dims.emplace_back("calls", static_cast<double>(calls));
-  cell.metrics.emplace_back("ok", static_cast<double>(ok));
-  cell.metrics.emplace_back("failures",
-                            static_cast<double>(failures +
-                                                (started.ok() ? 0 : calls)));
-  cell.metrics.emplace_back("mean_ms", latency_ms.mean());
-  cell.metrics.emplace_back("max_ms", latency_ms.max());
-  report.cells.push_back(std::move(cell));
   report.note =
       "every call crosses a real loopback socket into the threaded "
-      "pipeline and back; ok == calls is the invariant (latencies are "
-      "wall-clock and excluded from deterministic perf diffs).";
+      "pipeline and back; ok == calls is the invariant for both modes — "
+      "the reset mode injects connection resets and partial frames at "
+      "the socket layer and the retrying client absorbs them (latencies "
+      "are wall-clock and excluded from deterministic perf diffs).";
   return report;
 }
 

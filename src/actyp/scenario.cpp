@@ -11,6 +11,10 @@ namespace {
 
 constexpr const char* kServerHost = "alpha";
 constexpr const char* kClientHost = "clients";
+// Second server host, added on the client site when the directory is
+// replicated across a WAN so both sides of a partition keep a full
+// service stack (replica + pool manager + query manager + pools).
+constexpr const char* kRemoteHost = "beta";
 
 }  // namespace
 
@@ -38,17 +42,75 @@ void SimScenario::Build() {
   fault_ = std::make_unique<fault::FaultInjector>(
       &kernel_, network_.get(), config_.seed ^ 0xfa017ULL);
   InstallFaultHooks();
-  network_->AddHost(kServerHost, config_.server_cores,
-                    config_.wan ? "upc" : "local");
+  const std::string server_site = config_.wan ? "upc" : "local";
+  const std::string client_site = config_.wan ? "purdue" : "local";
+  network_->AddHost(kServerHost, config_.server_cores, server_site);
   network_->AddHost(kClientHost,
                     static_cast<int>(std::max<std::size_t>(1, config_.clients)),
-                    config_.wan ? "purdue" : "local");
+                    client_site);
+
+  // --- replicated directory ---
+  const bool replicated = config_.directory_replicas > 1;
+  const bool dual_site = replicated && config_.wan;
+  if (dual_site) {
+    network_->AddHost(kRemoteHost, config_.server_cores, client_site);
+  }
+  if (replicated) {
+    replica::ReplicaGroupConfig group_config;
+    group_config.sync_period = config_.directory_sync_period;
+    group_config.journal_capacity = config_.directory_journal_capacity;
+    group_config.seed = config_.seed ^ 0x5e11caULL;
+    replicas_ = std::make_unique<replica::ReplicaGroup>(&kernel_,
+                                                        group_config);
+    for (std::uint32_t i = 0; i < config_.directory_replicas; ++i) {
+      // Even replicas at the server site, odd ones at the client site
+      // (every replica is "local" on a LAN).
+      replicas_->AddReplica(i % 2 == 0 ? server_site : client_site);
+    }
+    replicas_->SetReachability(
+        [this](const std::string& a, const std::string& b) {
+          return !network_->topology().IsSitePartitioned(a, b);
+        });
+    server_directory_ =
+        std::make_unique<replica::ReplicaHandle>(replicas_.get(), server_site);
+    remote_directory_ =
+        std::make_unique<replica::ReplicaHandle>(replicas_.get(), client_site);
+    // Replica crash/restore under churn: each replica is a crashable
+    // service ("replica0", ...) co-located with its site.
+    for (std::uint32_t i = 0; i < config_.directory_replicas; ++i) {
+      fault_->RegisterService(
+          "replica" + std::to_string(i),
+          [this, i] { replicas_->Crash(i); },
+          [this, i] { replicas_->Restore(i); }, replicas_->replica(i)->site());
+    }
+    replicas_->Start();
+  }
+  dir_api_ =
+      replicated
+          ? static_cast<directory::DirectoryApi*>(server_directory_.get())
+          : static_cast<directory::DirectoryApi*>(&directory_);
+  // Components on the remote (client-site) host register and look up
+  // through their own side's replica.
+  directory::DirectoryApi* remote_api =
+      dual_site ? static_cast<directory::DirectoryApi*>(remote_directory_.get())
+                : dir_api_;
 
   // --- fleet ---
   workload::FleetSpec fleet;
   fleet.machine_count = config_.machines;
   fleet.cluster_count = std::max<std::size_t>(1, config_.clusters);
   BuildFleet(fleet, rng_, &database_, &shadows_);
+
+  // Assign machines to sites (round-robin on a WAN) so correlated
+  // site-crash events know which half of the fleet goes dark together.
+  site_machines_.clear();
+  std::size_t machine_index = 0;
+  database_.ForEach([&](const db::MachineRecord& rec) {
+    const std::string& site =
+        config_.wan && machine_index % 2 == 1 ? client_site : server_site;
+    site_machines_[site].push_back(rec.id);
+    ++machine_index;
+  });
 
   monitor_ = std::make_unique<monitor::ResourceMonitor>(
       &database_, monitor::MonitorConfig{}, rng_.Fork());
@@ -72,14 +134,21 @@ void SimScenario::Build() {
   proxy_config.pool_resort_period = config_.resort_period;
   proxy_config.costs = config_.costs;
   proxy_ = std::make_shared<pipeline::ProxyServer>(
-      proxy_config, network_.get(), &database_, &directory_, &shadows_,
+      proxy_config, network_.get(), &database_, dir_api_, &shadows_,
       &policies_);
   network_->AddNode("proxy", proxy_, net::NodePlacement{kServerHost, 1});
 
   // --- pool managers ---
+  // On a dual-site deployment odd-numbered stages run on the remote
+  // host, registering and resolving through their own site's replica —
+  // the failover path queries take when the WAN is cut.
   std::vector<net::Address> pm_addresses;
   for (std::size_t i = 0; i < std::max<std::size_t>(1, config_.pool_managers);
        ++i) {
+    const bool remote = dual_site && i % 2 == 1;
+    const char* host = remote ? kRemoteHost : kServerHost;
+    const std::string& site = remote ? client_site : server_site;
+    directory::DirectoryApi* dir = remote ? remote_api : dir_api_;
     pipeline::PoolManagerConfig pm_config;
     pm_config.name = "pm" + std::to_string(i);
     pm_config.proxies = {"proxy"};
@@ -87,25 +156,28 @@ void SimScenario::Build() {
     pm_config.allow_create = !config_.precreate_pools;
     pm_config.costs = config_.costs;
     const net::Address address = pm_config.name;
-    network_->AddNode(
-        address,
-        std::make_shared<pipeline::PoolManager>(pm_config, &directory_),
-        net::NodePlacement{kServerHost, 1});
+    network_->AddNode(address,
+                      std::make_shared<pipeline::PoolManager>(pm_config, dir),
+                      net::NodePlacement{host, 1});
     pm_addresses.push_back(address);
     fault_->RegisterService(
         address, [this, address] { network_->RemoveNode(address); },
-        [this, address, pm_config] {
+        [this, address, pm_config, host, dir] {
           network_->AddNode(
               address,
-              std::make_shared<pipeline::PoolManager>(pm_config, &directory_),
-              net::NodePlacement{kServerHost, 1});
-        });
+              std::make_shared<pipeline::PoolManager>(pm_config, dir),
+              net::NodePlacement{host, 1});
+        },
+        site);
   }
 
   // --- query managers ---
   std::vector<net::Address> qm_addresses;
   for (std::size_t i = 0;
        i < std::max<std::size_t>(1, config_.query_managers); ++i) {
+    const bool remote = dual_site && i % 2 == 1;
+    const char* host = remote ? kRemoteHost : kServerHost;
+    const std::string& site = remote ? client_site : server_site;
     pipeline::QueryManagerConfig qm_config;
     qm_config.name = "qm" + std::to_string(i);
     qm_config.default_pool_managers = pm_addresses;
@@ -115,15 +187,16 @@ void SimScenario::Build() {
     const net::Address address = qm_config.name;
     network_->AddNode(address,
                       std::make_shared<pipeline::QueryManager>(qm_config),
-                      net::NodePlacement{kServerHost, 1});
+                      net::NodePlacement{host, 1});
     qm_addresses.push_back(address);
     fault_->RegisterService(
         address, [this, address] { network_->RemoveNode(address); },
-        [this, address, qm_config] {
+        [this, address, qm_config, host] {
           network_->AddNode(address,
                             std::make_shared<pipeline::QueryManager>(qm_config),
-                            net::NodePlacement{kServerHost, 1});
-        });
+                            net::NodePlacement{host, 1});
+        },
+        site);
   }
 
   // --- resource pools ---
@@ -134,15 +207,23 @@ void SimScenario::Build() {
 
   // Creates a pool node, tracks it for stats, and registers it with the
   // fault injector: a crash removes the node, unregisters it from the
-  // directory, and frees its claim once the last live instance is gone
-  // (surviving replicas keep the shared machine set); a restart brings
-  // up a fresh instance that re-adopts or re-claims its machines.
-  auto add_pool = [this](const net::Address& address,
-                         const pipeline::ResourcePoolConfig& pool_config) {
+  // directory (its own side's replica, when replicated), and frees its
+  // claim once the last live instance is gone (surviving replicas keep
+  // the shared machine set); a restart brings up a fresh instance that
+  // re-adopts or re-claims its machines. On a dual-site deployment the
+  // caller picks the host, and the pool registers through that site's
+  // directory handle — which is what lets registrations made during a
+  // partition reconcile after heal.
+  auto add_pool = [&, this](const net::Address& address,
+                            const pipeline::ResourcePoolConfig& pool_config,
+                            bool remote) {
+    const char* host = remote ? kRemoteHost : kServerHost;
+    const std::string& site = remote ? client_site : server_site;
+    directory::DirectoryApi* dir = remote ? remote_api : dir_api_;
     auto pool = std::make_shared<pipeline::ResourcePool>(
-        pool_config, &database_, &directory_, &shadows_, &policies_);
+        pool_config, &database_, dir, &shadows_, &policies_);
     pools_.push_back(pool);
-    network_->AddNode(address, pool, net::NodePlacement{kServerHost, 1});
+    network_->AddNode(address, pool, net::NodePlacement{host, 1});
     const std::string claim = pool_config.claim_name.empty()
                                   ? pool_config.pool_name
                                   : pool_config.claim_name;
@@ -150,23 +231,24 @@ void SimScenario::Build() {
         address,
         [this, address, pool_name = pool_config.pool_name,
          instance = pool_config.instance, claim,
-         segment = pool_config.segment] {
+         segment = pool_config.segment, dir] {
           network_->RemoveNode(address);
-          directory_.UnregisterPool(pool_name, instance);
+          dir->UnregisterPool(pool_name, instance);
           // A segment's claim is its own (distinct claim names partition
           // the machines), so free it immediately; replicas share one
           // claim that must survive until the last live instance dies.
-          if (segment || directory_.Lookup(pool_name).empty()) {
+          if (segment || dir->Lookup(pool_name).empty()) {
             database_.ReleaseAllFrom(claim);
           }
         },
-        [this, address, pool_config] {
+        [this, address, pool_config, host, dir] {
           auto restarted = std::make_shared<pipeline::ResourcePool>(
-              pool_config, &database_, &directory_, &shadows_, &policies_);
+              pool_config, &database_, dir, &shadows_, &policies_);
           pools_.push_back(restarted);
           network_->AddNode(address, restarted,
-                            net::NodePlacement{kServerHost, 1});
-        });
+                            net::NodePlacement{host, 1});
+        },
+        site);
   };
 
   if (config_.precreate_pools) {
@@ -201,11 +283,12 @@ void SimScenario::Build() {
               s + 1 == segments ? 0 : per_cluster / segments;
           pool_config.costs = config_.costs;
           add_pool("pool.c" + std::to_string(c) + ".s" + std::to_string(s),
-                   pool_config);
+                   pool_config, /*remote=*/false);
         }
       } else {
         // Replicated (or single) pool: shared machine set, biased
-        // selection per instance.
+        // selection per instance. Odd instances run on the remote host
+        // of a dual-site deployment.
         for (std::uint32_t r = 0; r < replicas; ++r) {
           pipeline::ResourcePoolConfig pool_config;
           pool_config.pool_name = pool_name;
@@ -216,7 +299,7 @@ void SimScenario::Build() {
           pool_config.resort_period = config_.resort_period;
           pool_config.costs = config_.costs;
           add_pool("pool.c" + std::to_string(c) + ".r" + std::to_string(r),
-                   pool_config);
+                   pool_config, /*remote=*/dual_site && r % 2 == 1);
         }
       }
     }
@@ -227,6 +310,12 @@ void SimScenario::Build() {
     workload::ClientConfig client_config;
     client_config.client_id = static_cast<std::uint32_t>(i + 1);
     client_config.entry = qm_addresses[i % qm_addresses.size()];
+    // Retries rotate across the other query managers, so a dead entry
+    // stage costs one backoff, not the whole interaction.
+    for (std::size_t k = 1; k < qm_addresses.size(); ++k) {
+      client_config.fallback_entries.push_back(
+          qm_addresses[(i + k) % qm_addresses.size()]);
+    }
     client_config.make_query = [generator](Rng& rng) {
       return generator.Next(rng);
     };
@@ -235,6 +324,8 @@ void SimScenario::Build() {
     client_config.collector = &collector_;
     client_config.qos_first_match = config_.qos_first_match;
     client_config.request_timeout = config_.client_request_timeout;
+    client_config.retry_max = config_.retry_max;
+    client_config.retry_backoff = config_.retry_backoff;
     auto client = std::make_shared<workload::ClientNode>(client_config);
     clients_.push_back(client);
     network_->AddNode("client" + std::to_string(i), client,
@@ -246,6 +337,20 @@ void SimScenario::Build() {
   if (!fault_status_.ok()) {
     ACTYP_WARN << "scenario: fault plan not armed: "
                << fault_status_.ToString();
+  }
+
+  // Convergence bookkeeping: converge_time measures from the moment a
+  // disruption heals. Only partition heals need a scenario-level hook —
+  // replica restores (direct churn or via a site restore) notify the
+  // group through ReplicaGroup::Restore itself.
+  if (replicas_ && fault_status_.ok()) {
+    for (const fault::FaultEvent& event : config_.fault_plan.events) {
+      if (event.kind == fault::FaultKind::kPartition &&
+          event.end > event.start) {
+        kernel_.ScheduleAt(event.end,
+                           [this] { replicas_->NoteDisruption(); });
+      }
+    }
   }
 }
 
@@ -285,11 +390,12 @@ void SimScenario::InstallFaultHooks() {
 
   // Pool churn: kill a random live instance straight out of the
   // directory — this also covers pools the proxy created on demand,
-  // which the injector cannot know by name at build time.
+  // which the injector cannot know by name at build time. dir_api_ is
+  // resolved at strike time: the server side's view when replicated.
   fault_->SetPoolHook([this](Rng& rng) {
     std::vector<directory::PoolInstance> instances;
-    for (const std::string& name : directory_.PoolNames()) {
-      for (auto& instance : directory_.Lookup(name)) {
+    for (const std::string& name : dir_api_->PoolNames()) {
+      for (auto& instance : dir_api_->Lookup(name)) {
         instances.push_back(std::move(instance));
       }
     }
@@ -297,7 +403,7 @@ void SimScenario::InstallFaultHooks() {
     const directory::PoolInstance& victim =
         instances[rng.NextBounded(instances.size())];
     network_->RemoveNode(victim.address);
-    directory_.UnregisterPool(victim.pool_name, victim.instance);
+    dir_api_->UnregisterPool(victim.pool_name, victim.instance);
     // Proxy-created pools and replicas claim under the pool name
     // (freed when the last live instance dies, so the next query can
     // re-create the pool from scratch); a segment claims under the
@@ -306,10 +412,30 @@ void SimScenario::InstallFaultHooks() {
     if (victim.segment) {
       database_.ReleaseAllFrom(victim.pool_name + "#" +
                                std::to_string(victim.instance));
-    } else if (directory_.Lookup(victim.pool_name).empty()) {
+    } else if (dir_api_->Lookup(victim.pool_name).empty()) {
       database_.ReleaseAllFrom(victim.pool_name);
     }
     return true;
+  });
+
+  // Correlated site faults: crash every up machine assigned to the
+  // site; services follow through the site recorded at registration.
+  fault_->SetSiteHook([this](const std::string& site) {
+    std::vector<db::MachineId> victims;
+    const auto it = site_machines_.find(site);
+    if (it == site_machines_.end()) return victims;
+    for (const db::MachineId id : it->second) {
+      const auto rec = database_.Get(id);
+      if (rec.ok() && rec->state == db::MachineState::kUp) {
+        victims.push_back(id);
+      }
+    }
+    for (const db::MachineId id : victims) {
+      database_.Update(id, [](db::MachineRecord& rec) {
+        rec.state = db::MachineState::kDown;
+      });
+    }
+    return victims;
   });
 }
 
@@ -344,6 +470,12 @@ pipeline::ProxyStats SimScenario::proxy_stats() const {
 std::uint64_t SimScenario::total_client_failures() const {
   std::uint64_t n = 0;
   for (const auto& client : clients_) n += client->stats().failures;
+  return n;
+}
+
+std::uint64_t SimScenario::total_client_retries() const {
+  std::uint64_t n = 0;
+  for (const auto& client : clients_) n += client->stats().retries;
   return n;
 }
 

@@ -11,6 +11,7 @@
 #pragma once
 
 #include <functional>
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -27,6 +28,7 @@
 #include "pipeline/query_manager.hpp"
 #include "pipeline/reintegrator.hpp"
 #include "pipeline/resource_pool.hpp"
+#include "replica/group.hpp"
 #include "simnet/kernel.hpp"
 #include "simnet/sim_network.hpp"
 #include "workload/client.hpp"
@@ -53,8 +55,28 @@ struct ScenarioConfig {
   std::size_t pool_managers = 1;
   std::uint32_t qos_fanout = 1;
 
+  // Directory replication (src/replica/). 1 keeps the single
+  // authoritative DirectoryService — the seed behavior, byte-identical
+  // under a fixed seed. >= 2 builds a ReplicaGroup kept convergent by
+  // journal-driven anti-entropy; lookups/registrations route to the
+  // nearest reachable replica and fail over on partition or crash. WAN
+  // runs with replication add a second server host ("beta") on the
+  // client site, alternate replicas / pool managers / query managers /
+  // pool instances across the two sites, and so keep a full service
+  // stack on each side of a partition.
+  std::uint32_t directory_replicas = 1;
+  SimDuration directory_sync_period = Seconds(1.0);
+  // Anti-entropy ops retained per replica before delta pulls degrade to
+  // full-state syncs.
+  std::size_t directory_journal_capacity = 4096;
+
   // Clients.
   std::size_t clients = 16;
+  // Client retry policy: resend a timed-out request up to retry_max
+  // times (seeded exponential backoff from retry_backoff) before the
+  // interaction counts as failed. 0 = legacy single-shot behavior.
+  std::size_t retry_max = 0;
+  SimDuration retry_backoff = Millis(250);
   SimDuration think_time = 0;
   std::function<SimDuration(Rng&)> job_duration;  // nullptr = release now
   double hot_fraction = 0.0;
@@ -109,6 +131,15 @@ class SimScenario {
   // Aggregated pipeline statistics (summed over instances).
   [[nodiscard]] pipeline::PoolStats TotalPoolStats() const;
   [[nodiscard]] std::uint64_t total_client_failures() const;
+  [[nodiscard]] std::uint64_t total_client_retries() const;
+
+  // Replicated-directory subsystem; null when directory_replicas <= 1.
+  [[nodiscard]] replica::ReplicaGroup* replica_group() {
+    return replicas_.get();
+  }
+  [[nodiscard]] replica::ReplicaGroupStats replica_stats() const {
+    return replicas_ ? replicas_->stats() : replica::ReplicaGroupStats{};
+  }
 
   // Fault subsystem: the injector is always built (with machine, pool,
   // and service hooks installed); the configured plan is armed during
@@ -132,6 +163,15 @@ class SimScenario {
   db::ShadowAccountRegistry shadows_;
   db::PolicyRegistry policies_;
   directory::DirectoryService directory_;
+  // Replicated-directory path (directory_replicas >= 2): the group plus
+  // one routing handle per site; dir_api_ points at the server-site
+  // handle, or directly at directory_ when unreplicated.
+  std::unique_ptr<replica::ReplicaGroup> replicas_;
+  std::unique_ptr<replica::ReplicaHandle> server_directory_;
+  std::unique_ptr<replica::ReplicaHandle> remote_directory_;
+  directory::DirectoryApi* dir_api_ = nullptr;
+  // Machine ids by assigned site, for correlated site-crash events.
+  std::map<std::string, std::vector<db::MachineId>> site_machines_;
   std::unique_ptr<monitor::ResourceMonitor> monitor_;
   std::unique_ptr<fault::FaultInjector> fault_;
   Status fault_status_;

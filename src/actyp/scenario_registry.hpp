@@ -32,6 +32,15 @@ struct ScenarioRunOptions {
   std::optional<double> loss;        // --loss: message-loss probability
   std::optional<double> churn_rate;  // --churn-rate: machine crashes per s
   std::string fault_plan_text;       // --fault-plan: full plan text
+  // --replicas: directory replication factor (1 = the seed single
+  // authoritative directory, byte-identical under a fixed seed).
+  std::optional<std::uint32_t> replicas;
+  // --sync-period: anti-entropy pull period in simulated seconds.
+  std::optional<double> sync_period_s;
+  // --retry-max / --retry-backoff: client retry policy for timed-out
+  // requests (backoff in simulated seconds).
+  std::optional<std::size_t> retry_max;
+  std::optional<double> retry_backoff_s;
   // --jobs: run independent sweep cells concurrently on this many
   // worker threads. Every cell owns its own kernel/network/RNG seeded
   // from (base seed, cell position), and results are emitted in fixed

@@ -4,6 +4,26 @@
 
 namespace actyp::directory {
 
+std::optional<PoolInstance> DirectoryApi::PickRandom(
+    const std::string& pool_name, Rng& rng) const {
+  auto instances = Lookup(pool_name);
+  if (instances.empty()) return std::nullopt;
+  return instances[rng.NextBounded(instances.size())];
+}
+
+std::vector<PoolManagerEntry> DirectoryApi::PoolManagersExcluding(
+    const std::vector<std::string>& exclude) const {
+  auto all = PoolManagers();
+  std::vector<PoolManagerEntry> out;
+  for (auto& entry : all) {
+    if (std::find(exclude.begin(), exclude.end(), entry.name) ==
+        exclude.end()) {
+      out.push_back(std::move(entry));
+    }
+  }
+  return out;
+}
+
 Status DirectoryService::RegisterPool(const PoolInstance& instance) {
   if (instance.pool_name.empty()) {
     return InvalidArgument("pool instance must carry a pool name");
@@ -40,13 +60,6 @@ std::vector<PoolInstance> DirectoryService::Lookup(
   out.reserve(it->second.size());
   for (const auto& [num, inst] : it->second) out.push_back(inst);
   return out;
-}
-
-std::optional<PoolInstance> DirectoryService::PickRandom(
-    const std::string& pool_name, Rng& rng) const {
-  auto instances = Lookup(pool_name);
-  if (instances.empty()) return std::nullopt;
-  return instances[rng.NextBounded(instances.size())];
 }
 
 std::vector<std::string> DirectoryService::PoolNames() const {
@@ -89,19 +102,6 @@ std::vector<PoolManagerEntry> DirectoryService::PoolManagers() const {
   std::vector<PoolManagerEntry> out;
   out.reserve(pool_managers_.size());
   for (const auto& [name, entry] : pool_managers_) out.push_back(entry);
-  return out;
-}
-
-std::vector<PoolManagerEntry> DirectoryService::PoolManagersExcluding(
-    const std::vector<std::string>& exclude) const {
-  auto all = PoolManagers();
-  std::vector<PoolManagerEntry> out;
-  for (auto& entry : all) {
-    if (std::find(exclude.begin(), exclude.end(), entry.name) ==
-        exclude.end()) {
-      out.push_back(std::move(entry));
-    }
-  }
   return out;
 }
 

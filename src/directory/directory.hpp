@@ -3,6 +3,11 @@
 // self-generated instance number) once initialized. It also lists peer
 // pool managers for query delegation. One directory exists per
 // administrative domain; replicated stages within a domain share it.
+//
+// `DirectoryApi` is the abstract surface the pipeline consumes:
+// `DirectoryService` is the single authoritative implementation, and
+// `replica::ReplicaHandle` (src/replica/) routes the same calls to the
+// nearest reachable replica of a replicated directory group.
 #pragma once
 
 #include <cstdint>
@@ -37,30 +42,57 @@ struct PoolManagerEntry {
   std::string domain;
 };
 
-class DirectoryService {
+// The directory operations the pipeline stages depend on.
+class DirectoryApi {
  public:
+  virtual ~DirectoryApi() = default;
+
   // --- resource pools ---
-  Status RegisterPool(const PoolInstance& instance);
-  Status UnregisterPool(const std::string& pool_name, std::uint32_t instance);
+  virtual Status RegisterPool(const PoolInstance& instance) = 0;
+  virtual Status UnregisterPool(const std::string& pool_name,
+                                std::uint32_t instance) = 0;
 
-  // All live instances of a pool name (empty when none exist).
-  [[nodiscard]] std::vector<PoolInstance> Lookup(
-      const std::string& pool_name) const;
+  // All live instances of a pool name (empty when none exist), ordered
+  // by instance number.
+  [[nodiscard]] virtual std::vector<PoolInstance> Lookup(
+      const std::string& pool_name) const = 0;
 
-  // Random instance selection, as the paper prescribes for pool managers.
+  [[nodiscard]] virtual std::vector<std::string> PoolNames() const = 0;
+  [[nodiscard]] virtual std::size_t pool_count() const = 0;
+
+  // --- pool managers (delegation peers) ---
+  virtual Status RegisterPoolManager(const PoolManagerEntry& entry) = 0;
+  virtual Status UnregisterPoolManager(const std::string& name) = 0;
+  [[nodiscard]] virtual std::vector<PoolManagerEntry> PoolManagers() const = 0;
+
+  // Random instance selection, as the paper prescribes for pool
+  // managers. Defined on the base in terms of Lookup so every
+  // implementation consumes the caller's RNG identically.
   [[nodiscard]] std::optional<PoolInstance> PickRandom(
       const std::string& pool_name, Rng& rng) const;
 
-  [[nodiscard]] std::vector<std::string> PoolNames() const;
-  [[nodiscard]] std::size_t pool_count() const;
-
-  // --- pool managers (delegation peers) ---
-  Status RegisterPoolManager(const PoolManagerEntry& entry);
-  Status UnregisterPoolManager(const std::string& name);
-  [[nodiscard]] std::vector<PoolManagerEntry> PoolManagers() const;
   // Peers excluding the given names (used with the query's visited list).
   [[nodiscard]] std::vector<PoolManagerEntry> PoolManagersExcluding(
       const std::vector<std::string>& exclude) const;
+};
+
+class DirectoryService : public DirectoryApi {
+ public:
+  // --- resource pools ---
+  Status RegisterPool(const PoolInstance& instance) override;
+  Status UnregisterPool(const std::string& pool_name,
+                        std::uint32_t instance) override;
+
+  [[nodiscard]] std::vector<PoolInstance> Lookup(
+      const std::string& pool_name) const override;
+
+  [[nodiscard]] std::vector<std::string> PoolNames() const override;
+  [[nodiscard]] std::size_t pool_count() const override;
+
+  // --- pool managers (delegation peers) ---
+  Status RegisterPoolManager(const PoolManagerEntry& entry) override;
+  Status UnregisterPoolManager(const std::string& name) override;
+  [[nodiscard]] std::vector<PoolManagerEntry> PoolManagers() const override;
 
  private:
   mutable std::mutex mu_;

@@ -21,10 +21,15 @@ void FaultInjector::SetPoolHook(KillPoolFn kill) {
   kill_pool_ = std::move(kill);
 }
 
+void FaultInjector::SetSiteHook(CrashSiteMachinesFn crash_site) {
+  crash_site_machines_ = std::move(crash_site);
+}
+
 void FaultInjector::RegisterService(const std::string& name,
                                     std::function<void()> crash,
-                                    std::function<void()> restart) {
-  services_[name] = Service{std::move(crash), std::move(restart), false};
+                                    std::function<void()> restart,
+                                    const std::string& site) {
+  services_[name] = Service{std::move(crash), std::move(restart), site, false};
 }
 
 std::vector<std::string> FaultInjector::ServiceNames() const {
@@ -35,6 +40,14 @@ std::vector<std::string> FaultInjector::ServiceNames() const {
 }
 
 Status FaultInjector::CheckHooks(const FaultEvent& event) const {
+  if (event.kind == FaultKind::kSiteCrash ||
+      event.kind == FaultKind::kSiteRestore) {
+    if (!crash_site_machines_ || !restore_machines_) {
+      return InvalidArgument("fault plan has site events but no site hook "
+                                "is installed");
+    }
+    return Status::Ok();
+  }
   if (event.kind != FaultKind::kCrash && event.kind != FaultKind::kChurn) {
     return Status::Ok();
   }
@@ -79,6 +92,15 @@ Status FaultInjector::Arm(const FaultPlan& plan) {
         break;
       case FaultKind::kChurn:
         ArmChurn(event);
+        break;
+      case FaultKind::kSiteCrash:
+        kernel_->ScheduleAt(event.start, [this, event] {
+          CrashSite(event.site, event.downtime);
+        });
+        break;
+      case FaultKind::kSiteRestore:
+        kernel_->ScheduleAt(event.start,
+                            [this, event] { RestoreSite(event.site); });
         break;
     }
   }
@@ -222,6 +244,54 @@ void FaultInjector::CrashService(const std::string& glob, SimDuration downtime,
         ++stats_.services_restarted;
       });
     }
+  }
+}
+
+void FaultInjector::CrashSite(const std::string& site, SimDuration downtime) {
+  if (!site_down_machines_[site].empty() ||
+      !site_down_services_[site].empty()) {
+    return;  // the site is already dark; overlapping crashes do not stack
+  }
+  ++stats_.sites_crashed;
+  std::vector<db::MachineId> victims = crash_site_machines_(site);
+  stats_.machines_crashed += victims.size();
+  site_down_machines_[site] = std::move(victims);
+  auto& downed = site_down_services_[site];
+  for (auto& [name, service] : services_) {
+    if (service.site != site || service.down) continue;
+    service.down = true;
+    service.crash();
+    ++stats_.services_crashed;
+    downed.push_back(name);
+  }
+  if (downtime > 0) {
+    kernel_->Schedule(downtime, [this, site] { RestoreSite(site); });
+  }
+}
+
+void FaultInjector::RestoreSite(const std::string& site) {
+  auto machines = site_down_machines_.find(site);
+  auto downed = site_down_services_.find(site);
+  const bool had_machines =
+      machines != site_down_machines_.end() && !machines->second.empty();
+  const bool had_services =
+      downed != site_down_services_.end() && !downed->second.empty();
+  if (!had_machines && !had_services) return;  // nothing to restore
+  ++stats_.sites_restored;
+  if (had_machines) {
+    restore_machines_(machines->second);
+    stats_.machines_restored += machines->second.size();
+    machines->second.clear();
+  }
+  if (had_services) {
+    for (const std::string& name : downed->second) {
+      auto it = services_.find(name);
+      if (it == services_.end() || !it->second.down) continue;
+      it->second.restart();
+      it->second.down = false;
+      ++stats_.services_restarted;
+    }
+    downed->second.clear();
   }
 }
 

@@ -42,6 +42,8 @@ struct FaultStats {
   std::uint64_t services_restarted = 0;
   std::uint64_t pools_killed = 0;
   std::uint64_t churn_ticks = 0;
+  std::uint64_t sites_crashed = 0;
+  std::uint64_t sites_restored = 0;
 };
 
 class FaultInjector {
@@ -54,18 +56,27 @@ class FaultInjector {
       std::function<void(const std::vector<db::MachineId>&)>;
   // Kills one random live pool instance; returns false when none exist.
   using KillPoolFn = std::function<bool(Rng& rng)>;
+  // Crashes every up machine assigned to `site`, returning the victims.
+  using CrashSiteMachinesFn =
+      std::function<std::vector<db::MachineId>(const std::string& site)>;
 
   FaultInjector(simnet::SimKernel* kernel, simnet::SimNetwork* network,
                 std::uint64_t seed);
 
   void SetMachineHooks(CrashMachinesFn crash, RestoreMachinesFn restore);
   void SetPoolHook(KillPoolFn kill);
+  // Correlated whole-site faults: machine selection by site (restore
+  // reuses the machine-restore hook). Services join a site crash through
+  // the site they were registered with.
+  void SetSiteHook(CrashSiteMachinesFn crash_site);
 
   // Registers a service node that crash/churn events can target by name
-  // or glob. `crash` must make the service unreachable; `restart` must
-  // bring a fresh instance back.
+  // or glob, and that site-crash events take down when `site` matches.
+  // `crash` must make the service unreachable; `restart` must bring a
+  // fresh instance back.
   void RegisterService(const std::string& name, std::function<void()> crash,
-                       std::function<void()> restart);
+                       std::function<void()> restart,
+                       const std::string& site = "");
   [[nodiscard]] std::vector<std::string> ServiceNames() const;
 
   // Schedules every event of `plan` on the kernel. May be called more
@@ -79,6 +90,7 @@ class FaultInjector {
   struct Service {
     std::function<void()> crash;
     std::function<void()> restart;
+    std::string site;
     bool down = false;
   };
 
@@ -95,6 +107,8 @@ class FaultInjector {
   void CrashMachines(std::size_t count, SimDuration downtime);
   void CrashService(const std::string& glob, SimDuration downtime,
                     bool pick_one);
+  void CrashSite(const std::string& site, SimDuration downtime);
+  void RestoreSite(const std::string& site);
 
   [[nodiscard]] std::vector<std::string> MatchServices(
       const std::string& glob) const;
@@ -108,7 +122,13 @@ class FaultInjector {
   CrashMachinesFn crash_machines_;
   RestoreMachinesFn restore_machines_;
   KillPoolFn kill_pool_;
+  CrashSiteMachinesFn crash_site_machines_;
   std::map<std::string, Service> services_;
+  // What each in-progress site crash took down, so a site-restore (or
+  // the downtime timer) brings back exactly that set — machines or
+  // services individually churned down stay down.
+  std::map<std::string, std::vector<db::MachineId>> site_down_machines_;
+  std::map<std::string, std::vector<std::string>> site_down_services_;
   // Overlap bookkeeping, so concurrent windows of one kind compose
   // instead of the first close clobbering a still-open window:
   // loss windows form a stack (latest open wins, closing restores the

@@ -40,6 +40,10 @@ Result<FaultEvent> ParseEventLine(std::string_view line, std::size_t line_no) {
     event.kind = FaultKind::kCrash;
   } else if (kind == "churn") {
     event.kind = FaultKind::kChurn;
+  } else if (kind == "site-crash") {
+    event.kind = FaultKind::kSiteCrash;
+  } else if (kind == "site-restore") {
+    event.kind = FaultKind::kSiteRestore;
   } else {
     return LineError(line_no, "unknown fault kind '" + kind + "'");
   }
@@ -76,6 +80,8 @@ Result<FaultEvent> ParseEventLine(std::string_view line, std::size_t line_no) {
       event.site_b = value;
     } else if (key == "target") {
       event.target = value;
+    } else if (key == "site") {
+      event.site = value;
     } else if (key == "count") {
       if (Status s = need_number(); !s.ok()) return s;
       if (*number < 1) return LineError(line_no, "'count' must be >= 1");
@@ -121,6 +127,13 @@ Result<FaultEvent> ParseEventLine(std::string_view line, std::size_t line_no) {
         return LineError(line_no, "churn needs a target");
       }
       break;
+    case FaultKind::kSiteCrash:
+    case FaultKind::kSiteRestore:
+      if (event.site.empty()) {
+        return LineError(line_no, std::string(FaultKindName(event.kind)) +
+                                      " needs a site");
+      }
+      break;
   }
   return event;
 }
@@ -139,6 +152,10 @@ std::string_view FaultKindName(FaultKind kind) {
       return "crash";
     case FaultKind::kChurn:
       return "churn";
+    case FaultKind::kSiteCrash:
+      return "site-crash";
+    case FaultKind::kSiteRestore:
+      return "site-restore";
   }
   return "unknown";
 }
@@ -167,6 +184,13 @@ std::string FaultEvent::Serialize() const {
       out += " rate=" + FormatDouble(rate_per_s);
       out += " target=" + target;
       if (downtime != 0) out += " downtime=" + FormatSeconds(downtime);
+      break;
+    case FaultKind::kSiteCrash:
+      out += " site=" + site;
+      if (downtime != 0) out += " downtime=" + FormatSeconds(downtime);
+      break;
+    case FaultKind::kSiteRestore:
+      out += " site=" + site;
       break;
   }
   return out;

@@ -13,12 +13,19 @@
 //   crash     at=5 target=qm0 downtime=2
 //   churn     start=1 end=30 rate=2 downtime=5 target=machines
 //   churn     start=1 rate=0.5 target=pools
+//   site-crash   at=5 site=purdue downtime=3
+//   site-restore at=9 site=purdue
 //
 // `target` selects what a crash/churn event takes down: the literal
 // "machines" (random up machines from the white pages), the literal
 // "pools" (a random live pool instance from the directory), or a glob
 // matched against the services the scenario registered (e.g. "qm*",
 // "pool.*"). `site_a`/`site_b` accept "*" meaning every site pair.
+//
+// A site-crash is a correlated whole-site failure: every machine the
+// scenario assigned to `site` and every service registered with that
+// site go down together. With `downtime=` the site restores itself;
+// otherwise it stays dark until a matching site-restore event.
 #pragma once
 
 #include <string>
@@ -36,6 +43,8 @@ enum class FaultKind {
   kPartition,  // drop every message between two sites
   kCrash,      // one-shot crash of machines or a service
   kChurn,      // recurring crashes at `rate_per_s` within [start, end)
+  kSiteCrash,  // correlated crash of a site's machines + services
+  kSiteRestore,  // bring a previously-crashed site back up
 };
 
 std::string_view FaultKindName(FaultKind kind);
@@ -49,6 +58,7 @@ struct FaultEvent {
   std::string site_a = "*";          // latency/partition scope
   std::string site_b = "*";
   std::string target = "machines";   // crash/churn victim selector
+  std::string site;                  // site-crash/site-restore scope
   std::size_t count = 1;             // machines taken down per crash
   double rate_per_s = 0.0;           // churn: crashes per simulated second
   SimDuration downtime = 0;          // how long a victim stays down; 0 = forever

@@ -6,6 +6,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
 
@@ -129,6 +130,31 @@ void TcpServer::ServeConnection(int fd) {
     auto request = ReadFrame(fd);
     if (!request.ok()) break;
     Message reply = handler_(*request);
+    if (fault_hook_) {
+      const TcpFault fault = fault_hook_();
+      if (fault.action == TcpFault::Action::kReset) {
+        // SO_LINGER 0 turns the close into a hard RST — the client sees
+        // a genuine connection reset, not an orderly shutdown.
+        const linger hard_reset{1, 0};
+        ::setsockopt(fd, SOL_SOCKET, SO_LINGER, &hard_reset,
+                     sizeof(hard_reset));
+        break;
+      }
+      if (fault.action == TcpFault::Action::kTruncate) {
+        // Leak a partial frame (length header + a prefix of the body),
+        // then close: the client's ReadFrame starves mid-message.
+        const std::string encoded = reply.Encode();
+        const std::uint32_t len =
+            htonl(static_cast<std::uint32_t>(encoded.size()));
+        char header[4];
+        std::memcpy(header, &len, 4);
+        if (WriteAll(fd, header, 4).ok()) {
+          const std::size_t cut = std::min(fault.bytes, encoded.size());
+          (void)WriteAll(fd, encoded.data(), cut);
+        }
+        break;
+      }
+    }
     if (!WriteFrame(fd, reply).ok()) break;
   }
   ::close(fd);
@@ -178,6 +204,19 @@ Result<Message> TcpClient::Call(const std::string& host, std::uint16_t port,
   }
   auto reply = ReadFrame(fd);
   ::close(fd);
+  return reply;
+}
+
+Result<Message> TcpClient::CallWithRetry(const std::string& host,
+                                         std::uint16_t port,
+                                         const Message& request,
+                                         std::size_t attempts) {
+  Result<Message> reply = Unavailable("no attempts made");
+  for (std::size_t attempt = 0; attempt < std::max<std::size_t>(1, attempts);
+       ++attempt) {
+    reply = Call(host, port, request);
+    if (reply.ok()) return reply;
+  }
   return reply;
 }
 

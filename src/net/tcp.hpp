@@ -20,6 +20,21 @@ namespace actyp::net {
 // Handler receives a request and produces the reply.
 using TcpHandler = std::function<Message(const Message& request)>;
 
+// Test-only fault injection at the socket layer, consulted once per
+// reply the server is about to send.
+struct TcpFault {
+  enum class Action {
+    kNone,      // deliver the reply normally
+    kReset,     // hard connection reset (SO_LINGER 0 close, no reply)
+    kTruncate,  // send only `bytes` of the framed reply, then close
+  };
+  Action action = Action::kNone;
+  std::size_t bytes = 0;  // kTruncate: bytes of the frame that get out
+};
+// Hooks run on the server's connection threads; keep them lock-free or
+// internally synchronized.
+using TcpFaultHook = std::function<TcpFault()>;
+
 class TcpServer {
  public:
   TcpServer() = default;
@@ -32,6 +47,10 @@ class TcpServer {
   Status Start(std::uint16_t port, TcpHandler handler);
   void Stop();
 
+  // Installs (or clears, with nullptr) the fault hook. Call before
+  // Start; the hook decides the fate of every reply frame.
+  void SetFaultHook(TcpFaultHook hook) { fault_hook_ = std::move(hook); }
+
   [[nodiscard]] std::uint16_t port() const { return port_; }
   [[nodiscard]] bool running() const { return running_.load(); }
 
@@ -42,6 +61,7 @@ class TcpServer {
   int listen_fd_ = -1;
   std::uint16_t port_ = 0;
   TcpHandler handler_;
+  TcpFaultHook fault_hook_;
   std::atomic<bool> running_{false};
   std::thread accept_thread_;
   std::mutex conn_mu_;
@@ -54,6 +74,14 @@ class TcpClient {
   // dotted quad (tests use 127.0.0.1).
   static Result<Message> Call(const std::string& host, std::uint16_t port,
                               const Message& request);
+
+  // Call with up to `attempts` tries: a reset or truncated reply (any
+  // transport-level failure) reconnects and re-sends. Requests are
+  // idempotent at this layer; dedup, if needed, is the handler's job.
+  static Result<Message> CallWithRetry(const std::string& host,
+                                       std::uint16_t port,
+                                       const Message& request,
+                                       std::size_t attempts);
 };
 
 // Frame helpers shared by server and client (exposed for tests).

@@ -12,7 +12,7 @@
 namespace actyp::pipeline {
 
 PoolManager::PoolManager(PoolManagerConfig config,
-                         directory::DirectoryService* directory)
+                         directory::DirectoryApi* directory)
     : config_(std::move(config)), directory_(directory) {}
 
 void PoolManager::OnStart(net::NodeContext& ctx) {

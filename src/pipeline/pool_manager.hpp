@@ -42,8 +42,7 @@ struct PoolManagerStats {
 
 class PoolManager final : public net::Node {
  public:
-  PoolManager(PoolManagerConfig config,
-              directory::DirectoryService* directory);
+  PoolManager(PoolManagerConfig config, directory::DirectoryApi* directory);
 
   void OnStart(net::NodeContext& ctx) override;
   void OnMessage(const net::Envelope& envelope, net::NodeContext& ctx) override;
@@ -61,7 +60,7 @@ class PoolManager final : public net::Node {
                 const query::Query* parsed);
 
   PoolManagerConfig config_;
-  directory::DirectoryService* directory_;
+  directory::DirectoryApi* directory_;
   PoolManagerStats stats_;
   std::size_t next_proxy_ = 0;
 };

@@ -8,7 +8,7 @@ namespace actyp::pipeline {
 
 ProxyServer::ProxyServer(ProxyConfig config, net::Network* network,
                          db::ResourceDatabase* database,
-                         directory::DirectoryService* directory,
+                         directory::DirectoryApi* directory,
                          db::ShadowAccountRegistry* shadows,
                          db::PolicyRegistry* policies)
     : config_(std::move(config)),

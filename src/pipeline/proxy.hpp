@@ -40,7 +40,7 @@ class ProxyServer final : public net::Node {
  public:
   ProxyServer(ProxyConfig config, net::Network* network,
               db::ResourceDatabase* database,
-              directory::DirectoryService* directory,
+              directory::DirectoryApi* directory,
               db::ShadowAccountRegistry* shadows,
               db::PolicyRegistry* policies);
 
@@ -54,7 +54,7 @@ class ProxyServer final : public net::Node {
   ProxyConfig config_;
   net::Network* network_;
   db::ResourceDatabase* database_;
-  directory::DirectoryService* directory_;
+  directory::DirectoryApi* directory_;
   db::ShadowAccountRegistry* shadows_;
   db::PolicyRegistry* policies_;
   ProxyStats stats_;

@@ -15,7 +15,7 @@ constexpr double kUnusableLoad = 1e18;
 
 ResourcePool::ResourcePool(ResourcePoolConfig config,
                            db::ResourceDatabase* database,
-                           directory::DirectoryService* directory,
+                           directory::DirectoryApi* directory,
                            db::ShadowAccountRegistry* shadows,
                            db::PolicyRegistry* policies)
     : config_(std::move(config)),

@@ -83,7 +83,7 @@ class ResourcePool final : public net::Node {
  public:
   // `policies` and `shadows` may be nullptr (checks are skipped).
   ResourcePool(ResourcePoolConfig config, db::ResourceDatabase* database,
-               directory::DirectoryService* directory,
+               directory::DirectoryApi* directory,
                db::ShadowAccountRegistry* shadows,
                db::PolicyRegistry* policies);
   ~ResourcePool() override;
@@ -127,7 +127,7 @@ class ResourcePool final : public net::Node {
 
   ResourcePoolConfig config_;
   db::ResourceDatabase* database_;
-  directory::DirectoryService* directory_;
+  directory::DirectoryApi* directory_;
   db::ShadowAccountRegistry* shadows_;
   db::PolicyRegistry* policies_;
 

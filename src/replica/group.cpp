@@ -1,0 +1,230 @@
+#include "replica/group.hpp"
+
+#include <algorithm>
+
+namespace actyp::replica {
+
+ReplicaGroup::ReplicaGroup(simnet::SimKernel* kernel,
+                           ReplicaGroupConfig config)
+    : kernel_(kernel), config_(config), rng_(config.seed) {}
+
+DirectoryReplica* ReplicaGroup::AddReplica(const std::string& site) {
+  ReplicaConfig rc;
+  rc.id = static_cast<std::uint32_t>(replicas_.size());
+  rc.site = site;
+  rc.journal_capacity = config_.journal_capacity;
+  replicas_.push_back(std::make_unique<DirectoryReplica>(rc));
+  alive_.push_back(true);
+  warming_.push_back(false);
+  fresh_at_.push_back(0);
+  return replicas_.back().get();
+}
+
+void ReplicaGroup::Start() {
+  if (started_ || replicas_.size() < 2) return;
+  started_ = true;
+  // Phase-stagger the first ticks so replicas never sync in lock-step;
+  // each tick re-arms itself, keeping the cadence exact.
+  const auto n = static_cast<std::uint32_t>(replicas_.size());
+  for (std::uint32_t id = 0; id < n; ++id) {
+    const SimDuration phase =
+        config_.sync_period * static_cast<SimDuration>(id + 1) /
+        static_cast<SimDuration>(n);
+    kernel_->Schedule(std::max<SimDuration>(phase, 1),
+                      [this, id] { SyncTick(id); });
+  }
+}
+
+bool ReplicaGroup::Reachable(const std::string& site_a,
+                             const std::string& site_b) const {
+  if (site_a == site_b) return true;
+  return !reachable_ || reachable_(site_a, site_b);
+}
+
+DirectoryReplica* ReplicaGroup::Resolve(const std::string& from_site) const {
+  const DirectoryReplica* preferred = nullptr;
+  for (const auto& replica : replicas_) {
+    if (replica->site() == from_site) {
+      preferred = replica.get();
+      break;
+    }
+  }
+  // First pass skips warming replicas; the second accepts them, so a
+  // group that is entirely cold still answers rather than failing.
+  for (const bool allow_warming : {false, true}) {
+    const auto eligible = [&](std::uint32_t id) {
+      return alive_[id] && (allow_warming || !warming_[id]) &&
+             Reachable(from_site, replicas_[id]->site());
+    };
+    if (preferred != nullptr && eligible(preferred->id())) {
+      return replicas_[preferred->id()].get();
+    }
+    for (const auto& replica : replicas_) {
+      if (replica.get() == preferred || !eligible(replica->id())) continue;
+      if (preferred != nullptr) ++stats_.failovers;
+      return replica.get();
+    }
+  }
+  ++stats_.unavailable;
+  return nullptr;
+}
+
+void ReplicaGroup::Crash(std::uint32_t id) {
+  if (!alive_[id]) return;
+  alive_[id] = false;
+  replicas_[id]->Reset();
+  ++stats_.crashes;
+}
+
+void ReplicaGroup::Restore(std::uint32_t id) {
+  if (alive_[id]) return;
+  alive_[id] = true;
+  warming_[id] = true;
+  fresh_at_[id] = kernel_->Now();
+  ++stats_.restores;
+  // The restored replica is empty: the group is divergent until its next
+  // pull refills it.
+  NoteDisruption();
+}
+
+void ReplicaGroup::NoteDisruption() {
+  disrupted_at_ = kernel_->Now();
+  awaiting_convergence_ = true;
+}
+
+bool ReplicaGroup::Converged() const {
+  const DirectoryReplica* reference = nullptr;
+  std::string reference_digest;
+  for (const auto& replica : replicas_) {
+    if (!alive_[replica->id()]) continue;
+    if (reference == nullptr) {
+      reference = replica.get();
+      reference_digest = reference->StateDigest();
+      continue;
+    }
+    if (replica->StateDigest() != reference_digest) return false;
+  }
+  return true;
+}
+
+void ReplicaGroup::SyncTick(std::uint32_t id) {
+  kernel_->Schedule(config_.sync_period, [this, id] { SyncTick(id); });
+  if (!alive_[id]) return;
+  ++stats_.sync_rounds;
+  DirectoryReplica* me = replicas_[id].get();
+
+  std::vector<DirectoryReplica*> peers;
+  for (const auto& replica : replicas_) {
+    if (replica->id() == id || !alive_[replica->id()]) continue;
+    if (!Reachable(me->site(), replica->site())) continue;
+    peers.push_back(replica.get());
+  }
+  if (peers.empty()) {
+    ++stats_.sync_skipped;
+    return;
+  }
+  DirectoryReplica* peer = peers[rng_.NextBounded(peers.size())];
+
+  std::vector<Op> ops;
+  if (peer->DeltaSince(me->version_vector(), &ops)) {
+    for (const Op& op : ops) stats_.sync_bytes += op.WireBytes();
+    stats_.ops_pulled += ops.size();
+    stats_.ops_applied += me->ApplyOps(ops);
+  } else {
+    const DirectoryReplica::StateSnapshot snapshot = peer->FullState();
+    stats_.sync_bytes += snapshot.WireBytes();
+    me->InstallFullState(snapshot);
+    ++stats_.full_syncs;
+  }
+  // A pull from a warmed peer ends our own warming; pulling from a peer
+  // that is itself still cold proves nothing (two freshly-restored
+  // replicas would bless each other's empty state).
+  if (!warming_[peer->id()]) warming_[id] = false;
+
+  // Staleness: how long this replica's vector has lagged the union of
+  // what the alive group knows.
+  VersionVector group_union;
+  for (const auto& replica : replicas_) {
+    if (!alive_[replica->id()]) continue;
+    for (const auto& [origin, seq] : replica->version_vector()) {
+      auto& have = group_union[origin];
+      have = std::max(have, seq);
+    }
+  }
+  const VersionVector mine = me->version_vector();
+  bool covered = true;
+  for (const auto& [origin, seq] : group_union) {
+    const auto it = mine.find(origin);
+    if (it == mine.end() || it->second < seq) {
+      covered = false;
+      break;
+    }
+  }
+  const SimTime now = kernel_->Now();
+  if (covered) {
+    fresh_at_[id] = now;
+  } else {
+    stats_.max_staleness_s =
+        std::max(stats_.max_staleness_s, ToSeconds(now - fresh_at_[id]));
+  }
+
+  if (awaiting_convergence_ && Converged()) {
+    stats_.converge_time_s = ToSeconds(now - disrupted_at_);
+    ++stats_.convergences;
+    awaiting_convergence_ = false;
+  }
+}
+
+// --- ReplicaHandle ---------------------------------------------------------
+
+Status ReplicaHandle::RegisterPool(const directory::PoolInstance& instance) {
+  DirectoryReplica* replica = group_->Resolve(site_);
+  if (replica == nullptr) return Unavailable("no reachable directory replica");
+  return replica->RegisterPool(instance);
+}
+
+Status ReplicaHandle::UnregisterPool(const std::string& pool_name,
+                                     std::uint32_t instance) {
+  DirectoryReplica* replica = group_->Resolve(site_);
+  if (replica == nullptr) return Unavailable("no reachable directory replica");
+  return replica->UnregisterPool(pool_name, instance);
+}
+
+std::vector<directory::PoolInstance> ReplicaHandle::Lookup(
+    const std::string& pool_name) const {
+  DirectoryReplica* replica = group_->Resolve(site_);
+  return replica == nullptr ? std::vector<directory::PoolInstance>{}
+                            : replica->Lookup(pool_name);
+}
+
+std::vector<std::string> ReplicaHandle::PoolNames() const {
+  DirectoryReplica* replica = group_->Resolve(site_);
+  return replica == nullptr ? std::vector<std::string>{}
+                            : replica->PoolNames();
+}
+
+std::size_t ReplicaHandle::pool_count() const {
+  DirectoryReplica* replica = group_->Resolve(site_);
+  return replica == nullptr ? 0 : replica->pool_count();
+}
+
+Status ReplicaHandle::RegisterPoolManager(
+    const directory::PoolManagerEntry& entry) {
+  DirectoryReplica* replica = group_->Resolve(site_);
+  if (replica == nullptr) return Unavailable("no reachable directory replica");
+  return replica->RegisterPoolManager(entry);
+}
+
+Status ReplicaHandle::UnregisterPoolManager(const std::string& name) {
+  DirectoryReplica* replica = group_->Resolve(site_);
+  if (replica == nullptr) return Unavailable("no reachable directory replica");
+  return replica->UnregisterPoolManager(name);
+}
+
+std::vector<directory::PoolManagerEntry> ReplicaHandle::PoolManagers() const {
+  DirectoryReplica* replica = group_->Resolve(site_);
+  return replica == nullptr ? std::vector<directory::PoolManagerEntry>{}
+                            : replica->PoolManagers();
+}
+
+}  // namespace actyp::replica

@@ -1,0 +1,145 @@
+// ReplicaGroup: owns the directory replicas of one administrative
+// domain, keeps them convergent with journal-driven anti-entropy, and
+// routes pipeline components to the nearest reachable replica.
+//
+// Sync protocol: each replica owns a seeded, phase-staggered timer on
+// the sim kernel. On every tick it picks one reachable alive peer
+// (seeded-uniform) and pulls the ops it is missing via
+// DeltaSince(version vector); when the peer's bounded journal cannot
+// serve the window, the pull degrades to a full-state transfer. The
+// group is partition-aware through a site-level reachability hook
+// (wired to Topology::IsSitePartitioned by the scenario) and
+// crash-aware through Crash/Restore — the hooks the fault injector's
+// service churn drives.
+//
+// Metrics: sync_bytes (delta + snapshot traffic), full_syncs,
+// max_staleness (longest a replica's vector lagged the group union),
+// converge_time (last disruption -> all alive replicas byte-identical),
+// and failovers (reads/writes served by a non-preferred replica).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/sim_time.hpp"
+#include "replica/replica.hpp"
+#include "simnet/kernel.hpp"
+
+namespace actyp::replica {
+
+struct ReplicaGroupConfig {
+  SimDuration sync_period = Seconds(1.0);
+  std::size_t journal_capacity = 4096;
+  std::uint64_t seed = 0x5e11caULL;
+};
+
+struct ReplicaGroupStats {
+  std::uint64_t sync_rounds = 0;    // anti-entropy ticks on live replicas
+  std::uint64_t sync_skipped = 0;   // ticks with no reachable peer
+  std::uint64_t ops_pulled = 0;     // delta ops transferred
+  std::uint64_t ops_applied = 0;    // delta ops that changed the target
+  std::uint64_t sync_bytes = 0;     // delta + snapshot wire bytes
+  std::uint64_t full_syncs = 0;     // bounded-journal fallbacks
+  std::uint64_t failovers = 0;      // served by a non-preferred replica
+  std::uint64_t unavailable = 0;    // no reachable replica at all
+  std::uint64_t crashes = 0;
+  std::uint64_t restores = 0;
+  std::uint64_t convergences = 0;   // disruptions fully healed
+  double max_staleness_s = 0;
+  double converge_time_s = 0;       // last disruption -> convergence
+};
+
+class ReplicaGroup {
+ public:
+  // Sites are considered mutually reachable unless this says otherwise
+  // (same-site access never traverses the WAN and is always reachable).
+  using ReachabilityFn =
+      std::function<bool(const std::string& site_a, const std::string& site_b)>;
+
+  ReplicaGroup(simnet::SimKernel* kernel, ReplicaGroupConfig config);
+
+  // Build-time wiring; call before Start().
+  DirectoryReplica* AddReplica(const std::string& site);
+  void SetReachability(ReachabilityFn fn) { reachable_ = std::move(fn); }
+
+  // Arms the per-replica anti-entropy timers.
+  void Start();
+
+  [[nodiscard]] std::size_t size() const { return replicas_.size(); }
+  [[nodiscard]] DirectoryReplica* replica(std::uint32_t id) {
+    return replicas_[id].get();
+  }
+  [[nodiscard]] bool alive(std::uint32_t id) const { return alive_[id]; }
+
+  // Nearest reachable replica for a component at `from_site`: the
+  // lowest-id same-site replica when it is up, otherwise the lowest-id
+  // alive replica whose site is reachable (counted as a failover), else
+  // nullptr (counted as unavailable).
+  [[nodiscard]] DirectoryReplica* Resolve(const std::string& from_site) const;
+
+  // Fault hooks: a crash loses the replica's state (journal, peers'
+  // history); a restore brings it back empty and *warming* — it joins
+  // anti-entropy immediately but is not handed out by Resolve until its
+  // first successful pull, so a cold replica never serves empty lookups.
+  void Crash(std::uint32_t id);
+  void Restore(std::uint32_t id);
+
+  // Restarts the convergence clock: converge_time measures from the
+  // last disruption (partition heal, replica restore) until every alive
+  // replica reports an identical record set.
+  void NoteDisruption();
+
+  // True when all alive replicas hold byte-identical record sets.
+  [[nodiscard]] bool Converged() const;
+
+  [[nodiscard]] const ReplicaGroupStats& stats() const { return stats_; }
+
+ private:
+  void SyncTick(std::uint32_t id);
+  [[nodiscard]] bool Reachable(const std::string& site_a,
+                               const std::string& site_b) const;
+
+  simnet::SimKernel* kernel_;
+  ReplicaGroupConfig config_;
+  Rng rng_;
+  ReachabilityFn reachable_;
+  std::vector<std::unique_ptr<DirectoryReplica>> replicas_;
+  std::vector<bool> alive_;
+  std::vector<bool> warming_;      // restored, awaiting the first pull
+  std::vector<SimTime> fresh_at_;  // last time a replica covered the union
+  bool started_ = false;
+  bool awaiting_convergence_ = false;
+  SimTime disrupted_at_ = 0;
+  mutable ReplicaGroupStats stats_;
+};
+
+// Routes the DirectoryApi of a component living at `site` to the
+// group's nearest reachable replica: writes made during a partition
+// land on the component's own side and reconcile after heal.
+class ReplicaHandle final : public directory::DirectoryApi {
+ public:
+  ReplicaHandle(ReplicaGroup* group, std::string site)
+      : group_(group), site_(std::move(site)) {}
+
+  Status RegisterPool(const directory::PoolInstance& instance) override;
+  Status UnregisterPool(const std::string& pool_name,
+                        std::uint32_t instance) override;
+  [[nodiscard]] std::vector<directory::PoolInstance> Lookup(
+      const std::string& pool_name) const override;
+  [[nodiscard]] std::vector<std::string> PoolNames() const override;
+  [[nodiscard]] std::size_t pool_count() const override;
+  Status RegisterPoolManager(const directory::PoolManagerEntry& entry) override;
+  Status UnregisterPoolManager(const std::string& name) override;
+  [[nodiscard]] std::vector<directory::PoolManagerEntry> PoolManagers()
+      const override;
+
+ private:
+  ReplicaGroup* group_;
+  std::string site_;
+};
+
+}  // namespace actyp::replica

@@ -1,0 +1,349 @@
+#include "replica/replica.hpp"
+
+#include <algorithm>
+
+namespace actyp::replica {
+namespace {
+
+std::size_t PoolInstanceBytes(const directory::PoolInstance& instance) {
+  // name + address strings, instance number, machine count, segment flag.
+  return instance.pool_name.size() + instance.address.size() + 4 + 8 + 1;
+}
+
+std::size_t PmEntryBytes(const directory::PoolManagerEntry& entry) {
+  return entry.name.size() + entry.address.size() + entry.domain.size();
+}
+
+}  // namespace
+
+std::size_t Op::WireBytes() const {
+  // kind + origin + seq + stamp header, then the payload.
+  std::size_t bytes = 1 + 4 + 8 + 8;
+  switch (kind) {
+    case OpKind::kPutPool:
+      bytes += PoolInstanceBytes(pool);
+      break;
+    case OpKind::kPutPm:
+      bytes += PmEntryBytes(pm);
+      break;
+    case OpKind::kDelPool:
+      bytes += key.size() + 4;
+      break;
+    case OpKind::kDelPm:
+      bytes += key.size();
+      break;
+  }
+  return bytes;
+}
+
+std::size_t DirectoryReplica::StateSnapshot::WireBytes() const {
+  std::size_t bytes = 8 + vv.size() * 12;
+  for (const Op& op : ops) bytes += op.WireBytes();
+  return bytes;
+}
+
+DirectoryReplica::DirectoryReplica(ReplicaConfig config)
+    : config_(std::move(config)) {}
+
+// --- local mutations -------------------------------------------------------
+
+Status DirectoryReplica::RegisterPool(
+    const directory::PoolInstance& instance) {
+  if (instance.pool_name.empty()) {
+    return InvalidArgument("pool instance must carry a pool name");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  // Unlike the authoritative DirectoryService, a put is an upsert: a
+  // service restarted after its unregister op was lost with a crashed
+  // replica must be able to refresh its entry instead of wedging.
+  Op op;
+  op.kind = OpKind::kPutPool;
+  op.pool = instance;
+  CommitLocalLocked(std::move(op));
+  return Status::Ok();
+}
+
+Status DirectoryReplica::UnregisterPool(const std::string& pool_name,
+                                        std::uint32_t instance) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto pool_it = pools_.find(pool_name);
+  const bool live = pool_it != pools_.end() &&
+                    pool_it->second.count(instance) > 0 &&
+                    !pool_it->second.at(instance).tombstone;
+  if (!live) {
+    return NotFound("pool '" + pool_name + "' instance " +
+                    std::to_string(instance));
+  }
+  Op op;
+  op.kind = OpKind::kDelPool;
+  op.key = pool_name;
+  op.instance = instance;
+  CommitLocalLocked(std::move(op));
+  return Status::Ok();
+}
+
+Status DirectoryReplica::RegisterPoolManager(
+    const directory::PoolManagerEntry& entry) {
+  if (entry.name.empty()) {
+    return InvalidArgument("pool manager must have a name");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  Op op;
+  op.kind = OpKind::kPutPm;
+  op.pm = entry;
+  CommitLocalLocked(std::move(op));
+  return Status::Ok();
+}
+
+Status DirectoryReplica::UnregisterPoolManager(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = pms_.find(name);
+  if (it == pms_.end() || it->second.tombstone) {
+    return NotFound("pool manager '" + name + "'");
+  }
+  Op op;
+  op.kind = OpKind::kDelPm;
+  op.key = name;
+  CommitLocalLocked(std::move(op));
+  return Status::Ok();
+}
+
+void DirectoryReplica::CommitLocalLocked(Op op) {
+  op.origin = OriginLocked();
+  op.seq = ++vv_[op.origin];
+  op.stamp = ++lamport_;
+  MergeLocked(op);
+  JournalLocked(std::move(op));
+}
+
+// --- reads -----------------------------------------------------------------
+
+std::vector<directory::PoolInstance> DirectoryReplica::Lookup(
+    const std::string& pool_name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<directory::PoolInstance> out;
+  const auto it = pools_.find(pool_name);
+  if (it == pools_.end()) return out;
+  for (const auto& [num, slot] : it->second) {
+    if (!slot.tombstone) out.push_back(slot.value);
+  }
+  return out;
+}
+
+std::vector<std::string> DirectoryReplica::PoolNames() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  for (const auto& [name, instances] : pools_) {
+    for (const auto& [num, slot] : instances) {
+      if (!slot.tombstone) {
+        names.push_back(name);
+        break;
+      }
+    }
+  }
+  return names;
+}
+
+std::size_t DirectoryReplica::pool_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::size_t n = 0;
+  for (const auto& [name, instances] : pools_) {
+    for (const auto& [num, slot] : instances) {
+      if (!slot.tombstone) ++n;
+    }
+  }
+  return n;
+}
+
+std::vector<directory::PoolManagerEntry> DirectoryReplica::PoolManagers()
+    const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<directory::PoolManagerEntry> out;
+  for (const auto& [name, slot] : pms_) {
+    if (!slot.tombstone) out.push_back(slot.value);
+  }
+  return out;
+}
+
+// --- anti-entropy ----------------------------------------------------------
+
+VersionVector DirectoryReplica::version_vector() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return vv_;
+}
+
+bool DirectoryReplica::DeltaSince(const VersionVector& have,
+                                  std::vector<Op>* out) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  // The journal can serve the delta only if, for every origin the peer
+  // is behind on, nothing in the missing window fell off the floor.
+  for (const auto& [origin, my_seq] : vv_) {
+    const auto it = have.find(origin);
+    const std::uint64_t peer_seq = it == have.end() ? 0 : it->second;
+    if (peer_seq >= my_seq) continue;
+    const auto floor_it = journal_floor_.find(origin);
+    if (floor_it != journal_floor_.end() && floor_it->second > peer_seq) {
+      return false;
+    }
+  }
+  for (const Op& op : journal_) {
+    const auto it = have.find(op.origin);
+    const std::uint64_t peer_seq = it == have.end() ? 0 : it->second;
+    if (op.seq > peer_seq) out->push_back(op);
+  }
+  return true;
+}
+
+std::size_t DirectoryReplica::ApplyOps(const std::vector<Op>& ops) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::size_t applied = 0;
+  for (const Op& op : ops) {
+    auto& seen = vv_[op.origin];
+    if (op.seq <= seen) continue;  // duplicate delivery
+    seen = op.seq;
+    lamport_ = std::max(lamport_, op.stamp);
+    MergeLocked(op);
+    JournalLocked(op);
+    ++applied;
+  }
+  return applied;
+}
+
+void DirectoryReplica::MergeLocked(const Op& op) {
+  switch (op.kind) {
+    case OpKind::kPutPool: {
+      auto& slot = pools_[op.pool.pool_name][op.pool.instance];
+      if (Supersedes(slot, op.stamp, op.origin)) {
+        slot = {op.stamp, op.origin, false, op.pool};
+      }
+      break;
+    }
+    case OpKind::kDelPool: {
+      auto& slot = pools_[op.key][op.instance];
+      if (Supersedes(slot, op.stamp, op.origin)) {
+        slot.stamp = op.stamp;
+        slot.origin = op.origin;
+        slot.tombstone = true;
+      }
+      break;
+    }
+    case OpKind::kPutPm: {
+      auto& slot = pms_[op.pm.name];
+      if (Supersedes(slot, op.stamp, op.origin)) {
+        slot = {op.stamp, op.origin, false, op.pm};
+      }
+      break;
+    }
+    case OpKind::kDelPm: {
+      auto& slot = pms_[op.key];
+      if (Supersedes(slot, op.stamp, op.origin)) {
+        slot.stamp = op.stamp;
+        slot.origin = op.origin;
+        slot.tombstone = true;
+      }
+      break;
+    }
+  }
+}
+
+void DirectoryReplica::JournalLocked(Op op) {
+  journal_.push_back(std::move(op));
+  while (journal_.size() > config_.journal_capacity) {
+    const Op& oldest = journal_.front();
+    auto& floor = journal_floor_[oldest.origin];
+    floor = std::max(floor, oldest.seq);
+    journal_.pop_front();
+  }
+}
+
+DirectoryReplica::StateSnapshot DirectoryReplica::FullState() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  StateSnapshot snapshot;
+  snapshot.vv = vv_;
+  snapshot.lamport = lamport_;
+  for (const auto& [name, instances] : pools_) {
+    for (const auto& [num, slot] : instances) {
+      Op op;
+      op.origin = slot.origin;
+      op.stamp = slot.stamp;
+      if (slot.tombstone) {
+        op.kind = OpKind::kDelPool;
+        op.key = name;
+        op.instance = num;
+      } else {
+        op.kind = OpKind::kPutPool;
+        op.pool = slot.value;
+      }
+      snapshot.ops.push_back(std::move(op));
+    }
+  }
+  for (const auto& [name, slot] : pms_) {
+    Op op;
+    op.origin = slot.origin;
+    op.stamp = slot.stamp;
+    if (slot.tombstone) {
+      op.kind = OpKind::kDelPm;
+      op.key = name;
+    } else {
+      op.kind = OpKind::kPutPm;
+      op.pm = slot.value;
+    }
+    snapshot.ops.push_back(std::move(op));
+  }
+  return snapshot;
+}
+
+void DirectoryReplica::InstallFullState(const StateSnapshot& snapshot) {
+  std::lock_guard<std::mutex> lock(mu_);
+  // MERGE, never replace: a restarted (empty) replica legitimately
+  // claims sequence numbers whose ops died with it, which forces peers
+  // that missed those final ops into this path — blindly installing the
+  // empty snapshot would wipe the survivor. LWW-merging the snapshot is
+  // convergent from either side and keeps everything only we know.
+  for (const Op& op : snapshot.ops) MergeLocked(op);
+  for (const auto& [origin, seq] : snapshot.vv) {
+    auto& have = vv_[origin];
+    have = std::max(have, seq);
+  }
+  lamport_ = std::max(lamport_, snapshot.lamport);
+  // The journal no longer reflects everything folded into the state, so
+  // it cannot serve coherent deltas: drop it and raise the floor to the
+  // merged vector (peers behind it will merge our full state in turn —
+  // the cascade settles once the vectors equalize).
+  journal_.clear();
+  journal_floor_ = vv_;
+}
+
+void DirectoryReplica::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  pools_.clear();
+  pms_.clear();
+  journal_.clear();
+  journal_floor_.clear();
+  vv_.clear();
+  // New incarnation: the next local op opens a fresh origin, and the
+  // empty vector makes peers replay everything — including this
+  // replica's own surviving pre-crash ops under their old origin.
+  ++incarnation_;
+}
+
+std::string DirectoryReplica::StateDigest() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  for (const auto& [name, instances] : pools_) {
+    for (const auto& [num, slot] : instances) {
+      if (slot.tombstone) continue;
+      out += "pool " + name + " #" + std::to_string(num) + " @" +
+             slot.value.address + " m=" +
+             std::to_string(slot.value.machine_count) +
+             (slot.value.segment ? " seg" : "") + "\n";
+    }
+  }
+  for (const auto& [name, slot] : pms_) {
+    if (slot.tombstone) continue;
+    out += "pm " + name + " @" + slot.value.address + "\n";
+  }
+  return out;
+}
+
+}  // namespace actyp::replica

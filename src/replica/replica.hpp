@@ -1,0 +1,174 @@
+// DirectoryReplica: one replica of the active-yellow-pages directory
+// (paper Fig. 8 studies replicating the service; the repo previously ran
+// a single authoritative directory::DirectoryService).
+//
+// State model: a last-writer-wins map keyed by pool instance
+// (pool_name + instance number) and pool-manager name. Every local
+// mutation becomes an Op stamped with
+//   - (origin, seq): the issuing replica and its per-origin sequence
+//     number — the coordinates of the per-replica version vectors, and
+//   - stamp: a Lamport stamp used as the LWW tiebreak (higher stamp
+//     wins; equal stamps break by origin id), so replicas converge to
+//     the same state whatever order anti-entropy delivers ops in.
+//
+// Ops are appended to a bounded journal. A peer pulls deltas with
+// DeltaSince(its version vector); when the requested window has been
+// dropped from the bounded journal, the pull falls back to a full-state
+// transfer (FullState/InstallFullState). Remote ops are re-journaled,
+// so gossip is transitive: a replica that only ever talks to one peer
+// still learns ops originated anywhere in the group.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "directory/directory.hpp"
+
+namespace actyp::replica {
+
+enum class OpKind : std::uint8_t {
+  kPutPool,   // register (or overwrite) a pool instance
+  kDelPool,   // unregister a pool instance (tombstone)
+  kPutPm,     // register a pool manager
+  kDelPm,     // unregister a pool manager (tombstone)
+};
+
+// origin replica id -> highest per-origin sequence number applied.
+using VersionVector = std::map<std::uint32_t, std::uint64_t>;
+
+struct Op {
+  OpKind kind = OpKind::kPutPool;
+  std::uint32_t origin = 0;
+  std::uint64_t seq = 0;
+  std::uint64_t stamp = 0;
+  directory::PoolInstance pool;      // kPutPool payload
+  directory::PoolManagerEntry pm;    // kPutPm payload
+  std::string key;                   // kDelPool/kDelPm: name being removed
+  std::uint32_t instance = 0;        // kDelPool: instance number
+
+  // Approximate wire size, charged to the group's sync_bytes metric.
+  [[nodiscard]] std::size_t WireBytes() const;
+};
+
+struct ReplicaConfig {
+  std::uint32_t id = 0;
+  std::string site = "local";
+  // Ops retained for delta sync; older windows force a full-state sync.
+  std::size_t journal_capacity = 4096;
+};
+
+class DirectoryReplica final : public directory::DirectoryApi {
+ public:
+  explicit DirectoryReplica(ReplicaConfig config);
+
+  [[nodiscard]] std::uint32_t id() const { return config_.id; }
+  [[nodiscard]] const std::string& site() const { return config_.site; }
+
+  // --- DirectoryApi: local mutations (journaled) and reads ---
+  // Unregister semantics match DirectoryService (NotFound for unknown
+  // entries); registration is an *upsert* — re-registering a live entry
+  // refreshes it, because the matching unregister op may have died with
+  // a crashed replica and a restarted service must not wedge on it.
+  Status RegisterPool(const directory::PoolInstance& instance) override;
+  Status UnregisterPool(const std::string& pool_name,
+                        std::uint32_t instance) override;
+  [[nodiscard]] std::vector<directory::PoolInstance> Lookup(
+      const std::string& pool_name) const override;
+  [[nodiscard]] std::vector<std::string> PoolNames() const override;
+  [[nodiscard]] std::size_t pool_count() const override;
+  Status RegisterPoolManager(const directory::PoolManagerEntry& entry) override;
+  Status UnregisterPoolManager(const std::string& name) override;
+  [[nodiscard]] std::vector<directory::PoolManagerEntry> PoolManagers()
+      const override;
+
+  // --- anti-entropy ---
+  [[nodiscard]] VersionVector version_vector() const;
+
+  // Appends every journaled op the holder of `have` is missing to `out`
+  // (per-origin ascending seq order). Returns false when the bounded
+  // journal no longer covers the requested window — the caller must fall
+  // back to a full-state sync.
+  [[nodiscard]] bool DeltaSince(const VersionVector& have,
+                                std::vector<Op>* out) const;
+
+  // Merges remote ops (LWW) and advances the version vector. Ops already
+  // covered by the vector are skipped. Returns how many were applied.
+  std::size_t ApplyOps(const std::vector<Op>& ops);
+
+  // Full-state transfer: every live entry and tombstone as an op, plus
+  // the source's version vector and Lamport clock.
+  struct StateSnapshot {
+    std::vector<Op> ops;
+    VersionVector vv;
+    std::uint64_t lamport = 0;
+    [[nodiscard]] std::size_t WireBytes() const;
+  };
+  [[nodiscard]] StateSnapshot FullState() const;
+  // LWW-merges the snapshot into this replica's state (never a blind
+  // replace: a freshly-restarted peer hands out an *empty* snapshot
+  // while claiming sequence numbers whose ops died with it). The journal
+  // cannot serve deltas for the merged history, so it is cleared and the
+  // floor raised to the merged vector.
+  void InstallFullState(const StateSnapshot& snapshot);
+
+  // Crash model: lose directory state, journal, and knowledge of peers.
+  // The restart begins a new *incarnation*: ops issued afterwards carry
+  // a fresh origin actor id, so they can never be confused with the
+  // lost pre-crash history (a per-origin version vector cannot express
+  // the gap a crash tears into one origin's sequence). The Lamport
+  // clock survives (stable storage), so post-restart upserts win LWW
+  // against their own stale pre-crash entries.
+  void Reset();
+
+  // Canonical serialization of the live record set (tombstones and
+  // stamps excluded) — equal digests mean the replicas answer every
+  // lookup identically.
+  [[nodiscard]] std::string StateDigest() const;
+
+ private:
+  template <typename Payload>
+  struct Slot {
+    std::uint64_t stamp = 0;
+    std::uint32_t origin = 0;
+    bool tombstone = false;
+    Payload value{};
+  };
+
+  // True when (stamp, origin) supersedes the slot's current writer.
+  template <typename Payload>
+  static bool Supersedes(const Slot<Payload>& slot, std::uint64_t stamp,
+                         std::uint32_t origin) {
+    return stamp > slot.stamp || (stamp == slot.stamp && origin > slot.origin);
+  }
+
+  // Origin actor id of this replica's current incarnation.
+  [[nodiscard]] std::uint32_t OriginLocked() const {
+    return config_.id | (incarnation_ << 16);
+  }
+  // Stamps a locally-issued op, applies it, journals it. Caller holds mu_.
+  void CommitLocalLocked(Op op);
+  // LWW merge of one op into the state maps. Caller holds mu_.
+  void MergeLocked(const Op& op);
+  void JournalLocked(Op op);
+
+  ReplicaConfig config_;
+  mutable std::mutex mu_;
+  std::uint64_t lamport_ = 0;
+  std::uint32_t incarnation_ = 0;  // bumped by Reset
+  VersionVector vv_;
+  // pool name -> instance -> slot (live entry or tombstone).
+  std::map<std::string, std::map<std::uint32_t, Slot<directory::PoolInstance>>>
+      pools_;
+  std::map<std::string, Slot<directory::PoolManagerEntry>> pms_;
+  // Bounded op journal plus per-origin floor: seqs at or below the floor
+  // have been discarded and can only be recovered via full sync.
+  std::deque<Op> journal_;
+  VersionVector journal_floor_;
+};
+
+}  // namespace actyp::replica

@@ -81,8 +81,12 @@ void Topology::SetPartition(const std::string& site_a,
 bool Topology::IsPartitioned(const std::string& host_a,
                              const std::string& host_b) const {
   if (partitions_.empty() || host_a == host_b) return false;
-  const std::string site_a = SiteOf(host_a);
-  const std::string site_b = SiteOf(host_b);
+  return IsSitePartitioned(SiteOf(host_a), SiteOf(host_b));
+}
+
+bool Topology::IsSitePartitioned(const std::string& site_a,
+                                 const std::string& site_b) const {
+  if (partitions_.empty()) return false;
   if (partitions_.count(OrderedPair(site_a, site_b)) > 0) return true;
   // "*" cuts: against one named site, or between all distinct sites.
   if (partitions_.count(OrderedPair(site_a, "*")) > 0 ||

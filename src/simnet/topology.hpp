@@ -50,6 +50,10 @@ class Topology {
                     bool cut);
   [[nodiscard]] bool IsPartitioned(const std::string& host_a,
                                    const std::string& host_b) const;
+  // Same check at site granularity (used by the directory-replica layer
+  // to decide peer reachability without naming hosts).
+  [[nodiscard]] bool IsSitePartitioned(const std::string& site_a,
+                                       const std::string& site_b) const;
 
   // Adds `extra` one-way latency between two sites ("*" = every pair,
   // including intra-site). Setting 0 clears the penalty.

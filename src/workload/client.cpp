@@ -1,5 +1,7 @@
 #include "workload/client.hpp"
 
+#include <algorithm>
+
 #include "common/logging.hpp"
 #include "common/strings.hpp"
 #include "pipeline/protocol.hpp"
@@ -69,12 +71,40 @@ void ClientNode::OnMessage(const net::Envelope& envelope,
         request_id = static_cast<std::uint64_t>(*rid);
       }
       if (request_id == inflight_request_ && inflight_request_ != 0) {
-        // The request (or its reply) was lost: give up and move on.
-        ++stats_.failures;
-        if (config_.collector != nullptr) config_.collector->RecordFailure();
-        inflight_request_ = 0;
         timeout_timer_ = 0;
-        CompleteInteraction(ctx);
+        if (attempt_ < config_.retry_max) {
+          // The request (or its reply) was lost: resend after a jittered
+          // exponential backoff instead of abandoning the interaction.
+          ++attempt_;
+          const int shift =
+              static_cast<int>(std::min<std::size_t>(attempt_ - 1, 16));
+          const SimDuration base =
+              std::max<SimDuration>(1, config_.retry_backoff) << shift;
+          const SimDuration delay =
+              base / 2 +
+              static_cast<SimDuration>(ctx.rng().NextDouble() *
+                                       static_cast<double>(base / 2 + 1));
+          net::Message retry{net::msg::kTick};
+          retry.SetHeader("action", "retry-send");
+          retry.SetHeader(net::hdr::kRequestId, std::to_string(request_id));
+          ctx.ScheduleSelf(std::max<SimDuration>(delay, 1), std::move(retry));
+        } else {
+          // Retries exhausted (or disabled): give up and move on.
+          ++stats_.failures;
+          if (config_.collector != nullptr) config_.collector->RecordFailure();
+          inflight_request_ = 0;
+          CompleteInteraction(ctx);
+        }
+      }
+    } else if (action == "retry-send") {
+      std::uint64_t request_id = 0;
+      if (auto rid = ParseInt(message.Header(net::hdr::kRequestId))) {
+        request_id = static_cast<std::uint64_t>(*rid);
+      }
+      // A reply that raced the backoff already closed the request; only
+      // resend when it is still the in-flight one.
+      if (request_id == inflight_request_ && inflight_request_ != 0) {
+        ResendInflight(ctx);
       }
     } else if (action == "job-done") {
       std::uint64_t request_id = 0;
@@ -162,25 +192,55 @@ void ClientNode::SendNextQuery(net::NodeContext& ctx) {
       (static_cast<std::uint64_t>(config_.client_id) << 32) | next_seq_++;
   inflight_request_ = request_id;
   inflight_sent_at_ = ctx.Now();
+  attempt_ = 0;
   ++stats_.sent;
 
+  inflight_body_ = config_.make_query(ctx.rng());
+  PostInflightQuery(ctx);
+}
+
+// Sends the in-flight request (headers rebuilt from config, body from
+// inflight_body_) to the current attempt's entry point and arms the
+// give-up timer. Shared by the first attempt and every retry, so a
+// header added to queries can never diverge between the two paths.
+void ClientNode::PostInflightQuery(net::NodeContext& ctx) {
   net::Message query{net::msg::kQuery};
   query.SetHeader(net::hdr::kReplyTo, ctx.self());
-  query.SetHeader(net::hdr::kRequestId, std::to_string(request_id));
+  query.SetHeader(net::hdr::kRequestId, std::to_string(inflight_request_));
   if (!config_.language.empty()) query.SetHeader("language", config_.language);
   if (config_.qos_first_match) {
     query.SetHeader(pipeline::phdr::kQosFirstMatch, "1");
   }
-  query.body = config_.make_query(ctx.rng());
-  ctx.Send(config_.entry, std::move(query));
+  query.body = inflight_body_;
+  ctx.Send(EntryForAttempt(), std::move(query));
 
   if (config_.request_timeout > 0) {
     net::Message timeout{net::msg::kTick};
     timeout.SetHeader("action", "request-timeout");
-    timeout.SetHeader(net::hdr::kRequestId, std::to_string(request_id));
+    timeout.SetHeader(net::hdr::kRequestId,
+                      std::to_string(inflight_request_));
     timeout_timer_ =
         ctx.ScheduleSelf(config_.request_timeout, std::move(timeout));
   }
+}
+
+const net::Address& ClientNode::EntryForAttempt() const {
+  if (attempt_ == 0 || config_.fallback_entries.empty()) {
+    return config_.entry;
+  }
+  const std::size_t pick =
+      (attempt_ - 1) % (config_.fallback_entries.size() + 1);
+  return pick == config_.fallback_entries.size()
+             ? config_.entry
+             : config_.fallback_entries[pick];
+}
+
+void ClientNode::ResendInflight(net::NodeContext& ctx) {
+  // Counted here — when the retry actually goes on the wire — not when
+  // the backoff was scheduled: a reply racing the backoff cancels the
+  // resend, and the metric must not count retries that never happened.
+  ++stats_.retries;
+  PostInflightQuery(ctx);
 }
 
 void ClientNode::CompleteInteraction(net::NodeContext& ctx) {

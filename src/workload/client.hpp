@@ -7,6 +7,7 @@
 #include <functional>
 #include <map>
 #include <mutex>
+#include <vector>
 
 #include "common/rng.hpp"
 #include "common/stats.hpp"
@@ -38,6 +39,10 @@ class ResponseCollector {
 struct ClientConfig {
   std::uint32_t client_id = 0;
   net::Address entry;  // query-manager address
+  // Alternate query-manager entry points: retries rotate through
+  // [entry, fallback_entries...], so a client whose entry stage died
+  // fails over instead of re-sending into the void.
+  std::vector<net::Address> fallback_entries;
   std::function<std::string(Rng&)> make_query;
   // Think time between completing one interaction and issuing the next.
   SimDuration think_time = 0;
@@ -53,12 +58,20 @@ struct ClientConfig {
   // Give up on an unanswered request after this long and move on
   // (counts as a failure); 0 disables. Needed on lossy transports.
   SimDuration request_timeout = 0;
+  // Resend a timed-out request up to this many times before giving up
+  // (0 = fail on the first timeout, the legacy behavior). Retries wait a
+  // seeded, jittered exponential backoff starting at `retry_backoff`,
+  // so lossy-scenario success rates recover instead of burning the
+  // give-up timer once per interaction.
+  std::size_t retry_max = 0;
+  SimDuration retry_backoff = Millis(250);
 };
 
 struct ClientStatsLocal {
   std::uint64_t sent = 0;
   std::uint64_t allocations = 0;
   std::uint64_t failures = 0;
+  std::uint64_t retries = 0;
 };
 
 class ClientNode final : public net::Node {
@@ -72,6 +85,15 @@ class ClientNode final : public net::Node {
 
  private:
   void SendNextQuery(net::NodeContext& ctx);
+  // Entry point for the current attempt: the configured entry first,
+  // then the fallbacks in rotation as retries accumulate.
+  [[nodiscard]] const net::Address& EntryForAttempt() const;
+  // Sends the in-flight request to the current attempt's entry point
+  // and arms the give-up timer (shared by first attempts and retries).
+  void PostInflightQuery(net::NodeContext& ctx);
+  // Re-issues the in-flight request (same id and body) and re-arms the
+  // give-up timer; response time still measures from the first send.
+  void ResendInflight(net::NodeContext& ctx);
   void CompleteInteraction(net::NodeContext& ctx);
 
   ClientConfig config_;
@@ -79,6 +101,8 @@ class ClientNode final : public net::Node {
   std::uint64_t next_seq_ = 1;
   std::uint64_t inflight_request_ = 0;
   SimTime inflight_sent_at_ = 0;
+  std::string inflight_body_;   // kept for retries
+  std::size_t attempt_ = 0;     // retries used on the in-flight request
   // Give-up timer for the in-flight request; cancelled when the reply
   // arrives so lossy runs do not drown in dead timeout events.
   net::TimerId timeout_timer_ = 0;

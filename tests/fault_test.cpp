@@ -385,6 +385,61 @@ ReplayResult RunReplay(std::uint64_t seed) {
   return result;
 }
 
+
+TEST(FaultPlan, ParsesAndSerializesSiteEvents) {
+  const auto plan = FaultPlan::Parse(
+      "site-crash at=5 site=purdue downtime=3\n"
+      "site-restore at=9 site=purdue\n");
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  ASSERT_EQ(plan->events.size(), 2u);
+  EXPECT_EQ(plan->events[0].kind, FaultKind::kSiteCrash);
+  EXPECT_EQ(plan->events[0].site, "purdue");
+  EXPECT_EQ(plan->events[0].downtime, Seconds(3));
+  EXPECT_EQ(plan->events[1].kind, FaultKind::kSiteRestore);
+  EXPECT_EQ(plan->events[1].start, Seconds(9));
+
+  // Round-trips through the text format.
+  const auto reparsed = FaultPlan::Parse(plan->Serialize());
+  ASSERT_TRUE(reparsed.ok());
+  EXPECT_EQ(reparsed->Serialize(), plan->Serialize());
+
+  // Site events demand a site.
+  EXPECT_FALSE(FaultPlan::Parse("site-crash at=5\n").ok());
+  EXPECT_FALSE(FaultPlan::Parse("site-restore at=5\n").ok());
+}
+
+TEST(FaultScenario, SiteCrashTakesMachinesAndServicesDownTogether) {
+  // On a LAN everything lives at site "local": a site-crash is a
+  // correlated whole-deployment failure — every machine and every
+  // registered service goes dark in one event, and the explicit
+  // site-restore brings exactly that set back.
+  ScenarioConfig config = SmallConfig();
+  const auto plan = FaultPlan::Parse(
+      "site-crash at=1 site=local\n"
+      "site-restore at=2 site=local\n");
+  ASSERT_TRUE(plan.ok());
+  config.fault_plan = plan.value();
+  SimScenario scenario(std::move(config));
+  ASSERT_TRUE(scenario.fault_status().ok())
+      << scenario.fault_status().ToString();
+
+  scenario.RunUntil(Seconds(1.5));
+  EXPECT_EQ(CountDown(scenario.database()), 100u);
+  EXPECT_FALSE(scenario.network().HasNode("qm0"));
+  EXPECT_FALSE(scenario.network().HasNode("pm0"));
+  EXPECT_FALSE(scenario.network().HasNode("pool.c0.r0"));
+  EXPECT_EQ(scenario.fault_stats().sites_crashed, 1u);
+  EXPECT_GE(scenario.fault_stats().services_crashed, 4u);
+
+  scenario.RunUntil(Seconds(2.5));
+  EXPECT_EQ(CountDown(scenario.database()), 0u);
+  EXPECT_TRUE(scenario.network().HasNode("qm0"));
+  EXPECT_TRUE(scenario.network().HasNode("pool.c0.r0"));
+  EXPECT_EQ(scenario.fault_stats().sites_restored, 1u);
+  EXPECT_EQ(scenario.fault_stats().services_restarted,
+            scenario.fault_stats().services_crashed);
+}
+
 TEST(FaultScenario, ReplayIsDeterministicUnderFixedSeed) {
   const ReplayResult a = RunReplay(42);
   const ReplayResult b = RunReplay(42);

@@ -303,5 +303,68 @@ TEST(Tcp, BadHostRejected) {
   EXPECT_EQ(reply.status().code(), StatusCode::kInvalidArgument);
 }
 
+TEST(Tcp, InjectedResetFailsCallAndRetryRecovers) {
+  TcpServer server;
+  // Reset the very first reply, deliver everything after.
+  std::atomic<int> replies{0};
+  server.SetFaultHook([&replies]() -> TcpFault {
+    TcpFault fault;
+    if (replies.fetch_add(1) == 0) fault.action = TcpFault::Action::kReset;
+    return fault;
+  });
+  ASSERT_TRUE(server
+                  .Start(0,
+                         [](const Message& request) {
+                           Message reply{"reply"};
+                           reply.body = request.body;
+                           return reply;
+                         })
+                  .ok());
+
+  Message request{"query"};
+  request.body = "hello\n";
+  // Single-shot call eats the reset...
+  auto failed = TcpClient::Call("127.0.0.1", server.port(), request);
+  EXPECT_FALSE(failed.ok());
+  // ...the retrying client reconnects and lands the reply.
+  auto reply =
+      TcpClient::CallWithRetry("127.0.0.1", server.port(), request, 2);
+  ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+  EXPECT_EQ(reply->body, "hello\n");
+  server.Stop();
+}
+
+TEST(Tcp, InjectedPartialFrameFailsCallAndRetryRecovers) {
+  TcpServer server;
+  // Truncate the first reply after 3 bytes of its frame body.
+  std::atomic<int> replies{0};
+  server.SetFaultHook([&replies]() -> TcpFault {
+    TcpFault fault;
+    if (replies.fetch_add(1) == 0) {
+      fault.action = TcpFault::Action::kTruncate;
+      fault.bytes = 3;
+    }
+    return fault;
+  });
+  ASSERT_TRUE(server
+                  .Start(0,
+                         [](const Message& request) {
+                           Message reply{"reply"};
+                           reply.body = request.body;
+                           return reply;
+                         })
+                  .ok());
+
+  Message request{"query"};
+  request.body = "partial-frame-check\n";
+  auto failed = TcpClient::Call("127.0.0.1", server.port(), request);
+  EXPECT_FALSE(failed.ok());  // frame starved mid-message
+  auto reply =
+      TcpClient::CallWithRetry("127.0.0.1", server.port(), request, 2);
+  ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+  EXPECT_EQ(reply->body, "partial-frame-check\n");
+  server.Stop();
+}
+
 }  // namespace
 }  // namespace actyp::net

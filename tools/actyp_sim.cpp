@@ -56,6 +56,8 @@ int Usage(int code) {
       "                 [--config FILE] [--seed N] [--machines N]\n"
       "                 [--clients N] [--time-scale X] [--loss P]\n"
       "                 [--churn-rate R] [--fault-plan FILE]\n"
+      "                 [--replicas N] [--sync-period S]\n"
+      "                 [--retry-max N] [--retry-backoff S]\n"
       "                 [--jobs N] [--stable]\n"
       "\n"
       "  --list            list registered scenarios and exit\n"
@@ -72,7 +74,15 @@ int Usage(int code) {
       "  --loss P          inject message loss with probability P\n"
       "  --churn-rate R    crash R random machines per simulated second\n"
       "  --fault-plan FILE apply the fault plan in FILE (loss windows,\n"
-      "                    latency spikes, partitions, crashes, churn)\n"
+      "                    latency spikes, partitions, crashes, churn,\n"
+      "                    site-crash/site-restore)\n"
+      "  --replicas N      replicate the directory service N ways\n"
+      "                    (1 = the single authoritative directory)\n"
+      "  --sync-period S   anti-entropy pull period, simulated seconds\n"
+      "                    (scaled by --time-scale)\n"
+      "  --retry-max N     client retries per timed-out request\n"
+      "  --retry-backoff S base retry backoff, simulated seconds\n"
+      "                    (scaled by --time-scale)\n"
       "  --jobs N          run independent sweep cells (and, for multi-\n"
       "                    scenario runs, whole scenarios) on N worker\n"
       "                    threads; output order is unchanged\n"
@@ -182,6 +192,26 @@ int ApplyConfigFile(const char* path, std::vector<std::string>* names,
     if (!parsed || !(*parsed >= 0)) return bad("churn-rate", *value);
     options->churn_rate = *parsed;
   }
+  if (const auto value = config->Get("replicas")) {
+    const auto parsed = actyp::ParseInt(*value);
+    if (!parsed || *parsed < 1) return bad("replicas", *value);
+    options->replicas = static_cast<std::uint32_t>(*parsed);
+  }
+  if (const auto value = config->Get("sync-period")) {
+    const auto parsed = actyp::ParseDouble(*value);
+    if (!parsed || !(*parsed > 0)) return bad("sync-period", *value);
+    options->sync_period_s = *parsed;
+  }
+  if (const auto value = config->Get("retry-max")) {
+    const auto parsed = actyp::ParseInt(*value);
+    if (!parsed || *parsed < 0) return bad("retry-max", *value);
+    options->retry_max = static_cast<std::size_t>(*parsed);
+  }
+  if (const auto value = config->Get("retry-backoff")) {
+    const auto parsed = actyp::ParseDouble(*value);
+    if (!parsed || !(*parsed > 0)) return bad("retry-backoff", *value);
+    options->retry_backoff_s = *parsed;
+  }
   if (const auto value = config->Get("jobs")) {
     const auto parsed = actyp::ParseInt(*value);
     if (!parsed || *parsed < 1) return bad("jobs", *value);
@@ -265,6 +295,30 @@ int main(int argc, char** argv) {
         return BadValue(arg, argv[i]);
       }
       options.churn_rate = value;
+    } else if (std::strcmp(arg, "--replicas") == 0) {
+      if (i + 1 >= argc) return MissingValue(arg);
+      long value = 0;
+      if (!ParseLong(argv[++i], 1, &value)) return BadValue(arg, argv[i]);
+      options.replicas = static_cast<std::uint32_t>(value);
+    } else if (std::strcmp(arg, "--sync-period") == 0) {
+      if (i + 1 >= argc) return MissingValue(arg);
+      double value = 0;
+      if (!ParseDouble(argv[++i], &value) || !(value > 0)) {
+        return BadValue(arg, argv[i]);
+      }
+      options.sync_period_s = value;
+    } else if (std::strcmp(arg, "--retry-max") == 0) {
+      if (i + 1 >= argc) return MissingValue(arg);
+      long value = 0;
+      if (!ParseLong(argv[++i], 0, &value)) return BadValue(arg, argv[i]);
+      options.retry_max = static_cast<std::size_t>(value);
+    } else if (std::strcmp(arg, "--retry-backoff") == 0) {
+      if (i + 1 >= argc) return MissingValue(arg);
+      double value = 0;
+      if (!ParseDouble(argv[++i], &value) || !(value > 0)) {
+        return BadValue(arg, argv[i]);
+      }
+      options.retry_backoff_s = value;
     } else if (std::strcmp(arg, "--jobs") == 0) {
       if (i + 1 >= argc) return MissingValue(arg);
       long value = 0;

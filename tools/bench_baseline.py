@@ -20,8 +20,11 @@ Wall-clock scenarios and wall-clock metrics (the TCP roundtrip
 latencies, the query micro-benchmark timings, the scaling sweeps'
 ev_per_s_wall throughput) are excluded from the diff; everything
 else in the sweep — including the refresh-economics counters
-entries_refreshed and refresh_cost — is a deterministic function of
-the pinned seed and is tracked. The run is pinned with --stable so the
+entries_refreshed and refresh_cost, and the replicated-directory
+observables converge_time_s / sync_bytes / full_syncs / failovers
+from wan_partition_heal, directory_failover, and fig8's
+replicated-directory cells — is a deterministic function of the
+pinned seed and is tracked. The run is pinned with --stable so the
 snapshot itself is byte-reproducible. The sweep's own wall-clock is
 recorded in the snapshot under a "_sweep_meta" entry for perf tracking
 over time, and also excluded.
