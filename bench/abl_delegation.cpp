@@ -35,6 +35,9 @@ ScenarioReport RunAblDelegation(const ScenarioRunOptions& options) {
   for (const int peers : {4, 8, 16}) {
     for (const int ttl : {2, 4, 8, 16}) {
       tasks.push_back([peers, ttl, &options] {
+        // Declared before the network so it outlives the pool-manager
+        // nodes holding a pointer to it.
+        profile::StageProfiler profiler;
         simnet::SimKernel kernel;
         simnet::SimNetwork network(
             &kernel, simnet::Topology::Lan(),
@@ -45,6 +48,7 @@ ScenarioReport RunAblDelegation(const ScenarioRunOptions& options) {
           pipeline::PoolManagerConfig config;
           config.name = "pm" + std::to_string(i);
           config.allow_create = false;  // force delegation
+          if (options.profile) config.profiler = &profiler;
           network.AddNode(
               config.name,
               std::make_shared<pipeline::PoolManager>(config, &directory),
@@ -70,6 +74,11 @@ ScenarioReport RunAblDelegation(const ScenarioRunOptions& options) {
         cell.dims.emplace_back("peers", peers);
         cell.metrics.emplace_back("time_to_fail_ms",
                                   ToMillis(probe->failed_at));
+        if (options.profile) {
+          // Only the pool-manager hop exists in this micro-topology.
+          bench::AppendStageMetrics(profiler,
+                                    {profile::Stage::kPmDelegate}, &cell);
+        }
         return cell;
       });
     }

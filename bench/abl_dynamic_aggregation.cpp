@@ -12,9 +12,9 @@
 namespace actyp {
 namespace {
 
-double RunMix(const ScenarioRunOptions& options, std::uint32_t segments,
-              std::uint32_t replicas, double hot_fraction,
-              std::uint64_t seed_offset) {
+void RunMix(const ScenarioRunOptions& options, std::uint32_t segments,
+            std::uint32_t replicas, double hot_fraction,
+            std::uint64_t seed_offset, ScenarioCell* cell) {
   ScenarioConfig config;
   config.machines = options.machines.value_or(3200);
   config.clusters = 4;
@@ -23,10 +23,13 @@ double RunMix(const ScenarioRunOptions& options, std::uint32_t segments,
   config.clients = options.clients.value_or(32);
   config.hot_fraction = hot_fraction;
   config.seed = bench::CellSeed(options, 50, seed_offset);
+  config.profile = options.profile;
   SimScenario scenario(config);
   scenario.Measure(bench::ScaledSeconds(options, 3),
                    bench::ScaledSeconds(options, 15));
-  return scenario.collector().response_stats().mean();
+  cell->metrics.emplace_back("mean_s",
+                             scenario.collector().response_stats().mean());
+  bench::AppendStageMetrics(scenario, cell);
 }
 
 ScenarioReport RunAblDynamicAggregation(const ScenarioRunOptions& options) {
@@ -56,9 +59,8 @@ ScenarioReport RunAblDynamicAggregation(const ScenarioRunOptions& options) {
       ScenarioCell cell;
       cell.labels.emplace_back("configuration", row.configuration);
       cell.dims.emplace_back("hot_fraction", row.hot_fraction);
-      cell.metrics.emplace_back(
-          "mean_s", RunMix(options, row.segments, row.replicas,
-                           row.hot_fraction, row.seed_offset));
+      RunMix(options, row.segments, row.replicas, row.hot_fraction,
+             row.seed_offset, &cell);
       return cell;
     });
   }

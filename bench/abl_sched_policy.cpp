@@ -26,6 +26,7 @@ ScenarioReport RunAblSchedPolicy(const ScenarioRunOptions& options) {
       config.clients = options.clients.value_or(48);
       config.policy = policy;
       config.seed = options.seed.value_or(31337);
+      config.profile = options.profile;
       config.job_duration = [](Rng& rng) {
         return static_cast<SimDuration>(rng.Exponential(8e6));
       };
@@ -45,6 +46,7 @@ ScenarioReport RunAblSchedPolicy(const ScenarioRunOptions& options) {
                                 static_cast<double>(stats.oversubscribed));
       cell.metrics.emplace_back("entries_examined",
                                 static_cast<double>(stats.entries_examined));
+      bench::AppendStageMetrics(scenario, &cell);
       return cell;
     });
   }

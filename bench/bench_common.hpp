@@ -3,6 +3,7 @@
 #pragma once
 
 #include <algorithm>
+#include <array>
 #include <chrono>
 #include <cstddef>
 #include <cstdint>
@@ -17,6 +18,7 @@
 #include "common/logging.hpp"
 #include "common/thread_pool.hpp"
 #include "fault/fault_plan.hpp"
+#include "profile/stage_profiler.hpp"
 
 namespace actyp::bench {
 
@@ -48,6 +50,11 @@ struct CellResult {
   std::uint64_t convergences = 0;    // disruptions fully reconciled
   double max_staleness_s = 0;        // worst replica lag behind the group
   double converge_time_s = 0;        // last disruption -> convergence
+  // Per-stage latency digests (src/profile/), indexed by profile::Stage.
+  // `profiled` is false when the run was built with profiling off, and
+  // AppendMetrics then emits no stage metrics at all — the seed report.
+  bool profiled = false;
+  std::array<profile::StageSummary, profile::kStageCount> stages{};
 };
 
 // Merges the driver's fault, replication, and retry overrides (--loss /
@@ -137,6 +144,13 @@ inline CellResult RunCell(ScenarioConfig config,
   result.convergences = replica_stats.convergences;
   result.max_staleness_s = replica_stats.max_staleness_s;
   result.converge_time_s = replica_stats.converge_time_s;
+  if (const profile::StageProfiler* profiler = scenario.profiler()) {
+    result.profiled = true;
+    for (std::size_t i = 0; i < profile::kStageCount; ++i) {
+      result.stages[i] =
+          profiler->Summary(static_cast<profile::Stage>(i));
+    }
+  }
   return result;
 }
 
@@ -147,6 +161,7 @@ inline CellResult RunCell(ScenarioConfig config,
                           const ScenarioRunOptions& options,
                           SimDuration warmup, SimDuration measure) {
   ApplyFaults(options, &config);
+  config.profile = options.profile;
   return RunCell(std::move(config), warmup, measure);
 }
 
@@ -171,7 +186,12 @@ inline std::uint64_t CellSeed(const ScenarioRunOptions& options,
   return options.seed.value_or(base) + offset;
 }
 
-// Appends the standard response-time metrics to a report cell.
+// Appends the standard response-time metrics to a report cell, plus —
+// when the run was profiled — the per-stage latency percentiles
+// ("<stage>_p50_s" / "_p95_s" / "_p99_s" for the six pipeline hops;
+// see profile::StageName). Unprofiled runs append exactly the legacy
+// five metrics, which is what keeps --no-profile output byte-identical
+// to the seed.
 inline void AppendMetrics(const CellResult& result, ScenarioCell* cell) {
   cell->metrics.emplace_back("mean_s", result.mean_s);
   cell->metrics.emplace_back("p50_s", result.p50_s);
@@ -180,6 +200,43 @@ inline void AppendMetrics(const CellResult& result, ScenarioCell* cell) {
                              static_cast<double>(result.completed));
   cell->metrics.emplace_back("failures",
                              static_cast<double>(result.failures));
+  if (!result.profiled) return;
+  for (std::size_t i = 0; i < profile::kStageCount; ++i) {
+    const std::string stage(
+        profile::StageName(static_cast<profile::Stage>(i)));
+    const profile::StageSummary& summary = result.stages[i];
+    cell->metrics.emplace_back(stage + "_p50_s", summary.p50_s);
+    cell->metrics.emplace_back(stage + "_p95_s", summary.p95_s);
+    cell->metrics.emplace_back(stage + "_p99_s", summary.p99_s);
+  }
+}
+
+// Appends "<stage>_p50_s/_p95_s/_p99_s" for each requested stage —
+// for scenarios that run a profiler outside the CellResult path.
+inline void AppendStageMetrics(const profile::StageProfiler& profiler,
+                               std::initializer_list<profile::Stage> stages,
+                               ScenarioCell* cell) {
+  for (const profile::Stage stage : stages) {
+    const std::string name(profile::StageName(stage));
+    const profile::StageSummary summary = profiler.Summary(stage);
+    cell->metrics.emplace_back(name + "_p50_s", summary.p50_s);
+    cell->metrics.emplace_back(name + "_p95_s", summary.p95_s);
+    cell->metrics.emplace_back(name + "_p99_s", summary.p99_s);
+  }
+}
+
+// All six pipeline stages from a finished scenario; no-op when the run
+// was built with profiling off.
+inline void AppendStageMetrics(const SimScenario& scenario,
+                               ScenarioCell* cell) {
+  const profile::StageProfiler* profiler = scenario.profiler();
+  if (profiler == nullptr) return;
+  AppendStageMetrics(*profiler,
+                     {profile::Stage::kClientIssue, profile::Stage::kQmAdmit,
+                      profile::Stage::kPmDelegate,
+                      profile::Stage::kPoolSelect,
+                      profile::Stage::kReintegrate, profile::Stage::kReply},
+                     cell);
 }
 
 // Appends the fault-regime metrics the lossy/churn scenarios report on

@@ -30,6 +30,18 @@ void SimScenario::Build() {
   // plus per-node ticks; pre-sizing avoids slab growth mid-run.
   kernel_.Reserve(config_.clients * 4 + config_.machines / 8 + 64);
 
+  // --- stage profiler ---
+  // Built first so every stage config below can carry the raw pointer
+  // (it outlives the network and any fault-restart config copies).
+  // When profiling is off the pointer stays null and every hook reduces
+  // to a pointer test: the seed path, byte for byte.
+  if (config_.profile) {
+    profile::StageProfiler::Config profiler_config;
+    profiler_config.ring_capacity = config_.profile_ring_capacity;
+    profiler_ = std::make_unique<profile::StageProfiler>(profiler_config);
+  }
+  profile::StageProfiler* profiler = profiler_.get();
+
   // --- topology ---
   simnet::Topology topology = simnet::Topology::Lan();
   if (config_.wan) {
@@ -123,6 +135,7 @@ void SimScenario::Build() {
   pipeline::ReintegratorConfig reint_config;
   reint_config.name = "reint";
   reint_config.costs = config_.costs;
+  reint_config.profiler = profiler;
   network_->AddNode("reint",
                     std::make_shared<pipeline::Reintegrator>(reint_config),
                     net::NodePlacement{kServerHost, 1});
@@ -133,6 +146,7 @@ void SimScenario::Build() {
   proxy_config.pool_policy = config_.policy;
   proxy_config.pool_resort_period = config_.resort_period;
   proxy_config.costs = config_.costs;
+  proxy_config.profiler = profiler;
   proxy_ = std::make_shared<pipeline::ProxyServer>(
       proxy_config, network_.get(), &database_, dir_api_, &shadows_,
       &policies_);
@@ -155,6 +169,7 @@ void SimScenario::Build() {
     pm_config.reintegrator = "reint";
     pm_config.allow_create = !config_.precreate_pools;
     pm_config.costs = config_.costs;
+    pm_config.profiler = profiler;
     const net::Address address = pm_config.name;
     network_->AddNode(address,
                       std::make_shared<pipeline::PoolManager>(pm_config, dir),
@@ -184,6 +199,7 @@ void SimScenario::Build() {
     qm_config.reintegrator = "reint";
     qm_config.qos_fanout = config_.qos_fanout;
     qm_config.costs = config_.costs;
+    qm_config.profiler = profiler;
     const net::Address address = qm_config.name;
     network_->AddNode(address,
                       std::make_shared<pipeline::QueryManager>(qm_config),
@@ -282,6 +298,7 @@ void SimScenario::Build() {
           pool_config.claim_limit =
               s + 1 == segments ? 0 : per_cluster / segments;
           pool_config.costs = config_.costs;
+          pool_config.profiler = profiler;
           add_pool("pool.c" + std::to_string(c) + ".s" + std::to_string(s),
                    pool_config, /*remote=*/false);
         }
@@ -298,6 +315,7 @@ void SimScenario::Build() {
           pool_config.policy = config_.policy;
           pool_config.resort_period = config_.resort_period;
           pool_config.costs = config_.costs;
+          pool_config.profiler = profiler;
           add_pool("pool.c" + std::to_string(c) + ".r" + std::to_string(r),
                    pool_config, /*remote=*/dual_site && r % 2 == 1);
         }
@@ -322,6 +340,7 @@ void SimScenario::Build() {
     client_config.think_time = config_.think_time;
     client_config.job_duration = config_.job_duration;
     client_config.collector = &collector_;
+    client_config.profiler = profiler;
     client_config.qos_first_match = config_.qos_first_match;
     client_config.request_timeout = config_.client_request_timeout;
     client_config.retry_max = config_.retry_max;
@@ -444,6 +463,7 @@ void SimScenario::RunUntil(SimTime until) { kernel_.RunUntil(until); }
 void SimScenario::Measure(SimDuration warmup, SimDuration duration) {
   RunUntil(kernel_.Now() + warmup);
   collector_.Reset();
+  if (profiler_) profiler_->Reset();
   RunUntil(kernel_.Now() + duration);
 }
 

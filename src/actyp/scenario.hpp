@@ -24,6 +24,7 @@
 #include "fault/fault_plan.hpp"
 #include "monitor/monitor.hpp"
 #include "pipeline/pool_manager.hpp"
+#include "profile/stage_profiler.hpp"
 #include "pipeline/proxy.hpp"
 #include "pipeline/query_manager.hpp"
 #include "pipeline/reintegrator.hpp"
@@ -98,6 +99,14 @@ struct ScenarioConfig {
   // Monitoring.
   SimDuration monitor_period = Seconds(5.0);
 
+  // Stage-span profiling (src/profile/). When true the scenario owns a
+  // StageProfiler and every pipeline stage records its spans; the
+  // reports then carry per-stage p50/p95/p99. False skips building the
+  // profiler entirely — the null-pointer hooks make the run (and its
+  // report output) byte-identical to the unprofiled seed path.
+  bool profile = true;
+  std::size_t profile_ring_capacity = 4096;
+
   pipeline::CostModel costs;
   std::uint64_t seed = 20010611;  // HPDC 2001 ;-)
 };
@@ -151,12 +160,23 @@ class SimScenario {
   [[nodiscard]] const Status& fault_status() const { return fault_status_; }
   [[nodiscard]] pipeline::ProxyStats proxy_stats() const;
 
+  // Per-stage latency profiler; null when config.profile is false.
+  [[nodiscard]] profile::StageProfiler* profiler() {
+    return profiler_.get();
+  }
+  [[nodiscard]] const profile::StageProfiler* profiler() const {
+    return profiler_.get();
+  }
+
  private:
   void Build();
   void InstallFaultHooks();
   void ResetCollector();
 
   ScenarioConfig config_;
+  // Declared before the network so it outlives the nodes (and any
+  // fault-restart config copies) holding raw pointers to it.
+  std::unique_ptr<profile::StageProfiler> profiler_;
   simnet::SimKernel kernel_;
   std::unique_ptr<simnet::SimNetwork> network_;
   db::ResourceDatabase database_;

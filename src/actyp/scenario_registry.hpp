@@ -49,6 +49,10 @@ struct ScenarioRunOptions {
   // --stable: zero wall-clock-derived metrics (ev_per_s_wall) so
   // fixed-seed runs are byte-identical across hosts and --jobs values.
   bool stable = false;
+  // --no-profile sets this false: the scenarios skip building the
+  // stage profiler and the reports omit the per-stage percentile
+  // metrics — restoring the pre-profiler output byte for byte.
+  bool profile = true;
 };
 
 // One measured cell of a scenario sweep: ordered string labels

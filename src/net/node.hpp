@@ -45,6 +45,13 @@ class NodeContext {
   // for `duration`; under the threaded runtime it is a scaled sleep.
   virtual void Consume(SimDuration duration) = 0;
 
+  // Service time accumulated by Consume() calls so far in the current
+  // processing step. Now() does not advance while a handler runs, so
+  // Now() + Consumed() is the sim time at which this step completes —
+  // the profiler's span-exit stamp. Transports that execute Consume
+  // inline (real sleeps) report 0.
+  [[nodiscard]] virtual SimDuration Consumed() const { return 0; }
+
   // Delivers `message` back to this node after `delay` (timer). Returns
   // a handle for CancelSelf, or 0 when the transport cannot cancel.
   virtual TimerId ScheduleSelf(SimDuration delay, Message message) = 0;

@@ -30,6 +30,11 @@ void PoolManager::OnMessage(const net::Envelope& envelope,
                             net::NodeContext& ctx) {
   if (envelope.message.type == net::msg::kQuery) {
     HandleQuery(envelope, ctx);
+    if (config_.profiler != nullptr) {
+      config_.profiler->Record(profile::Stage::kPmDelegate,
+                               RequestIdOf(envelope.message),
+                               envelope.sent_at, ctx.Now() + ctx.Consumed());
+    }
   } else {
     ACTYP_DEBUG << "pool manager '" << config_.name
                 << "': ignoring message type '" << envelope.message.type
@@ -184,10 +189,7 @@ void PoolManager::Fail(const net::Envelope& envelope, net::NodeContext& ctx,
   ++stats_.failures;
   const net::Address reply_to = envelope.message.Header(net::hdr::kReplyTo);
   if (reply_to.empty()) return;
-  std::uint64_t request_id = 0;
-  if (auto rid = ParseInt(envelope.message.Header(net::hdr::kRequestId))) {
-    request_id = static_cast<std::uint64_t>(*rid);
-  }
+  const std::uint64_t request_id = RequestIdOf(envelope.message);
   std::uint32_t frag_index = 0, frag_total = 1;
   ParseFragmentHeader(envelope.message, &frag_index, &frag_total);
   net::Message failure =

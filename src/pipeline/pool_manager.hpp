@@ -12,6 +12,7 @@
 #include "directory/directory.hpp"
 #include "net/node.hpp"
 #include "pipeline/cost_model.hpp"
+#include "profile/stage_profiler.hpp"
 #include "query/query.hpp"
 
 namespace actyp::pipeline {
@@ -29,6 +30,9 @@ struct PoolManagerConfig {
   // Allow delegating to peer pool managers (TTL-guarded).
   bool allow_delegate = true;
   CostModel costs;
+  // Stage-span sink (not owned; must outlive the node, including any
+  // fault-restart copies of this config). Null disables profiling.
+  profile::StageProfiler* profiler = nullptr;
 };
 
 struct PoolManagerStats {

@@ -36,6 +36,13 @@ net::Message MakeAllocationMessage(const Allocation& allocation) {
   return message;
 }
 
+std::uint64_t RequestIdOf(const net::Message& message) {
+  if (auto rid = ParseInt(message.Header(net::hdr::kRequestId))) {
+    return static_cast<std::uint64_t>(*rid);
+  }
+  return 0;
+}
+
 Result<Allocation> ParseAllocationMessage(const net::Message& message) {
   if (message.type != net::msg::kAllocation) {
     return InvalidArgument("not an allocation message: '" + message.type +
@@ -61,9 +68,7 @@ Result<Allocation> ParseAllocationMessage(const net::Message& message) {
   if (auto load = ParseDouble(message.Header(phdr::kLoad))) {
     allocation.machine_load = *load;
   }
-  if (auto rid = ParseInt(message.Header(net::hdr::kRequestId))) {
-    allocation.request_id = static_cast<std::uint64_t>(*rid);
-  }
+  allocation.request_id = RequestIdOf(message);
   ParseFragmentHeader(message, &allocation.fragment_index,
                       &allocation.fragment_total);
   return allocation;

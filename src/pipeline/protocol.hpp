@@ -86,4 +86,9 @@ net::Message MakeReleaseMessage(std::uint32_t machine_id,
 void ParseFragmentHeader(const net::Message& message, std::uint32_t* index,
                          std::uint32_t* total);
 
+// The request-id header as an integer; 0 when absent or malformed.
+// Shared by every stage (and the profiler hooks) so correlation ids
+// are parsed one way.
+[[nodiscard]] std::uint64_t RequestIdOf(const net::Message& message);
+
 }  // namespace actyp::pipeline

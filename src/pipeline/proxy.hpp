@@ -29,6 +29,9 @@ struct ProxyConfig {
   SimDuration pool_resort_period = Seconds(2.0);
   int pool_servers = 1;
   CostModel costs;
+  // Handed to pools this proxy creates (not owned; null disables
+  // profiling on them).
+  profile::StageProfiler* profiler = nullptr;
 };
 
 struct ProxyStats {

@@ -23,6 +23,13 @@ void QueryManager::OnMessage(const net::Envelope& envelope,
                              net::NodeContext& ctx) {
   if (envelope.message.type == net::msg::kQuery) {
     HandleQuery(envelope, ctx);
+    if (config_.profiler != nullptr) {
+      // Span covers transport + queue wait (sent_at .. Now) plus the
+      // service time this handler consumed.
+      config_.profiler->Record(profile::Stage::kQmAdmit,
+                               RequestIdOf(envelope.message),
+                               envelope.sent_at, ctx.Now() + ctx.Consumed());
+    }
   } else {
     ACTYP_DEBUG << "query manager '" << config_.name
                 << "': ignoring message type '" << envelope.message.type
@@ -63,10 +70,7 @@ void QueryManager::HandleQuery(const net::Envelope& envelope,
     return;
   }
 
-  std::uint64_t request_id = 0;
-  if (auto rid = ParseInt(message.Header(net::hdr::kRequestId))) {
-    request_id = static_cast<std::uint64_t>(*rid);
-  }
+  const std::uint64_t request_id = RequestIdOf(message);
   const net::Address client = message.Header(net::hdr::kReplyTo);
 
   // Expand QoS duplicates: each basic alternative is sent to `fanout`
@@ -188,11 +192,8 @@ void QueryManager::Fail(const net::Envelope& envelope, net::NodeContext& ctx,
                         const std::string& reason) {
   const net::Address reply_to = envelope.message.Header(net::hdr::kReplyTo);
   if (reply_to.empty()) return;
-  std::uint64_t request_id = 0;
-  if (auto rid = ParseInt(envelope.message.Header(net::hdr::kRequestId))) {
-    request_id = static_cast<std::uint64_t>(*rid);
-  }
-  ctx.Send(reply_to, MakeFailureMessage(request_id, reason));
+  ctx.Send(reply_to,
+           MakeFailureMessage(RequestIdOf(envelope.message), reason));
 }
 
 }  // namespace actyp::pipeline

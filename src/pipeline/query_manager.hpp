@@ -13,6 +13,7 @@
 
 #include "net/node.hpp"
 #include "pipeline/cost_model.hpp"
+#include "profile/stage_profiler.hpp"
 #include "query/query.hpp"
 
 namespace actyp::pipeline {
@@ -42,6 +43,9 @@ struct QueryManagerConfig {
   // and let the reintegrator keep the best response (§6). 1 = off.
   std::uint32_t qos_fanout = 1;
   CostModel costs;
+  // Stage-span sink (not owned; must outlive the node, including any
+  // fault-restart copies of this config). Null disables profiling.
+  profile::StageProfiler* profiler = nullptr;
 };
 
 struct QueryManagerStats {

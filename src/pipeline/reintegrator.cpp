@@ -20,6 +20,11 @@ void Reintegrator::OnMessage(const net::Envelope& envelope,
   if (message.type == net::msg::kAllocation ||
       message.type == net::msg::kFailure) {
     HandleResult(envelope, ctx);
+    if (config_.profiler != nullptr) {
+      config_.profiler->Record(profile::Stage::kReintegrate,
+                               RequestIdOf(message), envelope.sent_at,
+                               ctx.Now() + ctx.Consumed());
+    }
     return;
   }
   if (message.type == net::msg::kTick) {
@@ -57,10 +62,7 @@ void Reintegrator::HandleResult(const net::Envelope& envelope,
   ++stats_.fragments;
   ctx.Consume(config_.costs.reintegrate_per_fragment);
 
-  std::uint64_t request_id = 0;
-  if (auto rid = ParseInt(message.Header(net::hdr::kRequestId))) {
-    request_id = static_cast<std::uint64_t>(*rid);
-  }
+  const std::uint64_t request_id = RequestIdOf(message);
   std::uint32_t frag_index = 0, frag_total = 1;
   ParseFragmentHeader(message, &frag_index, &frag_total);
 

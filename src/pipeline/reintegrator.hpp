@@ -16,6 +16,7 @@
 #include "net/node.hpp"
 #include "pipeline/cost_model.hpp"
 #include "pipeline/protocol.hpp"
+#include "profile/stage_profiler.hpp"
 
 namespace actyp::pipeline {
 
@@ -26,6 +27,9 @@ struct ReintegratorConfig {
   SimDuration request_timeout = Seconds(30.0);
   SimDuration sweep_period = Seconds(10.0);
   CostModel costs;
+  // Stage-span sink (not owned; must outlive the node). Null disables
+  // profiling.
+  profile::StageProfiler* profiler = nullptr;
 };
 
 struct ReintegratorStats {

@@ -115,6 +115,11 @@ void ResourcePool::OnMessage(const net::Envelope& envelope,
   const net::Message& message = envelope.message;
   if (message.type == net::msg::kQuery) {
     HandleQuery(envelope, ctx);
+    if (config_.profiler != nullptr) {
+      config_.profiler->Record(profile::Stage::kPoolSelect,
+                               RequestIdOf(message), envelope.sent_at,
+                               ctx.Now() + ctx.Consumed());
+    }
   } else if (message.type == net::msg::kRelease) {
     HandleRelease(envelope, ctx);
   } else if (message.type == net::msg::kTick) {
@@ -137,10 +142,7 @@ void ResourcePool::HandleQuery(const net::Envelope& envelope,
   ++stats_.queries;
   const net::Message& message = envelope.message;
   const net::Address reply_to = message.Header(net::hdr::kReplyTo);
-  std::uint64_t request_id = 0;
-  if (auto rid = ParseInt(message.Header(net::hdr::kRequestId))) {
-    request_id = static_cast<std::uint64_t>(*rid);
-  }
+  const std::uint64_t request_id = RequestIdOf(message);
 
   ctx.Consume(config_.costs.pool_fixed);
 

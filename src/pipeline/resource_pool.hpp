@@ -30,6 +30,7 @@
 #include "pipeline/cost_model.hpp"
 #include "pipeline/protocol.hpp"
 #include "pipeline/reservations.hpp"
+#include "profile/stage_profiler.hpp"
 #include "query/query.hpp"
 #include "sched/index.hpp"
 #include "sched/policy.hpp"
@@ -62,6 +63,9 @@ struct ResourcePoolConfig {
   bool allow_oversubscribe = true;
   bool register_in_directory = true;
   CostModel costs;
+  // Stage-span sink (not owned; must outlive the node, including any
+  // fault-restart copies of this config). Null disables profiling.
+  profile::StageProfiler* profiler = nullptr;
 };
 
 struct PoolStats {

@@ -40,6 +40,10 @@ class SimNetwork::Context final : public net::NodeContext {
     if (duration > 0) effects_.consumed += duration;
   }
 
+  [[nodiscard]] SimDuration Consumed() const override {
+    return effects_.consumed;
+  }
+
   net::TimerId ScheduleSelf(SimDuration delay, net::Message message) override {
     const net::TimerId id = network_->next_timer_id_++;
     effects_.self_schedules.push_back({delay, id, std::move(message)});

@@ -66,10 +66,7 @@ void ClientNode::OnMessage(const net::Envelope& envelope,
     if (action == "next-query") {
       SendNextQuery(ctx);
     } else if (action == "request-timeout") {
-      std::uint64_t request_id = 0;
-      if (auto rid = ParseInt(message.Header(net::hdr::kRequestId))) {
-        request_id = static_cast<std::uint64_t>(*rid);
-      }
+      const std::uint64_t request_id = pipeline::RequestIdOf(message);
       if (request_id == inflight_request_ && inflight_request_ != 0) {
         timeout_timer_ = 0;
         if (attempt_ < config_.retry_max) {
@@ -97,20 +94,14 @@ void ClientNode::OnMessage(const net::Envelope& envelope,
         }
       }
     } else if (action == "retry-send") {
-      std::uint64_t request_id = 0;
-      if (auto rid = ParseInt(message.Header(net::hdr::kRequestId))) {
-        request_id = static_cast<std::uint64_t>(*rid);
-      }
+      const std::uint64_t request_id = pipeline::RequestIdOf(message);
       // A reply that raced the backoff already closed the request; only
       // resend when it is still the in-flight one.
       if (request_id == inflight_request_ && inflight_request_ != 0) {
         ResendInflight(ctx);
       }
     } else if (action == "job-done") {
-      std::uint64_t request_id = 0;
-      if (auto rid = ParseInt(message.Header(net::hdr::kRequestId))) {
-        request_id = static_cast<std::uint64_t>(*rid);
-      }
+      const std::uint64_t request_id = pipeline::RequestIdOf(message);
       auto it = held_.find(request_id);
       if (it != held_.end()) {
         ctx.Send(it->second.pool_address,
@@ -141,6 +132,17 @@ void ClientNode::OnMessage(const net::Envelope& envelope,
     if (config_.collector != nullptr) {
       config_.collector->RecordResponse(ctx.Now() - inflight_sent_at_);
     }
+    if (config_.profiler != nullptr) {
+      // The last hop back, and the client-observed end-to-end span
+      // (first send through retries to the accepted allocation) — the
+      // same interval the response collector measures.
+      config_.profiler->Record(profile::Stage::kReply,
+                               allocation->request_id, envelope.sent_at,
+                               ctx.Now());
+      config_.profiler->Record(profile::Stage::kClientIssue,
+                               allocation->request_id, inflight_sent_at_,
+                               ctx.Now());
+    }
     inflight_request_ = 0;
     if (timeout_timer_ != 0) {
       ctx.CancelSelf(timeout_timer_);
@@ -167,10 +169,7 @@ void ClientNode::OnMessage(const net::Envelope& envelope,
   }
 
   if (message.type == net::msg::kFailure) {
-    std::uint64_t request_id = 0;
-    if (auto rid = ParseInt(message.Header(net::hdr::kRequestId))) {
-      request_id = static_cast<std::uint64_t>(*rid);
-    }
+    const std::uint64_t request_id = pipeline::RequestIdOf(message);
     if (request_id != inflight_request_) return;  // stale fragment failure
     ++stats_.failures;
     if (config_.collector != nullptr) config_.collector->RecordFailure();

@@ -13,6 +13,7 @@
 #include "common/stats.hpp"
 #include "net/node.hpp"
 #include "pipeline/protocol.hpp"
+#include "profile/stage_profiler.hpp"
 
 namespace actyp::workload {
 
@@ -51,6 +52,9 @@ struct ClientConfig {
   std::function<SimDuration(Rng&)> job_duration;
   std::size_t max_requests = 0;  // 0 = unlimited
   ResponseCollector* collector = nullptr;
+  // Stage-span sink for the client_issue / reply spans (not owned).
+  // Null disables profiling.
+  profile::StageProfiler* profiler = nullptr;
   std::string language;     // non-native query language tag, if any
   bool qos_first_match = false;
   // Stop issuing queries after this sim time (0 = no horizon).

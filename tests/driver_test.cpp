@@ -261,6 +261,102 @@ TEST(ParallelSweep, ParallelRunsAreReproducible) {
   EXPECT_EQ(first.str(), second.str());
 }
 
+// Removes the contiguous block of per-stage percentile metrics that
+// AppendMetrics appends to a profiled cell ("client_issue_p50_s"
+// through "reply_p99_s"), leaving the pre-profiler report.
+std::string StripStageMetrics(std::string json) {
+  const std::string first = ",\"client_issue_p50_s\":";
+  const std::string last = "\"reply_p99_s\":";
+  for (;;) {
+    const std::size_t start = json.find(first);
+    if (start == std::string::npos) break;
+    std::size_t end = json.find(last, start);
+    if (end == std::string::npos) break;
+    end += last.size();
+    while (end < json.size() && json[end] != ',' && json[end] != '}') {
+      ++end;  // consume the numeric value
+    }
+    json.erase(start, end - start);
+  }
+  return json;
+}
+
+// The profiler's runtime off switch must reproduce the pre-profiler
+// report byte for byte: same cells, same metrics, same formatting —
+// the profiled report is the unprofiled one plus the appended
+// per-stage percentiles, nothing else moved.
+TEST(ProfileToggle, ProfiledReportIsUnprofiledPlusStageMetrics) {
+  const auto* info = ScenarioRegistry::Instance().Find("fig6_pool_size");
+  ASSERT_NE(info, nullptr);
+  ScenarioRunOptions options;
+  options.machines = 100;
+  options.clients = 2;
+  options.time_scale = 0.1;
+  options.seed = 11;
+  options.stable = true;
+
+  options.profile = true;
+  std::ostringstream profiled;
+  WriteReportJson(info->run(options), profiled);
+
+  options.profile = false;
+  std::ostringstream unprofiled;
+  WriteReportJson(info->run(options), unprofiled);
+
+  EXPECT_NE(profiled.str().find("\"pool_select_p95_s\":"),
+            std::string::npos);
+  EXPECT_EQ(unprofiled.str().find("_p50_s"), std::string::npos);
+  EXPECT_EQ(unprofiled.str().find("_p99_s"), std::string::npos);
+  EXPECT_EQ(StripStageMetrics(profiled.str()), unprofiled.str());
+}
+
+// Byte-identical replay with profiling off: repeated unprofiled runs
+// at a fixed seed emit the same bytes (the profiler leaves no trace in
+// the simulation, so the off path is exactly the seed path).
+TEST(ProfileToggle, UnprofiledRunsAreByteIdentical) {
+  for (const char* name : {"fig6_pool_size", "qm_scaling"}) {
+    const auto* info = ScenarioRegistry::Instance().Find(name);
+    ASSERT_NE(info, nullptr);
+    ScenarioRunOptions options;
+    options.machines = 100;
+    options.clients = 2;
+    options.time_scale = 0.05;
+    options.seed = 23;
+    options.stable = true;
+    options.profile = false;
+    std::ostringstream first, second;
+    WriteReportJson(info->run(options), first);
+    WriteReportJson(info->run(options), second);
+    EXPECT_FALSE(first.str().empty()) << name;
+    EXPECT_EQ(first.str(), second.str()) << name;
+  }
+}
+
+// Parallel profiled sweeps stay deterministic: each cell owns its own
+// profiler, so --jobs does not reorder or interleave stage samples.
+TEST(ProfileToggle, ProfiledParallelSweepMatchesSerial) {
+  const auto* info = ScenarioRegistry::Instance().Find("qm_scaling");
+  ASSERT_NE(info, nullptr);
+  ScenarioRunOptions options;
+  options.machines = 100;
+  options.clients = 2;
+  options.time_scale = 0.05;
+  options.seed = 29;
+  options.stable = true;
+  options.profile = true;
+
+  options.jobs = 1;
+  std::ostringstream serial;
+  WriteReportJson(info->run(options), serial);
+
+  options.jobs = 4;
+  std::ostringstream parallel;
+  WriteReportJson(info->run(options), parallel);
+
+  EXPECT_NE(serial.str().find("_p95_s"), std::string::npos);
+  EXPECT_EQ(serial.str(), parallel.str());
+}
+
 TEST(ReportEmitters, JsonEscapesAndNonFiniteValues) {
   ScenarioReport report;
   report.scenario = "synthetic";

@@ -1,0 +1,356 @@
+// Profiler subsystem tests: histogram quantile accuracy and lossless
+// merge (the property that lets sweep cells aggregate), ring-buffer
+// wrap-around, the no-perturbation guarantee (profiling on/off leaves
+// the simulation byte-for-byte unchanged), fixed-seed determinism of
+// the reported percentiles, and the metrics exporter's two formats.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "actyp/scenario.hpp"
+#include "profile/metrics_exporter.hpp"
+#include "profile/stage_profiler.hpp"
+
+namespace actyp::profile {
+namespace {
+
+TEST(StageName, CoversEveryStage) {
+  EXPECT_EQ(StageName(Stage::kClientIssue), "client_issue");
+  EXPECT_EQ(StageName(Stage::kQmAdmit), "qm_admit");
+  EXPECT_EQ(StageName(Stage::kPmDelegate), "pm_delegate");
+  EXPECT_EQ(StageName(Stage::kPoolSelect), "pool_select");
+  EXPECT_EQ(StageName(Stage::kReintegrate), "reintegrate");
+  EXPECT_EQ(StageName(Stage::kReply), "reply");
+}
+
+TEST(LatencyHistogram, EmptyReportsZeros) {
+  LatencyHistogram histogram;
+  EXPECT_EQ(histogram.count(), 0u);
+  EXPECT_EQ(histogram.mean(), 0.0);
+  EXPECT_EQ(histogram.min(), 0.0);
+  EXPECT_EQ(histogram.max(), 0.0);
+  EXPECT_EQ(histogram.Quantile(0.5), 0.0);
+}
+
+TEST(LatencyHistogram, SingleValueReportsItselfExactly) {
+  LatencyHistogram histogram;
+  histogram.Add(0.0123);
+  EXPECT_EQ(histogram.count(), 1u);
+  // The observed-range clamp makes a degenerate distribution exact even
+  // though the bucket is ~15% wide.
+  EXPECT_DOUBLE_EQ(histogram.Quantile(0.50), 0.0123);
+  EXPECT_DOUBLE_EQ(histogram.Quantile(0.99), 0.0123);
+  EXPECT_DOUBLE_EQ(histogram.min(), 0.0123);
+  EXPECT_DOUBLE_EQ(histogram.max(), 0.0123);
+}
+
+TEST(LatencyHistogram, GoldenQuantilesOnUniformSamples) {
+  LatencyHistogram histogram;
+  // 1 ms .. 1 s uniform grid: the true quantiles are known, and the
+  // geometric buckets (16/decade ~ 15% wide) plus interpolation must
+  // land within one bucket width of them.
+  for (int i = 1; i <= 1000; ++i) {
+    histogram.Add(static_cast<double>(i) / 1000.0);
+  }
+  EXPECT_EQ(histogram.count(), 1000u);
+  EXPECT_NEAR(histogram.mean(), 0.5005, 1e-9);
+  EXPECT_NEAR(histogram.Quantile(0.50), 0.500, 0.500 * 0.16);
+  EXPECT_NEAR(histogram.Quantile(0.95), 0.950, 0.950 * 0.16);
+  EXPECT_NEAR(histogram.Quantile(0.99), 0.990, 0.990 * 0.16);
+  // Quantiles are monotone and bounded by the observed extremes.
+  const double p50 = histogram.Quantile(0.50);
+  const double p95 = histogram.Quantile(0.95);
+  const double p99 = histogram.Quantile(0.99);
+  EXPECT_LE(p50, p95);
+  EXPECT_LE(p95, p99);
+  EXPECT_LE(p99, histogram.max());
+  EXPECT_GE(p50, histogram.min());
+  EXPECT_DOUBLE_EQ(histogram.min(), 0.001);
+  EXPECT_DOUBLE_EQ(histogram.max(), 1.0);
+}
+
+TEST(LatencyHistogram, UnderflowAndOverflowAreClamped) {
+  LatencyHistogram histogram;  // default range [1e-6, 1e3)
+  histogram.Add(1e-9);         // underflow bucket
+  histogram.Add(5e3);          // overflow bucket
+  EXPECT_EQ(histogram.count(), 2u);
+  // Clamping to the observed range keeps the estimates finite and sane.
+  EXPECT_GE(histogram.Quantile(0.01), 1e-9);
+  EXPECT_LE(histogram.Quantile(0.99), 5e3);
+  histogram.Add(-1.0);  // negatives are dropped, not folded in
+  EXPECT_EQ(histogram.count(), 2u);
+}
+
+TEST(LatencyHistogram, MergeEqualsCombinedSamples) {
+  // Lossless merge is what makes per-cell profilers aggregatable: the
+  // merged histogram must be indistinguishable from one histogram fed
+  // every sample. Exact bucket equality implies exact quantile
+  // equality, checked here over an awkward mixed distribution.
+  LatencyHistogram left, right, combined;
+  std::vector<double> left_samples, right_samples;
+  for (int i = 1; i <= 300; ++i) {
+    left_samples.push_back(1e-4 * i);           // 0.1 ms .. 30 ms
+    right_samples.push_back(2e-3 + 1e-3 * i);   // 3 ms .. 302 ms
+  }
+  for (const double v : left_samples) {
+    left.Add(v);
+    combined.Add(v);
+  }
+  for (const double v : right_samples) {
+    right.Add(v);
+    combined.Add(v);
+  }
+  left.Merge(right);
+  EXPECT_EQ(left.count(), combined.count());
+  EXPECT_DOUBLE_EQ(left.mean(), combined.mean());
+  EXPECT_DOUBLE_EQ(left.min(), combined.min());
+  EXPECT_DOUBLE_EQ(left.max(), combined.max());
+  for (const double q : {0.01, 0.25, 0.50, 0.90, 0.95, 0.99, 1.0}) {
+    EXPECT_DOUBLE_EQ(left.Quantile(q), combined.Quantile(q)) << "q=" << q;
+  }
+}
+
+TEST(LatencyHistogram, MergeIntoEmptyAdoptsExtremes) {
+  LatencyHistogram empty, full;
+  full.Add(0.25);
+  full.Add(0.75);
+  empty.Merge(full);
+  EXPECT_EQ(empty.count(), 2u);
+  EXPECT_DOUBLE_EQ(empty.min(), 0.25);
+  EXPECT_DOUBLE_EQ(empty.max(), 0.75);
+}
+
+TEST(StageProfiler, RecordFoldsIntoPerStageHistograms) {
+  StageProfiler profiler;
+  profiler.Record(Stage::kQmAdmit, 1, 0, 1000);        // 1 ms
+  profiler.Record(Stage::kQmAdmit, 2, 0, 3000);        // 3 ms
+  profiler.Record(Stage::kPoolSelect, 1, 500, 700);    // 0.2 ms
+  EXPECT_EQ(profiler.recorded(), 3u);
+  const StageSummary admit = profiler.Summary(Stage::kQmAdmit);
+  EXPECT_EQ(admit.count, 2u);
+  EXPECT_DOUBLE_EQ(admit.mean_s, 0.002);
+  EXPECT_DOUBLE_EQ(admit.max_s, 0.003);
+  const StageSummary select = profiler.Summary(Stage::kPoolSelect);
+  EXPECT_EQ(select.count, 1u);
+  EXPECT_DOUBLE_EQ(select.p50_s, 0.0002);
+  EXPECT_EQ(profiler.Summary(Stage::kReply).count, 0u);
+}
+
+TEST(StageProfiler, NegativeSpansAreDropped) {
+  StageProfiler profiler;
+  profiler.Record(Stage::kReply, 1, 1000, 500);  // t_exit < t_enter
+  EXPECT_EQ(profiler.recorded(), 0u);
+  EXPECT_EQ(profiler.Summary(Stage::kReply).count, 0u);
+  EXPECT_TRUE(profiler.RingSnapshot().empty());
+}
+
+TEST(StageProfiler, RingWrapsKeepingMostRecentOldestFirst) {
+  StageProfiler::Config config;
+  config.ring_capacity = 8;
+  StageProfiler profiler(config);
+  for (std::uint64_t id = 1; id <= 20; ++id) {
+    profiler.Record(Stage::kClientIssue, id,
+                    static_cast<SimTime>(id * 10),
+                    static_cast<SimTime>(id * 10 + 5));
+  }
+  EXPECT_EQ(profiler.recorded(), 20u);  // histogram saw every span
+  EXPECT_EQ(profiler.Summary(Stage::kClientIssue).count, 20u);
+  const std::vector<SpanRecord> snapshot = profiler.RingSnapshot();
+  ASSERT_EQ(snapshot.size(), 8u);  // ring kept only the last 8
+  for (std::size_t i = 0; i < snapshot.size(); ++i) {
+    EXPECT_EQ(snapshot[i].request_id, 13 + i) << "index " << i;
+    EXPECT_EQ(snapshot[i].t_enter,
+              static_cast<SimTime>((13 + i) * 10));
+  }
+}
+
+TEST(StageProfiler, ResetClearsEverything) {
+  StageProfiler profiler;
+  profiler.Record(Stage::kQmAdmit, 1, 0, 100);
+  profiler.Reset();
+  EXPECT_EQ(profiler.recorded(), 0u);
+  EXPECT_EQ(profiler.Summary(Stage::kQmAdmit).count, 0u);
+  EXPECT_TRUE(profiler.RingSnapshot().empty());
+}
+
+TEST(StageProfiler, MergeFoldsHistogramsAcrossCells) {
+  // The sweep aggregation path: each cell owns a profiler, the report
+  // merges them. Merged summaries must match one profiler fed all
+  // spans.
+  StageProfiler cell_a, cell_b, all;
+  for (std::uint64_t id = 1; id <= 50; ++id) {
+    const auto exit_a = static_cast<SimTime>(1000 + id * 37);
+    const auto exit_b = static_cast<SimTime>(2000 + id * 91);
+    cell_a.Record(Stage::kPoolSelect, id, 0, exit_a);
+    all.Record(Stage::kPoolSelect, id, 0, exit_a);
+    cell_b.Record(Stage::kPoolSelect, id, 0, exit_b);
+    all.Record(Stage::kPoolSelect, id, 0, exit_b);
+  }
+  cell_a.Merge(cell_b);
+  const StageSummary merged = cell_a.Summary(Stage::kPoolSelect);
+  const StageSummary direct = all.Summary(Stage::kPoolSelect);
+  EXPECT_EQ(merged.count, direct.count);
+  EXPECT_DOUBLE_EQ(merged.mean_s, direct.mean_s);
+  EXPECT_DOUBLE_EQ(merged.p50_s, direct.p50_s);
+  EXPECT_DOUBLE_EQ(merged.p95_s, direct.p95_s);
+  EXPECT_DOUBLE_EQ(merged.p99_s, direct.p99_s);
+  EXPECT_DOUBLE_EQ(merged.max_s, direct.max_s);
+}
+
+// ---------------------------------------------------------------------
+// End-to-end through the simulated pipeline.
+// ---------------------------------------------------------------------
+
+ScenarioConfig SmallPipeline(bool profile) {
+  ScenarioConfig config;
+  config.machines = 60;
+  config.clusters = 2;
+  config.clients = 4;
+  config.seed = 424242;
+  config.profile = profile;
+  return config;
+}
+
+TEST(PipelineProfiling, ScenarioProducesStageSpans) {
+  SimScenario scenario(SmallPipeline(true));
+  scenario.Measure(1'000'000, 5'000'000);  // 1 s warmup, 5 s measure
+  ASSERT_NE(scenario.profiler(), nullptr);
+  EXPECT_GT(scenario.collector().completed(), 0u);
+  // Every request that completed passed through client/QM/pool/reply,
+  // so those stages must have spans; their counts track completions.
+  const auto completed = scenario.collector().completed();
+  for (const Stage stage : {Stage::kClientIssue, Stage::kQmAdmit,
+                            Stage::kPoolSelect, Stage::kReply}) {
+    const StageSummary summary = scenario.profiler()->Summary(stage);
+    EXPECT_GE(summary.count, completed) << StageName(stage);
+    EXPECT_GE(summary.p50_s, 0.0) << StageName(stage);
+    EXPECT_LE(summary.p50_s, summary.p95_s) << StageName(stage);
+    EXPECT_LE(summary.p95_s, summary.p99_s) << StageName(stage);
+  }
+  // The end-to-end span dominates any single hop.
+  EXPECT_GE(scenario.profiler()->Summary(Stage::kClientIssue).p50_s,
+            scenario.profiler()->Summary(Stage::kReply).p50_s);
+}
+
+TEST(PipelineProfiling, FixedSeedPercentilesAreDeterministic) {
+  SimScenario first(SmallPipeline(true));
+  first.Measure(1'000'000, 5'000'000);
+  SimScenario second(SmallPipeline(true));
+  second.Measure(1'000'000, 5'000'000);
+  ASSERT_NE(first.profiler(), nullptr);
+  ASSERT_NE(second.profiler(), nullptr);
+  for (std::size_t i = 0; i < kStageCount; ++i) {
+    const auto stage = static_cast<Stage>(i);
+    const StageSummary a = first.profiler()->Summary(stage);
+    const StageSummary b = second.profiler()->Summary(stage);
+    EXPECT_EQ(a.count, b.count) << StageName(stage);
+    EXPECT_DOUBLE_EQ(a.p50_s, b.p50_s) << StageName(stage);
+    EXPECT_DOUBLE_EQ(a.p95_s, b.p95_s) << StageName(stage);
+    EXPECT_DOUBLE_EQ(a.p99_s, b.p99_s) << StageName(stage);
+  }
+}
+
+TEST(PipelineProfiling, ProfilingDoesNotPerturbTheSimulation) {
+  // The no-perturbation guarantee behind the byte-identical-replay
+  // acceptance: Record() neither consumes randomness nor schedules
+  // events, so the observable simulation is identical with the
+  // profiler on, off, or absent.
+  SimScenario on(SmallPipeline(true));
+  on.Measure(1'000'000, 5'000'000);
+  SimScenario off(SmallPipeline(false));
+  off.Measure(1'000'000, 5'000'000);
+  EXPECT_NE(on.profiler(), nullptr);
+  EXPECT_EQ(off.profiler(), nullptr);
+  EXPECT_EQ(on.collector().completed(), off.collector().completed());
+  EXPECT_EQ(on.collector().failures(), off.collector().failures());
+  EXPECT_DOUBLE_EQ(on.collector().response_stats().mean(),
+                   off.collector().response_stats().mean());
+  EXPECT_DOUBLE_EQ(on.collector().QuantileSeconds(0.95),
+                   off.collector().QuantileSeconds(0.95));
+}
+
+// ---------------------------------------------------------------------
+// Metrics exporter.
+// ---------------------------------------------------------------------
+
+MetricCell SampleCell() {
+  MetricCell cell;
+  cell.scenario = "fig6_pool_size";
+  cell.labels.emplace_back("policy", "least-load");
+  cell.labels.emplace_back("machines", "400");
+  cell.values.emplace_back("mean_s", 0.0125);
+  cell.values.emplace_back("pool_select_p95_s", 0.0041);
+  return cell;
+}
+
+TEST(MetricsExporterTest, ParseFormatRoundTrips) {
+  EXPECT_EQ(MetricsExporter::ParseFormat("jsonl"),
+            MetricsExporter::Format::kJsonl);
+  EXPECT_EQ(MetricsExporter::ParseFormat("prom"),
+            MetricsExporter::Format::kProm);
+  EXPECT_FALSE(MetricsExporter::ParseFormat("csv").has_value());
+  EXPECT_EQ(MetricsExporter::FormatName(MetricsExporter::Format::kJsonl),
+            "jsonl");
+  EXPECT_EQ(MetricsExporter::FormatName(MetricsExporter::Format::kProm),
+            "prom");
+}
+
+TEST(MetricsExporterTest, JsonlEmitsOneObjectPerCell) {
+  MetricsExporter exporter(MetricsExporter::Format::kJsonl);
+  exporter.Add(SampleCell());
+  exporter.Add(SampleCell());
+  EXPECT_EQ(exporter.cell_count(), 2u);
+  std::ostringstream out;
+  exporter.Write(out);
+  const std::string text = out.str();
+  std::size_t lines = 0;
+  std::istringstream stream(text);
+  for (std::string line; std::getline(stream, line);) {
+    ++lines;
+    EXPECT_EQ(line.front(), '{');
+    EXPECT_EQ(line.back(), '}');
+    EXPECT_NE(line.find("\"scenario\":\"fig6_pool_size\""),
+              std::string::npos);
+    EXPECT_NE(line.find("\"policy\":\"least-load\""), std::string::npos);
+    EXPECT_NE(line.find("\"pool_select_p95_s\":0.0041"), std::string::npos);
+  }
+  EXPECT_EQ(lines, 2u);
+}
+
+TEST(MetricsExporterTest, PromEmitsTypedGaugesWithLabels) {
+  MetricsExporter exporter(MetricsExporter::Format::kProm);
+  exporter.Add(SampleCell());
+  std::ostringstream out;
+  exporter.Write(out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("# TYPE actyp_mean_s gauge"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE actyp_pool_select_p95_s gauge"),
+            std::string::npos);
+  EXPECT_NE(
+      text.find("actyp_mean_s{scenario=\"fig6_pool_size\","
+                "policy=\"least-load\",machines=\"400\"} 0.0125"),
+      std::string::npos);
+  EXPECT_NE(text.find("# EOF"), std::string::npos);
+}
+
+TEST(MetricsExporterTest, PromSanitizesAwkwardNamesAndValues) {
+  MetricCell cell;
+  cell.scenario = "synthetic";
+  cell.labels.emplace_back("label", "quote\" slash\\ newline\n");
+  cell.values.emplace_back("weird-metric.name", 1.0);
+  MetricsExporter exporter(MetricsExporter::Format::kProm);
+  exporter.Add(std::move(cell));
+  std::ostringstream out;
+  exporter.Write(out);
+  const std::string text = out.str();
+  // Metric names must match [a-zA-Z_][a-zA-Z0-9_]*; label values escape
+  // quotes, backslashes, and newlines per the exposition format.
+  EXPECT_NE(text.find("actyp_weird_metric_name"), std::string::npos);
+  EXPECT_NE(text.find("quote\\\" slash\\\\ newline\\n"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace actyp::profile

@@ -42,12 +42,14 @@
 #include "common/strings.hpp"
 #include "common/thread_pool.hpp"
 #include "fault/fault_plan.hpp"
+#include "profile/metrics_exporter.hpp"
 
 namespace {
 
 using actyp::ScenarioInfo;
 using actyp::ScenarioRegistry;
 using actyp::ScenarioRunOptions;
+using actyp::profile::MetricsExporter;
 
 int Usage(int code) {
   std::fprintf(
@@ -58,7 +60,8 @@ int Usage(int code) {
       "                 [--churn-rate R] [--fault-plan FILE]\n"
       "                 [--replicas N] [--sync-period S]\n"
       "                 [--retry-max N] [--retry-backoff S]\n"
-      "                 [--jobs N] [--stable]\n"
+      "                 [--jobs N] [--stable] [--no-profile]\n"
+      "                 [--metrics-out FILE] [--metrics-format jsonl|prom]\n"
       "\n"
       "  --list            list registered scenarios and exit\n"
       "  --scenario <s>    run one scenario (repeatable)\n"
@@ -87,7 +90,14 @@ int Usage(int code) {
       "                    scenario runs, whole scenarios) on N worker\n"
       "                    threads; output order is unchanged\n"
       "  --stable          zero wall-clock-derived metrics so fixed-seed\n"
-      "                    output is byte-identical across hosts/--jobs\n");
+      "                    output is byte-identical across hosts/--jobs\n"
+      "  --no-profile      disable the stage-span profiler: reports omit\n"
+      "                    the per-stage percentiles (the pre-profiler\n"
+      "                    output, byte for byte)\n"
+      "  --metrics-out FILE  also export every report cell's metrics to\n"
+      "                    FILE after the run\n"
+      "  --metrics-format F  export format: jsonl (default, one JSON\n"
+      "                    object per cell) or prom (Prometheus text)\n");
   return code;
 }
 
@@ -124,13 +134,41 @@ bool ParseDouble(const char* text, double* out) {
   return true;
 }
 
+// Destination and format for --metrics-out / --metrics-format.
+struct MetricsOutput {
+  std::string path;  // empty = no export
+  MetricsExporter::Format format = MetricsExporter::Format::kJsonl;
+};
+
+// Flattens one finished report into exporter cells: string labels pass
+// through, numeric dims become labels (formatted like the JSON report),
+// metrics become the values.
+void AddReportCells(const actyp::ScenarioReport& report,
+                    MetricsExporter* exporter) {
+  for (const actyp::ScenarioCell& cell : report.cells) {
+    actyp::profile::MetricCell out;
+    out.scenario = report.scenario;
+    for (const auto& [key, value] : cell.labels) {
+      out.labels.emplace_back(key, value);
+    }
+    for (const auto& [key, value] : cell.dims) {
+      char buffer[32];
+      std::snprintf(buffer, sizeof(buffer), "%.6g", value);
+      out.labels.emplace_back(key, buffer);
+    }
+    out.values = cell.metrics;
+    exporter->Add(std::move(out));
+  }
+}
+
 // Loads a full experiment config into the run list and options: the
 // scenario selection ("scenario = fig4_pools_lan" or a comma list),
 // the driver overrides (seed / machines / clients / time-scale / loss /
-// churn-rate / json), and a [fault] section in FaultPlan::FromConfig
-// form. Returns 0 on success.
+// churn-rate / json / profile / metrics-out / metrics-format), and a
+// [fault] section in FaultPlan::FromConfig form. Returns 0 on success.
 int ApplyConfigFile(const char* path, std::vector<std::string>* names,
-                    ScenarioRunOptions* options, bool* json, bool* all) {
+                    ScenarioRunOptions* options, bool* json, bool* all,
+                    MetricsOutput* metrics) {
   std::ifstream file(path);
   if (!file) {
     std::fprintf(stderr, "actyp_sim: cannot read config '%s'\n", path);
@@ -218,6 +256,15 @@ int ApplyConfigFile(const char* path, std::vector<std::string>* names,
     options->jobs = static_cast<std::size_t>(*parsed);
   }
   options->stable = config->GetBool("stable", options->stable);
+  options->profile = config->GetBool("profile", options->profile);
+  if (const auto value = config->Get("metrics-out")) {
+    metrics->path = *value;
+  }
+  if (const auto value = config->Get("metrics-format")) {
+    const auto format = MetricsExporter::ParseFormat(*value);
+    if (!format) return bad("metrics-format", *value);
+    metrics->format = *format;
+  }
 
   const auto plan = actyp::fault::FaultPlan::FromConfig(config.value());
   if (!plan.ok()) {
@@ -237,6 +284,7 @@ int main(int argc, char** argv) {
   bool json = false;
   std::vector<std::string> names;
   ScenarioRunOptions options;
+  MetricsOutput metrics;
 
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
@@ -255,7 +303,7 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(arg, "--config") == 0) {
       if (i + 1 >= argc) return MissingValue(arg);
       if (const int rc = ApplyConfigFile(argv[++i], &names, &options, &json,
-                                         &all);
+                                         &all, &metrics);
           rc != 0) {
         return rc;
       }
@@ -326,6 +374,16 @@ int main(int argc, char** argv) {
       options.jobs = static_cast<std::size_t>(value);
     } else if (std::strcmp(arg, "--stable") == 0) {
       options.stable = true;
+    } else if (std::strcmp(arg, "--no-profile") == 0) {
+      options.profile = false;
+    } else if (std::strcmp(arg, "--metrics-out") == 0) {
+      if (i + 1 >= argc) return MissingValue(arg);
+      metrics.path = argv[++i];
+    } else if (std::strcmp(arg, "--metrics-format") == 0) {
+      if (i + 1 >= argc) return MissingValue(arg);
+      const auto format = MetricsExporter::ParseFormat(argv[++i]);
+      if (!format) return BadValue(arg, argv[i]);
+      metrics.format = *format;
     } else if (std::strcmp(arg, "--fault-plan") == 0) {
       if (i + 1 >= argc) return MissingValue(arg);
       std::ifstream file(argv[++i]);
@@ -409,6 +467,17 @@ int main(int argc, char** argv) {
       actyp::WriteReportJson(report, std::cout);
     } else {
       actyp::WriteReportTable(report, std::cout);
+    }
+  }
+
+  if (!metrics.path.empty()) {
+    MetricsExporter exporter(metrics.format);
+    for (const actyp::ScenarioReport& report : reports) {
+      AddReportCells(report, &exporter);
+    }
+    if (const auto status = exporter.WriteFile(metrics.path); !status.ok()) {
+      std::fprintf(stderr, "actyp_sim: %s\n", status.ToString().c_str());
+      return 1;
     }
   }
   return 0;
