@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <functional>
 #include <initializer_list>
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
@@ -18,7 +19,9 @@
 #include "common/logging.hpp"
 #include "common/thread_pool.hpp"
 #include "fault/fault_plan.hpp"
+#include "profile/metrics_exporter.hpp"
 #include "profile/stage_profiler.hpp"
+#include "profile/trace_assembler.hpp"
 
 namespace actyp::bench {
 
@@ -55,6 +58,13 @@ struct CellResult {
   // AppendMetrics then emits no stage metrics at all — the seed report.
   bool profiled = false;
   std::array<profile::StageSummary, profile::kStageCount> stages{};
+  // Trace-derived tail attribution (profiled runs only): the per-request
+  // traces assembled from the span ring's window, and which stage
+  // dominated the slowest of them (index into profile::Stage; -1 when
+  // the window held no complete trace).
+  std::uint64_t trace_count = 0;
+  int slow_trace_top_stage = -1;
+  std::array<double, profile::kStageCount> tail_share{};
 };
 
 // Merges the driver's fault, replication, and retry overrides (--loss /
@@ -103,13 +113,11 @@ inline void ApplyFaults(const ScenarioRunOptions& options,
   }
 }
 
-// Runs one scenario cell: warm up, reset the collector, measure.
-inline CellResult RunCell(ScenarioConfig config,
-                          SimDuration warmup = Seconds(3),
-                          SimDuration measure = Seconds(15)) {
-  const auto wall_start = std::chrono::steady_clock::now();
-  SimScenario scenario(std::move(config));
-  scenario.Measure(warmup, measure);
+// Harvests a finished scenario into a CellResult (shared by both
+// RunCell overloads; wall_start is when cell construction began).
+inline CellResult CollectCell(
+    SimScenario& scenario,
+    std::chrono::steady_clock::time_point wall_start) {
   CellResult result;
   result.wall_s = std::chrono::duration<double>(
                       std::chrono::steady_clock::now() - wall_start)
@@ -150,19 +158,94 @@ inline CellResult RunCell(ScenarioConfig config,
       result.stages[i] =
           profiler->Summary(static_cast<profile::Stage>(i));
     }
+    // Tail attribution over the traces still assembled in the ring
+    // window — a deterministic function of the seed (and the ring
+    // capacity, which bounds the window).
+    const profile::AssembledTraces assembled =
+        profile::TraceAssembler::Assemble(profiler->RingSnapshot());
+    const profile::TailReport tail =
+        profile::TraceAssembler::Tail(assembled.requests);
+    result.trace_count = tail.trace_count;
+    result.slow_trace_top_stage = tail.slow_top_stage;
+    result.tail_share = tail.tail_share;
   }
   return result;
 }
 
+// Runs one scenario cell: warm up, reset the collector, measure.
+inline CellResult RunCell(ScenarioConfig config,
+                          SimDuration warmup = Seconds(3),
+                          SimDuration measure = Seconds(15)) {
+  const auto wall_start = std::chrono::steady_clock::now();
+  SimScenario scenario(std::move(config));
+  scenario.Measure(warmup, measure);
+  return CollectCell(scenario, wall_start);
+}
+
+// One incremental streaming snapshot of a running cell: sim time,
+// throughput counters, and — when profiled — the per-stage p95s so
+// far. Emitted on the sim clock by the --metrics-interval hook.
+inline profile::MetricCell StreamSnapshot(SimScenario& scenario) {
+  profile::MetricCell cell;
+  cell.scenario = "stream";
+  cell.labels.emplace_back("seed",
+                           std::to_string(scenario.config().seed));
+  cell.values.emplace_back("t_s", ToSeconds(scenario.kernel().Now()));
+  cell.values.emplace_back(
+      "completed", static_cast<double>(scenario.collector().completed()));
+  cell.values.emplace_back(
+      "failures", static_cast<double>(scenario.collector().failures()));
+  if (const profile::StageProfiler* profiler = scenario.profiler()) {
+    for (std::size_t i = 0; i < profile::kStageCount; ++i) {
+      const auto stage = static_cast<profile::Stage>(i);
+      const profile::StageSummary summary = profiler->Summary(stage);
+      const std::string name(profile::StageName(stage));
+      cell.values.emplace_back(name + "_count",
+                               static_cast<double>(summary.count));
+      cell.values.emplace_back(name + "_p95_s", summary.p95_s);
+    }
+  }
+  return cell;
+}
+
 // RunCell with the driver's fault overrides applied first; every
 // scenario routes through this so --loss / --churn-rate / --fault-plan
-// compose with any figure or ablation.
+// compose with any figure or ablation. This overload also carries the
+// observability wiring: the --metrics-interval streaming timer (a
+// self-re-arming kernel event — extra events never reorder existing
+// ones under the kernel's (at, seq) tie-break, so arming it cannot
+// perturb the simulation) and the --trace-out span capture, taken
+// before the scenario is torn down.
 inline CellResult RunCell(ScenarioConfig config,
                           const ScenarioRunOptions& options,
                           SimDuration warmup, SimDuration measure) {
   ApplyFaults(options, &config);
   config.profile = options.profile;
-  return RunCell(std::move(config), warmup, measure);
+  if (options.profile_ring_capacity) {
+    config.profile_ring_capacity = *options.profile_ring_capacity;
+  }
+  const auto wall_start = std::chrono::steady_clock::now();
+  SimScenario scenario(std::move(config));
+  if (options.metrics_streamer != nullptr &&
+      options.metrics_interval_s > 0) {
+    const auto interval = std::max<SimDuration>(
+        Seconds(options.metrics_interval_s * options.time_scale), 1);
+    profile::MetricsStreamer* streamer = options.metrics_streamer;
+    SimScenario* running = &scenario;
+    auto tick = std::make_shared<std::function<void()>>();
+    *tick = [tick, streamer, running, interval] {
+      streamer->WriteCell(StreamSnapshot(*running));
+      running->kernel().Schedule(interval, [tick] { (*tick)(); });
+    };
+    scenario.kernel().Schedule(interval, [tick] { (*tick)(); });
+  }
+  scenario.Measure(warmup, measure);
+  CellResult result = CollectCell(scenario, wall_start);
+  if (options.trace_sink != nullptr && scenario.profiler() != nullptr) {
+    options.trace_sink->Add(scenario.config().seed,
+                            scenario.profiler()->RingSnapshot());
+  }
+  return result;
 }
 
 // A sweep dimension collapses to the override when the driver pins it.
@@ -209,6 +292,25 @@ inline void AppendMetrics(const CellResult& result, ScenarioCell* cell) {
     cell->metrics.emplace_back(stage + "_p95_s", summary.p95_s);
     cell->metrics.emplace_back(stage + "_p99_s", summary.p99_s);
   }
+  // Trace-derived tail attribution: which stage dominated the slowest
+  // assembled traces (stage index; -1 = no traces in the window), and
+  // each pipeline stage's share of the tail's attributed time. The
+  // umbrella client_issue span and the background stages never appear
+  // in request waterfalls, so only the five handling stages report.
+  cell->metrics.emplace_back("trace_count",
+                             static_cast<double>(result.trace_count));
+  cell->metrics.emplace_back(
+      "slow_trace_top_stage",
+      static_cast<double>(result.slow_trace_top_stage));
+  for (const profile::Stage stage :
+       {profile::Stage::kQmAdmit, profile::Stage::kPmDelegate,
+        profile::Stage::kPoolSelect, profile::Stage::kReintegrate,
+        profile::Stage::kReply}) {
+    const std::string name(profile::StageName(stage));
+    cell->metrics.emplace_back(
+        name + "_tail_share",
+        result.tail_share[static_cast<std::size_t>(stage)]);
+  }
 }
 
 // Appends "<stage>_p50_s/_p95_s/_p99_s" for each requested stage —
@@ -225,18 +327,16 @@ inline void AppendStageMetrics(const profile::StageProfiler& profiler,
   }
 }
 
-// All six pipeline stages from a finished scenario; no-op when the run
-// was built with profiling off.
+// Every instrumented stage from a finished scenario (pipeline hops
+// plus the replica_sync / monitor_sweep background services); no-op
+// when the run was built with profiling off.
 inline void AppendStageMetrics(const SimScenario& scenario,
                                ScenarioCell* cell) {
   const profile::StageProfiler* profiler = scenario.profiler();
   if (profiler == nullptr) return;
-  AppendStageMetrics(*profiler,
-                     {profile::Stage::kClientIssue, profile::Stage::kQmAdmit,
-                      profile::Stage::kPmDelegate,
-                      profile::Stage::kPoolSelect,
-                      profile::Stage::kReintegrate, profile::Stage::kReply},
-                     cell);
+  for (std::size_t i = 0; i < profile::kStageCount; ++i) {
+    AppendStageMetrics(*profiler, {static_cast<profile::Stage>(i)}, cell);
+  }
 }
 
 // Appends the fault-regime metrics the lossy/churn scenarios report on

@@ -1,0 +1,75 @@
+# End-to-end smoke for the tracing + streaming layer:
+#   - --trace-out emits well-formed Chrome trace-event JSON containing
+#     replica_sync spans on a replicated WAN scenario,
+#   - the trace file is byte-identical between --jobs 1 and --jobs 4,
+#   - --metrics-interval streams >= 2 incremental snapshots before the
+#     final report cells land in the same file.
+# Invoked by ctest with -DSIM=<path-to-actyp_sim> -DOUT=<scratch-dir>.
+# time-scale 0.3 keeps the run small but still reaches the monitor's
+# first 5 s sweep tick (monitor cadence is not scaled), so the trace
+# gets monitor_sweep spans as well as replica_sync ones.
+set(args --scenario wan_partition_heal --json --stable
+    --seed 7 --machines 160 --clients 4 --time-scale 0.3)
+
+execute_process(COMMAND ${SIM} ${args} --jobs 1
+                --trace-out ${OUT}/trace_serial.json
+                OUTPUT_VARIABLE serial RESULT_VARIABLE serial_rc)
+if(NOT serial_rc EQUAL 0)
+  message(FATAL_ERROR "serial trace run failed with ${serial_rc}")
+endif()
+file(READ ${OUT}/trace_serial.json trace)
+if(NOT trace MATCHES "\"traceEvents\":")
+  message(FATAL_ERROR "trace output is not trace-event JSON:\n${trace}")
+endif()
+if(NOT trace MATCHES "\"ph\":\"X\"")
+  message(FATAL_ERROR "trace output has no complete spans:\n${trace}")
+endif()
+if(NOT trace MATCHES "\"name\":\"replica_sync\"")
+  message(FATAL_ERROR "trace output has no replica_sync spans")
+endif()
+if(NOT trace MATCHES "\"name\":\"monitor_sweep\"")
+  message(FATAL_ERROR "trace output has no monitor_sweep spans")
+endif()
+
+execute_process(COMMAND ${SIM} ${args} --jobs 4
+                --trace-out ${OUT}/trace_parallel.json
+                OUTPUT_VARIABLE parallel RESULT_VARIABLE parallel_rc)
+if(NOT parallel_rc EQUAL 0)
+  message(FATAL_ERROR "parallel trace run failed with ${parallel_rc}")
+endif()
+file(READ ${OUT}/trace_parallel.json trace_parallel)
+if(NOT trace STREQUAL trace_parallel)
+  message(FATAL_ERROR "--jobs 4 trace differs from --jobs 1")
+endif()
+if(NOT serial STREQUAL parallel)
+  message(FATAL_ERROR "--jobs 4 report differs from --jobs 1 with tracing")
+endif()
+
+# --trace-out must refuse to run blind.
+execute_process(COMMAND ${SIM} ${args} --no-profile
+                --trace-out ${OUT}/trace_none.json
+                ERROR_VARIABLE trace_err RESULT_VARIABLE noprofile_rc)
+if(noprofile_rc EQUAL 0)
+  message(FATAL_ERROR "--trace-out with --no-profile should fail")
+endif()
+
+# Streaming: a long-enough cell must flush incremental snapshots (the
+# "stream" cells) ahead of the final report cells.
+execute_process(COMMAND ${SIM} ${args}
+                --metrics-out ${OUT}/stream.jsonl --metrics-interval 2
+                OUTPUT_VARIABLE streamed RESULT_VARIABLE stream_rc)
+if(NOT stream_rc EQUAL 0)
+  message(FATAL_ERROR "streaming run failed with ${stream_rc}")
+endif()
+file(STRINGS ${OUT}/stream.jsonl stream_lines REGEX "\"scenario\":\"stream\"")
+list(LENGTH stream_lines snapshots)
+if(snapshots LESS 2)
+  message(FATAL_ERROR
+          "expected >= 2 incremental snapshots, got ${snapshots}")
+endif()
+file(READ ${OUT}/stream.jsonl stream)
+if(NOT stream MATCHES "\"scenario\":\"wan_partition_heal\"")
+  message(FATAL_ERROR "stream file missing the final report cells")
+endif()
+message(STATUS "trace output well-formed + jobs-identical; "
+        "${snapshots} streamed snapshots")

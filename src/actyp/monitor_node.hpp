@@ -5,13 +5,23 @@
 
 #include "monitor/monitor.hpp"
 #include "net/node.hpp"
+#include "profile/stage_profiler.hpp"
 
 namespace actyp {
 
+// Modeled monitor_sweep span cost: the sweep itself executes
+// instantaneously in sim time (consuming service time would perturb
+// the replay the profiler must not touch), so the recorded span gets
+// a synthetic duration — a fixed dispatch cost plus a per-rewritten-
+// machine term. Deterministic and monotone in the sweep's work.
+inline constexpr SimDuration kMonitorSweepFixedCost = Micros(150);
+inline constexpr SimDuration kMonitorSweepPerMachineCost = Micros(2);
+
 class MonitorNode final : public net::Node {
  public:
-  MonitorNode(monitor::ResourceMonitor* monitor, SimDuration period)
-      : monitor_(monitor), period_(period) {}
+  MonitorNode(monitor::ResourceMonitor* monitor, SimDuration period,
+              profile::StageProfiler* profiler = nullptr)
+      : monitor_(monitor), period_(period), profiler_(profiler) {}
 
   void OnStart(net::NodeContext& ctx) override {
     ctx.ScheduleSelf(period_, net::Message{net::msg::kTick});
@@ -20,13 +30,26 @@ class MonitorNode final : public net::Node {
   void OnMessage(const net::Envelope& envelope,
                  net::NodeContext& ctx) override {
     if (envelope.message.type != net::msg::kTick) return;
-    monitor_->Step(ctx.Now());
+    const std::size_t updated = monitor_->Step(ctx.Now());
+    if (profiler_ != nullptr) {
+      // Instance 0: all sweeps of the one monitor share a trace lane
+      // (they never overlap — the modeled cost is far below the tick
+      // period).
+      profiler_->Record(
+          profile::Stage::kMonitorSweep,
+          profile::BackgroundId(profile::Stage::kMonitorSweep, 0),
+          ctx.Now(),
+          ctx.Now() + kMonitorSweepFixedCost +
+              kMonitorSweepPerMachineCost *
+                  static_cast<SimDuration>(updated));
+    }
     ctx.ScheduleSelf(period_, net::Message{net::msg::kTick});
   }
 
  private:
   monitor::ResourceMonitor* monitor_;
   SimDuration period_;
+  profile::StageProfiler* profiler_;
 };
 
 }  // namespace actyp

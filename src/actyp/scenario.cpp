@@ -72,6 +72,7 @@ void SimScenario::Build() {
     group_config.sync_period = config_.directory_sync_period;
     group_config.journal_capacity = config_.directory_journal_capacity;
     group_config.seed = config_.seed ^ 0x5e11caULL;
+    group_config.profiler = profiler;
     replicas_ = std::make_unique<replica::ReplicaGroup>(&kernel_,
                                                         group_config);
     for (std::uint32_t i = 0; i < config_.directory_replicas; ++i) {
@@ -128,7 +129,8 @@ void SimScenario::Build() {
       &database_, monitor::MonitorConfig{}, rng_.Fork());
   network_->AddNode(
       "monitor",
-      std::make_shared<MonitorNode>(monitor_.get(), config_.monitor_period),
+      std::make_shared<MonitorNode>(monitor_.get(), config_.monitor_period,
+                                    profiler),
       net::NodePlacement{kServerHost, 1});
 
   // --- reintegrator ---

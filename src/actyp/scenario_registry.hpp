@@ -7,6 +7,7 @@
 // this layer.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <map>
@@ -17,6 +18,11 @@
 #include <vector>
 
 namespace actyp {
+
+namespace profile {
+class MetricsStreamer;
+class TraceSink;
+}  // namespace profile
 
 // Overrides applied uniformly to a scenario's sweep: pin a dimension
 // (machines/clients), rescale simulated warmup/measure durations, or
@@ -53,6 +59,21 @@ struct ScenarioRunOptions {
   // stage profiler and the reports omit the per-stage percentile
   // metrics — restoring the pre-profiler output byte for byte.
   bool profile = true;
+  // --profile-ring-capacity: span ring size per simulation (bounds how
+  // much history --trace-out can assemble from).
+  std::optional<std::size_t> profile_ring_capacity;
+  // --trace-out wiring: when set (and profiling is on), every cell
+  // deposits its span ring snapshot here; the driver assembles and
+  // writes the Chrome trace file after the run. Cells running on
+  // ThreadPool workers add in completion order — the sink re-orders
+  // deterministically on drain.
+  profile::TraceSink* trace_sink = nullptr;
+  // --metrics-interval wiring: when streamer is set and the interval is
+  // positive, every cell arms a periodic sim-clock flush that emits one
+  // incremental snapshot cell per interval (scaled by --time-scale,
+  // like every other simulated duration).
+  profile::MetricsStreamer* metrics_streamer = nullptr;
+  double metrics_interval_s = 0;
 };
 
 // One measured cell of a scenario sweep: ordered string labels

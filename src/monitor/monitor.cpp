@@ -22,7 +22,7 @@ void ResourceMonitor::EnsureTracked(db::MachineId id,
   machines_.emplace(id, pm);
 }
 
-void ResourceMonitor::Step(SimTime now) {
+std::size_t ResourceMonitor::Step(SimTime now) {
   std::lock_guard<std::mutex> lock(mu_);
   // One no-copy walk of the white pages computes the rewrites, then one
   // batched write applies them: the sweep no longer snapshots every
@@ -55,6 +55,7 @@ void ResourceMonitor::Step(SimTime now) {
     batch_.emplace_back(rec.id, dyn);
   });
   database_->ApplyDynamic(batch_);
+  return batch_.size();
 }
 
 void ResourceMonitor::OnJobStart(db::MachineId id) {

@@ -35,8 +35,10 @@ class ResourceMonitor {
 
   // Advances every machine's dynamic state to `now`. Machines are only
   // rewritten when a full update period has elapsed since their last
-  // update, mirroring a periodic monitoring daemon.
-  void Step(SimTime now);
+  // update, mirroring a periodic monitoring daemon. Returns the number
+  // of machines rewritten — the sweep's work, which the profiler's
+  // monitor_sweep span models its cost from.
+  std::size_t Step(SimTime now);
 
   // Job placement notifications from the pipeline.
   void OnJobStart(db::MachineId id);

@@ -1,5 +1,6 @@
 #include "profile/metrics_exporter.hpp"
 
+#include <algorithm>
 #include <cctype>
 #include <cmath>
 #include <cstdio>
@@ -86,6 +87,38 @@ std::string PromValue(const std::string& text) {
   return out;
 }
 
+// One jsonl line per cell — shared by the batch writer and the
+// streamer so both formats stay byte-compatible.
+void WriteJsonlCell(const MetricCell& cell, std::ostream& out) {
+  out << "{\"scenario\":\"" << JsonEscape(cell.scenario)
+      << "\",\"labels\":{";
+  bool first = true;
+  for (const auto& [key, value] : cell.labels) {
+    if (!first) out << ',';
+    first = false;
+    out << '"' << JsonEscape(key) << "\":\"" << JsonEscape(value) << '"';
+  }
+  out << "},\"metrics\":{";
+  first = true;
+  for (const auto& [key, value] : cell.values) {
+    if (!first) out << ',';
+    first = false;
+    out << '"' << JsonEscape(key) << "\":" << FormatNumber(value);
+  }
+  out << "}}\n";
+}
+
+// One prom sample line: actyp_<name>{scenario=...,labels...} value.
+void WritePromSample(const MetricCell& cell, const std::string& metric,
+                     double value, std::ostream& out) {
+  out << metric << "{scenario=\"" << PromValue(cell.scenario) << '"';
+  for (const auto& [label_key, label_value] : cell.labels) {
+    out << ',' << PromName(label_key) << "=\"" << PromValue(label_value)
+        << '"';
+  }
+  out << "} " << FormatNumber(value) << '\n';
+}
+
 }  // namespace
 
 std::optional<MetricsExporter::Format> MetricsExporter::ParseFormat(
@@ -125,24 +158,7 @@ Status MetricsExporter::WriteFile(const std::string& path) const {
 }
 
 void MetricsExporter::WriteJsonl(std::ostream& out) const {
-  for (const MetricCell& cell : cells_) {
-    out << "{\"scenario\":\"" << JsonEscape(cell.scenario)
-        << "\",\"labels\":{";
-    bool first = true;
-    for (const auto& [key, value] : cell.labels) {
-      if (!first) out << ',';
-      first = false;
-      out << '"' << JsonEscape(key) << "\":\"" << JsonEscape(value) << '"';
-    }
-    out << "},\"metrics\":{";
-    first = true;
-    for (const auto& [key, value] : cell.values) {
-      if (!first) out << ',';
-      first = false;
-      out << '"' << JsonEscape(key) << "\":" << FormatNumber(value);
-    }
-    out << "}}\n";
-  }
+  for (const MetricCell& cell : cells_) WriteJsonlCell(cell, out);
 }
 
 void MetricsExporter::WriteProm(std::ostream& out) const {
@@ -169,16 +185,64 @@ void MetricsExporter::WriteProm(std::ostream& out) const {
     for (const MetricCell& cell : cells_) {
       for (const auto& [key, value] : cell.values) {
         if ("actyp_" + PromName(key) != metric) continue;
-        out << metric << "{scenario=\"" << PromValue(cell.scenario) << '"';
-        for (const auto& [label_key, label_value] : cell.labels) {
-          out << ',' << PromName(label_key) << "=\""
-              << PromValue(label_value) << '"';
-        }
-        out << "} " << FormatNumber(value) << '\n';
+        WritePromSample(cell, metric, value, out);
       }
     }
   }
   out << "# EOF\n";
+}
+
+// --- MetricsStreamer -------------------------------------------------------
+
+Status MetricsStreamer::Open(const std::string& path) {
+  auto file = std::make_unique<std::ofstream>(path, std::ios::trunc);
+  if (!*file) {
+    return Internal("cannot open metrics stream file: " + path);
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  owned_ = std::move(file);
+  out_ = owned_.get();
+  return Status::Ok();
+}
+
+void MetricsStreamer::Attach(std::ostream* out) {
+  std::lock_guard<std::mutex> lock(mu_);
+  owned_.reset();
+  out_ = out;
+}
+
+void MetricsStreamer::WriteCell(const MetricCell& cell) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (out_ == nullptr) return;
+  if (format_ == Format::kJsonl) {
+    WriteJsonlCell(cell, *out_);
+  } else {
+    for (const auto& [key, value] : cell.values) {
+      const std::string metric = "actyp_" + PromName(key);
+      if (std::find(prom_typed_.begin(), prom_typed_.end(), metric) ==
+          prom_typed_.end()) {
+        prom_typed_.push_back(metric);
+        *out_ << "# TYPE " << metric << " gauge\n";
+      }
+      WritePromSample(cell, metric, value, *out_);
+    }
+  }
+  out_->flush();
+  ++cells_written_;
+}
+
+void MetricsStreamer::Close() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (out_ == nullptr) return;
+  if (format_ == Format::kProm) *out_ << "# EOF\n";
+  out_->flush();
+  out_ = nullptr;
+  owned_.reset();
+}
+
+std::size_t MetricsStreamer::cells_written() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return cells_written_;
 }
 
 }  // namespace actyp::profile

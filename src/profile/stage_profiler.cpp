@@ -19,6 +19,10 @@ std::string_view StageName(Stage stage) {
       return "reintegrate";
     case Stage::kReply:
       return "reply";
+    case Stage::kReplicaSync:
+      return "replica_sync";
+    case Stage::kMonitorSweep:
+      return "monitor_sweep";
   }
   return "unknown";
 }

@@ -33,7 +33,10 @@ namespace actyp::profile {
 // order. kClientIssue is the client-observed end-to-end span (first
 // send of the request to the accepted allocation); kReply is the last
 // hop back (pool/reintegrator send to client receipt); the middle four
-// are per-stage handling spans.
+// are per-stage handling spans. The last two are background services
+// outside the request pipeline: one span per replica anti-entropy pull
+// and per monitor refresh sweep, stamped with BackgroundId() request
+// ids so trace assembly can keep them off the request waterfalls.
 enum class Stage : std::uint8_t {
   kClientIssue = 0,  // client first send -> accepted allocation arrives
   kQmAdmit,          // query arrives at QM queue -> fragments routed
@@ -41,9 +44,35 @@ enum class Stage : std::uint8_t {
   kPoolSelect,       // query at pool queue -> machine selected, reply sent
   kReintegrate,      // fragment result at reintegrator -> folded/forwarded
   kReply,            // allocation sent -> client receives it
+  kReplicaSync,      // one anti-entropy pull (delta or full-state)
+  kMonitorSweep,     // one monitor refresh sweep over due machines
 };
 
-inline constexpr std::size_t kStageCount = 6;
+inline constexpr std::size_t kStageCount = 8;
+
+// Background spans (replica sync, monitor sweeps) are not tied to any
+// client request; their request_id carries this tag bit plus the stage
+// and an instance number, so they never collide with real request ids
+// (client_id << 32 | seq keeps bit 63 clear) and trace assembly can
+// route them to their own tracks instead of joining them into request
+// waterfalls.
+inline constexpr std::uint64_t kBackgroundIdBit = 1ull << 63;
+
+[[nodiscard]] constexpr std::uint64_t BackgroundId(Stage stage,
+                                                   std::uint64_t instance) {
+  return kBackgroundIdBit |
+         (static_cast<std::uint64_t>(stage) << 56) | instance;
+}
+
+[[nodiscard]] constexpr bool IsBackgroundId(std::uint64_t request_id) {
+  return (request_id & kBackgroundIdBit) != 0;
+}
+
+// Instance number back out of a BackgroundId (for track labeling).
+[[nodiscard]] constexpr std::uint64_t BackgroundInstance(
+    std::uint64_t request_id) {
+  return request_id & ((1ull << 56) - 1);
+}
 
 // Stable snake_case stage names used as metric-name prefixes in the
 // scenario reports (e.g. "pool_select_p95_s") and exporter output.

@@ -1,0 +1,134 @@
+// TraceAssembler: joins the profiler's SpanRecords on request_id into
+// per-request waterfalls — one RequestTrace per request, its spans in
+// time order across every hop the request took (retries, delegation,
+// fragment fan-out, the reply) — and attributes each trace's critical
+// path to the stage that consumed the most of it. Background spans
+// (replica anti-entropy pulls, monitor sweeps; see BackgroundId) are
+// split out to their own list instead of joining any request.
+//
+// On top of the assembled traces:
+//   - TailReport digests the slowest fraction of traces per cell
+//     (which stage dominates slow requests, and each stage's share of
+//     the tail's attributed time) — the slow_trace_top_stage /
+//     <stage>_tail_share scenario metrics.
+//   - TraceSink collects span snapshots from concurrently-running
+//     sweep cells and hands them back in a deterministic order, so
+//     --trace-out output is byte-identical whatever --jobs was.
+//   - WriteChromeTrace emits the N slowest and N exemplar requests per
+//     cell (plus all background spans) as Chrome trace-event JSON,
+//     loadable in Perfetto / chrome://tracing. Timestamps are sim-time
+//     microseconds verbatim, so the waterfall reads in sim time.
+//
+// Everything here is a pure function of the span set, with all ties
+// broken on request_id / span content: fixed-seed runs produce
+// byte-identical trace files.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "profile/stage_profiler.hpp"
+
+namespace actyp::profile {
+
+// One request's assembled waterfall.
+struct RequestTrace {
+  std::uint64_t request_id = 0;
+  // Time-ordered: (t_enter, t_exit, stage) ascending.
+  std::vector<SpanRecord> spans;
+  SimTime start = 0;  // earliest t_enter
+  SimTime end = 0;    // latest t_exit
+  double duration_s = 0;
+  // Summed span time per stage. kClientIssue is the client-observed
+  // umbrella span covering the whole interaction, so attribution runs
+  // over the other stages only.
+  std::array<SimDuration, kStageCount> stage_total{};
+  // Critical-path attribution: the non-umbrella stage with the largest
+  // summed time (ties to the earlier pipeline stage), and its share of
+  // all attributed time. kClientIssue with share 0 when the trace has
+  // only the umbrella span to go on.
+  Stage top_stage = Stage::kClientIssue;
+  double top_share = 0;
+};
+
+struct AssembledTraces {
+  std::vector<RequestTrace> requests;  // sorted by request_id
+  // Background spans (IsBackgroundId), sorted by
+  // (t_enter, t_exit, request_id).
+  std::vector<SpanRecord> background;
+};
+
+// Digest of the slowest `slow_fraction` of traces.
+struct TailReport {
+  std::uint64_t trace_count = 0;  // assembled request traces
+  std::uint64_t slow_count = 0;   // traces in the tail window
+  // Index into Stage of the most frequent top_stage among slow traces
+  // (ties to the earlier stage); -1 when there are no traces.
+  int slow_top_stage = -1;
+  // Stage s's share of all attributed (non-umbrella) stage time across
+  // the slow traces. Sums to 1 when the tail has any attributed time.
+  std::array<double, kStageCount> tail_share{};
+};
+
+class TraceAssembler {
+ public:
+  // Joins one cell's span snapshot (e.g. StageProfiler::RingSnapshot)
+  // into request traces plus the background span list.
+  [[nodiscard]] static AssembledTraces Assemble(
+      const std::vector<SpanRecord>& spans);
+
+  // Tail digest over the slowest ceil(slow_fraction * n) traces
+  // (at least one when any trace exists); slowness ranks by
+  // (duration desc, request_id asc).
+  [[nodiscard]] static TailReport Tail(
+      const std::vector<RequestTrace>& traces, double slow_fraction = 0.05);
+};
+
+// One sweep cell's span capture, keyed by the cell's seed.
+struct TraceCell {
+  std::uint64_t seed = 0;
+  std::vector<SpanRecord> spans;
+};
+
+// Collects per-cell span snapshots from sweep cells that may run on
+// ThreadPool workers in any order, and returns them deterministically:
+// Take() sorts by (seed, span content), so two cells that happen to
+// share a seed still order the same way every run.
+class TraceSink {
+ public:
+  void Add(std::uint64_t seed, std::vector<SpanRecord> spans);
+
+  [[nodiscard]] std::size_t size() const;
+
+  // Drains the sink in deterministic order.
+  [[nodiscard]] std::vector<TraceCell> Take();
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<TraceCell> cells_;
+};
+
+struct ChromeTraceOptions {
+  std::size_t slow_n = 5;      // slowest request traces per cell
+  std::size_t exemplar_n = 5;  // nearest-to-median traces per cell
+};
+
+// Emits Chrome trace-event JSON ({"traceEvents":[...]}) for the
+// selected request traces of every cell plus all background spans.
+// Each cell is a trace process; each selected request and each
+// background lane (replica / monitor instance) is a named thread.
+void WriteChromeTrace(const std::vector<TraceCell>& cells,
+                      const ChromeTraceOptions& options, std::ostream& out);
+
+// WriteChromeTrace to `path`, replacing any existing file.
+[[nodiscard]] Status WriteChromeTraceFile(const std::vector<TraceCell>& cells,
+                                          const ChromeTraceOptions& options,
+                                          const std::string& path);
+
+}  // namespace actyp::profile

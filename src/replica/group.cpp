@@ -125,16 +125,28 @@ void ReplicaGroup::SyncTick(std::uint32_t id) {
   }
   DirectoryReplica* peer = peers[rng_.NextBounded(peers.size())];
 
+  std::uint64_t pull_bytes = 0;
   std::vector<Op> ops;
   if (peer->DeltaSince(me->version_vector(), &ops)) {
-    for (const Op& op : ops) stats_.sync_bytes += op.WireBytes();
+    for (const Op& op : ops) pull_bytes += op.WireBytes();
     stats_.ops_pulled += ops.size();
     stats_.ops_applied += me->ApplyOps(ops);
   } else {
     const DirectoryReplica::StateSnapshot snapshot = peer->FullState();
-    stats_.sync_bytes += snapshot.WireBytes();
+    pull_bytes = snapshot.WireBytes();
     me->InstallFullState(snapshot);
     ++stats_.full_syncs;
+  }
+  stats_.sync_bytes += pull_bytes;
+  if (config_.profiler != nullptr) {
+    // One span per pull on the pulling replica's lane, with the modeled
+    // transfer cost (see kSyncFixedCost) — never consumed as sim time.
+    config_.profiler->Record(
+        profile::Stage::kReplicaSync,
+        profile::BackgroundId(profile::Stage::kReplicaSync, id),
+        kernel_->Now(),
+        kernel_->Now() + kSyncFixedCost +
+            static_cast<SimDuration>(pull_bytes / kSyncBytesPerMicro));
   }
   // A pull from a warmed peer ends our own warming; pulling from a peer
   // that is itself still cold proves nothing (two freshly-restored

@@ -26,15 +26,28 @@
 
 #include "common/rng.hpp"
 #include "common/sim_time.hpp"
+#include "profile/stage_profiler.hpp"
 #include "replica/replica.hpp"
 #include "simnet/kernel.hpp"
 
 namespace actyp::replica {
 
+// Modeled replica_sync span cost: a pull executes instantaneously in
+// sim time (consuming service time would perturb the replay the
+// profiler must never touch), so its recorded span gets a synthetic
+// duration — a fixed round-trip cost plus a per-wire-byte transfer
+// term. Deterministic and monotone in the pull's traffic, so the
+// replica_sync percentiles track delta size and full-state fallbacks.
+inline constexpr SimDuration kSyncFixedCost = Micros(120);
+inline constexpr std::uint64_t kSyncBytesPerMicro = 16;
+
 struct ReplicaGroupConfig {
   SimDuration sync_period = Seconds(1.0);
   std::size_t journal_capacity = 4096;
   std::uint64_t seed = 0x5e11caULL;
+  // When set, every anti-entropy pull records one kReplicaSync span
+  // (null = profiling off, the seed path).
+  profile::StageProfiler* profiler = nullptr;
 };
 
 struct ReplicaGroupStats {

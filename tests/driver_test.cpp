@@ -261,12 +261,13 @@ TEST(ParallelSweep, ParallelRunsAreReproducible) {
   EXPECT_EQ(first.str(), second.str());
 }
 
-// Removes the contiguous block of per-stage percentile metrics that
+// Removes the contiguous block of profiled-only metrics that
 // AppendMetrics appends to a profiled cell ("client_issue_p50_s"
-// through "reply_p99_s"), leaving the pre-profiler report.
+// through the trace digest's trailing "reply_tail_share"), leaving
+// the pre-profiler report.
 std::string StripStageMetrics(std::string json) {
   const std::string first = ",\"client_issue_p50_s\":";
-  const std::string last = "\"reply_p99_s\":";
+  const std::string last = "\"reply_tail_share\":";
   for (;;) {
     const std::size_t start = json.find(first);
     if (start == std::string::npos) break;

@@ -43,6 +43,7 @@
 #include "common/thread_pool.hpp"
 #include "fault/fault_plan.hpp"
 #include "profile/metrics_exporter.hpp"
+#include "profile/trace_assembler.hpp"
 
 namespace {
 
@@ -50,6 +51,7 @@ using actyp::ScenarioInfo;
 using actyp::ScenarioRegistry;
 using actyp::ScenarioRunOptions;
 using actyp::profile::MetricsExporter;
+using actyp::profile::MetricsStreamer;
 
 int Usage(int code) {
   std::fprintf(
@@ -61,7 +63,10 @@ int Usage(int code) {
       "                 [--replicas N] [--sync-period S]\n"
       "                 [--retry-max N] [--retry-backoff S]\n"
       "                 [--jobs N] [--stable] [--no-profile]\n"
+      "                 [--profile-ring-capacity N]\n"
       "                 [--metrics-out FILE] [--metrics-format jsonl|prom]\n"
+      "                 [--metrics-interval S]\n"
+      "                 [--trace-out FILE] [--trace-top N]\n"
       "\n"
       "  --list            list registered scenarios and exit\n"
       "  --scenario <s>    run one scenario (repeatable)\n"
@@ -94,10 +99,24 @@ int Usage(int code) {
       "  --no-profile      disable the stage-span profiler: reports omit\n"
       "                    the per-stage percentiles (the pre-profiler\n"
       "                    output, byte for byte)\n"
+      "  --profile-ring-capacity N  retain the last N stage spans per\n"
+      "                    simulation (the window --trace-out assembles\n"
+      "                    traces from; default 4096)\n"
       "  --metrics-out FILE  also export every report cell's metrics to\n"
       "                    FILE after the run\n"
       "  --metrics-format F  export format: jsonl (default, one JSON\n"
-      "                    object per cell) or prom (Prometheus text)\n");
+      "                    object per cell) or prom (Prometheus text)\n"
+      "  --metrics-interval S  stream an incremental metrics snapshot to\n"
+      "                    the --metrics-out file every S simulated\n"
+      "                    seconds (scaled by --time-scale) while each\n"
+      "                    cell runs, instead of only writing at the end\n"
+      "  --trace-out FILE  assemble per-request traces from the span\n"
+      "                    rings and write the slowest + exemplar\n"
+      "                    requests (plus replica_sync / monitor_sweep\n"
+      "                    lanes) as Chrome trace-event JSON — load the\n"
+      "                    file in Perfetto or chrome://tracing\n"
+      "  --trace-top N     traces per kind per cell in --trace-out\n"
+      "                    (N slowest and N exemplars; default 5)\n");
   return code;
 }
 
@@ -134,17 +153,27 @@ bool ParseDouble(const char* text, double* out) {
   return true;
 }
 
-// Destination and format for --metrics-out / --metrics-format.
+// Destination and format for --metrics-out / --metrics-format /
+// --metrics-interval.
 struct MetricsOutput {
   std::string path;  // empty = no export
   MetricsExporter::Format format = MetricsExporter::Format::kJsonl;
+  double interval_s = 0;  // > 0 = stream incrementally during the run
+};
+
+// Destination and depth for --trace-out / --trace-top.
+struct TraceOutput {
+  std::string path;    // empty = no trace
+  std::size_t top = 5; // slowest + exemplar traces per cell
 };
 
 // Flattens one finished report into exporter cells: string labels pass
 // through, numeric dims become labels (formatted like the JSON report),
 // metrics become the values.
-void AddReportCells(const actyp::ScenarioReport& report,
-                    MetricsExporter* exporter) {
+std::vector<actyp::profile::MetricCell> FlattenReport(
+    const actyp::ScenarioReport& report) {
+  std::vector<actyp::profile::MetricCell> cells;
+  cells.reserve(report.cells.size());
   for (const actyp::ScenarioCell& cell : report.cells) {
     actyp::profile::MetricCell out;
     out.scenario = report.scenario;
@@ -157,18 +186,20 @@ void AddReportCells(const actyp::ScenarioReport& report,
       out.labels.emplace_back(key, buffer);
     }
     out.values = cell.metrics;
-    exporter->Add(std::move(out));
+    cells.push_back(std::move(out));
   }
+  return cells;
 }
 
 // Loads a full experiment config into the run list and options: the
 // scenario selection ("scenario = fig4_pools_lan" or a comma list),
 // the driver overrides (seed / machines / clients / time-scale / loss /
-// churn-rate / json / profile / metrics-out / metrics-format), and a
+// churn-rate / json / profile / profile-ring-capacity / metrics-out /
+// metrics-format / metrics-interval / trace-out / trace-top), and a
 // [fault] section in FaultPlan::FromConfig form. Returns 0 on success.
 int ApplyConfigFile(const char* path, std::vector<std::string>* names,
                     ScenarioRunOptions* options, bool* json, bool* all,
-                    MetricsOutput* metrics) {
+                    MetricsOutput* metrics, TraceOutput* trace) {
   std::ifstream file(path);
   if (!file) {
     std::fprintf(stderr, "actyp_sim: cannot read config '%s'\n", path);
@@ -257,6 +288,11 @@ int ApplyConfigFile(const char* path, std::vector<std::string>* names,
   }
   options->stable = config->GetBool("stable", options->stable);
   options->profile = config->GetBool("profile", options->profile);
+  if (const auto value = config->Get("profile-ring-capacity")) {
+    const auto parsed = actyp::ParseInt(*value);
+    if (!parsed || *parsed < 1) return bad("profile-ring-capacity", *value);
+    options->profile_ring_capacity = static_cast<std::size_t>(*parsed);
+  }
   if (const auto value = config->Get("metrics-out")) {
     metrics->path = *value;
   }
@@ -264,6 +300,19 @@ int ApplyConfigFile(const char* path, std::vector<std::string>* names,
     const auto format = MetricsExporter::ParseFormat(*value);
     if (!format) return bad("metrics-format", *value);
     metrics->format = *format;
+  }
+  if (const auto value = config->Get("metrics-interval")) {
+    const auto parsed = actyp::ParseDouble(*value);
+    if (!parsed || !(*parsed > 0)) return bad("metrics-interval", *value);
+    metrics->interval_s = *parsed;
+  }
+  if (const auto value = config->Get("trace-out")) {
+    trace->path = *value;
+  }
+  if (const auto value = config->Get("trace-top")) {
+    const auto parsed = actyp::ParseInt(*value);
+    if (!parsed || *parsed < 1) return bad("trace-top", *value);
+    trace->top = static_cast<std::size_t>(*parsed);
   }
 
   const auto plan = actyp::fault::FaultPlan::FromConfig(config.value());
@@ -285,6 +334,7 @@ int main(int argc, char** argv) {
   std::vector<std::string> names;
   ScenarioRunOptions options;
   MetricsOutput metrics;
+  TraceOutput trace;
 
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
@@ -303,7 +353,7 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(arg, "--config") == 0) {
       if (i + 1 >= argc) return MissingValue(arg);
       if (const int rc = ApplyConfigFile(argv[++i], &names, &options, &json,
-                                         &all, &metrics);
+                                         &all, &metrics, &trace);
           rc != 0) {
         return rc;
       }
@@ -376,6 +426,11 @@ int main(int argc, char** argv) {
       options.stable = true;
     } else if (std::strcmp(arg, "--no-profile") == 0) {
       options.profile = false;
+    } else if (std::strcmp(arg, "--profile-ring-capacity") == 0) {
+      if (i + 1 >= argc) return MissingValue(arg);
+      long value = 0;
+      if (!ParseLong(argv[++i], 1, &value)) return BadValue(arg, argv[i]);
+      options.profile_ring_capacity = static_cast<std::size_t>(value);
     } else if (std::strcmp(arg, "--metrics-out") == 0) {
       if (i + 1 >= argc) return MissingValue(arg);
       metrics.path = argv[++i];
@@ -384,6 +439,21 @@ int main(int argc, char** argv) {
       const auto format = MetricsExporter::ParseFormat(argv[++i]);
       if (!format) return BadValue(arg, argv[i]);
       metrics.format = *format;
+    } else if (std::strcmp(arg, "--metrics-interval") == 0) {
+      if (i + 1 >= argc) return MissingValue(arg);
+      double value = 0;
+      if (!ParseDouble(argv[++i], &value) || !(value > 0)) {
+        return BadValue(arg, argv[i]);
+      }
+      metrics.interval_s = value;
+    } else if (std::strcmp(arg, "--trace-out") == 0) {
+      if (i + 1 >= argc) return MissingValue(arg);
+      trace.path = argv[++i];
+    } else if (std::strcmp(arg, "--trace-top") == 0) {
+      if (i + 1 >= argc) return MissingValue(arg);
+      long value = 0;
+      if (!ParseLong(argv[++i], 1, &value)) return BadValue(arg, argv[i]);
+      trace.top = static_cast<std::size_t>(value);
     } else if (std::strcmp(arg, "--fault-plan") == 0) {
       if (i + 1 >= argc) return MissingValue(arg);
       std::ifstream file(argv[++i]);
@@ -432,6 +502,36 @@ int main(int argc, char** argv) {
     infos.push_back(info);
   }
 
+  // Observability wiring. The trace sink collects every cell's span
+  // ring; the streamer opens the metrics file up front so snapshots
+  // appear while the run is in flight (the final report cells are
+  // appended to the same stream at the end).
+  actyp::profile::TraceSink trace_sink;
+  if (!trace.path.empty()) {
+    if (!options.profile) {
+      std::fprintf(stderr,
+                   "actyp_sim: --trace-out needs the profiler; drop "
+                   "--no-profile\n");
+      return 2;
+    }
+    options.trace_sink = &trace_sink;
+  }
+  MetricsStreamer streamer(metrics.format);
+  if (metrics.interval_s > 0) {
+    if (metrics.path.empty()) {
+      std::fprintf(stderr,
+                   "actyp_sim: --metrics-interval needs --metrics-out "
+                   "FILE\n");
+      return 2;
+    }
+    if (const auto status = streamer.Open(metrics.path); !status.ok()) {
+      std::fprintf(stderr, "actyp_sim: %s\n", status.ToString().c_str());
+      return 1;
+    }
+    options.metrics_streamer = &streamer;
+    options.metrics_interval_s = metrics.interval_s;
+  }
+
   // Multi-scenario runs parallelize across scenarios (each worker runs
   // its scenario's cells serially); a single scenario parallelizes its
   // own cells instead. Either way reports land in request order, so the
@@ -471,11 +571,37 @@ int main(int argc, char** argv) {
   }
 
   if (!metrics.path.empty()) {
-    MetricsExporter exporter(metrics.format);
-    for (const actyp::ScenarioReport& report : reports) {
-      AddReportCells(report, &exporter);
+    if (options.metrics_streamer != nullptr) {
+      // Streaming mode: the file already holds the in-flight snapshots;
+      // append the final report cells and terminate the stream.
+      for (const actyp::ScenarioReport& report : reports) {
+        for (const auto& cell : FlattenReport(report)) {
+          streamer.WriteCell(cell);
+        }
+      }
+      streamer.Close();
+    } else {
+      MetricsExporter exporter(metrics.format);
+      for (const actyp::ScenarioReport& report : reports) {
+        for (auto& cell : FlattenReport(report)) {
+          exporter.Add(std::move(cell));
+        }
+      }
+      if (const auto status = exporter.WriteFile(metrics.path);
+          !status.ok()) {
+        std::fprintf(stderr, "actyp_sim: %s\n", status.ToString().c_str());
+        return 1;
+      }
     }
-    if (const auto status = exporter.WriteFile(metrics.path); !status.ok()) {
+  }
+
+  if (!trace.path.empty()) {
+    actyp::profile::ChromeTraceOptions trace_options;
+    trace_options.slow_n = trace.top;
+    trace_options.exemplar_n = trace.top;
+    if (const auto status = actyp::profile::WriteChromeTraceFile(
+            trace_sink.Take(), trace_options, trace.path);
+        !status.ok()) {
       std::fprintf(stderr, "actyp_sim: %s\n", status.ToString().c_str());
       return 1;
     }
