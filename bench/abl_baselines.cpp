@@ -75,6 +75,11 @@ bench::CellResult RunBaseline(const std::string& kind, std::size_t machines,
   result.p95_s = collector.QuantileSeconds(0.95);
   result.completed = collector.completed();
   result.failures = collector.failures();
+  // Journal-fed scan-cache refresh work (see baseline::ScanCache): far
+  // below completed * fleet once the mirror is primed.
+  result.entries_refreshed = central != nullptr
+                                 ? central->stats().entries_refreshed
+                                 : matchmaker->stats().entries_refreshed;
   return result;
 }
 
@@ -113,6 +118,9 @@ ScenarioReport RunAblBaselines(const ScenarioRunOptions& options) {
         cell.labels.emplace_back("system", kind);
         cell.dims.emplace_back("clients", static_cast<double>(clients));
         bench::AppendMetrics(result, &cell);
+        cell.metrics.emplace_back(
+            "entries_refreshed",
+            static_cast<double>(result.entries_refreshed));
         return cell;
       });
     }

@@ -51,6 +51,7 @@ struct CellResult {
   std::uint64_t full_syncs = 0;      // bounded-journal fallbacks
   std::uint64_t failovers = 0;       // reads/writes served off-site
   std::uint64_t convergences = 0;    // disruptions fully reconciled
+  std::uint64_t tombstones_gc = 0;   // LWW tombstones garbage-collected
   double max_staleness_s = 0;        // worst replica lag behind the group
   double converge_time_s = 0;        // last disruption -> convergence
   // Per-stage latency digests (src/profile/), indexed by profile::Stage.
@@ -122,7 +123,7 @@ inline CellResult CollectCell(
   result.wall_s = std::chrono::duration<double>(
                       std::chrono::steady_clock::now() - wall_start)
                       .count();
-  result.events = scenario.kernel().executed();
+  result.events = scenario.total_events();
   result.mean_s = scenario.collector().response_stats().mean();
   result.p50_s = scenario.collector().QuantileSeconds(0.50);
   result.p95_s = scenario.collector().QuantileSeconds(0.95);
@@ -150,6 +151,7 @@ inline CellResult CollectCell(
   result.full_syncs = replica_stats.full_syncs;
   result.failovers = replica_stats.failovers;
   result.convergences = replica_stats.convergences;
+  result.tombstones_gc = replica_stats.tombstones_gc;
   result.max_staleness_s = replica_stats.max_staleness_s;
   result.converge_time_s = replica_stats.converge_time_s;
   if (const profile::StageProfiler* profiler = scenario.profiler()) {
@@ -221,13 +223,20 @@ inline CellResult RunCell(ScenarioConfig config,
                           SimDuration warmup, SimDuration measure) {
   ApplyFaults(options, &config);
   config.profile = options.profile;
+  config.cell_jobs = options.cell_jobs;
   if (options.profile_ring_capacity) {
     config.profile_ring_capacity = *options.profile_ring_capacity;
   }
   const auto wall_start = std::chrono::steady_clock::now();
   SimScenario scenario(std::move(config));
-  if (options.metrics_streamer != nullptr &&
-      options.metrics_interval_s > 0) {
+  if (options.metrics_streamer != nullptr && options.metrics_interval_s > 0 &&
+      scenario.lp_mode()) {
+    // The streaming tick executes on shard 0's kernel mid-window, where
+    // reading the other shards' profilers would race their workers.
+    ACTYP_WARN << "cell: --metrics-interval streaming disabled for "
+                  "LP-parallel scenarios; final metrics still export";
+  } else if (options.metrics_streamer != nullptr &&
+             options.metrics_interval_s > 0) {
     const auto interval = std::max<SimDuration>(
         Seconds(options.metrics_interval_s * options.time_scale), 1);
     profile::MetricsStreamer* streamer = options.metrics_streamer;
@@ -360,6 +369,8 @@ inline void AppendReplicaMetrics(const CellResult& result,
                              static_cast<double>(result.failovers));
   cell->metrics.emplace_back("convergences",
                              static_cast<double>(result.convergences));
+  cell->metrics.emplace_back("tombstones_gc",
+                             static_cast<double>(result.tombstones_gc));
   cell->metrics.emplace_back("max_staleness_s", result.max_staleness_s);
   cell->metrics.emplace_back("converge_time_s", result.converge_time_s);
 }

@@ -1,7 +1,11 @@
-# Asserts that a parallel sweep emits byte-identical JSON to a serial
-# one: actyp_sim --jobs 4 vs --jobs 1 at a fixed seed, --stable so the
-# wall-clock-derived metrics are zeroed. Invoked by ctest with
-# -DSIM=<path-to-actyp_sim>.
+# Asserts the two determinism contracts the driver makes:
+#   - sweep parallelism: --jobs 4 emits byte-identical JSON to --jobs 1
+#     (cells run on worker threads, output order is fixed), and
+#   - intra-cell parallelism: on an LP-sharded scenario, --cell-jobs 2/4
+#     emit byte-identical JSON to --cell-jobs 1 (the conservative-window
+#     engine replays the same schedule for any worker count).
+# Fixed seed, --stable so wall-clock-derived metrics are zeroed.
+# Invoked by ctest with -DSIM=<path-to-actyp_sim>.
 set(args --scenario qm_scaling --json --stable
     --seed 1 --machines 100 --clients 2 --time-scale 0.05)
 
@@ -24,3 +28,31 @@ if(NOT serial STREQUAL parallel)
           "serial:   ${serial}\nparallel: ${parallel}")
 endif()
 message(STATUS "--jobs 4 output is byte-identical to --jobs 1")
+
+set(cell_args --scenario big_wan --json --stable
+    --seed 1 --machines 2000 --clients 24 --time-scale 0.2)
+
+execute_process(COMMAND ${SIM} ${cell_args} --cell-jobs 1
+                OUTPUT_VARIABLE cell_serial RESULT_VARIABLE cell_serial_rc)
+if(NOT cell_serial_rc EQUAL 0)
+  message(FATAL_ERROR "--cell-jobs 1 run failed with ${cell_serial_rc}")
+endif()
+if(cell_serial STREQUAL "")
+  message(FATAL_ERROR "--cell-jobs 1 run produced no output")
+endif()
+foreach(jobs 2 4)
+  execute_process(COMMAND ${SIM} ${cell_args} --cell-jobs ${jobs}
+                  OUTPUT_VARIABLE cell_parallel
+                  RESULT_VARIABLE cell_parallel_rc)
+  if(NOT cell_parallel_rc EQUAL 0)
+    message(FATAL_ERROR "--cell-jobs ${jobs} run failed with "
+            "${cell_parallel_rc}")
+  endif()
+  if(NOT cell_serial STREQUAL cell_parallel)
+    message(FATAL_ERROR "--cell-jobs ${jobs} output differs from "
+            "--cell-jobs 1:\nserial:   ${cell_serial}\n"
+            "parallel: ${cell_parallel}")
+  endif()
+  message(STATUS "--cell-jobs ${jobs} output is byte-identical to "
+          "--cell-jobs 1")
+endforeach()

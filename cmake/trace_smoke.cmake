@@ -45,6 +45,33 @@ if(NOT serial STREQUAL parallel)
   message(FATAL_ERROR "--jobs 4 report differs from --jobs 1 with tracing")
 endif()
 
+# --trace-filter narrows the file: a stage criterion keeps only traces
+# (and background lanes) containing that stage, so request lanes with
+# other stages disappear while the filtered stage survives.
+execute_process(COMMAND ${SIM} ${args} --jobs 1
+                --trace-out ${OUT}/trace_filtered.json
+                --trace-filter stage=replica_sync
+                RESULT_VARIABLE filter_rc)
+if(NOT filter_rc EQUAL 0)
+  message(FATAL_ERROR "--trace-filter run failed with ${filter_rc}")
+endif()
+file(READ ${OUT}/trace_filtered.json filtered)
+if(NOT filtered MATCHES "\"name\":\"replica_sync\"")
+  message(FATAL_ERROR "filtered trace lost the requested stage")
+endif()
+if(filtered MATCHES "\"name\":\"monitor_sweep\"")
+  message(FATAL_ERROR "filtered trace kept a non-matching background lane")
+endif()
+
+# A malformed filter spec is rejected at flag-parse time.
+execute_process(COMMAND ${SIM} ${args}
+                --trace-out ${OUT}/trace_bad.json
+                --trace-filter stage=bogus
+                ERROR_VARIABLE filter_err RESULT_VARIABLE bad_filter_rc)
+if(bad_filter_rc EQUAL 0)
+  message(FATAL_ERROR "--trace-filter stage=bogus should fail")
+endif()
+
 # --trace-out must refuse to run blind.
 execute_process(COMMAND ${SIM} ${args} --no-profile
                 --trace-out ${OUT}/trace_none.json

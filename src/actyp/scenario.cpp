@@ -18,6 +18,27 @@ constexpr const char* kRemoteHost = "beta";
 
 }  // namespace
 
+// One WAN site of a multi-site (LP) deployment. Every mutable service
+// here — white pages, directory, shadow accounts, monitor, collector,
+// profiler — is reached only from nodes hosted on this site, which is
+// exactly what lets the site run as a logical process sharing no state
+// with its peers.
+struct SimScenario::SiteStack {
+  std::string site;
+  std::string server_host;
+  std::string client_host;
+  std::unique_ptr<profile::StageProfiler> profiler;
+  db::ResourceDatabase database;
+  db::ShadowAccountRegistry shadows;
+  db::PolicyRegistry policies;
+  directory::DirectoryService directory;
+  std::unique_ptr<monitor::ResourceMonitor> monitor;
+  std::shared_ptr<pipeline::ProxyServer> proxy;
+  workload::ResponseCollector collector;
+  std::vector<net::Address> pm_addresses;
+  std::vector<net::Address> qm_addresses;
+};
+
 SimScenario::SimScenario(ScenarioConfig config)
     : config_(std::move(config)), rng_(config_.seed) {
   Build();
@@ -26,6 +47,33 @@ SimScenario::SimScenario(ScenarioConfig config)
 SimScenario::~SimScenario() = default;
 
 void SimScenario::Build() {
+  // --- LP-parallel eligibility ---
+  // Multi-site sharding is a scenario property: every shard-local
+  // invariant below (per-site databases, per-site draws, lookahead > 0)
+  // must hold by construction, so configs that would break one fall
+  // back to the single-site serial build with a warning instead of
+  // running a subtly wrong parallel simulation.
+  if (config_.wan_sites >= 2) {
+    std::string reason;
+    if (!config_.fault_plan.events.empty()) {
+      reason = "fault plan present";
+    } else if (config_.directory_replicas > 1) {
+      reason = "directory replication enabled";
+    } else if (!config_.precreate_pools) {
+      reason = "on-demand pool creation";
+    } else if (config_.wan_one_way <= 0) {
+      reason = "zero-latency WAN link leaves no lookahead";
+    } else if (config_.clusters < config_.wan_sites) {
+      reason = "fewer clusters than sites";
+    }
+    if (reason.empty()) {
+      BuildMultiSite();
+      return;
+    }
+    ACTYP_WARN << "scenario: LP sharding disabled (" << reason
+               << "); falling back to the single-site serial build";
+  }
+
   // Typical concurrent event population: one or two timers per client
   // plus per-node ticks; pre-sizing avoids slab growth mid-run.
   kernel_.Reserve(config_.clients * 4 + config_.machines / 8 + 64);
@@ -375,6 +423,261 @@ void SimScenario::Build() {
   }
 }
 
+void SimScenario::BuildMultiSite() {
+  const std::size_t site_count = config_.wan_sites;
+  const std::size_t clusters = std::max<std::size_t>(1, config_.clusters);
+  kernel_.Reserve(config_.clients * 4 + config_.machines / 8 + 64);
+
+  // --- topology and sharded network ---
+  // Full WAN mesh: every distinct site pair gets the configured one-way
+  // latency. The positive base latency is the conservative lookahead.
+  simnet::Topology topology = simnet::Topology::Lan();
+  topology.SetDefaultInterSiteLink(
+      simnet::LinkSpec{config_.wan_one_way, config_.wan_jitter, 1.25});
+  network_ = std::make_unique<simnet::SimNetwork>(&kernel_, topology,
+                                                  config_.seed ^ 0x6e0d3ULL);
+  network_->SetLossProbability(config_.message_loss_probability);
+  std::vector<std::string> site_names;
+  site_names.reserve(site_count);
+  for (std::size_t k = 0; k < site_count; ++k) {
+    site_names.push_back("site" + std::to_string(k));
+  }
+  network_->EnableSharding(site_names);
+
+  // The injector is still built (the accessors promise one), but LP
+  // eligibility guarantees an empty plan, so its hooks — which close
+  // over the unused single-site database — never fire.
+  fault_ = std::make_unique<fault::FaultInjector>(
+      &kernel_, network_.get(), config_.seed ^ 0xfa017ULL);
+  InstallFaultHooks();
+  fault_status_ = fault_->Arm(config_.fault_plan);
+  dir_api_ = &directory_;
+
+  // Exact per-cluster machine counts (machine i of the single-site
+  // build lands in cluster i % clusters).
+  auto cluster_size = [&](std::size_t c) {
+    return config_.machines / clusters +
+           (c < config_.machines % clusters ? 1 : 0);
+  };
+  auto owner_of = [&](std::size_t c) { return c % site_count; };
+  auto clients_on = [&](std::size_t k) {
+    return config_.clients / site_count +
+           (k < config_.clients % site_count ? 1 : 0);
+  };
+
+  workload::QuerySpec query_spec;
+  query_spec.cluster_count = clusters;
+  query_spec.hot_fraction = config_.hot_fraction;
+  workload::QueryGenerator generator(query_spec);
+
+  // --- pass 1: per-site stacks, fleets, and pool managers ---
+  // Build order is fixed (site 0, 1, ...), so every rng_ draw below is
+  // deterministic; nothing here runs under the LP engine yet.
+  for (std::size_t k = 0; k < site_count; ++k) {
+    auto site = std::make_unique<SiteStack>();
+    site->site = site_names[k];
+    site->server_host = site->site + ".srv";
+    site->client_host = site->site + ".cli";
+    if (config_.profile) {
+      profile::StageProfiler::Config profiler_config;
+      profiler_config.ring_capacity = config_.profile_ring_capacity;
+      site->profiler =
+          std::make_unique<profile::StageProfiler>(profiler_config);
+    }
+    profile::StageProfiler* profiler = site->profiler.get();
+    network_->AddHost(site->server_host, config_.server_cores, site->site);
+    network_->AddHost(
+        site->client_host,
+        static_cast<int>(std::max<std::size_t>(1, clients_on(k))),
+        site->site);
+
+    // This site's slice of the fleet: the clusters it owns, with the
+    // same per-cluster machine counts as the single-site build. The
+    // site-qualified domain keeps machine names globally unique.
+    workload::FleetSpec fleet;
+    fleet.domain = site->site;
+    fleet.cluster_count = clusters;
+    fleet.machine_count = 0;
+    for (std::size_t c = k; c < clusters; c += site_count) {
+      fleet.cluster_ids.push_back(c);
+      fleet.machine_count += cluster_size(c);
+    }
+    BuildFleet(fleet, rng_, &site->database, &site->shadows);
+    site_machines_[site->site] = {};
+    site->database.ForEach([&](const db::MachineRecord& rec) {
+      site_machines_[site->site].push_back(rec.id);
+    });
+
+    site->monitor = std::make_unique<monitor::ResourceMonitor>(
+        &site->database, monitor::MonitorConfig{}, rng_.Fork());
+    network_->AddNode(
+        site->site + ".monitor",
+        std::make_shared<MonitorNode>(site->monitor.get(),
+                                      config_.monitor_period, profiler),
+        net::NodePlacement{site->server_host, 1});
+
+    pipeline::ReintegratorConfig reint_config;
+    reint_config.name = site->site + ".reint";
+    reint_config.costs = config_.costs;
+    reint_config.profiler = profiler;
+    network_->AddNode(reint_config.name,
+                      std::make_shared<pipeline::Reintegrator>(reint_config),
+                      net::NodePlacement{site->server_host, 1});
+
+    pipeline::ProxyConfig proxy_config;
+    proxy_config.host = site->server_host;
+    proxy_config.pool_policy = config_.policy;
+    proxy_config.pool_resort_period = config_.resort_period;
+    proxy_config.costs = config_.costs;
+    proxy_config.profiler = profiler;
+    site->proxy = std::make_shared<pipeline::ProxyServer>(
+        proxy_config, network_.get(), &site->database, &site->directory,
+        &site->shadows, &site->policies);
+    network_->AddNode(site->site + ".proxy", site->proxy,
+                      net::NodePlacement{site->server_host, 1});
+
+    for (std::size_t i = 0;
+         i < std::max<std::size_t>(1, config_.pool_managers); ++i) {
+      pipeline::PoolManagerConfig pm_config;
+      pm_config.name = site->site + ".pm" + std::to_string(i);
+      pm_config.proxies = {site->site + ".proxy"};
+      pm_config.reintegrator = site->site + ".reint";
+      pm_config.allow_create = false;  // LP mode requires precreate
+      pm_config.costs = config_.costs;
+      pm_config.profiler = profiler;
+      network_->AddNode(pm_config.name,
+                        std::make_shared<pipeline::PoolManager>(
+                            pm_config, &site->directory),
+                        net::NodePlacement{site->server_host, 1});
+      site->pm_addresses.push_back(pm_config.name);
+    }
+    sites_.push_back(std::move(site));
+  }
+
+  // --- pass 2: query managers, pools, clients ---
+  // Needs every site's pool-manager addresses: each QM routes cluster c
+  // to the owner site's pool managers via a per-cluster rule, which is
+  // what generates the cross-WAN traffic the LP engine synchronizes.
+  for (std::size_t k = 0; k < site_count; ++k) {
+    SiteStack& site = *sites_[k];
+    profile::StageProfiler* profiler = site.profiler.get();
+    std::vector<pipeline::PmRule> rules;
+    rules.reserve(clusters);
+    for (std::size_t c = 0; c < clusters; ++c) {
+      rules.push_back(pipeline::PmRule{
+          "cluster", "c" + std::to_string(c),
+          sites_[owner_of(c)]->pm_addresses});
+    }
+    for (std::size_t i = 0;
+         i < std::max<std::size_t>(1, config_.query_managers); ++i) {
+      pipeline::QueryManagerConfig qm_config;
+      qm_config.name = site.site + ".qm" + std::to_string(i);
+      qm_config.rules = rules;
+      qm_config.default_pool_managers = site.pm_addresses;
+      qm_config.reintegrator = site.site + ".reint";
+      qm_config.qos_fanout = config_.qos_fanout;
+      qm_config.costs = config_.costs;
+      qm_config.profiler = profiler;
+      network_->AddNode(qm_config.name,
+                        std::make_shared<pipeline::QueryManager>(qm_config),
+                        net::NodePlacement{site.server_host, 1});
+      site.qm_addresses.push_back(qm_config.name);
+    }
+
+    // Pools for the clusters this site owns, registered in the site's
+    // own directory (where its pool managers resolve them).
+    const std::uint32_t segments =
+        std::max<std::uint32_t>(1, config_.pool_segments);
+    const std::uint32_t replicas =
+        std::max<std::uint32_t>(1, config_.pool_replicas);
+    for (std::size_t c = k; c < clusters; c += site_count) {
+      auto criteria = query::Parser::ParseBasic(generator.ForCluster(c));
+      query::Query pool_criteria(criteria->family());
+      for (const auto& [name, cond] : criteria->rsrc()) {
+        pool_criteria.SetRsrc(name, cond);
+      }
+      const std::string pool_name = pool_criteria.PoolName();
+      const std::size_t per_cluster = cluster_size(c);
+      auto add_site_pool =
+          [&](const net::Address& address,
+              const pipeline::ResourcePoolConfig& pool_config) {
+            auto pool = std::make_shared<pipeline::ResourcePool>(
+                pool_config, &site.database, &site.directory, &site.shadows,
+                &site.policies);
+            pools_.push_back(pool);
+            network_->AddNode(address, pool,
+                              net::NodePlacement{site.server_host, 1});
+          };
+      if (segments > 1) {
+        for (std::uint32_t s = 0; s < segments; ++s) {
+          pipeline::ResourcePoolConfig pool_config;
+          pool_config.pool_name = pool_name;
+          pool_config.instance = s;
+          pool_config.instance_count = 1;
+          pool_config.claim_name = pool_name + "#" + std::to_string(s);
+          pool_config.segment = true;
+          pool_config.criteria = pool_criteria;
+          pool_config.policy = config_.policy;
+          pool_config.resort_period = config_.resort_period;
+          pool_config.claim_limit =
+              s + 1 == segments ? 0 : per_cluster / segments;
+          pool_config.costs = config_.costs;
+          pool_config.profiler = profiler;
+          add_site_pool(
+              "pool.c" + std::to_string(c) + ".s" + std::to_string(s),
+              pool_config);
+        }
+      } else {
+        for (std::uint32_t r = 0; r < replicas; ++r) {
+          pipeline::ResourcePoolConfig pool_config;
+          pool_config.pool_name = pool_name;
+          pool_config.instance = r;
+          pool_config.instance_count = replicas;
+          pool_config.criteria = pool_criteria;
+          pool_config.policy = config_.policy;
+          pool_config.resort_period = config_.resort_period;
+          pool_config.costs = config_.costs;
+          pool_config.profiler = profiler;
+          add_site_pool(
+              "pool.c" + std::to_string(c) + ".r" + std::to_string(r),
+              pool_config);
+        }
+      }
+    }
+  }
+
+  // --- clients ---
+  // Client i lives on site i % K and enters through a local query
+  // manager; its queries still stripe across the global cluster space,
+  // so a (K-1)/K fraction of requests cross the WAN.
+  for (std::size_t i = 0; i < config_.clients; ++i) {
+    SiteStack& site = *sites_[i % site_count];
+    workload::ClientConfig client_config;
+    client_config.client_id = static_cast<std::uint32_t>(i + 1);
+    client_config.entry =
+        site.qm_addresses[(i / site_count) % site.qm_addresses.size()];
+    for (std::size_t j = 1; j < site.qm_addresses.size(); ++j) {
+      client_config.fallback_entries.push_back(
+          site.qm_addresses[(i / site_count + j) % site.qm_addresses.size()]);
+    }
+    client_config.make_query = [generator](Rng& rng) {
+      return generator.Next(rng);
+    };
+    client_config.think_time = config_.think_time;
+    client_config.job_duration = config_.job_duration;
+    client_config.collector = &site.collector;
+    client_config.profiler = site.profiler.get();
+    client_config.qos_first_match = config_.qos_first_match;
+    client_config.request_timeout = config_.client_request_timeout;
+    client_config.retry_max = config_.retry_max;
+    client_config.retry_backoff = config_.retry_backoff;
+    auto client = std::make_shared<workload::ClientNode>(client_config);
+    clients_.push_back(client);
+    network_->AddNode("client" + std::to_string(i), client,
+                      net::NodePlacement{site.client_host, 1});
+  }
+}
+
 void SimScenario::InstallFaultHooks() {
   // Machine churn: crash picks uniformly among currently-up machines
   // and flips them down in the white pages; pools notice on their next
@@ -460,13 +763,64 @@ void SimScenario::InstallFaultHooks() {
   });
 }
 
-void SimScenario::RunUntil(SimTime until) { kernel_.RunUntil(until); }
+void SimScenario::RunUntil(SimTime until) {
+  if (network_ != nullptr && network_->sharded()) {
+    ThreadPool* pool = nullptr;
+    if (config_.cell_jobs > 1) {
+      if (!window_pool_) {
+        window_pool_ = std::make_unique<ThreadPool>(
+            std::min(config_.cell_jobs, network_->shard_count()));
+      }
+      pool = window_pool_.get();
+    }
+    network_->RunShardedUntil(until, pool);
+    return;
+  }
+  kernel_.RunUntil(until);
+}
 
 void SimScenario::Measure(SimDuration warmup, SimDuration duration) {
   RunUntil(kernel_.Now() + warmup);
   collector_.Reset();
   if (profiler_) profiler_->Reset();
+  for (const auto& site : sites_) {
+    site->collector.Reset();
+    if (site->profiler) site->profiler->Reset();
+  }
   RunUntil(kernel_.Now() + duration);
+}
+
+workload::ResponseCollector& SimScenario::collector() {
+  if (sites_.empty()) return collector_;
+  merged_collector_.Reset();
+  for (const auto& site : sites_) {
+    merged_collector_.MergeFrom(site->collector);
+  }
+  return merged_collector_;
+}
+
+std::uint64_t SimScenario::total_events() const {
+  return network_ != nullptr && network_->sharded()
+             ? network_->total_executed()
+             : kernel_.executed();
+}
+
+profile::StageProfiler* SimScenario::MergedProfiler() const {
+  if (sites_.empty()) return profiler_.get();
+  if (!config_.profile) return nullptr;
+  if (!merged_profiler_) {
+    profile::StageProfiler::Config merged_config;
+    merged_config.ring_capacity =
+        config_.profile_ring_capacity * sites_.size();
+    merged_profiler_ =
+        std::make_unique<profile::StageProfiler>(merged_config);
+  }
+  merged_profiler_->Reset();
+  for (const auto& site : sites_) {
+    merged_profiler_->Merge(*site->profiler);
+    merged_profiler_->AbsorbRing(*site->profiler);
+  }
+  return merged_profiler_.get();
 }
 
 pipeline::PoolStats SimScenario::TotalPoolStats() const {
@@ -486,7 +840,14 @@ pipeline::PoolStats SimScenario::TotalPoolStats() const {
 }
 
 pipeline::ProxyStats SimScenario::proxy_stats() const {
-  return proxy_ != nullptr ? proxy_->stats() : pipeline::ProxyStats{};
+  pipeline::ProxyStats total =
+      proxy_ != nullptr ? proxy_->stats() : pipeline::ProxyStats{};
+  for (const auto& site : sites_) {
+    const pipeline::ProxyStats s = site->proxy->stats();
+    total.pools_created += s.pools_created;
+    total.create_failures += s.create_failures;
+  }
+  return total;
 }
 
 std::uint64_t SimScenario::total_client_failures() const {

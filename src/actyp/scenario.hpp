@@ -92,6 +92,24 @@ struct ScenarioConfig {
 
   // Deployment.
   bool wan = false;  // clients across a WAN link (Fig. 5)
+  // LP-parallel deployment: >= 2 builds that many WAN sites ("site0" ..
+  // "site<K-1>"), each a full service stack (white pages, monitor,
+  // proxy, reintegrator, pool managers, query managers, pools, clients)
+  // over the clusters it owns — cluster c lives on site c % K, and each
+  // site's query managers route foreign clusters to the owner site's
+  // pool managers across the WAN. Sites become logical processes of the
+  // conservative-window engine (simnet::SimNetwork::EnableSharding);
+  // `cell_jobs` picks how many worker threads run them. Requires
+  // precreate_pools, an empty fault plan, directory_replicas <= 1,
+  // wan_one_way > 0 (the lookahead), and clusters >= wan_sites; any
+  // ineligible combination warns and falls back to the single-site
+  // serial build. Supersedes `wan` when set.
+  std::size_t wan_sites = 0;
+  // Worker threads for the LP engine (used only when wan_sites >= 2).
+  // Purely an execution knob: sharding — and with it every RNG draw and
+  // event tie-break — is fixed by wan_sites, so reports and traces are
+  // byte-identical for any cell_jobs value.
+  std::size_t cell_jobs = 1;
   int server_cores = 12;
   SimDuration wan_one_way = Millis(30);
   SimDuration wan_jitter = Millis(5);
@@ -126,9 +144,16 @@ class SimScenario {
   // after it), then `duration` of steady state is measured.
   void Measure(SimDuration warmup, SimDuration duration);
 
-  [[nodiscard]] workload::ResponseCollector& collector() {
-    return collector_;
-  }
+  // Response statistics. Single-site scenarios return the shared
+  // collector the clients record into; multi-site (LP) scenarios fold
+  // the per-site collectors into a merged view on each call, in site
+  // order, so quantiles are deterministic for any worker count.
+  [[nodiscard]] workload::ResponseCollector& collector();
+  // True when this scenario runs on the LP-parallel engine.
+  [[nodiscard]] bool lp_mode() const { return !sites_.empty(); }
+  // Events executed across every LP kernel (== kernel().executed() on a
+  // single-site scenario).
+  [[nodiscard]] std::uint64_t total_events() const;
   [[nodiscard]] simnet::SimKernel& kernel() { return kernel_; }
   [[nodiscard]] simnet::SimNetwork& network() { return *network_; }
   [[nodiscard]] db::ResourceDatabase& database() { return database_; }
@@ -161,17 +186,25 @@ class SimScenario {
   [[nodiscard]] pipeline::ProxyStats proxy_stats() const;
 
   // Per-stage latency profiler; null when config.profile is false.
+  // Multi-site scenarios rebuild a merged view on each call: per-site
+  // histograms folded in site order plus a lossless union of the span
+  // rings (capacity = sites x per-site ring), so summaries and trace
+  // assembly are deterministic for any worker count.
   [[nodiscard]] profile::StageProfiler* profiler() {
-    return profiler_.get();
+    return MergedProfiler();
   }
   [[nodiscard]] const profile::StageProfiler* profiler() const {
-    return profiler_.get();
+    return MergedProfiler();
   }
 
  private:
+  struct SiteStack;
+
   void Build();
+  void BuildMultiSite();
   void InstallFaultHooks();
   void ResetCollector();
+  [[nodiscard]] profile::StageProfiler* MergedProfiler() const;
 
   ScenarioConfig config_;
   // Declared before the network so it outlives the nodes (and any
@@ -198,6 +231,17 @@ class SimScenario {
   std::shared_ptr<pipeline::ProxyServer> proxy_;
   workload::ResponseCollector collector_;
   Rng rng_;
+
+  // Multi-site (LP) deployment: one full service stack per site, empty
+  // on single-site scenarios. Each stack's database / directory /
+  // shadows / collector / profiler are touched only by nodes of that
+  // site, so the shards of the LP engine share no mutable state.
+  std::vector<std::unique_ptr<SiteStack>> sites_;
+  // Lazily-built worker pool for RunShardedUntil (cell_jobs > 1 only).
+  std::unique_ptr<ThreadPool> window_pool_;
+  // Merged observable views for multi-site runs, rebuilt on access.
+  workload::ResponseCollector merged_collector_;
+  mutable std::unique_ptr<profile::StageProfiler> merged_profiler_;
 
   std::vector<std::shared_ptr<pipeline::ResourcePool>> pools_;
   std::vector<std::shared_ptr<workload::ClientNode>> clients_;

@@ -52,6 +52,13 @@ struct ScenarioRunOptions {
   // from (base seed, cell position), and results are emitted in fixed
   // cell order, so the output is independent of the worker count.
   std::size_t jobs = 1;
+  // --cell-jobs: worker threads for the LP-parallel engine *inside*
+  // each multi-site cell (scenarios built with wan_sites >= 2; see
+  // ScenarioConfig). Composes with --jobs, which parallelizes across
+  // cells. Purely an execution knob: sharding is fixed by the scenario,
+  // so reports and traces are byte-identical for any value. Single-site
+  // scenarios ignore it.
+  std::size_t cell_jobs = 1;
   // --stable: zero wall-clock-derived metrics (ev_per_s_wall) so
   // fixed-seed runs are byte-identical across hosts and --jobs values.
   bool stable = false;

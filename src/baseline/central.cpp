@@ -8,7 +8,7 @@ namespace actyp::baseline {
 
 CentralScheduler::CentralScheduler(CentralSchedulerConfig config,
                                    db::ResourceDatabase* database)
-    : config_(std::move(config)), database_(database) {}
+    : config_(std::move(config)), database_(database), cache_(database) {}
 
 void CentralScheduler::OnMessage(const net::Envelope& envelope,
                                  net::NodeContext& ctx) {
@@ -44,11 +44,15 @@ void CentralScheduler::HandleQuery(const net::Envelope& envelope,
 
   // Full scan of the white pages — the centralized scheduler pays the
   // whole database on every query, and is a single serialization point.
+  // The scan runs over the journal-fed mirror: same records, same
+  // ascending-id order (so identical decisions), but the refresh cost
+  // is proportional to churn since the last query, not fleet size.
+  stats_.entries_refreshed += cache_.Refresh();
   std::size_t scanned = 0;
   bool found = false;
   db::MachineRecord best;
   double best_load = 0.0;
-  database_->ForEach([&](const db::MachineRecord& rec) {
+  cache_.ForEach([&](const db::MachineRecord& rec) {
     ++scanned;
     if (!rec.IsUsable()) return;
     if (!q.Matches([&rec](const std::string& name) {

@@ -7,7 +7,7 @@
 namespace actyp::baseline {
 
 Matchmaker::Matchmaker(MatchmakerConfig config, db::ResourceDatabase* database)
-    : config_(std::move(config)), database_(database) {}
+    : config_(std::move(config)), database_(database), cache_(database) {}
 
 void Matchmaker::OnStart(net::NodeContext& ctx) {
   ctx.ScheduleSelf(config_.cycle_period, net::Message{net::msg::kTick});
@@ -40,6 +40,10 @@ void Matchmaker::OnMessage(const net::Envelope& envelope,
 
 void Matchmaker::RunCycle(net::NodeContext& ctx) {
   ++stats_.cycles;
+  // One refresh covers the whole cycle: every queued request matches
+  // against the same mirror snapshot the live database shows right now
+  // (in-cycle claims still update jobs_, which the rank consults).
+  stats_.entries_refreshed += cache_.Refresh();
   while (!queue_.empty()) {
     const net::Envelope request = std::move(queue_.front());
     queue_.pop_front();
@@ -66,7 +70,7 @@ void Matchmaker::RunCycle(net::NodeContext& ctx) {
     bool found = false;
     db::MachineRecord best;
     double best_load = 0.0;
-    database_->ForEach([&](const db::MachineRecord& rec) {
+    cache_.ForEach([&](const db::MachineRecord& rec) {
       ++scanned;
       if (!rec.IsUsable()) return;
       if (!q.Matches([&rec](const std::string& name) {

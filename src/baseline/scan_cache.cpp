@@ -1,0 +1,44 @@
+#include "baseline/scan_cache.hpp"
+
+#include <vector>
+
+namespace actyp::baseline {
+
+std::size_t ScanCache::FullSweep() {
+  mirror_.clear();
+  database_->ForEach(
+      [this](const db::MachineRecord& record) { mirror_[record.id] = record; });
+  cursor_ = database_->version();
+  primed_ = true;
+  return mirror_.size();
+}
+
+std::size_t ScanCache::Refresh() {
+  std::size_t refreshed = 0;
+  if (!primed_) {
+    refreshed = FullSweep();
+  } else {
+    std::vector<db::MachineId> dirty;
+    const auto next = database_->ChangesSince(cursor_, &dirty);
+    if (!next.has_value()) {
+      // Cursor fell out of the journal window: resweep rather than
+      // miss silently-compacted changes.
+      refreshed = FullSweep();
+    } else {
+      cursor_ = *next;
+      for (const db::MachineId id : dirty) {
+        auto record = database_->Get(id);
+        if (record.ok()) {
+          mirror_[id] = std::move(record).value();
+        } else {
+          mirror_.erase(id);
+        }
+        ++refreshed;
+      }
+    }
+  }
+  entries_refreshed_ += refreshed;
+  return refreshed;
+}
+
+}  // namespace actyp::baseline

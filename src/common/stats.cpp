@@ -120,6 +120,10 @@ void QuantileSampler::Add(double x) {
   if (r < capacity_) samples_[r] = x;
 }
 
+void QuantileSampler::Merge(const QuantileSampler& other) {
+  for (double x : other.samples_) Add(x);
+}
+
 double QuantileSampler::Quantile(double q) const {
   if (samples_.empty()) return 0.0;
   if (dirty_) {

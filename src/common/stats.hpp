@@ -69,6 +69,10 @@ class QuantileSampler {
   explicit QuantileSampler(std::size_t capacity = 1 << 16);
 
   void Add(double x);
+  // Feeds `other`'s retained samples through Add in their stored order.
+  // Deterministic for a fixed merge order of the inputs (the LP-parallel
+  // scenarios merge per-site samplers in site-rank order).
+  void Merge(const QuantileSampler& other);
   // q in [0,1]; returns 0 when empty. Linear interpolation between order
   // statistics.
   [[nodiscard]] double Quantile(double q) const;

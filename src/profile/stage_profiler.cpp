@@ -27,6 +27,14 @@ std::string_view StageName(Stage stage) {
   return "unknown";
 }
 
+std::optional<Stage> StageFromName(std::string_view name) {
+  for (std::size_t i = 0; i < kStageCount; ++i) {
+    const auto stage = static_cast<Stage>(i);
+    if (StageName(stage) == name) return stage;
+  }
+  return std::nullopt;
+}
+
 LatencyHistogram::LatencyHistogram() : LatencyHistogram(Geometry{}) {}
 
 LatencyHistogram::LatencyHistogram(const Geometry& geometry)
@@ -172,6 +180,17 @@ void StageProfiler::Merge(const StageProfiler& other) {
     histograms_[i].Merge(other.histograms_[i]);
   }
   recorded_ += other.recorded_;
+}
+
+void StageProfiler::AbsorbRing(const StageProfiler& other) {
+  for (const SpanRecord& record : other.RingSnapshot()) {
+    if (ring_.size() < ring_capacity_) {
+      ring_.push_back(record);
+    } else {
+      ring_[ring_next_] = record;
+    }
+    ring_next_ = (ring_next_ + 1) % ring_capacity_;
+  }
 }
 
 StageSummary StageProfiler::Summary(Stage stage) const {

@@ -22,6 +22,7 @@
 #include <array>
 #include <cstddef>
 #include <cstdint>
+#include <optional>
 #include <string_view>
 #include <vector>
 
@@ -77,6 +78,9 @@ inline constexpr std::uint64_t kBackgroundIdBit = 1ull << 63;
 // Stable snake_case stage names used as metric-name prefixes in the
 // scenario reports (e.g. "pool_select_p95_s") and exporter output.
 [[nodiscard]] std::string_view StageName(Stage stage);
+
+// Reverse of StageName (for --trace-filter); nullopt on unknown names.
+[[nodiscard]] std::optional<Stage> StageFromName(std::string_view name);
 
 // One captured span. 16 bytes of payload plus the stage tag; the ring
 // keeps the most recent `ring_capacity` of these across all stages.
@@ -174,6 +178,14 @@ class StageProfiler {
   // merged — the ring is a per-simulation debugging aid, the histograms
   // are the aggregatable signal).
   void Merge(const StageProfiler& other);
+
+  // Appends another profiler's retained spans (oldest first) into this
+  // ring; histograms are untouched (pair with Merge for the full fold).
+  // The LP-parallel scenarios drain per-site profilers in site-rank
+  // order into a merged profiler whose ring capacity is sites x the
+  // per-site capacity, so the union is lossless and trace assembly
+  // sees the same span set at any worker count.
+  void AbsorbRing(const StageProfiler& other);
 
   [[nodiscard]] StageSummary Summary(Stage stage) const;
   [[nodiscard]] const LatencyHistogram& histogram(Stage stage) const;

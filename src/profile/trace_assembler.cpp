@@ -5,6 +5,8 @@
 #include <fstream>
 #include <numeric>
 
+#include "common/strings.hpp"
+
 namespace actyp::profile {
 namespace {
 
@@ -333,6 +335,80 @@ void WriteChromeTrace(const std::vector<TraceCell>& cells,
     }
   }
   events.Finish();
+}
+
+std::optional<TraceFilter> TraceFilter::Parse(const std::string& text,
+                                              std::string* error) {
+  TraceFilter filter;
+  for (const std::string& term : SplitSkipEmpty(text, ',')) {
+    const std::string trimmed = Trim(term);
+    const std::size_t eq = trimmed.find('=');
+    if (eq == std::string::npos) {
+      *error = "term '" + trimmed + "' is not key=value";
+      return std::nullopt;
+    }
+    const std::string key = Trim(trimmed.substr(0, eq));
+    const std::string value = Trim(trimmed.substr(eq + 1));
+    if (key == "request") {
+      const auto parsed = ParseInt(value);
+      if (!parsed || *parsed < 0) {
+        *error = "bad request id '" + value + "'";
+        return std::nullopt;
+      }
+      filter.request_id = static_cast<std::uint64_t>(*parsed);
+    } else if (key == "stage") {
+      const auto stage = StageFromName(value);
+      if (!stage) {
+        *error = "unknown stage '" + value + "'";
+        return std::nullopt;
+      }
+      filter.stage = *stage;
+    } else if (key == "min-dur") {
+      const auto parsed = ParseDouble(value);
+      if (!parsed || !(*parsed >= 0)) {
+        *error = "bad duration '" + value + "'";
+        return std::nullopt;
+      }
+      filter.min_duration_s = *parsed;
+    } else {
+      *error = "unknown key '" + key +
+               "' (expected request, stage, or min-dur)";
+      return std::nullopt;
+    }
+  }
+  return filter;
+}
+
+std::vector<TraceCell> FilterTraceCells(std::vector<TraceCell> cells,
+                                        const TraceFilter& filter) {
+  if (!filter.active()) return cells;
+  for (TraceCell& cell : cells) {
+    const AssembledTraces assembled = TraceAssembler::Assemble(cell.spans);
+    std::vector<SpanRecord> kept;
+    for (const RequestTrace& trace : assembled.requests) {
+      if (filter.request_id && trace.request_id != *filter.request_id) {
+        continue;
+      }
+      if (filter.min_duration_s > 0 &&
+          trace.duration_s < filter.min_duration_s) {
+        continue;
+      }
+      if (filter.stage) {
+        const bool has_stage = std::any_of(
+            trace.spans.begin(), trace.spans.end(),
+            [&](const SpanRecord& s) { return s.stage == *filter.stage; });
+        if (!has_stage) continue;
+      }
+      kept.insert(kept.end(), trace.spans.begin(), trace.spans.end());
+    }
+    if (filter.stage) {
+      for (const SpanRecord& span : assembled.background) {
+        if (span.stage == *filter.stage) kept.push_back(span);
+      }
+    }
+    cell.spans = std::move(kept);
+  }
+  return cells;
 }
 
 Status WriteChromeTraceFile(const std::vector<TraceCell>& cells,

@@ -28,6 +28,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <mutex>
+#include <optional>
 #include <ostream>
 #include <string>
 #include <vector>
@@ -113,6 +114,35 @@ class TraceSink {
   mutable std::mutex mu_;
   std::vector<TraceCell> cells_;
 };
+
+// --trace-filter: restricts which request traces --trace-out keeps.
+// Every set criterion must hold: an exact request id, a stage the
+// trace must contain, and a minimum end-to-end duration. When any
+// criterion is set, background spans are dropped unless `stage` names
+// their stage — a filtered file shows exactly what was asked for.
+struct TraceFilter {
+  std::optional<std::uint64_t> request_id;
+  std::optional<Stage> stage;
+  double min_duration_s = 0;
+
+  [[nodiscard]] bool active() const {
+    return request_id.has_value() || stage.has_value() ||
+           min_duration_s > 0;
+  }
+
+  // Parses a comma-separated spec of "request=<id>", "stage=<name>"
+  // (snake_case StageName), and "min-dur=<seconds>" terms, any subset.
+  // Returns nullopt and sets *error on a malformed spec.
+  [[nodiscard]] static std::optional<TraceFilter> Parse(
+      const std::string& text, std::string* error);
+};
+
+// Applies the filter to every cell: each cell's spans are assembled,
+// traces failing the filter are dropped, and the cell keeps only the
+// surviving traces' spans (plus background spans matching a stage
+// criterion). An inactive filter passes everything through untouched.
+[[nodiscard]] std::vector<TraceCell> FilterTraceCells(
+    std::vector<TraceCell> cells, const TraceFilter& filter);
 
 struct ChromeTraceOptions {
   std::size_t slow_n = 5;      // slowest request traces per cell

@@ -185,6 +185,45 @@ void ReplicaGroup::SyncTick(std::uint32_t id) {
     ++stats_.convergences;
     awaiting_convergence_ = false;
   }
+
+  // Tombstone GC: the pointwise-min version vector over the alive
+  // replicas is the set of ops everyone has applied; tombstones at or
+  // below it can never be needed again (see PruneTombstones). A
+  // warming replica blocks collection — its vector is empty until the
+  // first successful pull, so the min would cover nothing anyway, and
+  // skipping keeps the "everyone has applied it" reading honest. A
+  // crashed replica is excluded: it restarts empty under a new
+  // incarnation, so it never resurrects pruned history.
+  VersionVector floor;
+  bool gc_ok = false;
+  for (const auto& replica : replicas_) {
+    if (!alive_[replica->id()]) continue;
+    if (warming_[replica->id()]) {
+      gc_ok = false;
+      break;
+    }
+    const VersionVector vv = replica->version_vector();
+    if (!gc_ok) {
+      floor = vv;
+      gc_ok = true;
+      continue;
+    }
+    for (auto it = floor.begin(); it != floor.end();) {
+      const auto other = vv.find(it->first);
+      if (other == vv.end()) {
+        it = floor.erase(it);
+      } else {
+        it->second = std::min(it->second, other->second);
+        ++it;
+      }
+    }
+  }
+  if (gc_ok && !floor.empty()) {
+    for (const auto& replica : replicas_) {
+      if (!alive_[replica->id()]) continue;
+      stats_.tombstones_gc += replica->PruneTombstones(floor);
+    }
+  }
 }
 
 // --- ReplicaHandle ---------------------------------------------------------

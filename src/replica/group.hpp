@@ -62,6 +62,7 @@ struct ReplicaGroupStats {
   std::uint64_t crashes = 0;
   std::uint64_t restores = 0;
   std::uint64_t convergences = 0;   // disruptions fully healed
+  std::uint64_t tombstones_gc = 0;  // tombstones garbage-collected
   double max_staleness_s = 0;
   double converge_time_s = 0;       // last disruption -> convergence
 };

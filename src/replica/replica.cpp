@@ -214,7 +214,7 @@ void DirectoryReplica::MergeLocked(const Op& op) {
     case OpKind::kPutPool: {
       auto& slot = pools_[op.pool.pool_name][op.pool.instance];
       if (Supersedes(slot, op.stamp, op.origin)) {
-        slot = {op.stamp, op.origin, false, op.pool};
+        slot = {op.stamp, op.origin, op.seq, false, op.pool};
       }
       break;
     }
@@ -223,6 +223,7 @@ void DirectoryReplica::MergeLocked(const Op& op) {
       if (Supersedes(slot, op.stamp, op.origin)) {
         slot.stamp = op.stamp;
         slot.origin = op.origin;
+        slot.seq = op.seq;
         slot.tombstone = true;
       }
       break;
@@ -230,7 +231,7 @@ void DirectoryReplica::MergeLocked(const Op& op) {
     case OpKind::kPutPm: {
       auto& slot = pms_[op.pm.name];
       if (Supersedes(slot, op.stamp, op.origin)) {
-        slot = {op.stamp, op.origin, false, op.pm};
+        slot = {op.stamp, op.origin, op.seq, false, op.pm};
       }
       break;
     }
@@ -239,6 +240,7 @@ void DirectoryReplica::MergeLocked(const Op& op) {
       if (Supersedes(slot, op.stamp, op.origin)) {
         slot.stamp = op.stamp;
         slot.origin = op.origin;
+        slot.seq = op.seq;
         slot.tombstone = true;
       }
       break;
@@ -265,6 +267,7 @@ DirectoryReplica::StateSnapshot DirectoryReplica::FullState() const {
     for (const auto& [num, slot] : instances) {
       Op op;
       op.origin = slot.origin;
+      op.seq = slot.seq;
       op.stamp = slot.stamp;
       if (slot.tombstone) {
         op.kind = OpKind::kDelPool;
@@ -280,6 +283,7 @@ DirectoryReplica::StateSnapshot DirectoryReplica::FullState() const {
   for (const auto& [name, slot] : pms_) {
     Op op;
     op.origin = slot.origin;
+    op.seq = slot.seq;
     op.stamp = slot.stamp;
     if (slot.tombstone) {
       op.kind = OpKind::kDelPm;
@@ -325,6 +329,58 @@ void DirectoryReplica::Reset() {
   // empty vector makes peers replay everything — including this
   // replica's own surviving pre-crash ops under their old origin.
   ++incarnation_;
+}
+
+namespace {
+
+bool CoveredBy(const VersionVector& floor, std::uint32_t origin,
+               std::uint64_t seq) {
+  const auto it = floor.find(origin);
+  return it != floor.end() && it->second >= seq;
+}
+
+}  // namespace
+
+std::size_t DirectoryReplica::PruneTombstones(const VersionVector& floor) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::size_t pruned = 0;
+  for (auto pool_it = pools_.begin(); pool_it != pools_.end();) {
+    auto& instances = pool_it->second;
+    for (auto it = instances.begin(); it != instances.end();) {
+      if (it->second.tombstone &&
+          CoveredBy(floor, it->second.origin, it->second.seq)) {
+        it = instances.erase(it);
+        ++pruned;
+      } else {
+        ++it;
+      }
+    }
+    pool_it = instances.empty() ? pools_.erase(pool_it) : std::next(pool_it);
+  }
+  for (auto it = pms_.begin(); it != pms_.end();) {
+    if (it->second.tombstone &&
+        CoveredBy(floor, it->second.origin, it->second.seq)) {
+      it = pms_.erase(it);
+      ++pruned;
+    } else {
+      ++it;
+    }
+  }
+  return pruned;
+}
+
+std::size_t DirectoryReplica::tombstone_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::size_t n = 0;
+  for (const auto& [name, instances] : pools_) {
+    for (const auto& [num, slot] : instances) {
+      if (slot.tombstone) ++n;
+    }
+  }
+  for (const auto& [name, slot] : pms_) {
+    if (slot.tombstone) ++n;
+  }
+  return n;
 }
 
 std::string DirectoryReplica::StateDigest() const {

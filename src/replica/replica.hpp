@@ -130,11 +130,25 @@ class DirectoryReplica final : public directory::DirectoryApi {
   // lookup identically.
   [[nodiscard]] std::string StateDigest() const;
 
+  // Tombstone GC: erases every tombstone whose writing op's
+  // (origin, seq) is covered by `floor` (floor[origin] >= seq), i.e.
+  // already applied by every replica the caller folded into the floor.
+  // Such a tombstone can never be needed again — duplicate deliveries
+  // are version-vector-gated, snapshots from covered peers carry the
+  // deletion's outcome (the key's absence), and crashed replicas
+  // restart empty — so dropping it everywhere is convergent. Returns
+  // the number of tombstones erased.
+  std::size_t PruneTombstones(const VersionVector& floor);
+
+  // Live tombstones currently held (pools + pool managers).
+  [[nodiscard]] std::size_t tombstone_count() const;
+
  private:
   template <typename Payload>
   struct Slot {
     std::uint64_t stamp = 0;
     std::uint32_t origin = 0;
+    std::uint64_t seq = 0;  // the writing op's per-origin seq (GC key)
     bool tombstone = false;
     Payload value{};
   };

@@ -153,4 +153,13 @@ std::size_t SimKernel::RunUntil(SimTime until) {
   return n;
 }
 
+std::size_t SimKernel::RunBefore(SimTime bound) {
+  std::size_t n = 0;
+  while (!heap_.empty() && heap_[0].at < bound) {
+    Step();
+    ++n;
+  }
+  return n;
+}
+
 }  // namespace actyp::simnet

@@ -57,6 +57,26 @@ class SimKernel {
   // if fewer events exist.
   std::size_t RunUntil(SimTime until);
 
+  // --- LP-parallel support (conservative time windows) ---
+  // Timestamp of the earliest pending event; kNoEvent when the queue is
+  // empty. The LP scheduler uses this as the shard's floor when deriving
+  // the safe execution horizon.
+  static constexpr SimTime kNoEvent = INT64_MAX;
+  [[nodiscard]] SimTime NextEventTime() const {
+    return heap_.empty() ? kNoEvent : heap_[0].at;
+  }
+
+  // Runs events with timestamp strictly < bound. Unlike RunUntil the
+  // clock is left at the last executed event: the LP scheduler advances
+  // it explicitly (AdvanceTo) once the whole window is committed, so a
+  // late cross-shard delivery inside the window can still be scheduled.
+  std::size_t RunBefore(SimTime bound);
+
+  // Advances the clock without executing anything (never backwards).
+  void AdvanceTo(SimTime t) {
+    if (now_ < t) now_ = t;
+  }
+
   [[nodiscard]] bool Empty() const { return heap_.empty(); }
   [[nodiscard]] std::size_t pending() const { return heap_.size(); }
   [[nodiscard]] std::uint64_t executed() const { return executed_; }

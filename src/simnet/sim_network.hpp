@@ -8,6 +8,18 @@
 //   - Handler side effects (sends, self-schedules) take effect when the
 //     declared service time (NodeContext::Consume) completes, so service
 //     time and queueing delay compose exactly as in a queueing network.
+//
+// LP-parallel mode (EnableSharding): sites become logical processes,
+// each with its own slab-backed kernel, RNG stream, and counters. Intra-
+// site traffic stays on the owning shard's kernel; cross-site messages
+// go through per-(source, destination) outboxes that RunShardedUntil
+// merges between windows in a fixed (deliver_at, source rank, source
+// sequence) total order. Shards execute under a conservative window
+// protocol — safe horizon W = min over shards of (next event time +
+// lookahead), lookahead = min outbound cross-site base latency — so a
+// shard never receives a message with a timestamp it has already passed.
+// Every draw and every tie-break is shard-local, which makes fixed-seed
+// replay byte-identical for any worker count (1, 2, 4, ...).
 #pragma once
 
 #include <deque>
@@ -18,6 +30,7 @@
 #include <vector>
 
 #include "common/rng.hpp"
+#include "common/thread_pool.hpp"
 #include "net/node.hpp"
 #include "simnet/kernel.hpp"
 #include "simnet/topology.hpp"
@@ -35,6 +48,16 @@ class SimNetwork final : public net::Network {
   SimNetwork(SimKernel* kernel, Topology topology, std::uint64_t seed = 42);
   ~SimNetwork() override;
 
+  // Switches to LP-parallel mode with one shard per listed site. Shard 0
+  // reuses the primary kernel; the rest own private kernels. Must be
+  // called before any AddHost/AddNode; hosts whose site is not listed
+  // land on shard 0. Sharding is a property of the *scenario*, not of
+  // the worker count: a sharded network replays identically whether
+  // RunShardedUntil gets 1 worker or many.
+  void EnableSharding(const std::vector<std::string>& sites);
+  [[nodiscard]] bool sharded() const { return shards_.size() > 1; }
+  [[nodiscard]] std::size_t shard_count() const { return shards_.size(); }
+
   // Declares a host with `cores` processors. Nodes placed on undeclared
   // hosts get an implicit single-core host.
   void AddHost(const std::string& name, int cores,
@@ -48,22 +71,32 @@ class SimNetwork final : public net::Network {
   void Post(const net::Address& from, const net::Address& to,
             net::Message message) override;
 
+  // Conservative-window execution of a sharded network up to `until`
+  // (inclusive, like SimKernel::RunUntil). Each round merges the cross-
+  // shard outboxes, computes the safe horizon, and runs every shard's
+  // sub-window — on `pool` when given (one task per shard, barrier via
+  // Drain), inline otherwise. Returns events executed. Also valid on an
+  // unsharded network, where it degenerates to kernel().RunUntil.
+  std::size_t RunShardedUntil(SimTime until, ThreadPool* pool = nullptr);
+
+  // Events executed across every shard kernel (== kernel().executed()
+  // when unsharded).
+  [[nodiscard]] std::uint64_t total_executed() const;
+
   [[nodiscard]] SimKernel& kernel() { return *kernel_; }
   [[nodiscard]] Topology& topology() { return topology_; }
 
   [[nodiscard]] NodeStats StatsFor(const net::Address& address) const;
-  [[nodiscard]] std::uint64_t dropped_messages() const { return dropped_; }
+  [[nodiscard]] std::uint64_t dropped_messages() const;
 
   // Fault injection: every Post between *distinct* nodes is lost with
   // this probability (self-messages/timers are never dropped — they
   // model local state, not the network).
   void SetLossProbability(double p) { loss_probability_ = p; }
   [[nodiscard]] double loss_probability() const { return loss_probability_; }
-  [[nodiscard]] std::uint64_t lost_messages() const { return lost_; }
+  [[nodiscard]] std::uint64_t lost_messages() const;
   // Messages dropped on a cut site pair (Topology::SetPartition).
-  [[nodiscard]] std::uint64_t partition_dropped() const {
-    return partition_dropped_;
-  }
+  [[nodiscard]] std::uint64_t partition_dropped() const;
 
  private:
   struct NodeRuntime;
@@ -72,6 +105,7 @@ class SimNetwork final : public net::Network {
     std::string name;
     int cores = 1;
     int busy = 0;
+    std::uint32_t shard = 0;
     std::vector<std::string> node_addresses;
     // Nodes with queued work that could not start because every core was
     // busy, in blocking order. Freed cores go to these nodes directly
@@ -96,29 +130,63 @@ class SimNetwork final : public net::Network {
     std::unordered_map<net::TimerId, SimKernel::TimerId> timers;
   };
 
+  // A message crossing shards, parked in the sender's outbox until the
+  // next inter-window merge. `seq` is the sender's append order — the
+  // final tie-break of the deterministic merge.
+  struct CrossShardMessage {
+    SimTime deliver_at = 0;
+    std::uint64_t seq = 0;
+    net::Envelope envelope;
+  };
+
+  // One logical process: a site's kernel, RNG stream, and counters.
+  // Everything here is touched only by the shard's own execution (or
+  // between windows, single-threaded), so shards share no mutable state.
+  struct Shard {
+    SimKernel* kernel = nullptr;         // shard 0 aliases kernel_
+    std::unique_ptr<SimKernel> owned;    // shards 1..K-1
+    std::string site;
+    Rng rng;                             // loss + latency draws
+    net::TimerId next_timer_id = 1;
+    std::uint64_t out_seq = 0;
+    SimDuration lookahead = Micros(1);
+    std::uint64_t dropped = 0;
+    std::uint64_t lost = 0;
+    std::uint64_t partition_dropped = 0;
+    std::vector<std::vector<CrossShardMessage>> outbox;  // per dest shard
+  };
+
   class Context;
   struct Effects;
 
   Host* GetOrCreateHost(const std::string& name);
+  [[nodiscard]] std::uint32_t ShardOfSite(const std::string& site) const;
   void Deliver(net::Envelope envelope);
   void TryDispatch(const std::shared_ptr<NodeRuntime>& runtime);
   void WakeHost(Host* host);
   // Applies a handler's buffered sends/timer ops at completion time.
   void ApplyEffects(const std::shared_ptr<NodeRuntime>& runtime,
                     Effects effects);
+  // Moves every outbox message into its destination kernel, merged per
+  // destination in (deliver_at, source rank, source seq) order. Single-
+  // threaded: runs only between windows.
+  void DrainMailboxes();
+  void RefreshLookahead();
 
   SimKernel* kernel_;
   Topology topology_;
   Rng seeder_;
-  net::TimerId next_timer_id_ = 1;
+  // shards_[0] always exists and aliases kernel_/seeder_-driven serial
+  // behavior; EnableSharding appends the rest.
+  std::vector<Shard> shards_;
+  std::unordered_map<std::string, std::uint32_t> site_shard_;
   std::map<std::string, std::unique_ptr<Host>> hosts_;
   // Looked up per message delivery; no ordered iteration anywhere.
   std::unordered_map<net::Address, std::shared_ptr<NodeRuntime>> nodes_;
   std::unordered_map<net::Address, std::string> node_host_;  // survives removal
-  std::uint64_t dropped_ = 0;
   double loss_probability_ = 0.0;
-  std::uint64_t lost_ = 0;
-  std::uint64_t partition_dropped_ = 0;
+  // Scratch for DrainMailboxes, reused across rounds.
+  std::vector<CrossShardMessage> merge_scratch_;
 };
 
 }  // namespace actyp::simnet

@@ -63,6 +63,12 @@ SimDuration Topology::SampleLatency(const std::string& host_a,
   return std::max<SimDuration>(latency, Micros(1));
 }
 
+SimDuration Topology::MinSiteLatency(const std::string& site_a,
+                                     const std::string& site_b) const {
+  return std::max<SimDuration>(LinkBetween(site_a, site_b).base_latency,
+                               Micros(1));
+}
+
 std::pair<std::string, std::string> Topology::OrderedPair(
     const std::string& site_a, const std::string& site_b) {
   return site_a <= site_b ? std::make_pair(site_a, site_b)

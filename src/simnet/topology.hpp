@@ -42,6 +42,13 @@ class Topology {
                                           const std::string& host_b,
                                           std::size_t bytes, Rng& rng) const;
 
+  // Lower bound on any latency SampleLatency can return between two
+  // distinct sites: the link's base latency (jitter, bandwidth, and
+  // penalties only add), floored at SampleLatency's 1 us minimum. This
+  // is the LP scheduler's lookahead for the site pair.
+  [[nodiscard]] SimDuration MinSiteLatency(const std::string& site_a,
+                                           const std::string& site_b) const;
+
   // --- fault-injection hooks (driven by fault::FaultInjector) ---
   // Cuts (or heals) every link between two sites; "*" for either side
   // means every site. Messages across a cut link are dropped by the

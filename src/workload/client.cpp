@@ -26,6 +26,13 @@ void ResponseCollector::Reset() {
   failures_ = 0;
 }
 
+void ResponseCollector::MergeFrom(const ResponseCollector& other) {
+  std::scoped_lock lock(mu_, other.mu_);
+  response_.Merge(other.response_);
+  quantiles_.Merge(other.quantiles_);
+  failures_ += other.failures_;
+}
+
 RunningStats ResponseCollector::response_stats() const {
   std::lock_guard<std::mutex> lock(mu_);
   return response_;

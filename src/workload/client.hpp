@@ -24,6 +24,9 @@ class ResponseCollector {
   void RecordResponse(SimDuration response_time);
   void RecordFailure();
   void Reset();
+  // Folds `other` into this collector (Welford merge + sampler replay).
+  // Call in a fixed order across sources for deterministic quantiles.
+  void MergeFrom(const ResponseCollector& other);
 
   [[nodiscard]] RunningStats response_stats() const;
   [[nodiscard]] double QuantileSeconds(double q) const;

@@ -29,7 +29,10 @@ void BuildFleet(const FleetSpec& spec, Rng& rng,
     rec.tool_groups = spec.tool_groups;
     rec.object_path = "/etc/punch/machines/" + rec.name;
 
-    const std::size_t cluster = i % std::max<std::size_t>(1, spec.cluster_count);
+    const std::size_t cluster =
+        spec.cluster_ids.empty()
+            ? i % std::max<std::size_t>(1, spec.cluster_count)
+            : spec.cluster_ids[i % spec.cluster_ids.size()];
     rec.params["arch"] = spec.archs[rng.WeightedIndex(arch_weights)].first;
     rec.params["cluster"] = "c" + std::to_string(cluster);
     rec.params["domain"] = spec.domain;

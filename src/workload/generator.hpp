@@ -31,6 +31,11 @@ struct FleetSpec {
   std::vector<std::string> tool_groups = {"simulation", "cad", "general"};
   std::size_t shadow_accounts_per_machine = 8;
   std::uint16_t base_port = 7000;
+  // Explicit cluster ids to stripe machines across (machine j lands in
+  // cluster_ids[j % size]). Empty = 0..cluster_count-1. Used by multi-
+  // site scenarios, where each site's white pages holds only the
+  // clusters that site owns while cluster numbering stays global.
+  std::vector<std::size_t> cluster_ids;
 };
 
 // Populates `database` (and shadow pools, when `shadows` != nullptr)

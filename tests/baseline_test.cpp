@@ -2,8 +2,11 @@
 // static-partition frontend.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "baseline/central.hpp"
 #include "baseline/matchmaker.hpp"
+#include "baseline/scan_cache.hpp"
 #include "baseline/static_partition.hpp"
 #include "pipeline/protocol.hpp"
 #include "pipeline/resource_pool.hpp"
@@ -247,6 +250,69 @@ TEST_F(BaselineTest, StaticFrontendUsesFallback) {
   network_.Post("probe", "frontend", QueryMessage("punch.rsrc.arch = sun\n"));
   kernel_.Run();
   EXPECT_EQ(probe_->count(net::msg::kAllocation), 1);
+}
+
+// --- journal-fed scan cache ---
+
+TEST_F(BaselineTest, ScanCachePrimesThenRefreshesOnlyChurn) {
+  AddMachines(50, "x86");
+  ScanCache cache(&database_);
+
+  // Priming sweep copies the whole fleet; a quiet database then costs
+  // nothing per scan.
+  EXPECT_EQ(cache.Refresh(), 50u);
+  EXPECT_EQ(cache.Refresh(), 0u);
+  EXPECT_EQ(cache.size(), 50u);
+
+  // A single dynamic update refreshes exactly one mirror entry, and the
+  // mirror reflects the new value.
+  const auto record = database_.GetByName("x860");
+  ASSERT_TRUE(record.ok());
+  db::DynamicState dyn = record->dyn;
+  dyn.load = 3.5;
+  ASSERT_TRUE(database_.UpdateDynamic(record->id, dyn).ok());
+  EXPECT_EQ(cache.Refresh(), 1u);
+  bool seen = false;
+  cache.ForEach([&](const db::MachineRecord& rec) {
+    if (rec.id == record->id) {
+      seen = true;
+      EXPECT_DOUBLE_EQ(rec.dyn.load, 3.5);
+    }
+  });
+  EXPECT_TRUE(seen);
+  EXPECT_EQ(cache.entries_refreshed(), 51u);
+}
+
+TEST_F(BaselineTest, ScanCacheIteratesInAscendingIdOrder) {
+  AddMachines(20, "sparc");
+  ScanCache cache(&database_);
+  cache.Refresh();
+
+  // Same order the live database scans in — first-found-wins tie-breaks
+  // (and so every allocation decision) are unchanged.
+  std::vector<db::MachineId> cached;
+  cache.ForEach(
+      [&](const db::MachineRecord& rec) { cached.push_back(rec.id); });
+  std::vector<db::MachineId> live;
+  database_.ForEach(
+      [&](const db::MachineRecord& rec) { live.push_back(rec.id); });
+  EXPECT_EQ(cached, live);
+  EXPECT_TRUE(std::is_sorted(cached.begin(), cached.end()));
+}
+
+TEST_F(BaselineTest, CentralReportsRefreshWorkViaStats) {
+  AddMachines(30, "x86");
+  auto central = std::make_shared<CentralScheduler>(CentralSchedulerConfig{},
+                                                    &database_);
+  network_.AddNode("sched", central, {"alpha", 1});
+  network_.Post("probe", "sched",
+                QueryMessage("punch.rsrc.arch = x86\n", 1));
+  network_.Post("probe", "sched",
+                QueryMessage("punch.rsrc.arch = x86\n", 2));
+  kernel_.Run();
+  EXPECT_EQ(probe_->count(net::msg::kAllocation), 2);
+  // One priming sweep; the second query's refresh sees a quiet journal.
+  EXPECT_EQ(central->stats().entries_refreshed, 30u);
 }
 
 }  // namespace

@@ -326,5 +326,55 @@ TEST(Replica, DriverReplicasOneIsByteIdenticalToSeedPath) {
             std::string::npos);
 }
 
+TEST(Replica, TombstoneGcPrunesOnceEveryoneHasApplied) {
+  TestGroup tg;
+  ASSERT_TRUE(
+      tg.group->replica(0)->RegisterPool(MakeInstance("pool/a", 0, "a0")).ok());
+  ASSERT_TRUE(
+      tg.group->replica(0)->RegisterPool(MakeInstance("pool/b", 0, "b0")).ok());
+  ASSERT_TRUE(tg.group->replica(0)->UnregisterPool("pool/a", 0).ok());
+
+  // Before any sync, only replica 0 knows the delete: the tombstone is
+  // not coverable by the group minimum and must survive.
+  EXPECT_EQ(tg.group->replica(0)->tombstone_count(), 1u);
+
+  // A few sync periods: replica 1 applies the delete, the group floor
+  // rises over the tombstone's (origin, seq), and the next tick's GC
+  // drops it from both replicas.
+  tg.kernel.RunUntil(Millis(500));
+  EXPECT_EQ(tg.group->replica(0)->tombstone_count(), 0u);
+  EXPECT_EQ(tg.group->replica(1)->tombstone_count(), 0u);
+  EXPECT_GE(tg.group->stats().tombstones_gc, 2u);
+
+  // The deletion itself held: the pruned key stays gone, the live pool
+  // stays served, and the replicas still agree byte-for-byte.
+  EXPECT_TRUE(tg.group->replica(0)->Lookup("pool/a").empty());
+  EXPECT_TRUE(tg.group->replica(1)->Lookup("pool/a").empty());
+  EXPECT_EQ(tg.group->replica(1)->Lookup("pool/b").size(), 1u);
+  EXPECT_EQ(tg.group->replica(0)->StateDigest(),
+            tg.group->replica(1)->StateDigest());
+}
+
+TEST(Replica, WarmingReplicaBlocksTombstoneGc) {
+  TestGroup tg;
+  ASSERT_TRUE(
+      tg.group->replica(0)->RegisterPool(MakeInstance("pool/a", 0, "a0")).ok());
+  tg.kernel.RunUntil(Millis(300));
+
+  // Crash replica 1, then delete while it is down: after the restore
+  // the replica warms empty, and until its first successful pull the
+  // group must keep the tombstone (the min vector cannot cover it).
+  tg.group->Crash(1);
+  ASSERT_TRUE(tg.group->replica(0)->UnregisterPool("pool/a", 0).ok());
+  tg.group->Restore(1);
+  EXPECT_EQ(tg.group->replica(0)->tombstone_count(), 1u);
+
+  // Once the restored replica has pulled, GC resumes and prunes.
+  tg.kernel.RunUntil(Millis(900));
+  EXPECT_EQ(tg.group->replica(0)->tombstone_count(), 0u);
+  EXPECT_TRUE(tg.group->replica(1)->Lookup("pool/a").empty());
+  EXPECT_TRUE(tg.group->Converged());
+}
+
 }  // namespace
 }  // namespace actyp

@@ -290,5 +290,122 @@ TEST(Scenario, HotSpotConcentratesOnOnePool) {
   EXPECT_GT(scenario.collector().completed(), 0u);
 }
 
+// --- LP-parallel engine (site-sharded logical processes) ---
+
+ScenarioConfig LpConfig(std::uint64_t seed = 910) {
+  ScenarioConfig config;
+  config.machines = 400;
+  config.clusters = 4;
+  config.wan_sites = 2;
+  config.clients = 6;
+  config.seed = seed;
+  return config;
+}
+
+// Everything the closed loop decides, compressed: equal digests mean
+// the runs made identical allocation decisions in identical order.
+struct RunDigest {
+  std::uint64_t completed = 0;
+  std::uint64_t failures = 0;
+  std::uint64_t allocations = 0;
+  std::uint64_t entries_examined = 0;
+  std::uint64_t events = 0;
+  double mean_s = 0;
+  double p95_s = 0;
+
+  bool operator==(const RunDigest& other) const {
+    return completed == other.completed && failures == other.failures &&
+           allocations == other.allocations &&
+           entries_examined == other.entries_examined &&
+           events == other.events && mean_s == other.mean_s &&
+           p95_s == other.p95_s;
+  }
+};
+
+RunDigest DigestFor(ScenarioConfig config, SimDuration warmup = Seconds(3),
+                    SimDuration measure = Seconds(15)) {
+  SimScenario scenario(std::move(config));
+  scenario.Measure(warmup, measure);
+  RunDigest digest;
+  digest.completed = scenario.collector().completed();
+  digest.failures = scenario.collector().failures();
+  const auto pool_stats = scenario.TotalPoolStats();
+  digest.allocations = pool_stats.allocations;
+  digest.entries_examined = pool_stats.entries_examined;
+  digest.events = scenario.total_events();
+  digest.mean_s = scenario.collector().response_stats().mean();
+  digest.p95_s = scenario.collector().QuantileSeconds(0.95);
+  return digest;
+}
+
+TEST(ScenarioLp, MultiSiteConfigBuildsSharded) {
+  SimScenario scenario(LpConfig());
+  EXPECT_TRUE(scenario.lp_mode());
+  scenario.Measure(Seconds(3), Seconds(15));
+  EXPECT_GT(scenario.collector().completed(), 0u);
+  EXPECT_EQ(scenario.collector().failures(), 0u);
+}
+
+TEST(ScenarioLp, WorkerCountNeverChangesResults) {
+  // Sharding is a property of the scenario (wan_sites), never of
+  // cell_jobs, so 1, 2 and 4 workers replay the identical schedule.
+  ScenarioConfig config = LpConfig();
+  const RunDigest serial = DigestFor(config);
+  EXPECT_GT(serial.completed, 0u);
+  for (const std::size_t jobs : {2u, 4u}) {
+    config.cell_jobs = jobs;
+    EXPECT_TRUE(DigestFor(config) == serial) << "cell_jobs=" << jobs;
+  }
+}
+
+TEST(ScenarioLp, ZeroLatencyWanFallsBackToSerial) {
+  // A zero-latency link leaves no lookahead: the conservative window
+  // would be empty, so the build warns and runs the serial engine.
+  ScenarioConfig config = LpConfig();
+  config.wan_one_way = 0;
+  config.wan_jitter = 0;
+  SimScenario scenario(config);
+  EXPECT_FALSE(scenario.lp_mode());
+  scenario.Measure(Seconds(3), Seconds(15));
+  EXPECT_GT(scenario.collector().completed(), 0u);
+}
+
+TEST(ScenarioLp, FaultPlanForcesSerialFallback) {
+  // Fault injection mutates cross-shard state outside the mailbox
+  // protocol, so a fault plan disables LP sharding rather than racing.
+  ScenarioConfig config = LpConfig();
+  fault::FaultEvent event;
+  event.kind = fault::FaultKind::kLoss;
+  event.start = Seconds(5);
+  event.end = Seconds(6);
+  event.probability = 0.1;
+  config.fault_plan.events.push_back(event);
+  SimScenario scenario(config);
+  EXPECT_FALSE(scenario.lp_mode());
+}
+
+TEST(ScenarioLp, RandomizedTopologiesMatchAcrossWorkerCounts) {
+  // Fuzz the deployment shape: whatever the topology, worker counts
+  // must agree on every allocation decision.
+  Rng rng(0xf022u);
+  for (int iteration = 0; iteration < 4; ++iteration) {
+    ScenarioConfig config;
+    config.wan_sites = 2 + rng.NextBounded(3);               // 2..4
+    config.clusters = config.wan_sites + rng.NextBounded(5);  // sites..+4
+    config.machines = 120 + rng.NextBounded(300);
+    config.clients = 2 + rng.NextBounded(6);
+    config.wan_one_way = Millis(5 + rng.NextBounded(35));
+    config.seed = 31000 + iteration;
+    const RunDigest serial = DigestFor(config, Seconds(2), Seconds(10));
+    EXPECT_GT(serial.completed, 0u) << "iteration " << iteration;
+    for (const std::size_t jobs : {2u, 4u}) {
+      config.cell_jobs = jobs;
+      EXPECT_TRUE(DigestFor(config, Seconds(2), Seconds(10)) == serial)
+          << "iteration " << iteration << " cell_jobs " << jobs;
+    }
+    config.cell_jobs = 1;
+  }
+}
+
 }  // namespace
 }  // namespace actyp

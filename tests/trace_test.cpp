@@ -466,5 +466,87 @@ TEST(PipelineTracing, TailReportFromScenarioIsConsistent) {
   EXPECT_NEAR(total, 1.0, 1e-9);
 }
 
+// --- --trace-filter (TraceFilter parse + cell filtering) ---
+
+TEST(TraceFilterTest, ParsesAnySubsetOfTerms) {
+  std::string error;
+  const auto empty = TraceFilter::Parse("", &error);
+  ASSERT_TRUE(empty.has_value());
+  EXPECT_FALSE(empty->active());
+
+  const auto full =
+      TraceFilter::Parse("request=42,stage=pool_select,min-dur=0.25", &error);
+  ASSERT_TRUE(full.has_value()) << error;
+  EXPECT_TRUE(full->active());
+  ASSERT_TRUE(full->request_id.has_value());
+  EXPECT_EQ(*full->request_id, 42u);
+  ASSERT_TRUE(full->stage.has_value());
+  EXPECT_EQ(*full->stage, Stage::kPoolSelect);
+  EXPECT_DOUBLE_EQ(full->min_duration_s, 0.25);
+}
+
+TEST(TraceFilterTest, RejectsMalformedSpecs) {
+  std::string error;
+  for (const char* bad :
+       {"request=abc", "stage=bogus_stage", "min-dur=fast", "color=red"}) {
+    EXPECT_FALSE(TraceFilter::Parse(bad, &error).has_value()) << bad;
+    EXPECT_FALSE(error.empty()) << bad;
+  }
+}
+
+TEST(TraceFilterTest, FiltersCellsByAllSetCriteria) {
+  TraceCell cell;
+  cell.seed = 9;
+  // Request 1: 500 us with a pool_select hop. Request 2: 80 us, no
+  // pool_select. One background monitor sweep.
+  cell.spans = {
+      Span(1, Stage::kClientIssue, 0, 500),
+      Span(1, Stage::kPoolSelect, 50, 200),
+      Span(2, Stage::kClientIssue, 0, 80),
+      Span(2, Stage::kQmAdmit, 10, 30),
+      Span(BackgroundId(Stage::kMonitorSweep, 0), Stage::kMonitorSweep, 0,
+           900),
+  };
+
+  TraceFilter by_stage;
+  by_stage.stage = Stage::kPoolSelect;
+  auto kept = FilterTraceCells({cell}, by_stage);
+  ASSERT_EQ(kept.size(), 1u);
+  // Request 2 (no pool_select) and the non-matching background span
+  // are dropped; request 1 keeps all of its spans.
+  EXPECT_EQ(kept[0].spans.size(), 2u);
+  for (const SpanRecord& span : kept[0].spans) {
+    EXPECT_EQ(span.request_id, 1u);
+  }
+
+  TraceFilter by_duration;
+  by_duration.min_duration_s = 100e-6;
+  kept = FilterTraceCells({cell}, by_duration);
+  ASSERT_EQ(kept.size(), 1u);
+  EXPECT_EQ(kept[0].spans.size(), 2u);  // only request 1 is slow enough
+
+  TraceFilter by_id;
+  by_id.request_id = 2;
+  kept = FilterTraceCells({cell}, by_id);
+  ASSERT_EQ(kept.size(), 1u);
+  EXPECT_EQ(kept[0].spans.size(), 2u);
+  for (const SpanRecord& span : kept[0].spans) {
+    EXPECT_EQ(span.request_id, 2u);
+  }
+
+  // A stage criterion keeps matching background lanes.
+  TraceFilter by_background;
+  by_background.stage = Stage::kMonitorSweep;
+  kept = FilterTraceCells({cell}, by_background);
+  ASSERT_EQ(kept.size(), 1u);
+  ASSERT_EQ(kept[0].spans.size(), 1u);
+  EXPECT_EQ(kept[0].spans[0].stage, Stage::kMonitorSweep);
+
+  // An inactive filter passes everything through untouched.
+  kept = FilterTraceCells({cell}, TraceFilter{});
+  ASSERT_EQ(kept.size(), 1u);
+  EXPECT_EQ(kept[0].spans.size(), cell.spans.size());
+}
+
 }  // namespace
 }  // namespace actyp::profile

@@ -62,11 +62,13 @@ int Usage(int code) {
       "                 [--churn-rate R] [--fault-plan FILE]\n"
       "                 [--replicas N] [--sync-period S]\n"
       "                 [--retry-max N] [--retry-backoff S]\n"
-      "                 [--jobs N] [--stable] [--no-profile]\n"
+      "                 [--jobs N] [--cell-jobs N] [--stable]\n"
+      "                 [--no-profile]\n"
       "                 [--profile-ring-capacity N]\n"
       "                 [--metrics-out FILE] [--metrics-format jsonl|prom]\n"
       "                 [--metrics-interval S]\n"
       "                 [--trace-out FILE] [--trace-top N]\n"
+      "                 [--trace-filter SPEC]\n"
       "\n"
       "  --list            list registered scenarios and exit\n"
       "  --scenario <s>    run one scenario (repeatable)\n"
@@ -94,6 +96,9 @@ int Usage(int code) {
       "  --jobs N          run independent sweep cells (and, for multi-\n"
       "                    scenario runs, whole scenarios) on N worker\n"
       "                    threads; output order is unchanged\n"
+      "  --cell-jobs N     worker threads for the LP-parallel engine\n"
+      "                    inside each multi-site cell (big_wan etc.);\n"
+      "                    reports are byte-identical for any N\n"
       "  --stable          zero wall-clock-derived metrics so fixed-seed\n"
       "                    output is byte-identical across hosts/--jobs\n"
       "  --no-profile      disable the stage-span profiler: reports omit\n"
@@ -116,7 +121,10 @@ int Usage(int code) {
       "                    lanes) as Chrome trace-event JSON — load the\n"
       "                    file in Perfetto or chrome://tracing\n"
       "  --trace-top N     traces per kind per cell in --trace-out\n"
-      "                    (N slowest and N exemplars; default 5)\n");
+      "                    (N slowest and N exemplars; default 5)\n"
+      "  --trace-filter SPEC  keep only matching request traces in\n"
+      "                    --trace-out: comma-separated request=<id>,\n"
+      "                    stage=<name>, min-dur=<seconds> terms\n");
   return code;
 }
 
@@ -165,6 +173,7 @@ struct MetricsOutput {
 struct TraceOutput {
   std::string path;    // empty = no trace
   std::size_t top = 5; // slowest + exemplar traces per cell
+  actyp::profile::TraceFilter filter;  // --trace-filter (default: all)
 };
 
 // Flattens one finished report into exporter cells: string labels pass
@@ -286,6 +295,11 @@ int ApplyConfigFile(const char* path, std::vector<std::string>* names,
     if (!parsed || *parsed < 1) return bad("jobs", *value);
     options->jobs = static_cast<std::size_t>(*parsed);
   }
+  if (const auto value = config->Get("cell-jobs")) {
+    const auto parsed = actyp::ParseInt(*value);
+    if (!parsed || *parsed < 1) return bad("cell-jobs", *value);
+    options->cell_jobs = static_cast<std::size_t>(*parsed);
+  }
   options->stable = config->GetBool("stable", options->stable);
   options->profile = config->GetBool("profile", options->profile);
   if (const auto value = config->Get("profile-ring-capacity")) {
@@ -313,6 +327,16 @@ int ApplyConfigFile(const char* path, std::vector<std::string>* names,
     const auto parsed = actyp::ParseInt(*value);
     if (!parsed || *parsed < 1) return bad("trace-top", *value);
     trace->top = static_cast<std::size_t>(*parsed);
+  }
+  if (const auto value = config->Get("trace-filter")) {
+    std::string error;
+    const auto filter = actyp::profile::TraceFilter::Parse(*value, &error);
+    if (!filter) {
+      std::fprintf(stderr, "actyp_sim: %s: bad trace-filter: %s\n", path,
+                   error.c_str());
+      return 1;
+    }
+    trace->filter = *filter;
   }
 
   const auto plan = actyp::fault::FaultPlan::FromConfig(config.value());
@@ -422,6 +446,11 @@ int main(int argc, char** argv) {
       long value = 0;
       if (!ParseLong(argv[++i], 1, &value)) return BadValue(arg, argv[i]);
       options.jobs = static_cast<std::size_t>(value);
+    } else if (std::strcmp(arg, "--cell-jobs") == 0) {
+      if (i + 1 >= argc) return MissingValue(arg);
+      long value = 0;
+      if (!ParseLong(argv[++i], 1, &value)) return BadValue(arg, argv[i]);
+      options.cell_jobs = static_cast<std::size_t>(value);
     } else if (std::strcmp(arg, "--stable") == 0) {
       options.stable = true;
     } else if (std::strcmp(arg, "--no-profile") == 0) {
@@ -454,6 +483,17 @@ int main(int argc, char** argv) {
       long value = 0;
       if (!ParseLong(argv[++i], 1, &value)) return BadValue(arg, argv[i]);
       trace.top = static_cast<std::size_t>(value);
+    } else if (std::strcmp(arg, "--trace-filter") == 0) {
+      if (i + 1 >= argc) return MissingValue(arg);
+      std::string error;
+      const auto filter =
+          actyp::profile::TraceFilter::Parse(argv[++i], &error);
+      if (!filter) {
+        std::fprintf(stderr, "actyp_sim: bad --trace-filter: %s\n",
+                     error.c_str());
+        return 2;
+      }
+      trace.filter = *filter;
     } else if (std::strcmp(arg, "--fault-plan") == 0) {
       if (i + 1 >= argc) return MissingValue(arg);
       std::ifstream file(argv[++i]);
@@ -600,7 +640,9 @@ int main(int argc, char** argv) {
     trace_options.slow_n = trace.top;
     trace_options.exemplar_n = trace.top;
     if (const auto status = actyp::profile::WriteChromeTraceFile(
-            trace_sink.Take(), trace_options, trace.path);
+            actyp::profile::FilterTraceCells(trace_sink.Take(),
+                                             trace.filter),
+            trace_options, trace.path);
         !status.ok()) {
       std::fprintf(stderr, "actyp_sim: %s\n", status.ToString().c_str());
       return 1;

@@ -72,6 +72,7 @@ THROUGHPUT_METRICS = {"ev_per_s_wall"}
 DIMENSION_KEYS = {
     "pools", "clients", "machines", "segments", "replicas", "fanout",
     "loss", "rate", "calls", "bucket_lo", "bucket_hi", "qms", "pms",
+    "sites",
 }
 
 # Everything that can change the numbers the sweep emits. Used by the
