@@ -249,6 +249,13 @@ inline CellResult RunCell(ScenarioConfig config,
     scenario.kernel().Schedule(interval, [tick] { (*tick)(); });
   }
   scenario.Measure(warmup, measure);
+  if (options.quiesce_s > 0) {
+    // --quiesce: drain past the measurement window so the collected
+    // success rate / convergence state reflect the recovered system,
+    // not the mid-disruption snapshot. 0 leaves the path untouched.
+    scenario.RunUntil(scenario.kernel().Now() +
+                      Seconds(options.quiesce_s * options.time_scale));
+  }
   CellResult result = CollectCell(scenario, wall_start);
   if (options.trace_sink != nullptr && scenario.profiler() != nullptr) {
     options.trace_sink->Add(scenario.config().seed,

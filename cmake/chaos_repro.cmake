@@ -1,0 +1,45 @@
+# Chaos-repro gate, end to end: the hostile generator must find the
+# seeded known violation (zero give-up timer under loss wedges the
+# closed loop), the shrinker must reduce it, and the dumped bundle must
+# replay byte-identically — twice — through `actyp_sim --config`, still
+# reporting the violation.
+# Invoked by ctest with -DCHAOS=<actyp_chaos> -DSIM=<actyp_sim>
+# -DOUT=<build-dir>.
+set(bundles ${OUT}/chaos_repro)
+file(REMOVE_RECURSE ${bundles})
+
+execute_process(COMMAND ${CHAOS} --hostile --budget 6 --seed 1 --jobs 2
+                --time-scale 0.2 --out ${bundles}
+                OUTPUT_VARIABLE sweep RESULT_VARIABLE sweep_rc)
+if(NOT sweep_rc EQUAL 1)
+  message(FATAL_ERROR "hostile sweep should exit 1 with findings, got "
+          "rc=${sweep_rc}:\n${sweep}")
+endif()
+if(NOT sweep MATCHES "shrunk [0-9]+ -> [0-9]+ event")
+  message(FATAL_ERROR "hostile sweep did not shrink a finding:\n${sweep}")
+endif()
+
+file(GLOB bundle_files ${bundles}/chaos_repro_seed*.conf)
+if(bundle_files STREQUAL "")
+  message(FATAL_ERROR "hostile sweep wrote no repro bundle:\n${sweep}")
+endif()
+list(GET bundle_files 0 bundle)
+
+execute_process(COMMAND ${SIM} --config ${bundle}
+                OUTPUT_VARIABLE first RESULT_VARIABLE first_rc)
+execute_process(COMMAND ${SIM} --config ${bundle}
+                OUTPUT_VARIABLE second RESULT_VARIABLE second_rc)
+if(NOT first_rc EQUAL 0)
+  message(FATAL_ERROR "bundle replay failed (rc=${first_rc}):\n${first}")
+endif()
+if(NOT second_rc EQUAL 0)
+  message(FATAL_ERROR "bundle re-replay failed (rc=${second_rc}):\n${second}")
+endif()
+if(NOT first STREQUAL second)
+  message(FATAL_ERROR "bundle replay is not byte-identical:\n"
+          "first:  ${first}\nsecond: ${second}")
+endif()
+if(NOT first MATCHES "\"violations\":[1-9]")
+  message(FATAL_ERROR "bundle replay lost the violation:\n${first}")
+endif()
+message(STATUS "chaos repro: found, shrunk, and replayed ${bundle}")

@@ -1,0 +1,31 @@
+# Chaos-smoke gate: a fixed-seed budget drawn from the clean generator
+# space must (a) exit 0 with zero invariant violations and (b) emit
+# byte-identical JSON across --jobs values — the determinism contract
+# every chaos finding (and its shrink) depends on.
+# Invoked by ctest with -DCHAOS=<path-to-actyp_chaos> -DOUT=<build-dir>.
+set(args --budget 6 --seed 11 --time-scale 0.2 --json
+    --out ${OUT}/chaos_smoke)
+
+execute_process(COMMAND ${CHAOS} ${args} --jobs 1
+                OUTPUT_VARIABLE serial RESULT_VARIABLE serial_rc)
+execute_process(COMMAND ${CHAOS} ${args} --jobs 2
+                OUTPUT_VARIABLE parallel RESULT_VARIABLE parallel_rc)
+
+if(NOT serial_rc EQUAL 0)
+  message(FATAL_ERROR "chaos sweep failed (rc=${serial_rc}):\n${serial}")
+endif()
+if(NOT parallel_rc EQUAL 0)
+  message(FATAL_ERROR "chaos sweep --jobs 2 failed (rc=${parallel_rc}):\n"
+          "${parallel}")
+endif()
+if(serial STREQUAL "")
+  message(FATAL_ERROR "chaos sweep produced no output")
+endif()
+if(NOT serial STREQUAL parallel)
+  message(FATAL_ERROR "--jobs 2 output differs from --jobs 1:\n"
+          "serial:   ${serial}\nparallel: ${parallel}")
+endif()
+if(NOT serial MATCHES "all invariants held")
+  message(FATAL_ERROR "clean budget reported violations:\n${serial}")
+endif()
+message(STATUS "chaos smoke: clean budget, byte-identical across --jobs")

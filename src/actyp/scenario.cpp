@@ -104,6 +104,8 @@ void SimScenario::Build() {
   InstallFaultHooks();
   const std::string server_site = config_.wan ? "upc" : "local";
   const std::string client_site = config_.wan ? "purdue" : "local";
+  fault_->RegisterSite(server_site);
+  fault_->RegisterSite(client_site);
   network_->AddHost(kServerHost, config_.server_cores, server_site);
   network_->AddHost(kClientHost,
                     static_cast<int>(std::max<std::size_t>(1, config_.clients)),
@@ -289,6 +291,7 @@ void SimScenario::Build() {
     auto pool = std::make_shared<pipeline::ResourcePool>(
         pool_config, &database_, dir, &shadows_, &policies_);
     pools_.push_back(pool);
+    pool_by_address_[address] = pool;
     network_->AddNode(address, pool, net::NodePlacement{host, 1});
     const std::string claim = pool_config.claim_name.empty()
                                   ? pool_config.pool_name
@@ -311,6 +314,7 @@ void SimScenario::Build() {
           auto restarted = std::make_shared<pipeline::ResourcePool>(
               pool_config, &database_, dir, &shadows_, &policies_);
           pools_.push_back(restarted);
+          pool_by_address_[address] = restarted;
           network_->AddNode(address, restarted,
                             net::NodePlacement{host, 1});
         },
@@ -395,6 +399,7 @@ void SimScenario::Build() {
     client_config.request_timeout = config_.client_request_timeout;
     client_config.retry_max = config_.retry_max;
     client_config.retry_backoff = config_.retry_backoff;
+    client_config.horizon = config_.client_horizon;
     auto client = std::make_shared<workload::ClientNode>(client_config);
     clients_.push_back(client);
     network_->AddNode("client" + std::to_string(i), client,
@@ -450,6 +455,7 @@ void SimScenario::BuildMultiSite() {
   fault_ = std::make_unique<fault::FaultInjector>(
       &kernel_, network_.get(), config_.seed ^ 0xfa017ULL);
   InstallFaultHooks();
+  for (const std::string& name : site_names) fault_->RegisterSite(name);
   fault_status_ = fault_->Arm(config_.fault_plan);
   dir_api_ = &directory_;
 
@@ -605,6 +611,7 @@ void SimScenario::BuildMultiSite() {
                 pool_config, &site.database, &site.directory, &site.shadows,
                 &site.policies);
             pools_.push_back(pool);
+            pool_by_address_[address] = pool;
             network_->AddNode(address, pool,
                               net::NodePlacement{site.server_host, 1});
           };
@@ -671,6 +678,7 @@ void SimScenario::BuildMultiSite() {
     client_config.request_timeout = config_.client_request_timeout;
     client_config.retry_max = config_.retry_max;
     client_config.retry_backoff = config_.retry_backoff;
+    client_config.horizon = config_.client_horizon;
     auto client = std::make_shared<workload::ClientNode>(client_config);
     clients_.push_back(client);
     network_->AddNode("client" + std::to_string(i), client,
@@ -837,6 +845,18 @@ pipeline::PoolStats SimScenario::TotalPoolStats() const {
     total.refresh_ticks += s.refresh_ticks;
   }
   return total;
+}
+
+std::vector<std::pair<std::string, const pipeline::ResourcePool*>>
+SimScenario::LivePools() const {
+  std::vector<std::pair<std::string, const pipeline::ResourcePool*>> live;
+  live.reserve(pool_by_address_.size());
+  for (const auto& [address, pool] : pool_by_address_) {
+    if (network_ != nullptr && network_->HasNode(address)) {
+      live.emplace_back(address, pool.get());
+    }
+  }
+  return live;
 }
 
 pipeline::ProxyStats SimScenario::proxy_stats() const {

@@ -84,6 +84,10 @@ struct ScenarioConfig {
   bool qos_first_match = false;
   // Client give-up timer for lossy-network experiments (0 = off).
   SimDuration client_request_timeout = 0;
+  // Absolute sim time after which clients stop opening new interactions
+  // (0 = never). The chaos engine sets it to the measurement end so the
+  // drain window can empty the closed loop before invariants are judged.
+  SimTime client_horizon = 0;
   // Probability that any inter-node message is lost (fault injection).
   double message_loss_probability = 0.0;
   // Timed fault events — loss windows, latency spikes, partitions,
@@ -185,6 +189,17 @@ class SimScenario {
   [[nodiscard]] const Status& fault_status() const { return fault_status_; }
   [[nodiscard]] pipeline::ProxyStats proxy_stats() const;
 
+  // Chaos-invariant probes: every client node, and — per address — the
+  // latest pool instance still attached to the network (fault restarts
+  // replace an address's entry; crashed-and-gone instances drop out).
+  [[nodiscard]] const std::vector<std::shared_ptr<workload::ClientNode>>&
+  clients() const {
+    return clients_;
+  }
+  [[nodiscard]] std::vector<
+      std::pair<std::string, const pipeline::ResourcePool*>>
+  LivePools() const;
+
   // Per-stage latency profiler; null when config.profile is false.
   // Multi-site scenarios rebuild a merged view on each call: per-site
   // histograms folded in site order plus a lossless union of the span
@@ -244,6 +259,10 @@ class SimScenario {
   mutable std::unique_ptr<profile::StageProfiler> merged_profiler_;
 
   std::vector<std::shared_ptr<pipeline::ResourcePool>> pools_;
+  // Latest instance per address: fault restarts overwrite the entry, so
+  // LivePools audits exactly the instances that are reachable.
+  std::map<std::string, std::shared_ptr<pipeline::ResourcePool>>
+      pool_by_address_;
   std::vector<std::shared_ptr<workload::ClientNode>> clients_;
 };
 

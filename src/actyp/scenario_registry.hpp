@@ -59,6 +59,17 @@ struct ScenarioRunOptions {
   // so reports and traces are byte-identical for any value. Single-site
   // scenarios ignore it.
   std::size_t cell_jobs = 1;
+  // --quiesce: extend each cell by this many simulated seconds (scaled
+  // by --time-scale, like warmup/measure) after the measurement window,
+  // so success-rate and convergence numbers are judged after faults
+  // stop instead of mid-disruption. 0 (the default) keeps every
+  // existing report byte-identical.
+  double quiesce_s = 0;
+  // --regime: one serialized chaos::WorkloadRegime line (see
+  // src/chaos/workload_regime.hpp) selecting the chaos_cell scenario's
+  // workload shape. Empty = the default regime; other scenarios ignore
+  // it.
+  std::string regime_text;
   // --stable: zero wall-clock-derived metrics (ev_per_s_wall) so
   // fixed-seed runs are byte-identical across hosts and --jobs values.
   bool stable = false;

@@ -1,0 +1,156 @@
+#include "chaos/chaos_plan.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/sim_time.hpp"
+
+namespace actyp::chaos {
+namespace {
+
+// Quantize to milliseconds (times) / 3 decimals (rates, probabilities)
+// so every drawn magnitude survives the %g text round-trip bit-exactly.
+double Q3(double value) { return std::round(value * 1000.0) / 1000.0; }
+
+}  // namespace
+
+ChaosPlanGenerator::ChaosPlanGenerator(ChaosRanges ranges,
+                                       double active_window_s)
+    : ranges_(ranges), window_s_(active_window_s) {}
+
+ChaosTrial ChaosPlanGenerator::Generate(std::uint64_t seed) const {
+  ChaosTrial trial;
+  trial.seed = seed;
+  Rng rng(seed ^ 0xc4a05c4a05ULL);
+
+  // --- workload regime (fixed draw order: determinism is the API) ---
+  WorkloadRegime& regime = trial.regime;
+  const std::size_t cluster_choices[] = {1, 2, 4};
+  regime.clusters = cluster_choices[rng.NextBounded(3)];
+  regime.machines = 100 * static_cast<std::size_t>(rng.NextInt(2, 8));
+  regime.clients = static_cast<std::size_t>(rng.NextInt(4, 16));
+  regime.query_managers = static_cast<std::size_t>(rng.NextInt(1, 2));
+  regime.pool_managers = static_cast<std::size_t>(rng.NextInt(1, 2));
+  regime.pool_replicas = rng.Bernoulli(0.25) ? 2 : 1;
+  regime.wan = rng.Bernoulli(0.35);
+  regime.directory_replicas = regime.wan && rng.Bernoulli(0.5) ? 2 : 1;
+  regime.sync_period_s = Q3(rng.Uniform(0.4, 1.2));
+  regime.retry_max = static_cast<std::size_t>(rng.NextInt(0, 3));
+  regime.retry_backoff_s = Q3(rng.Uniform(0.05, 0.3));
+  regime.think_time_s = rng.Bernoulli(0.3) ? Q3(rng.Uniform(0.01, 0.2)) : 0.0;
+  regime.request_timeout_s = Q3(rng.Uniform(0.8, 2.0));
+  regime.hot_fraction = rng.Bernoulli(0.25) ? Q3(rng.Uniform(0.1, 0.5)) : 0.0;
+  if (ranges_.hostile && rng.Bernoulli(0.5)) {
+    regime.request_timeout_s = 0.0;  // the wedge space: no give-up timer
+  }
+
+  // --- fault plan ---
+  // Every event strikes in [0.10w, 0.55w] and has fully recovered by
+  // 0.90w, so the last tenth of the active window is fault-free slack
+  // before the quiesce boundary at w.
+  const double w = window_s_;
+  const double max_loss_p = ranges_.hostile ? 0.9 : ranges_.max_loss_p;
+  enum Kind {
+    kLoss,
+    kCrashMachines,
+    kChurnMachines,
+    kChurnService,
+    kLatency,
+    kPartition,
+    kSiteCrash,
+  };
+  std::vector<Kind> allowed = {kLoss, kCrashMachines, kChurnMachines,
+                               kChurnService};
+  if (regime.wan) {
+    allowed.push_back(kLatency);
+    allowed.push_back(kPartition);
+    allowed.push_back(kSiteCrash);
+  }
+  const auto n_events = static_cast<std::size_t>(
+      rng.NextInt(static_cast<std::int64_t>(ranges_.min_events),
+                  static_cast<std::int64_t>(ranges_.max_events)));
+  for (std::size_t i = 0; i < n_events; ++i) {
+    const Kind kind = allowed[rng.NextBounded(allowed.size())];
+    const double start = Q3(rng.Uniform(0.10 * w, 0.55 * w));
+    const double duration = Q3(rng.Uniform(0.05 * w, 0.25 * w));
+    const double end =
+        Q3(std::max(start + 0.01, std::min(start + duration, 0.80 * w)));
+    const double downtime = Q3(rng.Uniform(0.03 * w, 0.10 * w));
+    fault::FaultEvent event;
+    event.start = Seconds(start);
+    switch (kind) {
+      case kLoss:
+        event.kind = fault::FaultKind::kLoss;
+        event.end = Seconds(end);
+        event.probability = Q3(rng.Uniform(ranges_.min_loss_p, max_loss_p));
+        break;
+      case kCrashMachines:
+        event.kind = fault::FaultKind::kCrash;
+        event.target = "machines";
+        event.count = static_cast<std::size_t>(rng.NextInt(
+            1, static_cast<std::int64_t>(ranges_.max_crash_count)));
+        event.downtime = Seconds(downtime);
+        break;
+      case kChurnMachines:
+        event.kind = fault::FaultKind::kChurn;
+        event.target = "machines";
+        event.end = Seconds(end);
+        event.rate_per_s = Q3(
+            rng.Uniform(ranges_.min_churn_rate, ranges_.max_churn_rate));
+        event.downtime = Seconds(downtime);
+        break;
+      case kChurnService: {
+        // Globs over the services every scenario registers: query
+        // managers, pool managers, precreated pool instances.
+        const char* targets[] = {"qm*", "pm*", "pool.*"};
+        event.kind = fault::FaultKind::kChurn;
+        event.target = targets[rng.NextBounded(3)];
+        event.end = Seconds(end);
+        event.rate_per_s = Q3(
+            rng.Uniform(ranges_.min_churn_rate, ranges_.max_churn_rate));
+        event.downtime = Seconds(downtime);
+        break;
+      }
+      case kLatency:
+        event.kind = fault::FaultKind::kLatency;
+        event.end = Seconds(end);
+        event.extra_latency =
+            Millis(rng.NextInt(5, static_cast<std::int64_t>(
+                                      std::max(6.0, ranges_.max_extra_ms))));
+        event.site_a = "purdue";
+        event.site_b = "upc";
+        break;
+      case kPartition:
+        event.kind = fault::FaultKind::kPartition;
+        event.end = Seconds(end);
+        event.site_a = "purdue";
+        event.site_b = "upc";
+        break;
+      case kSiteCrash:
+        // Only the client site: the existing wan_partition_heal
+        // precedent — a server-site blackout is a separate (hostile)
+        // follow-on.
+        event.kind = fault::FaultKind::kSiteCrash;
+        event.site = "purdue";
+        event.downtime = Seconds(downtime);
+        break;
+    }
+    trial.plan.events.push_back(event);
+  }
+
+  if (ranges_.hostile && regime.request_timeout_s == 0.0) {
+    // Guarantee the wedge actually triggers: a heavy loss window under a
+    // zero give-up timer strands the closed loop deterministically.
+    fault::FaultEvent wedge;
+    wedge.kind = fault::FaultKind::kLoss;
+    wedge.start = Seconds(Q3(0.20 * w));
+    wedge.end = Seconds(Q3(0.60 * w));
+    wedge.probability = Q3(rng.Uniform(0.4, 0.9));
+    trial.plan.events.push_back(wedge);
+  }
+  return trial;
+}
+
+}  // namespace actyp::chaos

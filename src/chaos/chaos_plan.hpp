@@ -1,0 +1,61 @@
+// ChaosPlanGenerator: one seed -> one randomized fault plan crossed
+// with one randomized workload regime. The generator is pure and
+// deterministic (trial i of a sweep is Generate(base_seed + i)), so any
+// finding is re-creatable from its seed alone, and every magnitude is
+// quantized so plans survive the text round-trip bit-exactly — what the
+// shrinker re-runs and the repro bundle replays is byte-for-byte the
+// plan that failed.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "chaos/workload_regime.hpp"
+#include "fault/fault_plan.hpp"
+
+namespace actyp::chaos {
+
+// One point in the fault x workload space.
+struct ChaosTrial {
+  std::uint64_t seed = 0;
+  WorkloadRegime regime;
+  fault::FaultPlan plan;
+
+  friend bool operator==(const ChaosTrial&, const ChaosTrial&) = default;
+};
+
+// Magnitude/timing ranges the generator draws from. The defaults are
+// "clean" by construction: every disruption both strikes and fully
+// recovers inside the active window, victims always come back
+// (downtime > 0), and clients always carry a give-up timer — so a
+// healthy pipeline produces zero violations at any seed, and any
+// violation is a real finding. `hostile` widens the space to regimes
+// that are *expected* to wedge (zero request timeout under loss), the
+// seeded known violation the shrinker regression uses.
+struct ChaosRanges {
+  std::size_t min_events = 1;
+  std::size_t max_events = 4;
+  double min_loss_p = 0.02;
+  double max_loss_p = 0.35;
+  double max_extra_ms = 80.0;
+  std::size_t max_crash_count = 12;
+  double min_churn_rate = 0.5;  // victim crashes per simulated second
+  double max_churn_rate = 3.0;
+  bool hostile = false;
+};
+
+class ChaosPlanGenerator {
+ public:
+  // `active_window_s` is the absolute sim time (already time-scaled) by
+  // which every generated fault must have struck *and* recovered; the
+  // trial runner places its quiesce boundary there.
+  ChaosPlanGenerator(ChaosRanges ranges, double active_window_s);
+
+  [[nodiscard]] ChaosTrial Generate(std::uint64_t seed) const;
+
+ private:
+  ChaosRanges ranges_;
+  double window_s_;
+};
+
+}  // namespace actyp::chaos

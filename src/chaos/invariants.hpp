@@ -1,0 +1,79 @@
+// InvariantChecker: machine-checked end-of-run properties of a chaos
+// trial, judged after the faults have quiesced and the drain window
+// emptied the closed loop. The catalogue (see README for details):
+//
+//   request-conservation  every issued request reached exactly one
+//                         terminal state (reply, failure, or give-up);
+//                         no in-flight requests or held allocations
+//                         survive the drain
+//   leaked-claim          every machine claim in the white pages belongs
+//                         to a live pool instance (single-directory
+//                         deployments; stale replica lookups can defer
+//                         the last-instance release, so the trial
+//                         runner gates this off under replication)
+//   leaked-session        no pool instance holds an open session after
+//                         the drain (only sound when no message can be
+//                         lost — a lost release leaks by design)
+//   replica-convergence   the replica group converged within the drain
+//                         window (sized at k x sync_period)
+//   success-floor         post-quiesce success rate above a floor: the
+//                         system recovered, not merely survived
+//   timer-conservation    kernel accounting: scheduled == executed +
+//                         cancelled + pending at teardown
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace actyp {
+class SimScenario;
+}
+
+namespace actyp::chaos {
+
+struct Violation {
+  std::string invariant;  // catalogue name, e.g. "request-conservation"
+  std::string detail;     // offending request / machine / pool ids
+
+  friend bool operator==(const Violation&, const Violation&) = default;
+};
+
+// "inv: detail; inv: detail" — deterministic digest for notes and logs.
+std::string FormatViolations(const std::vector<Violation>& violations);
+
+class InvariantChecker {
+ public:
+  struct Options {
+    // Post-quiesce completed/(completed+failures) floor; <= 0 disables.
+    double success_floor = 0.5;
+    // Convergence budget in sync periods; the trial runner sizes the
+    // drain window from this.
+    double convergence_k = 4.0;
+    bool check_sessions = true;
+    bool check_claims = true;
+  };
+
+  // Snapshot the collector at the fault-quiesce boundary; the
+  // success-floor invariant judges only what happened after this.
+  void BeginQuiesce(SimScenario& scenario);
+
+  [[nodiscard]] std::vector<Violation> Check(SimScenario& scenario,
+                                             const Options& options) const;
+
+  // Pure helpers, unit-testable with hand-fed violating numbers.
+  static std::optional<Violation> CheckTimerAccounting(
+      std::uint64_t scheduled, std::uint64_t executed,
+      std::uint64_t cancelled, std::uint64_t pending);
+  static std::optional<Violation> CheckSuccessFloor(std::uint64_t completed,
+                                                    std::uint64_t failures,
+                                                    double floor);
+
+ private:
+  bool quiesce_marked_ = false;
+  std::uint64_t quiesce_completed_ = 0;
+  std::uint64_t quiesce_failures_ = 0;
+};
+
+}  // namespace actyp::chaos

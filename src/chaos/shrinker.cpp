@@ -1,0 +1,109 @@
+#include "chaos/shrinker.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/sim_time.hpp"
+
+namespace actyp::chaos {
+namespace {
+
+// Re-parse through the text format so every candidate the shrinker
+// accepts is exactly what a repro bundle will replay.
+ChaosTrial Normalize(const ChaosTrial& trial) {
+  ChaosTrial out = trial;
+  auto plan = fault::FaultPlan::Parse(trial.plan.Serialize());
+  if (plan.ok()) out.plan = std::move(plan.value());
+  return out;
+}
+
+// One magnitude-halving step; false when nothing is left to shrink.
+bool HalveMagnitudes(fault::FaultEvent* event) {
+  bool changed = false;
+  if (event->probability > 0.02) {
+    event->probability /= 2;
+    changed = true;
+  }
+  if (event->count > 1) {
+    event->count /= 2;
+    changed = true;
+  }
+  if (event->rate_per_s > 0.2) {
+    event->rate_per_s /= 2;
+    changed = true;
+  }
+  if (event->extra_latency > Millis(2)) {
+    event->extra_latency /= 2;
+    changed = true;
+  }
+  if (event->end > event->start) {
+    const SimDuration half = (event->end - event->start) / 2;
+    if (half > Millis(10)) {
+      event->end = event->start + half;  // narrow to the first half
+      changed = true;
+    }
+  }
+  return changed;
+}
+
+}  // namespace
+
+Shrinker::Shrinker(RunFn run, std::size_t max_runs)
+    : run_(std::move(run)), max_runs_(max_runs) {}
+
+bool Shrinker::Fails(const ChaosTrial& trial, const std::string& invariant,
+                     std::size_t* runs) const {
+  ++*runs;
+  for (const Violation& violation : run_(trial)) {
+    if (violation.invariant == invariant) return true;
+  }
+  return false;
+}
+
+Shrinker::Result Shrinker::Shrink(const ChaosTrial& failing) const {
+  Result result;
+  result.trial = Normalize(failing);
+
+  // Re-run the normalized original to pin the target invariant: the
+  // shrunk plan must reproduce *this* violation, not just any.
+  const std::vector<Violation> baseline = run_(result.trial);
+  ++result.runs;
+  if (baseline.empty()) return result;  // reproduced stays false
+  result.invariant = baseline.front().invariant;
+  result.reproduced = true;
+
+  bool progress = true;
+  while (progress && result.runs < max_runs_) {
+    progress = false;
+    // Pass 1: drop whole events.
+    for (std::size_t i = 0;
+         result.trial.plan.events.size() > 1 &&
+         i < result.trial.plan.events.size() && result.runs < max_runs_;) {
+      ChaosTrial candidate = result.trial;
+      candidate.plan.events.erase(candidate.plan.events.begin() +
+                                  static_cast<std::ptrdiff_t>(i));
+      if (Fails(candidate, result.invariant, &result.runs)) {
+        result.trial = std::move(candidate);
+        progress = true;  // keep i: the next event shifted into place
+      } else {
+        ++i;
+      }
+    }
+    // Pass 2: halve magnitudes / narrow windows, one event at a time.
+    for (std::size_t i = 0;
+         i < result.trial.plan.events.size() && result.runs < max_runs_;
+         ++i) {
+      ChaosTrial candidate = result.trial;
+      if (!HalveMagnitudes(&candidate.plan.events[i])) continue;
+      candidate = Normalize(candidate);
+      if (candidate == result.trial) continue;  // quantized to a no-op
+      if (Fails(candidate, result.invariant, &result.runs)) {
+        result.trial = std::move(candidate);
+        progress = true;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace actyp::chaos

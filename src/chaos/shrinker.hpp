@@ -1,0 +1,48 @@
+// Shrinker: delta-debugs a failing chaos trial's fault plan down to a
+// locally-minimal plan that still reproduces the *same* invariant
+// violation, re-running the trial deterministically for each candidate.
+// Two passes to a fixpoint (bounded by a run budget): drop whole
+// events, then halve magnitudes / narrow windows per event. Every
+// candidate is normalized through the fault-plan text format first, so
+// the accepted (and final) plan is serialization-stable by construction
+// — the dumped repro bundle replays byte-for-byte what the shrinker
+// verified.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "chaos/chaos_plan.hpp"
+#include "chaos/invariants.hpp"
+
+namespace actyp::chaos {
+
+class Shrinker {
+ public:
+  // Runs one trial to completion and returns its violations (typically
+  // RunTrial with fixed params; injected for testability).
+  using RunFn = std::function<std::vector<Violation>(const ChaosTrial&)>;
+
+  struct Result {
+    ChaosTrial trial;        // minimal still-failing trial (normalized)
+    std::string invariant;   // the violation it reproduces
+    std::size_t runs = 0;    // deterministic re-executions spent
+    bool reproduced = false; // original violation replayed at all
+  };
+
+  explicit Shrinker(RunFn run, std::size_t max_runs = 64);
+
+  [[nodiscard]] Result Shrink(const ChaosTrial& failing) const;
+
+ private:
+  [[nodiscard]] bool Fails(const ChaosTrial& trial,
+                           const std::string& invariant,
+                           std::size_t* runs) const;
+
+  RunFn run_;
+  std::size_t max_runs_;
+};
+
+}  // namespace actyp::chaos

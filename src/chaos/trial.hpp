@@ -1,0 +1,75 @@
+// chaos::RunTrial — deterministically execute one chaos trial (a
+// WorkloadRegime crossed with a FaultPlan under one seed) and judge the
+// invariant catalogue at drain time.
+//
+// Trial timeline (all simulated, scaled by `time_scale`):
+//
+//   0 ──warmup──┬──────measure──────────────┬───drain────┤ Check()
+//               │          ▲ quiesce boundary            │
+//               │  (warmup + quiesce_fraction x measure) │
+//   faults may strike/recover up to the quiesce boundary;
+//   clients stop issuing at the measure end (client_horizon);
+//   the drain is sized so every in-flight interaction reaches a
+//   terminal state and replicas converge before invariants are judged.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "chaos/chaos_plan.hpp"
+#include "chaos/invariants.hpp"
+
+namespace actyp::chaos {
+
+struct TrialParams {
+  double time_scale = 1.0;
+  double warmup_s = 2.0;  // unscaled, like the bench cells
+  double measure_s = 10.0;
+  // Fraction of the measure window by which the generator guarantees
+  // every fault has struck and recovered; BeginQuiesce snapshots there.
+  double quiesce_fraction = 0.6;
+  // Extra drain floor (the --quiesce knob) on top of the computed one.
+  double quiesce_floor_s = 0.0;
+  InvariantChecker::Options invariants;
+};
+
+struct TrialOutcome {
+  std::vector<Violation> violations;
+  double mean_s = 0;
+  double p50_s = 0;
+  double p95_s = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t failures = 0;
+  double success_rate = 0;
+  std::uint64_t lost = 0;
+  std::uint64_t retries = 0;
+  std::uint64_t machines_crashed = 0;
+  std::uint64_t services_crashed = 0;
+};
+
+// Absolute sim seconds (scaled) by which generated faults must have
+// fully recovered — the generator's active window.
+[[nodiscard]] double ActiveWindowSeconds(const TrialParams& params);
+
+// Seconds of post-measurement drain: long enough for every in-flight
+// interaction to reach a terminal state (give-up timer plus worst-case
+// retry backoffs) and for the replica group to converge (k sync
+// periods), never below the configured floor.
+[[nodiscard]] double DrainSeconds(const ChaosTrial& trial,
+                                  const TrialParams& params);
+
+// True when the plan can drop messages (loss windows, partitions, site
+// crashes, service/pool crashes) — a lost release leaks its session by
+// design, so RunTrial gates the session audit on this.
+[[nodiscard]] bool PlanCanLoseMessages(const fault::FaultPlan& plan);
+
+[[nodiscard]] TrialOutcome RunTrial(const ChaosTrial& trial,
+                                    const TrialParams& params);
+
+// Serializes trial + params into an `actyp_sim --config` experiment
+// file (scenario=chaos_cell) that replays the trial byte-identically.
+[[nodiscard]] std::string ReproBundleText(const ChaosTrial& trial,
+                                          const TrialParams& params);
+
+}  // namespace actyp::chaos

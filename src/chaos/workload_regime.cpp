@@ -1,0 +1,154 @@
+#include "chaos/workload_regime.hpp"
+
+#include <cstdio>
+
+#include "actyp/scenario.hpp"
+#include "common/strings.hpp"
+
+namespace actyp::chaos {
+namespace {
+
+std::string FormatDouble(double value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%g", value);
+  return buf;
+}
+
+}  // namespace
+
+std::string WorkloadRegime::Serialize() const {
+  std::string out;
+  out += "machines=" + std::to_string(machines);
+  out += " clusters=" + std::to_string(clusters);
+  out += " clients=" + std::to_string(clients);
+  out += " query_managers=" + std::to_string(query_managers);
+  out += " pool_managers=" + std::to_string(pool_managers);
+  out += " pool_replicas=" + std::to_string(pool_replicas);
+  out += " directory_replicas=" + std::to_string(directory_replicas);
+  out += " sync_period=" + FormatDouble(sync_period_s);
+  out += " retry_max=" + std::to_string(retry_max);
+  out += " retry_backoff=" + FormatDouble(retry_backoff_s);
+  out += " think_time=" + FormatDouble(think_time_s);
+  out += " request_timeout=" + FormatDouble(request_timeout_s);
+  out += " hot_fraction=" + FormatDouble(hot_fraction);
+  out += " wan=" + std::to_string(wan ? 1 : 0);
+  return out;
+}
+
+Result<WorkloadRegime> WorkloadRegime::Parse(std::string_view text) {
+  WorkloadRegime regime;
+  for (const std::string& token : SplitSkipEmpty(text, ' ')) {
+    const auto eq = token.find('=');
+    if (eq == std::string::npos) {
+      return InvalidArgument("workload regime: token '" + token +
+                             "' is not key=value");
+    }
+    const std::string key = token.substr(0, eq);
+    const std::string value = token.substr(eq + 1);
+    const auto as_count = [&]() -> Result<std::size_t> {
+      const auto n = ParseInt(value);
+      if (!n || *n < 0) {
+        return InvalidArgument("workload regime: bad count for '" + key +
+                               "': " + value);
+      }
+      return static_cast<std::size_t>(*n);
+    };
+    const auto as_seconds = [&]() -> Result<double> {
+      const auto d = ParseDouble(value);
+      if (!d || *d < 0) {
+        return InvalidArgument("workload regime: bad duration for '" + key +
+                               "': " + value);
+      }
+      return *d;
+    };
+    if (key == "machines") {
+      auto n = as_count();
+      if (!n.ok()) return n.status();
+      regime.machines = n.value();
+    } else if (key == "clusters") {
+      auto n = as_count();
+      if (!n.ok()) return n.status();
+      regime.clusters = n.value();
+    } else if (key == "clients") {
+      auto n = as_count();
+      if (!n.ok()) return n.status();
+      regime.clients = n.value();
+    } else if (key == "query_managers") {
+      auto n = as_count();
+      if (!n.ok()) return n.status();
+      regime.query_managers = n.value();
+    } else if (key == "pool_managers") {
+      auto n = as_count();
+      if (!n.ok()) return n.status();
+      regime.pool_managers = n.value();
+    } else if (key == "pool_replicas") {
+      auto n = as_count();
+      if (!n.ok()) return n.status();
+      regime.pool_replicas = static_cast<std::uint32_t>(n.value());
+    } else if (key == "directory_replicas") {
+      auto n = as_count();
+      if (!n.ok()) return n.status();
+      regime.directory_replicas = static_cast<std::uint32_t>(n.value());
+    } else if (key == "sync_period") {
+      auto d = as_seconds();
+      if (!d.ok()) return d.status();
+      regime.sync_period_s = d.value();
+    } else if (key == "retry_max") {
+      auto n = as_count();
+      if (!n.ok()) return n.status();
+      regime.retry_max = n.value();
+    } else if (key == "retry_backoff") {
+      auto d = as_seconds();
+      if (!d.ok()) return d.status();
+      regime.retry_backoff_s = d.value();
+    } else if (key == "think_time") {
+      auto d = as_seconds();
+      if (!d.ok()) return d.status();
+      regime.think_time_s = d.value();
+    } else if (key == "request_timeout") {
+      auto d = as_seconds();
+      if (!d.ok()) return d.status();
+      regime.request_timeout_s = d.value();
+    } else if (key == "hot_fraction") {
+      auto d = as_seconds();
+      if (!d.ok() || d.value() > 1.0) {
+        return InvalidArgument("workload regime: hot_fraction must be in "
+                               "[0, 1]: " +
+                               value);
+      }
+      regime.hot_fraction = d.value();
+    } else if (key == "wan") {
+      regime.wan = value == "1" || value == "true";
+    } else {
+      return InvalidArgument("workload regime: unknown key '" + key + "'");
+    }
+  }
+  if (regime.machines == 0 || regime.clusters == 0 || regime.clients == 0 ||
+      regime.query_managers == 0 || regime.pool_managers == 0 ||
+      regime.pool_replicas == 0 || regime.directory_replicas == 0 ||
+      regime.sync_period_s <= 0) {
+    return InvalidArgument(
+        "workload regime: counts and sync_period must be positive");
+  }
+  return regime;
+}
+
+void WorkloadRegime::ApplyTo(ScenarioConfig* config,
+                             double time_scale) const {
+  config->machines = machines;
+  config->clusters = clusters;
+  config->clients = clients;
+  config->query_managers = query_managers;
+  config->pool_managers = pool_managers;
+  config->pool_replicas = pool_replicas;
+  config->directory_replicas = directory_replicas;
+  config->directory_sync_period = Seconds(sync_period_s * time_scale);
+  config->retry_max = retry_max;
+  config->retry_backoff = Seconds(retry_backoff_s * time_scale);
+  config->think_time = Seconds(think_time_s * time_scale);
+  config->client_request_timeout = Seconds(request_timeout_s * time_scale);
+  config->hot_fraction = hot_fraction;
+  config->wan = wan;
+}
+
+}  // namespace actyp::chaos

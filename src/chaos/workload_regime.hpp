@@ -1,0 +1,52 @@
+// WorkloadRegime: the workload half of a chaos trial — a compact,
+// line-serializable description of the deployment shape and client
+// behavior a FaultPlan is crossed with. One regime line plus one fault
+// plan plus one seed fully determine a trial, which is what makes every
+// chaos finding replayable via `actyp_sim --config`.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/status.hpp"
+
+namespace actyp {
+struct ScenarioConfig;
+}
+
+namespace actyp::chaos {
+
+struct WorkloadRegime {
+  std::size_t machines = 400;
+  std::size_t clusters = 2;
+  std::size_t clients = 8;
+  std::size_t query_managers = 2;
+  std::size_t pool_managers = 1;
+  std::uint32_t pool_replicas = 1;
+  std::uint32_t directory_replicas = 1;
+  // All durations are unscaled simulated seconds; ApplyTo multiplies
+  // them by the trial's time scale like every other simulated knob.
+  double sync_period_s = 1.0;  // directory anti-entropy pull period
+  std::size_t retry_max = 1;
+  double retry_backoff_s = 0.25;
+  double think_time_s = 0.0;
+  // Client give-up timer. 0 wedges the closed loop on the first lost
+  // reply — only the hostile generator mode emits it (the seeded known
+  // violation the shrinker regression reproduces).
+  double request_timeout_s = 2.0;
+  double hot_fraction = 0.0;
+  bool wan = false;
+
+  // One `key=value ...` line; Parse is the exact inverse.
+  [[nodiscard]] std::string Serialize() const;
+  static Result<WorkloadRegime> Parse(std::string_view text);
+
+  void ApplyTo(ScenarioConfig* config, double time_scale) const;
+
+  friend bool operator==(const WorkloadRegime&, const WorkloadRegime&) =
+      default;
+};
+
+}  // namespace actyp::chaos

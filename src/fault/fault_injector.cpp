@@ -39,12 +39,35 @@ std::vector<std::string> FaultInjector::ServiceNames() const {
   return names;
 }
 
+void FaultInjector::RegisterSite(const std::string& site) {
+  if (!site.empty()) known_sites_.insert(site);
+}
+
 Status FaultInjector::CheckHooks(const FaultEvent& event) const {
+  // Site-name validation only bites once the scenario declared its
+  // sites; a bare injector keeps accepting any name.
+  const auto known_site = [this](const std::string& site) {
+    return known_sites_.empty() || known_sites_.count(site) != 0;
+  };
   if (event.kind == FaultKind::kSiteCrash ||
       event.kind == FaultKind::kSiteRestore) {
     if (!crash_site_machines_ || !restore_machines_) {
       return InvalidArgument("fault plan has site events but no site hook "
                                 "is installed");
+    }
+    if (!known_site(event.site)) {
+      return InvalidArgument("fault plan references unknown site '" +
+                             event.site + "'");
+    }
+    return Status::Ok();
+  }
+  if (event.kind == FaultKind::kLatency ||
+      event.kind == FaultKind::kPartition) {
+    for (const std::string* site : {&event.site_a, &event.site_b}) {
+      if (*site != "*" && !known_site(*site)) {
+        return InvalidArgument("fault plan references unknown site '" +
+                               *site + "'");
+      }
     }
     return Status::Ok();
   }

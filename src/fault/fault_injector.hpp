@@ -18,6 +18,7 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -79,6 +80,13 @@ class FaultInjector {
                        const std::string& site = "");
   [[nodiscard]] std::vector<std::string> ServiceNames() const;
 
+  // Declares a site name events may reference. Validation is opt-in:
+  // once any site is registered, Arm rejects plans whose site-crash/
+  // site-restore/latency/partition events name an unknown site instead
+  // of silently no-opping them. Injectors that never register sites
+  // (bare-injector tests) keep the unchecked legacy behavior.
+  void RegisterSite(const std::string& site);
+
   // Schedules every event of `plan` on the kernel. May be called more
   // than once (plans accumulate). Fails when an event needs a hook that
   // was never installed, so misconfigured scenarios fail loudly.
@@ -124,6 +132,7 @@ class FaultInjector {
   KillPoolFn kill_pool_;
   CrashSiteMachinesFn crash_site_machines_;
   std::map<std::string, Service> services_;
+  std::set<std::string> known_sites_;
   // What each in-progress site crash took down, so a site-restore (or
   // the downtime timer) brings back exactly that set — machines or
   // services individually churned down stay down.

@@ -245,6 +245,15 @@ std::string FaultPlan::Serialize() const {
   return out;
 }
 
+Config FaultPlan::ToConfig() const {
+  Config config;
+  std::size_t n = 0;
+  for (const FaultEvent& event : events) {
+    config.Set("fault." + std::to_string(++n), event.Serialize());
+  }
+  return config;
+}
+
 void FaultPlan::AddLossWindow(double p, SimTime start, SimTime end) {
   FaultEvent event;
   event.kind = FaultKind::kLoss;

@@ -64,6 +64,8 @@ struct FaultEvent {
   SimDuration downtime = 0;          // how long a victim stays down; 0 = forever
 
   [[nodiscard]] std::string Serialize() const;
+
+  friend bool operator==(const FaultEvent&, const FaultEvent&) = default;
 };
 
 struct FaultPlan {
@@ -81,6 +83,13 @@ struct FaultPlan {
 
   // Round-trips through Parse.
   [[nodiscard]] std::string Serialize() const;
+
+  // The inverse of FromConfig: numbered `fault.<n>` entries, one per
+  // event in order. Chaos repro bundles merge this into an experiment
+  // Config so `actyp_sim --config` replays the exact failing plan.
+  [[nodiscard]] Config ToConfig() const;
+
+  friend bool operator==(const FaultPlan&, const FaultPlan&) = default;
 
   // Convenience builders for the driver flags.
   void AddLossWindow(double p, SimTime start = 0, SimTime end = 0);

@@ -98,6 +98,11 @@ class ResourcePool final : public net::Node {
   [[nodiscard]] const PoolStats& stats() const { return stats_; }
   [[nodiscard]] std::size_t cache_size() const { return cache_.size(); }
   [[nodiscard]] const ResourcePoolConfig& config() const { return config_; }
+  // Sessions still open against this instance (allocation granted, no
+  // release seen) — the chaos leaked-session audit reads this at drain.
+  [[nodiscard]] std::size_t active_sessions() const {
+    return session_entry_.size();
+  }
 
  private:
   struct EntryMeta {

@@ -81,6 +81,10 @@ class SimKernel {
   [[nodiscard]] std::size_t pending() const { return heap_.size(); }
   [[nodiscard]] std::uint64_t executed() const { return executed_; }
   [[nodiscard]] std::uint64_t cancelled() const { return cancelled_; }
+  // Every event ever scheduled. `executed + cancelled + pending ==
+  // scheduled` is the timer-conservation identity the chaos invariant
+  // checker audits at teardown.
+  [[nodiscard]] std::uint64_t scheduled() const { return seq_; }
 
  private:
   struct Slot {

@@ -90,6 +90,14 @@ class ClientNode final : public net::Node {
 
   [[nodiscard]] const ClientStatsLocal& stats() const { return stats_; }
 
+  // Chaos-invariant probes: the in-flight request id (0 = every issued
+  // request reached a terminal state) and allocations still held.
+  [[nodiscard]] std::uint64_t inflight_request() const {
+    return inflight_request_;
+  }
+  [[nodiscard]] std::size_t held_count() const { return held_.size(); }
+  [[nodiscard]] std::uint32_t client_id() const { return config_.client_id; }
+
  private:
   void SendNextQuery(net::NodeContext& ctx);
   // Entry point for the current attempt: the configured entry first,

@@ -1,0 +1,270 @@
+// actyp_chaos: randomized fault x workload sweeps with machine-checked
+// invariants and automatic repro shrinking — the property-based fuzzer
+// built on the repo's deterministic replay machinery.
+//
+//   smoke:   actyp_chaos --budget 6 --seed 11 --jobs 2 --time-scale 0.2
+//   hunt:    actyp_chaos --budget 400 --seed 1 --jobs 8 --out bundles/
+//   hostile: actyp_chaos --hostile --budget 8 --seed 5 --out bundles/
+//
+// Trial i is generated from (seed + i) alone — regime, fault plan, and
+// scenario seed — runs deterministically, and checks the invariant
+// catalogue (src/chaos/invariants.hpp) after a drain window. On any
+// violation the driver delta-debugs the fault plan to a minimal
+// still-failing plan, writes an `actyp_sim --config` repro bundle, and
+// exits 1. Output is byte-identical for any --jobs value.
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "chaos/chaos_plan.hpp"
+#include "common/strings.hpp"
+#include "chaos/shrinker.hpp"
+#include "chaos/trial.hpp"
+
+namespace {
+
+using actyp::ScenarioCell;
+using actyp::ScenarioReport;
+using actyp::ScenarioRunOptions;
+
+int Usage(int code) {
+  std::fprintf(
+      code == 0 ? stdout : stderr,
+      "usage: actyp_chaos [--budget N] [--seed S] [--jobs M]\n"
+      "                   [--time-scale X] [--quiesce S] [--hostile]\n"
+      "                   [--out DIR] [--shrink-runs N] [--json]\n"
+      "\n"
+      "  --budget N      independently-seeded trials to run (default 16)\n"
+      "  --seed S        base seed; trial i uses seed S+i (default "
+      "20010611)\n"
+      "  --jobs M        run trials on M worker threads; output is\n"
+      "                  byte-identical for any M\n"
+      "  --time-scale X  scale simulated durations (default 1)\n"
+      "  --quiesce S     extra drain floor in simulated seconds before\n"
+      "                  invariants are judged (scaled by --time-scale)\n"
+      "  --hostile       widen the generator into regimes expected to\n"
+      "                  wedge (zero request timeout under loss) — the\n"
+      "                  seeded known-violation space\n"
+      "  --out DIR       write repro bundles here (default .)\n"
+      "  --shrink-runs N re-execution budget per shrink (default 48)\n"
+      "  --json          emit the sweep report as JSON\n"
+      "\n"
+      "exit status: 0 clean, 1 invariant violations found, 2 usage\n");
+  return code;
+}
+
+int MissingValue(const char* flag) {
+  std::fprintf(stderr, "actyp_chaos: %s requires a value\n", flag);
+  return Usage(2);
+}
+
+int BadValue(const char* flag, const char* text) {
+  std::fprintf(stderr, "actyp_chaos: invalid value '%s' for %s\n", text,
+               flag);
+  return Usage(2);
+}
+
+bool ParseLong(const char* text, long min_value, long* out) {
+  const auto value = actyp::ParseInt(text);
+  if (!value || *value < min_value) return false;
+  *out = *value;
+  return true;
+}
+
+bool ParseDouble(const char* text, double* out) {
+  char* end = nullptr;
+  const double value = std::strtod(text, &end);
+  if (end == text || *end != '\0') return false;
+  *out = value;
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::size_t budget = 16;
+  std::uint64_t seed = 20010611;
+  std::size_t jobs = 1;
+  double time_scale = 1.0;
+  double quiesce_s = 0.0;
+  bool hostile = false;
+  std::string out_dir = ".";
+  std::size_t shrink_runs = 48;
+  bool json = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--help") == 0 || std::strcmp(arg, "-h") == 0) {
+      return Usage(0);
+    } else if (std::strcmp(arg, "--budget") == 0) {
+      if (i + 1 >= argc) return MissingValue(arg);
+      long value = 0;
+      if (!ParseLong(argv[++i], 1, &value)) return BadValue(arg, argv[i]);
+      budget = static_cast<std::size_t>(value);
+    } else if (std::strcmp(arg, "--seed") == 0) {
+      if (i + 1 >= argc) return MissingValue(arg);
+      long value = 0;
+      if (!ParseLong(argv[++i], 0, &value)) return BadValue(arg, argv[i]);
+      seed = static_cast<std::uint64_t>(value);
+    } else if (std::strcmp(arg, "--jobs") == 0) {
+      if (i + 1 >= argc) return MissingValue(arg);
+      long value = 0;
+      if (!ParseLong(argv[++i], 1, &value)) return BadValue(arg, argv[i]);
+      jobs = static_cast<std::size_t>(value);
+    } else if (std::strcmp(arg, "--time-scale") == 0) {
+      if (i + 1 >= argc) return MissingValue(arg);
+      double value = 0;
+      if (!ParseDouble(argv[++i], &value) || !(value > 0)) {
+        return BadValue(arg, argv[i]);
+      }
+      time_scale = value;
+    } else if (std::strcmp(arg, "--quiesce") == 0) {
+      if (i + 1 >= argc) return MissingValue(arg);
+      double value = 0;
+      if (!ParseDouble(argv[++i], &value) || !(value >= 0)) {
+        return BadValue(arg, argv[i]);
+      }
+      quiesce_s = value;
+    } else if (std::strcmp(arg, "--hostile") == 0) {
+      hostile = true;
+    } else if (std::strcmp(arg, "--out") == 0) {
+      if (i + 1 >= argc) return MissingValue(arg);
+      out_dir = argv[++i];
+    } else if (std::strcmp(arg, "--shrink-runs") == 0) {
+      if (i + 1 >= argc) return MissingValue(arg);
+      long value = 0;
+      if (!ParseLong(argv[++i], 1, &value)) return BadValue(arg, argv[i]);
+      shrink_runs = static_cast<std::size_t>(value);
+    } else if (std::strcmp(arg, "--json") == 0) {
+      json = true;
+    } else {
+      std::fprintf(stderr, "actyp_chaos: unknown argument '%s'\n", arg);
+      return Usage(2);
+    }
+  }
+
+  actyp::chaos::TrialParams params;
+  params.time_scale = time_scale;
+  params.quiesce_floor_s = quiesce_s;
+
+  actyp::chaos::ChaosRanges ranges;
+  ranges.hostile = hostile;
+  const actyp::chaos::ChaosPlanGenerator generator(
+      ranges, actyp::chaos::ActiveWindowSeconds(params));
+
+  std::vector<actyp::chaos::ChaosTrial> trials(budget);
+  for (std::size_t i = 0; i < budget; ++i) {
+    trials[i] = generator.Generate(seed + i);
+  }
+
+  // Run the budget in parallel; every trial owns its simulation, and
+  // cells land in trial order, so the report is independent of --jobs.
+  std::vector<actyp::chaos::TrialOutcome> outcomes(budget);
+  std::vector<actyp::bench::CellTask> tasks;
+  tasks.reserve(budget);
+  for (std::size_t i = 0; i < budget; ++i) {
+    tasks.push_back([&trials, &outcomes, &params, i] {
+      outcomes[i] = actyp::chaos::RunTrial(trials[i], params);
+      const auto& outcome = outcomes[i];
+      ScenarioCell cell;
+      cell.labels.emplace_back("seed", std::to_string(trials[i].seed));
+      cell.dims.emplace_back(
+          "events", static_cast<double>(trials[i].plan.events.size()));
+      cell.metrics.emplace_back("completed",
+                                static_cast<double>(outcome.completed));
+      cell.metrics.emplace_back("failures",
+                                static_cast<double>(outcome.failures));
+      cell.metrics.emplace_back("success_rate", outcome.success_rate);
+      cell.metrics.emplace_back("lost", static_cast<double>(outcome.lost));
+      cell.metrics.emplace_back("retries",
+                                static_cast<double>(outcome.retries));
+      cell.metrics.emplace_back(
+          "machines_crashed",
+          static_cast<double>(outcome.machines_crashed));
+      cell.metrics.emplace_back(
+          "services_crashed",
+          static_cast<double>(outcome.services_crashed));
+      cell.metrics.emplace_back(
+          "violations", static_cast<double>(outcome.violations.size()));
+      return cell;
+    });
+  }
+  ScenarioReport report;
+  report.scenario = "chaos";
+  report.title = "Chaos sweep — " + std::to_string(budget) +
+                 " seeded fault x workload trials";
+  ScenarioRunOptions options;
+  options.jobs = jobs;
+  options.stable = true;
+  actyp::bench::RunCellTasks(options, std::move(tasks), &report);
+
+  std::size_t violating = 0;
+  for (const auto& outcome : outcomes) {
+    if (!outcome.violations.empty()) ++violating;
+  }
+  report.note =
+      violating == 0
+          ? "all invariants held across the budget"
+          : std::to_string(violating) + " trial(s) violated invariants";
+  if (json) {
+    actyp::WriteReportJson(report, std::cout);
+  } else {
+    actyp::WriteReportTable(report, std::cout);
+  }
+
+  if (violating == 0) return 0;
+
+  // Findings: shrink serially in trial order (deterministic output),
+  // then dump one repro bundle per violating trial.
+  std::error_code ec;
+  std::filesystem::create_directories(out_dir, ec);
+  if (ec) {
+    std::fprintf(stderr, "actyp_chaos: cannot create '%s': %s\n",
+                 out_dir.c_str(), ec.message().c_str());
+    return 1;
+  }
+  const actyp::chaos::Shrinker shrinker(
+      [&params](const actyp::chaos::ChaosTrial& trial) {
+        return actyp::chaos::RunTrial(trial, params).violations;
+      },
+      shrink_runs);
+  for (std::size_t i = 0; i < budget; ++i) {
+    if (outcomes[i].violations.empty()) continue;
+    std::printf("trial %zu seed=%s: %s\n", i,
+                std::to_string(trials[i].seed).c_str(),
+                actyp::chaos::FormatViolations(outcomes[i].violations)
+                    .c_str());
+    const auto shrunk = shrinker.Shrink(trials[i]);
+    const auto& minimal = shrunk.reproduced ? shrunk.trial : trials[i];
+    if (shrunk.reproduced) {
+      std::printf("  shrunk %zu -> %zu event(s) in %zu run(s), "
+                  "reproducing %s\n",
+                  trials[i].plan.events.size(),
+                  minimal.plan.events.size(), shrunk.runs,
+                  shrunk.invariant.c_str());
+    } else {
+      std::printf("  violation did not reproduce on re-run; dumping the "
+                  "original plan\n");
+    }
+    const std::string path = out_dir + "/chaos_repro_seed" +
+                             std::to_string(trials[i].seed) + ".conf";
+    std::ofstream bundle(path);
+    bundle << actyp::chaos::ReproBundleText(minimal, params);
+    if (!bundle) {
+      std::fprintf(stderr, "actyp_chaos: cannot write '%s'\n",
+                   path.c_str());
+      return 1;
+    }
+    bundle.close();
+    std::printf("  repro bundle: %s\n", path.c_str());
+    for (const auto& event : minimal.plan.events) {
+      std::printf("    %s\n", event.Serialize().c_str());
+    }
+  }
+  return 1;
+}

@@ -38,6 +38,7 @@
 #include <vector>
 
 #include "actyp/scenario_registry.hpp"
+#include "chaos/workload_regime.hpp"
 #include "common/config.hpp"
 #include "common/strings.hpp"
 #include "common/thread_pool.hpp"
@@ -62,6 +63,7 @@ int Usage(int code) {
       "                 [--churn-rate R] [--fault-plan FILE]\n"
       "                 [--replicas N] [--sync-period S]\n"
       "                 [--retry-max N] [--retry-backoff S]\n"
+      "                 [--quiesce S] [--regime STR]\n"
       "                 [--jobs N] [--cell-jobs N] [--stable]\n"
       "                 [--no-profile]\n"
       "                 [--profile-ring-capacity N]\n"
@@ -93,6 +95,12 @@ int Usage(int code) {
       "  --retry-max N     client retries per timed-out request\n"
       "  --retry-backoff S base retry backoff, simulated seconds\n"
       "                    (scaled by --time-scale)\n"
+      "  --quiesce S       drain each cell S extra simulated seconds\n"
+      "                    (scaled by --time-scale) after the measurement\n"
+      "                    window, so success rates reflect the recovered\n"
+      "                    system; 0 (default) keeps output byte-identical\n"
+      "  --regime STR      chaos_cell workload regime, one 'key=value ...'\n"
+      "                    line (see src/chaos/workload_regime.hpp)\n"
       "  --jobs N          run independent sweep cells (and, for multi-\n"
       "                    scenario runs, whole scenarios) on N worker\n"
       "                    threads; output order is unchanged\n"
@@ -290,6 +298,20 @@ int ApplyConfigFile(const char* path, std::vector<std::string>* names,
     if (!parsed || !(*parsed > 0)) return bad("retry-backoff", *value);
     options->retry_backoff_s = *parsed;
   }
+  if (const auto value = config->Get("quiesce")) {
+    const auto parsed = actyp::ParseDouble(*value);
+    if (!parsed || !(*parsed >= 0)) return bad("quiesce", *value);
+    options->quiesce_s = *parsed;
+  }
+  if (const auto value = config->Get("regime")) {
+    const auto regime = actyp::chaos::WorkloadRegime::Parse(*value);
+    if (!regime.ok()) {
+      std::fprintf(stderr, "actyp_sim: %s: %s\n", path,
+                   regime.status().ToString().c_str());
+      return 1;
+    }
+    options->regime_text = *value;
+  }
   if (const auto value = config->Get("jobs")) {
     const auto parsed = actyp::ParseInt(*value);
     if (!parsed || *parsed < 1) return bad("jobs", *value);
@@ -441,6 +463,22 @@ int main(int argc, char** argv) {
         return BadValue(arg, argv[i]);
       }
       options.retry_backoff_s = value;
+    } else if (std::strcmp(arg, "--quiesce") == 0) {
+      if (i + 1 >= argc) return MissingValue(arg);
+      double value = 0;
+      if (!ParseDouble(argv[++i], &value) || !(value >= 0)) {
+        return BadValue(arg, argv[i]);
+      }
+      options.quiesce_s = value;
+    } else if (std::strcmp(arg, "--regime") == 0) {
+      if (i + 1 >= argc) return MissingValue(arg);
+      const auto regime = actyp::chaos::WorkloadRegime::Parse(argv[++i]);
+      if (!regime.ok()) {
+        std::fprintf(stderr, "actyp_sim: %s\n",
+                     regime.status().ToString().c_str());
+        return 2;
+      }
+      options.regime_text = argv[i];
     } else if (std::strcmp(arg, "--jobs") == 0) {
       if (i + 1 >= argc) return MissingValue(arg);
       long value = 0;
