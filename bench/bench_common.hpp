@@ -19,6 +19,8 @@
 #include "common/logging.hpp"
 #include "common/thread_pool.hpp"
 #include "fault/fault_plan.hpp"
+#include "obs/flight_recorder.hpp"
+#include "obs/telemetry.hpp"
 #include "profile/metrics_exporter.hpp"
 #include "profile/stage_profiler.hpp"
 #include "profile/trace_assembler.hpp"
@@ -227,6 +229,14 @@ inline CellResult RunCell(ScenarioConfig config,
   if (options.profile_ring_capacity) {
     config.profile_ring_capacity = *options.profile_ring_capacity;
   }
+  if (!options.profile_sampling.empty()) {
+    // The driver validated the name at flag-parse time.
+    if (const auto mode =
+            profile::SamplingModeFromName(options.profile_sampling)) {
+      config.profile_sampling = *mode;
+    }
+  }
+  config.flight_recorder = options.flight_sink != nullptr;
   const auto wall_start = std::chrono::steady_clock::now();
   SimScenario scenario(std::move(config));
   if (options.metrics_streamer != nullptr && options.metrics_interval_s > 0 &&
@@ -248,7 +258,20 @@ inline CellResult RunCell(ScenarioConfig config,
     };
     scenario.kernel().Schedule(interval, [tick] { (*tick)(); });
   }
-  scenario.Measure(warmup, measure);
+  if (options.telemetry_sink != nullptr && options.telemetry_interval_s > 0) {
+    // Sampled measurement: the window advances in interval-sized chunks
+    // and one gauge sample is taken at each boundary (workers idle).
+    // Chunking never reorders events, so the report is unchanged.
+    const auto interval = std::max<SimDuration>(
+        Seconds(options.telemetry_interval_s * options.time_scale), 1);
+    std::vector<profile::MetricCell> samples;
+    scenario.Measure(warmup, measure, interval, [&](SimTime t) {
+      samples.push_back(obs::TelemetrySample(scenario, t));
+    });
+    options.telemetry_sink->Add(scenario.config().seed, std::move(samples));
+  } else {
+    scenario.Measure(warmup, measure);
+  }
   if (options.quiesce_s > 0) {
     // --quiesce: drain past the measurement window so the collected
     // success rate / convergence state reflect the recovered system,
@@ -260,6 +283,10 @@ inline CellResult RunCell(ScenarioConfig config,
   if (options.trace_sink != nullptr && scenario.profiler() != nullptr) {
     options.trace_sink->Add(scenario.config().seed,
                             scenario.profiler()->RingSnapshot());
+  }
+  if (options.flight_sink != nullptr) {
+    options.flight_sink->Add(scenario.config().seed,
+                             scenario.FlightSnapshot());
   }
   return result;
 }

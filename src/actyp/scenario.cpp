@@ -86,9 +86,22 @@ void SimScenario::Build() {
   if (config_.profile) {
     profile::StageProfiler::Config profiler_config;
     profiler_config.ring_capacity = config_.profile_ring_capacity;
+    profiler_config.sampling = config_.profile_sampling;
+    profiler_config.reservoir_capacity = config_.profile_reservoir_capacity;
     profiler_ = std::make_unique<profile::StageProfiler>(profiler_config);
   }
   profile::StageProfiler* profiler = profiler_.get();
+
+  // --- flight recorder ---
+  // Same null-hook discipline as the profiler: when disabled every
+  // recording site reduces to a pointer test and the run is the seed
+  // path byte for byte.
+  if (config_.flight_recorder) {
+    recorders_.push_back(
+        std::make_unique<obs::FlightRecorder>(0, config_.flight_capacity));
+  }
+  obs::FlightRecorder* recorder =
+      recorders_.empty() ? nullptr : recorders_.front().get();
 
   // --- topology ---
   simnet::Topology topology = simnet::Topology::Lan();
@@ -99,8 +112,10 @@ void SimScenario::Build() {
   network_ = std::make_unique<simnet::SimNetwork>(&kernel_, topology,
                                                   config_.seed ^ 0x6e0d3ULL);
   network_->SetLossProbability(config_.message_loss_probability);
+  network_->SetFlightRecorder(0, recorder);
   fault_ = std::make_unique<fault::FaultInjector>(
       &kernel_, network_.get(), config_.seed ^ 0xfa017ULL);
+  fault_->SetRecorder(recorder);
   InstallFaultHooks();
   const std::string server_site = config_.wan ? "upc" : "local";
   const std::string client_site = config_.wan ? "purdue" : "local";
@@ -123,6 +138,7 @@ void SimScenario::Build() {
     group_config.journal_capacity = config_.directory_journal_capacity;
     group_config.seed = config_.seed ^ 0x5e11caULL;
     group_config.profiler = profiler;
+    group_config.recorder = recorder;
     replicas_ = std::make_unique<replica::ReplicaGroup>(&kernel_,
                                                         group_config);
     for (std::uint32_t i = 0; i < config_.directory_replicas; ++i) {
@@ -199,6 +215,7 @@ void SimScenario::Build() {
   proxy_config.pool_resort_period = config_.resort_period;
   proxy_config.costs = config_.costs;
   proxy_config.profiler = profiler;
+  proxy_config.recorder = recorder;
   proxy_ = std::make_shared<pipeline::ProxyServer>(
       proxy_config, network_.get(), &database_, dir_api_, &shadows_,
       &policies_);
@@ -353,6 +370,7 @@ void SimScenario::Build() {
               s + 1 == segments ? 0 : per_cluster / segments;
           pool_config.costs = config_.costs;
           pool_config.profiler = profiler;
+          pool_config.recorder = recorder;
           add_pool("pool.c" + std::to_string(c) + ".s" + std::to_string(s),
                    pool_config, /*remote=*/false);
         }
@@ -370,6 +388,7 @@ void SimScenario::Build() {
           pool_config.resort_period = config_.resort_period;
           pool_config.costs = config_.costs;
           pool_config.profiler = profiler;
+          pool_config.recorder = recorder;
           add_pool("pool.c" + std::to_string(c) + ".r" + std::to_string(r),
                    pool_config, /*remote=*/dual_site && r % 2 == 1);
         }
@@ -449,6 +468,17 @@ void SimScenario::BuildMultiSite() {
   }
   network_->EnableSharding(site_names);
 
+  // One flight recorder per shard, so recording stays thread-local to
+  // the shard's worker; snapshots merge by (t, shard, seq) and are
+  // identical for any cell_jobs value.
+  if (config_.flight_recorder) {
+    for (std::size_t k = 0; k < site_count; ++k) {
+      recorders_.push_back(std::make_unique<obs::FlightRecorder>(
+          static_cast<std::uint32_t>(k), config_.flight_capacity));
+      network_->SetFlightRecorder(k, recorders_.back().get());
+    }
+  }
+
   // The injector is still built (the accessors promise one), but LP
   // eligibility guarantees an empty plan, so its hooks — which close
   // over the unused single-site database — never fire.
@@ -487,6 +517,8 @@ void SimScenario::BuildMultiSite() {
     if (config_.profile) {
       profile::StageProfiler::Config profiler_config;
       profiler_config.ring_capacity = config_.profile_ring_capacity;
+      profiler_config.sampling = config_.profile_sampling;
+      profiler_config.reservoir_capacity = config_.profile_reservoir_capacity;
       site->profiler =
           std::make_unique<profile::StageProfiler>(profiler_config);
     }
@@ -536,6 +568,8 @@ void SimScenario::BuildMultiSite() {
     proxy_config.pool_resort_period = config_.resort_period;
     proxy_config.costs = config_.costs;
     proxy_config.profiler = profiler;
+    proxy_config.recorder =
+        config_.flight_recorder ? recorders_[k].get() : nullptr;
     site->proxy = std::make_shared<pipeline::ProxyServer>(
         proxy_config, network_.get(), &site->database, &site->directory,
         &site->shadows, &site->policies);
@@ -567,6 +601,8 @@ void SimScenario::BuildMultiSite() {
   for (std::size_t k = 0; k < site_count; ++k) {
     SiteStack& site = *sites_[k];
     profile::StageProfiler* profiler = site.profiler.get();
+    obs::FlightRecorder* site_recorder =
+        config_.flight_recorder ? recorders_[k].get() : nullptr;
     std::vector<pipeline::PmRule> rules;
     rules.reserve(clusters);
     for (std::size_t c = 0; c < clusters; ++c) {
@@ -630,6 +666,7 @@ void SimScenario::BuildMultiSite() {
               s + 1 == segments ? 0 : per_cluster / segments;
           pool_config.costs = config_.costs;
           pool_config.profiler = profiler;
+          pool_config.recorder = site_recorder;
           add_site_pool(
               "pool.c" + std::to_string(c) + ".s" + std::to_string(s),
               pool_config);
@@ -645,6 +682,7 @@ void SimScenario::BuildMultiSite() {
           pool_config.resort_period = config_.resort_period;
           pool_config.costs = config_.costs;
           pool_config.profiler = profiler;
+          pool_config.recorder = site_recorder;
           add_site_pool(
               "pool.c" + std::to_string(c) + ".r" + std::to_string(r),
               pool_config);
@@ -787,15 +825,51 @@ void SimScenario::RunUntil(SimTime until) {
   kernel_.RunUntil(until);
 }
 
-void SimScenario::Measure(SimDuration warmup, SimDuration duration) {
-  RunUntil(kernel_.Now() + warmup);
+void SimScenario::ResetMeasurement() {
   collector_.Reset();
   if (profiler_) profiler_->Reset();
   for (const auto& site : sites_) {
     site->collector.Reset();
     if (site->profiler) site->profiler->Reset();
   }
+}
+
+void SimScenario::Measure(SimDuration warmup, SimDuration duration) {
+  RunUntil(kernel_.Now() + warmup);
+  ResetMeasurement();
+  for (const auto& recorder : recorders_) recorder->Reset();
   RunUntil(kernel_.Now() + duration);
+}
+
+void SimScenario::Measure(SimDuration warmup, SimDuration duration,
+                          SimDuration sample_interval,
+                          const std::function<void(SimTime)>& sample) {
+  if (sample_interval <= 0 || !sample) {
+    Measure(warmup, duration);
+    return;
+  }
+  RunUntil(kernel_.Now() + warmup);
+  ResetMeasurement();
+  for (const auto& recorder : recorders_) recorder->Reset();
+  // Absolute window boundaries computed from the start keep the sample
+  // grid drift-free however sample_interval divides duration.
+  const SimTime start = kernel_.Now();
+  const SimTime end = start + duration;
+  sample(start);
+  for (SimTime next = start; next < end;) {
+    next = std::min<SimTime>(end, next + sample_interval);
+    RunUntil(next);
+    sample(next);
+  }
+}
+
+std::vector<obs::FlightEvent> SimScenario::FlightSnapshot() const {
+  std::vector<std::vector<obs::FlightEvent>> per_shard;
+  per_shard.reserve(recorders_.size());
+  for (const auto& recorder : recorders_) {
+    per_shard.push_back(recorder->Snapshot());
+  }
+  return obs::MergeFlightEvents(std::move(per_shard));
 }
 
 workload::ResponseCollector& SimScenario::collector() {
@@ -820,6 +894,8 @@ profile::StageProfiler* SimScenario::MergedProfiler() const {
     profile::StageProfiler::Config merged_config;
     merged_config.ring_capacity =
         config_.profile_ring_capacity * sites_.size();
+    merged_config.sampling = config_.profile_sampling;
+    merged_config.reservoir_capacity = config_.profile_reservoir_capacity;
     merged_profiler_ =
         std::make_unique<profile::StageProfiler>(merged_config);
   }

@@ -23,6 +23,7 @@
 #include "fault/fault_injector.hpp"
 #include "fault/fault_plan.hpp"
 #include "monitor/monitor.hpp"
+#include "obs/flight_recorder.hpp"
 #include "pipeline/pool_manager.hpp"
 #include "profile/stage_profiler.hpp"
 #include "pipeline/proxy.hpp"
@@ -128,6 +129,22 @@ struct ScenarioConfig {
   // report output) byte-identical to the unprofiled seed path.
   bool profile = true;
   std::size_t profile_ring_capacity = 4096;
+  // Per-stage latency sampling: kRing keeps the exact histogram + span
+  // ring (the default); kReservoir adds a seeded fixed-size Algorithm-R
+  // reservoir per stage and computes p50/p95/p99 from it — unbiased
+  // at any load, memory bounded by reservoir_capacity. Both modes draw
+  // from a private fixed-seed RNG, so the sim replay is untouched.
+  profile::SamplingMode profile_sampling = profile::SamplingMode::kRing;
+  std::size_t profile_reservoir_capacity = 1024;
+
+  // Flight recorder (src/obs/): when true each shard owns a bounded
+  // ring of structured events — message send/receive/drop, timer
+  // arm/fire/cancel, fault strikes/recoveries, replica syncs, pool
+  // claim/release. Recording draws nothing from any seeded stream, so
+  // false (the default) is byte-identical to the pre-recorder binary
+  // and true is byte-identical across --jobs / --cell-jobs.
+  bool flight_recorder = false;
+  std::size_t flight_capacity = 8192;
 
   pipeline::CostModel costs;
   std::uint64_t seed = 20010611;  // HPDC 2001 ;-)
@@ -147,6 +164,27 @@ class SimScenario {
   // Runs a measurement: `warmup` is excluded (the collector is reset
   // after it), then `duration` of steady state is measured.
   void Measure(SimDuration warmup, SimDuration duration);
+
+  // Sampled measurement: like Measure, but the steady-state window is
+  // advanced in `sample_interval` chunks and `sample(now)` runs between
+  // chunks (workers idle, so deterministic reads of any scenario state
+  // are safe). Chunked advancement never reorders events, so the run is
+  // byte-identical to the unsampled Measure for any chunk size.
+  void Measure(SimDuration warmup, SimDuration duration,
+               SimDuration sample_interval,
+               const std::function<void(SimTime)>& sample);
+
+  // The warmup-boundary reset Measure applies, minus the flight
+  // recorders: collector(s) and profiler(s) start the measurement
+  // clean. Callers driving the timeline with RunUntil (the chaos
+  // capture path) use this to keep warmup-time flight events — fault
+  // strikes often land there — while reporting identical metrics.
+  void ResetMeasurement();
+
+  // Merged flight-event view: per-shard rings merged and sorted by
+  // (time, shard, seq) — identical for any worker count. Empty when
+  // the flight recorder is off.
+  [[nodiscard]] std::vector<obs::FlightEvent> FlightSnapshot() const;
 
   // Response statistics. Single-site scenarios return the shared
   // collector the clients record into; multi-site (LP) scenarios fold
@@ -225,6 +263,10 @@ class SimScenario {
   // Declared before the network so it outlives the nodes (and any
   // fault-restart config copies) holding raw pointers to it.
   std::unique_ptr<profile::StageProfiler> profiler_;
+  // Flight recorders, one per shard (a single entry on serial builds;
+  // one per site under the LP engine, each touched only by its own
+  // shard's thread). Same lifetime rule as the profiler.
+  std::vector<std::unique_ptr<obs::FlightRecorder>> recorders_;
   simnet::SimKernel kernel_;
   std::unique_ptr<simnet::SimNetwork> network_;
   db::ResourceDatabase database_;

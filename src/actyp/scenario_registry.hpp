@@ -24,6 +24,11 @@ class MetricsStreamer;
 class TraceSink;
 }  // namespace profile
 
+namespace obs {
+class FlightSink;
+class TelemetrySink;
+}  // namespace obs
+
 // Overrides applied uniformly to a scenario's sweep: pin a dimension
 // (machines/clients), rescale simulated warmup/measure durations, or
 // replace the seed so perf tracking can vary runs deterministically.
@@ -92,6 +97,21 @@ struct ScenarioRunOptions {
   // like every other simulated duration).
   profile::MetricsStreamer* metrics_streamer = nullptr;
   double metrics_interval_s = 0;
+  // --telemetry-out wiring: when the sink is set and the interval is
+  // positive, each cell runs its measurement window in interval-sized
+  // chunks (scaled by --time-scale) and deposits one gauge sample per
+  // chunk boundary. Chunked advancement never reorders events, so the
+  // report stays byte-identical, and samples are keyed by cell seed, so
+  // the series is byte-identical for any --jobs / --cell-jobs.
+  obs::TelemetrySink* telemetry_sink = nullptr;
+  double telemetry_interval_s = 0;
+  // --flight-out wiring: when set, each cell builds its scenario with
+  // the flight recorder enabled and deposits the merged event snapshot
+  // here after its run.
+  obs::FlightSink* flight_sink = nullptr;
+  // --profile-sampling: "" keeps the scenario default (ring); "ring" or
+  // "reservoir" overrides the profiler's per-stage sampling mode.
+  std::string profile_sampling;
 };
 
 // One measured cell of a scenario sweep: ordered string labels

@@ -129,11 +129,14 @@ ChaosTrial ChaosPlanGenerator::Generate(std::uint64_t seed) const {
         event.site_b = "upc";
         break;
       case kSiteCrash:
-        // Only the client site: the existing wan_partition_heal
-        // precedent — a server-site blackout is a separate (hostile)
-        // follow-on.
+        // Friendly plans blackout only the client site (the
+        // wan_partition_heal precedent); hostile plans may take down
+        // the server site instead, stranding every directory and pool
+        // behind the WAN. The extra draw happens only on the hostile
+        // path, so friendly plans are byte-identical to before.
         event.kind = fault::FaultKind::kSiteCrash;
-        event.site = "purdue";
+        event.site = ranges_.hostile && rng.Bernoulli(0.5) ? "upc"
+                                                           : "purdue";
         event.downtime = Seconds(downtime);
         break;
     }

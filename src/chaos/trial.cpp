@@ -5,6 +5,7 @@
 
 #include "actyp/scenario.hpp"
 #include "common/config.hpp"
+#include "obs/telemetry.hpp"
 
 namespace actyp::chaos {
 namespace {
@@ -65,7 +66,8 @@ double DrainSeconds(const ChaosTrial& trial, const TrialParams& params) {
                   params.quiesce_floor_s * params.time_scale);
 }
 
-TrialOutcome RunTrial(const ChaosTrial& trial, const TrialParams& params) {
+TrialOutcome RunTrial(const ChaosTrial& trial, const TrialParams& params,
+                      TrialCapture* capture) {
   // Build the scenario config directly (not through bench::ApplyFaults,
   // whose lossy-run timeout defaulting would mask the hostile
   // zero-timeout regimes the generator emits on purpose).
@@ -74,6 +76,12 @@ TrialOutcome RunTrial(const ChaosTrial& trial, const TrialParams& params) {
   config.seed = trial.seed;
   config.fault_plan = trial.plan;
   config.profile = false;  // trials are about invariants, not spans
+  // A post-mortem capture arms the flight recorder; it never touches
+  // the seeded RNG streams, so the trial outcome stays byte-identical.
+  // The window is widened well past the driver default so the fault
+  // strikes survive to the end of the drain even on busy trials.
+  config.flight_recorder = capture != nullptr;
+  if (capture != nullptr) config.flight_capacity = 65536;
   const SimDuration warmup = Seconds(params.warmup_s * params.time_scale);
   const SimDuration measure = Seconds(params.measure_s * params.time_scale);
   config.client_horizon = warmup + measure;
@@ -104,11 +112,42 @@ TrialOutcome RunTrial(const ChaosTrial& trial, const TrialParams& params) {
   InvariantChecker checker;
   const SimDuration quiet = Seconds(params.quiesce_fraction *
                                     params.measure_s * params.time_scale);
-  scenario.Measure(warmup, quiet);
-  checker.BeginQuiesce(scenario);  // generated faults all recovered here
-  scenario.RunUntil(warmup + measure);
-  scenario.RunUntil(warmup + measure +
-                    Seconds(DrainSeconds(trial, params)));
+  if (capture == nullptr) {
+    scenario.Measure(warmup, quiet);
+    checker.BeginQuiesce(scenario);  // generated faults all recovered here
+    scenario.RunUntil(warmup + measure);
+    scenario.RunUntil(warmup + measure +
+                      Seconds(DrainSeconds(trial, params)));
+  } else {
+    // Drive the same timeline by hand: warmup, the Measure-equivalent
+    // reset (keeping the flight ring — generated faults often strike
+    // during warmup and the post-mortem needs those events), then
+    // gauge samples every ~1/50 of the measure window through the end
+    // of the drain. Chunked advancement never reorders events.
+    const auto interval = std::max<SimDuration>(
+        Seconds(params.measure_s * params.time_scale / 50.0), 1);
+    const auto sample = [&](SimTime t) {
+      capture->telemetry.push_back(obs::TelemetrySample(scenario, t));
+    };
+    scenario.RunUntil(warmup);
+    scenario.ResetMeasurement();
+    sample(warmup);
+    const SimTime quiet_end = warmup + quiet;
+    for (SimTime next = warmup; next < quiet_end;) {
+      next = std::min<SimTime>(quiet_end, next + interval);
+      scenario.RunUntil(next);
+      sample(next);
+    }
+    checker.BeginQuiesce(scenario);  // generated faults all recovered here
+    const SimTime drain_end =
+        warmup + measure + Seconds(DrainSeconds(trial, params));
+    for (SimTime next = quiet_end; next < drain_end;) {
+      next = std::min<SimTime>(drain_end, next + interval);
+      scenario.RunUntil(next);
+      sample(next);
+    }
+    capture->flight = scenario.FlightSnapshot();
+  }
   outcome.violations = checker.Check(scenario, invariants);
 
   outcome.mean_s = scenario.collector().response_stats().mean();

@@ -19,6 +19,8 @@
 
 #include "chaos/chaos_plan.hpp"
 #include "chaos/invariants.hpp"
+#include "obs/flight_recorder.hpp"
+#include "profile/metrics_exporter.hpp"
 
 namespace actyp::chaos {
 
@@ -64,8 +66,19 @@ struct TrialOutcome {
 // design, so RunTrial gates the session audit on this.
 [[nodiscard]] bool PlanCanLoseMessages(const fault::FaultPlan& plan);
 
+// Observability capture of one trial: the gauge samples taken across
+// the whole timeline (warmup end through drain) and the flight-recorder
+// window that survived to the end of the run. Filled only when a
+// capture is passed to RunTrial; recording draws nothing from the
+// seeded RNG streams, so the outcome is byte-identical either way.
+struct TrialCapture {
+  std::vector<profile::MetricCell> telemetry;
+  std::vector<obs::FlightEvent> flight;
+};
+
 [[nodiscard]] TrialOutcome RunTrial(const ChaosTrial& trial,
-                                    const TrialParams& params);
+                                    const TrialParams& params,
+                                    TrialCapture* capture = nullptr);
 
 // Serializes trial + params into an `actyp_sim --config` experiment
 // file (scenario=chaos_cell) that replays the trial byte-identically.

@@ -1,11 +1,30 @@
 #include "fault/fault_injector.hpp"
 
 #include <algorithm>
+#include <cstdio>
 #include <memory>
 
 #include "common/strings.hpp"
+#include "obs/flight_recorder.hpp"
 
 namespace actyp::fault {
+namespace {
+
+std::string FormatProbability(double p) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%g", p);
+  return buffer;
+}
+
+}  // namespace
+
+void FaultInjector::RecordFault(bool strike, const std::string& detail) {
+  if (recorder_ == nullptr) return;
+  recorder_->Record(kernel_->Now(),
+                    strike ? obs::FlightKind::kFaultStrike
+                           : obs::FlightKind::kFaultRecover,
+                    0, "fault", detail);
+}
 
 FaultInjector::FaultInjector(simnet::SimKernel* kernel,
                              simnet::SimNetwork* network, std::uint64_t seed)
@@ -146,6 +165,8 @@ void FaultInjector::ArmLoss(const FaultEvent& event) {
     open_loss_.emplace_back(id, event.probability);
     network_->SetLossProbability(event.probability);
     ++stats_.loss_windows_opened;
+    RecordFault(true, "loss window open p=" +
+                          FormatProbability(event.probability));
   });
   if (event.end > event.start) {
     kernel_->ScheduleAt(event.end, [this, id] {
@@ -154,6 +175,7 @@ void FaultInjector::ArmLoss(const FaultEvent& event) {
       network_->SetLossProbability(
           open_loss_.empty() ? base_loss_ : open_loss_.back().second);
       ++stats_.loss_windows_closed;
+      RecordFault(false, "loss window close");
     });
   }
 }
@@ -167,12 +189,16 @@ void FaultInjector::ArmLatency(const FaultEvent& event) {
     network_->topology().SetLatencyPenalty(event.site_a, event.site_b,
                                            open_latency_[pair]);
     ++stats_.latency_spikes;
+    RecordFault(true,
+                "latency spike " + event.site_a + "-" + event.site_b);
   });
   if (event.end > event.start) {
     kernel_->ScheduleAt(event.end, [this, event, pair] {
       open_latency_[pair] -= event.extra_latency;
       network_->topology().SetLatencyPenalty(event.site_a, event.site_b,
                                              open_latency_[pair]);
+      RecordFault(false,
+                  "latency restore " + event.site_a + "-" + event.site_b);
     });
   }
 }
@@ -185,6 +211,8 @@ void FaultInjector::ArmPartition(const FaultEvent& event) {
       network_->topology().SetPartition(event.site_a, event.site_b, true);
     }
     ++stats_.partitions_cut;
+    RecordFault(true,
+                "partition cut " + event.site_a + "-" + event.site_b);
   });
   if (event.end > event.start) {
     kernel_->ScheduleAt(event.end, [this, event, pair] {
@@ -192,6 +220,8 @@ void FaultInjector::ArmPartition(const FaultEvent& event) {
         network_->topology().SetPartition(event.site_a, event.site_b, false);
       }
       ++stats_.partitions_healed;
+      RecordFault(false,
+                  "partition heal " + event.site_a + "-" + event.site_b);
     });
   }
 }
@@ -221,7 +251,10 @@ void FaultInjector::Strike(const FaultEvent& event) {
   if (event.target == "machines") {
     CrashMachines(event.count, event.downtime);
   } else if (event.target == "pools") {
-    if (kill_pool_(rng_)) ++stats_.pools_killed;
+    if (kill_pool_(rng_)) {
+      ++stats_.pools_killed;
+      RecordFault(true, "pool kill");
+    }
   } else {
     // A one-shot crash takes down every matching service; churn picks
     // one victim per tick.
@@ -234,10 +267,14 @@ void FaultInjector::CrashMachines(std::size_t count, SimDuration downtime) {
   const std::vector<db::MachineId> victims = crash_machines_(count, rng_);
   if (victims.empty()) return;
   stats_.machines_crashed += victims.size();
+  RecordFault(true,
+              "machines crash n=" + std::to_string(victims.size()));
   if (downtime > 0) {
     kernel_->Schedule(downtime, [this, victims] {
       restore_machines_(victims);
       stats_.machines_restored += victims.size();
+      RecordFault(false,
+                  "machines restore n=" + std::to_string(victims.size()));
     });
   }
 }
@@ -258,6 +295,7 @@ void FaultInjector::CrashService(const std::string& glob, SimDuration downtime,
     service.down = true;
     service.crash();
     ++stats_.services_crashed;
+    RecordFault(true, "service crash " + name);
     if (downtime > 0) {
       kernel_->Schedule(downtime, [this, name] {
         auto it = services_.find(name);
@@ -265,6 +303,7 @@ void FaultInjector::CrashService(const std::string& glob, SimDuration downtime,
         it->second.restart();
         it->second.down = false;
         ++stats_.services_restarted;
+        RecordFault(false, "service restart " + name);
       });
     }
   }
@@ -276,6 +315,7 @@ void FaultInjector::CrashSite(const std::string& site, SimDuration downtime) {
     return;  // the site is already dark; overlapping crashes do not stack
   }
   ++stats_.sites_crashed;
+  RecordFault(true, "site crash " + site);
   std::vector<db::MachineId> victims = crash_site_machines_(site);
   stats_.machines_crashed += victims.size();
   site_down_machines_[site] = std::move(victims);
@@ -301,6 +341,7 @@ void FaultInjector::RestoreSite(const std::string& site) {
       downed != site_down_services_.end() && !downed->second.empty();
   if (!had_machines && !had_services) return;  // nothing to restore
   ++stats_.sites_restored;
+  RecordFault(false, "site restore " + site);
   if (had_machines) {
     restore_machines_(machines->second);
     stats_.machines_restored += machines->second.size();

@@ -29,6 +29,10 @@
 #include "simnet/kernel.hpp"
 #include "simnet/sim_network.hpp"
 
+namespace actyp::obs {
+class FlightRecorder;
+}  // namespace actyp::obs
+
 namespace actyp::fault {
 
 struct FaultStats {
@@ -92,6 +96,11 @@ class FaultInjector {
   // was never installed, so misconfigured scenarios fail loudly.
   Status Arm(const FaultPlan& plan);
 
+  // Flight recorder for strike/recovery events (not owned; must outlive
+  // the injector). Null — the default — records nothing; recording
+  // draws nothing, so attaching is invisible to replay.
+  void SetRecorder(obs::FlightRecorder* recorder) { recorder_ = recorder; }
+
   [[nodiscard]] const FaultStats& stats() const { return stats_; }
 
  private:
@@ -121,6 +130,9 @@ class FaultInjector {
   [[nodiscard]] std::vector<std::string> MatchServices(
       const std::string& glob) const;
 
+  // Appends one strike/recovery event (no-op when no recorder is set).
+  void RecordFault(bool strike, const std::string& detail);
+
   using SitePair = std::pair<std::string, std::string>;
   [[nodiscard]] static SitePair MakeSitePair(const FaultEvent& event);
 
@@ -148,6 +160,7 @@ class FaultInjector {
   std::vector<std::pair<std::uint64_t, double>> open_loss_;
   std::map<SitePair, SimDuration> open_latency_;
   std::map<SitePair, int> open_partitions_;
+  obs::FlightRecorder* recorder_ = nullptr;
   FaultStats stats_;
 };
 

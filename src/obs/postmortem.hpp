@@ -1,0 +1,41 @@
+// Post-mortem bundles: the machine-readable dump actyp_chaos writes
+// next to a repro bundle when an invariant violation is confirmed —
+// everything a human (or the actyp_postmortem tool) needs to explain
+// the wedge without replaying it by hand. One typed JSON object per
+// line:
+//
+//   {"type":"meta","seed":...,"regime":"...","violations":[...]}
+//   {"type":"fault","event":"loss start=.. end=.. p=.."}     (per event)
+//   {"type":"telemetry","scenario":"telemetry",...}          (per sample)
+//   {"type":"flight","t":...,"kind":"msg_drop_loss",...}     (per event)
+//
+// The telemetry lines are MetricsExporter jsonl cells and the flight
+// lines are FlightRecorder events, each with a "type" discriminator
+// spliced in, so existing line-oriented tooling parses both unchanged.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "obs/flight_recorder.hpp"
+#include "profile/metrics_exporter.hpp"
+
+namespace actyp::obs {
+
+struct PostmortemBundle {
+  std::uint64_t seed = 0;
+  std::string regime;
+  std::vector<std::string> violations;    // formatted invariant names
+  std::vector<std::string> fault_events;  // FaultEvent::Serialize lines
+  std::vector<profile::MetricCell> telemetry;
+  std::vector<FlightEvent> flight;
+};
+
+void WritePostmortem(const PostmortemBundle& bundle, std::ostream& out);
+[[nodiscard]] Status WritePostmortemFile(const PostmortemBundle& bundle,
+                                         const std::string& path);
+
+}  // namespace actyp::obs

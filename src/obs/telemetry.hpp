@@ -1,0 +1,52 @@
+// Continuous telemetry: gauge samples over simulated time. Where the
+// scenario report is one end-of-run aggregate and --metrics-interval
+// streams snapshots from a kernel timer (serial scenarios only — a
+// shard-0 tick would race the other LPs), the telemetry sampler pauses
+// the run between RunUntil chunks and reads gauges single-threaded.
+// Chunked RunUntil never reorders events, so sampling is invisible to
+// the simulation: reports stay byte-identical with it on or off, and
+// the samples themselves are byte-identical for any --jobs/--cell-jobs.
+//
+// Each sample is one profile::MetricCell (scenario "telemetry", the
+// cell seed as a label, gauges in a fixed order), so the existing
+// MetricsExporter serializes the series as JSON-lines for
+// --telemetry-out.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "common/sim_time.hpp"
+#include "profile/metrics_exporter.hpp"
+
+namespace actyp {
+class SimScenario;
+}  // namespace actyp
+
+namespace actyp::obs {
+
+// Reads every gauge at sim time `t` (call only between RunUntil
+// chunks). Makes no RNG draws and consumes no cores.
+[[nodiscard]] profile::MetricCell TelemetrySample(SimScenario& scenario,
+                                                  SimTime t);
+
+// TelemetrySink: thread-safe deposit box for per-cell sample series,
+// the telemetry analogue of profile::TraceSink. Sweep cells Add()
+// their series keyed by cell seed; Take() returns them sorted by seed
+// so the --telemetry-out file is byte-identical for any --jobs value.
+class TelemetrySink {
+ public:
+  void Add(std::uint64_t seed, std::vector<profile::MetricCell> samples);
+  [[nodiscard]] std::vector<
+      std::pair<std::uint64_t, std::vector<profile::MetricCell>>>
+  Take();
+
+ private:
+  std::vector<std::pair<std::uint64_t, std::vector<profile::MetricCell>>>
+      cells_;
+  std::mutex mu_;
+};
+
+}  // namespace actyp::obs

@@ -60,6 +60,7 @@ void ProxyServer::HandleCreatePool(const net::Envelope& envelope,
   pool_config.resort_period = config_.pool_resort_period;
   pool_config.costs = config_.costs;
   pool_config.profiler = config_.profiler;
+  pool_config.recorder = config_.recorder;
 
   // Fork/exec plus the white-pages walk, charged to the proxy.
   ctx.Consume(config_.costs.pool_create_fixed +

@@ -32,6 +32,8 @@ struct ProxyConfig {
   // Handed to pools this proxy creates (not owned; null disables
   // profiling on them).
   profile::StageProfiler* profiler = nullptr;
+  // Flight recorder handed to created pools (same ownership rules).
+  obs::FlightRecorder* recorder = nullptr;
 };
 
 struct ProxyStats {

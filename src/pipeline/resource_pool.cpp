@@ -4,6 +4,7 @@
 
 #include "common/logging.hpp"
 #include "common/strings.hpp"
+#include "obs/flight_recorder.hpp"
 #include "query/parser.hpp"
 
 namespace actyp::pipeline {
@@ -387,6 +388,12 @@ void ResourcePool::HandleQuery(const net::Envelope& envelope,
 
   session_entry_[allocation.session_key] = picked;
   ++stats_.allocations;
+  if (config_.recorder != nullptr) {
+    config_.recorder->Record(ctx.Now(), obs::FlightKind::kPoolClaim,
+                             request_id, ctx.self(),
+                             config_.pool_name + " -> " +
+                                 meta_[primary].name);
+  }
   if (!reply_to.empty()) {
     net::Message out = MakeAllocationMessage(allocation);
     if (is_reservation) {
@@ -442,6 +449,10 @@ void ResourcePool::HandleRelease(const net::Envelope& envelope,
   }
   session_entry_.erase(it);
   ++stats_.releases;
+  if (config_.recorder != nullptr) {
+    config_.recorder->Record(ctx.Now(), obs::FlightKind::kPoolRelease, 0,
+                             ctx.self(), "session " + session);
+  }
 }
 
 void ResourcePool::HandleTick(net::NodeContext& ctx) {

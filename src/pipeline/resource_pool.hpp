@@ -35,6 +35,10 @@
 #include "sched/index.hpp"
 #include "sched/policy.hpp"
 
+namespace actyp::obs {
+class FlightRecorder;
+}  // namespace actyp::obs
+
 namespace actyp::pipeline {
 
 struct ResourcePoolConfig {
@@ -66,6 +70,9 @@ struct ResourcePoolConfig {
   // Stage-span sink (not owned; must outlive the node, including any
   // fault-restart copies of this config). Null disables profiling.
   profile::StageProfiler* profiler = nullptr;
+  // Flight-event sink for claim/release events (same ownership rules as
+  // the profiler). Null — the default — records nothing.
+  obs::FlightRecorder* recorder = nullptr;
 };
 
 struct PoolStats {

@@ -5,6 +5,7 @@
 #include <cmath>
 #include <cstdio>
 #include <fstream>
+#include <sstream>
 
 namespace actyp::profile {
 namespace {
@@ -120,6 +121,14 @@ void WritePromSample(const MetricCell& cell, const std::string& metric,
 }
 
 }  // namespace
+
+std::string MetricCellJson(const MetricCell& cell) {
+  std::ostringstream out;
+  WriteJsonlCell(cell, out);
+  std::string text = out.str();
+  if (!text.empty() && text.back() == '\n') text.pop_back();
+  return text;
+}
 
 std::optional<MetricsExporter::Format> MetricsExporter::ParseFormat(
     std::string_view text) {

@@ -38,6 +38,10 @@ struct MetricCell {
   std::vector<std::pair<std::string, double>> values;
 };
 
+// One cell as the exporter's jsonl line (no trailing newline) — for
+// callers that splice cells into other line formats (post-mortems).
+[[nodiscard]] std::string MetricCellJson(const MetricCell& cell);
+
 class MetricsExporter {
  public:
   enum class Format { kJsonl, kProm };

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/flight_recorder.hpp"
+
 namespace actyp::replica {
 
 ReplicaGroup::ReplicaGroup(simnet::SimKernel* kernel,
@@ -148,6 +150,14 @@ void ReplicaGroup::SyncTick(std::uint32_t id) {
         kernel_->Now() + kSyncFixedCost +
             static_cast<SimDuration>(pull_bytes / kSyncBytesPerMicro));
   }
+  if (config_.recorder != nullptr) {
+    config_.recorder->Record(
+        kernel_->Now(), obs::FlightKind::kReplicaSync,
+        profile::BackgroundId(profile::Stage::kReplicaSync, id),
+        "replica" + std::to_string(id),
+        "pull from replica" + std::to_string(peer->id()) +
+            " bytes=" + std::to_string(pull_bytes));
+  }
   // A pull from a warmed peer ends our own warming; pulling from a peer
   // that is itself still cold proves nothing (two freshly-restored
   // replicas would bless each other's empty state).
@@ -224,6 +234,12 @@ void ReplicaGroup::SyncTick(std::uint32_t id) {
       stats_.tombstones_gc += replica->PruneTombstones(floor);
     }
   }
+}
+
+std::uint64_t ReplicaGroup::TotalJournalOps() const {
+  std::uint64_t total = 0;
+  for (const auto& replica : replicas_) total += replica->journal_size();
+  return total;
 }
 
 // --- ReplicaHandle ---------------------------------------------------------

@@ -30,6 +30,10 @@
 #include "replica/replica.hpp"
 #include "simnet/kernel.hpp"
 
+namespace actyp::obs {
+class FlightRecorder;
+}  // namespace actyp::obs
+
 namespace actyp::replica {
 
 // Modeled replica_sync span cost: a pull executes instantaneously in
@@ -48,6 +52,9 @@ struct ReplicaGroupConfig {
   // When set, every anti-entropy pull records one kReplicaSync span
   // (null = profiling off, the seed path).
   profile::StageProfiler* profiler = nullptr;
+  // When set, every pull also appends one kReplicaSync flight event
+  // (not owned; must outlive the group).
+  obs::FlightRecorder* recorder = nullptr;
 };
 
 struct ReplicaGroupStats {
@@ -111,6 +118,10 @@ class ReplicaGroup {
   [[nodiscard]] bool Converged() const;
 
   [[nodiscard]] const ReplicaGroupStats& stats() const { return stats_; }
+
+  // Telemetry gauge: ops currently retained across every replica's
+  // bounded journal (journal depth of the whole group).
+  [[nodiscard]] std::uint64_t TotalJournalOps() const;
 
  private:
   void SyncTick(std::uint32_t id);

@@ -143,6 +143,12 @@ class DirectoryReplica final : public directory::DirectoryApi {
   // Live tombstones currently held (pools + pool managers).
   [[nodiscard]] std::size_t tombstone_count() const;
 
+  // Ops currently retained in the bounded journal (telemetry gauge).
+  [[nodiscard]] std::size_t journal_size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return journal_.size();
+  }
+
  private:
   template <typename Payload>
   struct Slot {

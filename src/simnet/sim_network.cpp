@@ -5,6 +5,7 @@
 
 #include "common/logging.hpp"
 #include "common/shard_stream.hpp"
+#include "obs/flight_recorder.hpp"
 
 namespace actyp::simnet {
 
@@ -60,12 +61,14 @@ class SimNetwork::Context final : public net::NodeContext {
     if (it != runtime_->timers.end()) {
       shard_->kernel->Cancel(it->second);
       runtime_->timers.erase(it);
+      RecordCancel(id);
       return true;
     }
     for (auto timer = effects_.self_schedules.begin();
          timer != effects_.self_schedules.end(); ++timer) {
       if (timer->id == id) {
         effects_.self_schedules.erase(timer);
+        RecordCancel(id);
         return true;
       }
     }
@@ -82,6 +85,14 @@ class SimNetwork::Context final : public net::NodeContext {
   [[nodiscard]] Effects TakeEffects() { return std::move(effects_); }
 
  private:
+  void RecordCancel(net::TimerId id) {
+    if (shard_->recorder != nullptr) {
+      shard_->recorder->Record(shard_->kernel->Now(),
+                               obs::FlightKind::kTimerCancel, id,
+                               runtime_->address, "");
+    }
+  }
+
   NodeRuntime* runtime_;
   Shard* shard_;
   Effects effects_;
@@ -225,17 +236,31 @@ void SimNetwork::Post(const net::Address& from, const net::Address& to,
   if (loss_probability_ > 0.0 && from != to &&
       draw_rng.Bernoulli(loss_probability_)) {
     ++sender.lost;
+    if (sender.recorder != nullptr) {
+      sender.recorder->Record(sender.kernel->Now(),
+                              obs::FlightKind::kMsgDropLoss, 0, from,
+                              message.type + " -> " + to);
+    }
     return;
   }
 
   if (topology_.IsPartitioned(from_host, to_host)) {
     ++sender.partition_dropped;
+    if (sender.recorder != nullptr) {
+      sender.recorder->Record(sender.kernel->Now(),
+                              obs::FlightKind::kMsgDropPartition, 0, from,
+                              message.type + " -> " + to);
+    }
     return;
   }
 
   const SimDuration latency =
       topology_.SampleLatency(from_host, to_host, message.WireSize(), draw_rng);
   const SimTime now = sender.kernel->Now();
+  if (sender.recorder != nullptr && from != to) {
+    sender.recorder->Record(now, obs::FlightKind::kMsgSend, 0, from,
+                            message.type + " -> " + to);
+  }
   net::Envelope env{from, to, std::move(message), now};
   if (to_shard == from_shard) {
     sender.kernel->Schedule(latency, [this, env = std::move(env)]() mutable {
@@ -263,12 +288,23 @@ void SimNetwork::Deliver(net::Envelope envelope) {
     const auto host_it = node_host_.find(envelope.to);
     const std::string& to_host =
         host_it == node_host_.end() ? envelope.to : host_it->second;
-    ++shards_[ShardOfSite(topology_.SiteOf(to_host))].dropped;
+    Shard& shard = shards_[ShardOfSite(topology_.SiteOf(to_host))];
+    ++shard.dropped;
+    if (shard.recorder != nullptr) {
+      shard.recorder->Record(shard.kernel->Now(),
+                             obs::FlightKind::kMsgDropDeadNode, 0,
+                             envelope.to, envelope.message.type);
+    }
     ACTYP_DEBUG << "sim: dropping message type '" << envelope.message.type
                 << "' to unknown node '" << envelope.to << "'";
     return;
   }
   auto runtime = it->second;
+  Shard& shard = shards_[runtime->host->shard];
+  if (shard.recorder != nullptr && envelope.from != envelope.to) {
+    shard.recorder->Record(shard.kernel->Now(), obs::FlightKind::kMsgRecv,
+                           0, envelope.to, envelope.message.type);
+  }
   runtime->pending.push_back(std::move(envelope));
   runtime->stats.max_queue =
       std::max<std::uint64_t>(runtime->stats.max_queue,
@@ -324,15 +360,26 @@ void SimNetwork::ApplyEffects(const std::shared_ptr<NodeRuntime>& runtime,
   for (auto& [to, message] : effects.sends) {
     Post(runtime->address, to, std::move(message));
   }
-  SimKernel* kernel = shards_[runtime->host->shard].kernel;
+  Shard& shard = shards_[runtime->host->shard];
+  SimKernel* kernel = shard.kernel;
   for (auto& timer : effects.self_schedules) {
     if (runtime->removed) break;  // a dead node arms no new timers
     net::Envelope env{runtime->address, runtime->address,
                       std::move(timer.message), kernel->Now()};
+    if (shard.recorder != nullptr) {
+      shard.recorder->Record(kernel->Now(), obs::FlightKind::kTimerArm,
+                             timer.id, runtime->address, env.message.type);
+    }
     const SimKernel::TimerId kernel_id = kernel->Schedule(
         timer.delay,
         [this, runtime, id = timer.id, env = std::move(env)]() mutable {
           runtime->timers.erase(id);
+          Shard& home = shards_[runtime->host->shard];
+          if (home.recorder != nullptr) {
+            home.recorder->Record(home.kernel->Now(),
+                                  obs::FlightKind::kTimerFire, id,
+                                  runtime->address, env.message.type);
+          }
           Deliver(std::move(env));
         });
     runtime->timers.emplace(timer.id, kernel_id);
@@ -468,6 +515,33 @@ std::uint64_t SimNetwork::partition_dropped() const {
 NodeStats SimNetwork::StatsFor(const net::Address& address) const {
   auto it = nodes_.find(address);
   return it == nodes_.end() ? NodeStats{} : it->second->stats;
+}
+
+void SimNetwork::SetFlightRecorder(std::size_t shard,
+                                   obs::FlightRecorder* recorder) {
+  if (shard < shards_.size()) shards_[shard].recorder = recorder;
+}
+
+std::uint64_t SimNetwork::pending_events() const {
+  std::uint64_t total = 0;
+  for (const Shard& shard : shards_) total += shard.kernel->pending();
+  return total;
+}
+
+std::uint64_t SimNetwork::queued_messages() const {
+  std::uint64_t total = 0;
+  for (const auto& [address, runtime] : nodes_) {
+    total += runtime->pending.size();
+  }
+  return total;
+}
+
+std::uint64_t SimNetwork::busy_cores() const {
+  std::uint64_t total = 0;
+  for (const auto& [name, host] : hosts_) {
+    total += static_cast<std::uint64_t>(host->busy);
+  }
+  return total;
 }
 
 }  // namespace actyp::simnet

@@ -35,6 +35,10 @@
 #include "simnet/kernel.hpp"
 #include "simnet/topology.hpp"
 
+namespace actyp::obs {
+class FlightRecorder;
+}  // namespace actyp::obs
+
 namespace actyp::simnet {
 
 struct NodeStats {
@@ -98,6 +102,18 @@ class SimNetwork final : public net::Network {
   // Messages dropped on a cut site pair (Topology::SetPartition).
   [[nodiscard]] std::uint64_t partition_dropped() const;
 
+  // Attaches a flight recorder to `shard` (not owned; must outlive the
+  // network). Each shard records only from its own execution, so the
+  // recorders need no locking; null detaches. Recording draws nothing
+  // and consumes nothing — attaching is invisible to the simulation.
+  void SetFlightRecorder(std::size_t shard, obs::FlightRecorder* recorder);
+
+  // Telemetry gauges, summed across shards/hosts/nodes. Deterministic
+  // reads (no draws, no consumption); call only between run windows.
+  [[nodiscard]] std::uint64_t pending_events() const;
+  [[nodiscard]] std::uint64_t queued_messages() const;
+  [[nodiscard]] std::uint64_t busy_cores() const;
+
  private:
   struct NodeRuntime;
 
@@ -154,6 +170,9 @@ class SimNetwork final : public net::Network {
     std::uint64_t lost = 0;
     std::uint64_t partition_dropped = 0;
     std::vector<std::vector<CrossShardMessage>> outbox;  // per dest shard
+    // Optional flight recorder (not owned); written only from this
+    // shard's execution.
+    obs::FlightRecorder* recorder = nullptr;
   };
 
   class Context;

@@ -1,0 +1,303 @@
+// Observability tests: flight-recorder ring semantics, determinism of
+// the merged flight stream across repeat runs and LP worker counts,
+// byte-identity of the simulation with the recorder on vs off,
+// reservoir-vs-ring quantile agreement, and telemetry sample-stream
+// determinism (including the sampled Measure overload leaving the run
+// byte-identical to the unsampled one).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "actyp/scenario.hpp"
+#include "obs/flight_recorder.hpp"
+#include "obs/telemetry.hpp"
+#include "profile/metrics_exporter.hpp"
+#include "profile/stage_profiler.hpp"
+
+namespace actyp {
+namespace {
+
+using obs::FlightEvent;
+using obs::FlightKind;
+using obs::FlightRecorder;
+
+ScenarioConfig SmallConfig() {
+  ScenarioConfig config;
+  config.machines = 200;
+  config.clusters = 1;
+  config.clients = 4;
+  config.seed = 4242;
+  return config;
+}
+
+ScenarioConfig WanConfig(std::size_t cell_jobs) {
+  ScenarioConfig config;
+  config.machines = 200;
+  config.clusters = 2;
+  config.clients = 4;
+  config.wan_sites = 2;
+  config.cell_jobs = cell_jobs;
+  config.seed = 4242;
+  return config;
+}
+
+std::vector<std::string> Jsonl(const std::vector<FlightEvent>& events) {
+  std::vector<std::string> lines;
+  lines.reserve(events.size());
+  for (const FlightEvent& event : events) {
+    lines.push_back(obs::FlightEventJson(event));
+  }
+  return lines;
+}
+
+std::vector<std::string> Jsonl(
+    const std::vector<profile::MetricCell>& cells) {
+  std::vector<std::string> lines;
+  lines.reserve(cells.size());
+  for (const profile::MetricCell& cell : cells) {
+    lines.push_back(profile::MetricCellJson(cell));
+  }
+  return lines;
+}
+
+TEST(FlightRecorder, RingKeepsMostRecentAndSeqSurvivesReset) {
+  FlightRecorder recorder(/*shard=*/3, /*capacity=*/4);
+  for (int i = 0; i < 6; ++i) {
+    recorder.Record(Seconds(i), FlightKind::kTimerFire,
+                    static_cast<std::uint64_t>(i), "node", "tick");
+  }
+#if !defined(ACTYP_PROFILE_OFF)
+  EXPECT_EQ(recorder.recorded(), 6u);
+  const auto window = recorder.Snapshot();
+  ASSERT_EQ(window.size(), 4u);
+  // Oldest first, and only the most recent four survive.
+  EXPECT_EQ(window.front().id, 2u);
+  EXPECT_EQ(window.back().id, 5u);
+  for (const FlightEvent& event : window) EXPECT_EQ(event.shard, 3u);
+
+  recorder.Reset();
+  EXPECT_TRUE(recorder.Snapshot().empty());
+  recorder.Record(Seconds(9), FlightKind::kTimerArm, 7, "node", "later");
+  // The sequence counter keeps climbing across Reset: merged streams
+  // stay strictly ordered even when the window is rebuilt mid-run.
+  EXPECT_GT(recorder.Snapshot().front().seq, window.back().seq);
+#else
+  EXPECT_EQ(recorder.recorded(), 0u);
+#endif
+}
+
+TEST(FlightRecorder, MergeOrdersByTimeShardSeq) {
+  FlightRecorder a(/*shard=*/0, /*capacity=*/8);
+  FlightRecorder b(/*shard=*/1, /*capacity=*/8);
+  a.Record(Seconds(2), FlightKind::kMsgSend, 1, "n", "");
+  b.Record(Seconds(1), FlightKind::kMsgSend, 2, "n", "");
+  b.Record(Seconds(2), FlightKind::kMsgRecv, 3, "n", "");
+  auto merged = obs::MergeFlightEvents({a.Snapshot(), b.Snapshot()});
+#if !defined(ACTYP_PROFILE_OFF)
+  ASSERT_EQ(merged.size(), 3u);
+  EXPECT_EQ(merged[0].id, 2u);  // t=1
+  EXPECT_EQ(merged[1].id, 1u);  // t=2 shard 0 before shard 1
+  EXPECT_EQ(merged[2].id, 3u);
+#else
+  EXPECT_TRUE(merged.empty());
+#endif
+}
+
+TEST(FlightRecorder, EventJsonShape) {
+  FlightEvent event;
+  event.t = Millis(1500);
+  event.kind = FlightKind::kMsgDropLoss;
+  event.shard = 1;
+  event.seq = 7;
+  event.id = 42;
+  event.node = "client0";
+  event.detail = "p=\"0.5\"";
+  EXPECT_EQ(obs::FlightEventJson(event),
+            "{\"t\":1.5,\"kind\":\"msg_drop_loss\",\"shard\":1,"
+            "\"seq\":7,\"id\":42,\"node\":\"client0\","
+            "\"detail\":\"p=\\\"0.5\\\"\"}");
+}
+
+TEST(Flight, RepeatRunsProduceIdenticalStreams) {
+  ScenarioConfig config = SmallConfig();
+  config.flight_recorder = true;
+  SimScenario first(config);
+  first.Measure(Seconds(2), Seconds(10));
+  SimScenario second(config);
+  second.Measure(Seconds(2), Seconds(10));
+  const auto lines = Jsonl(first.FlightSnapshot());
+#if !defined(ACTYP_PROFILE_OFF)
+  EXPECT_FALSE(lines.empty());
+#endif
+  EXPECT_EQ(lines, Jsonl(second.FlightSnapshot()));
+}
+
+TEST(Flight, RecorderDoesNotPerturbTheRun) {
+  ScenarioConfig off = SmallConfig();
+  ScenarioConfig on = SmallConfig();
+  on.flight_recorder = true;
+  SimScenario plain(off);
+  plain.Measure(Seconds(2), Seconds(10));
+  SimScenario recorded(on);
+  recorded.Measure(Seconds(2), Seconds(10));
+  EXPECT_EQ(plain.collector().completed(), recorded.collector().completed());
+  EXPECT_EQ(plain.collector().failures(), recorded.collector().failures());
+  EXPECT_DOUBLE_EQ(plain.collector().response_stats().mean(),
+                   recorded.collector().response_stats().mean());
+  EXPECT_EQ(plain.total_events(), recorded.total_events());
+}
+
+TEST(Flight, MergedStreamIdenticalAcrossCellJobs) {
+  ScenarioConfig serial = WanConfig(/*cell_jobs=*/1);
+  serial.flight_recorder = true;
+  ScenarioConfig threaded = WanConfig(/*cell_jobs=*/2);
+  threaded.flight_recorder = true;
+  SimScenario one(serial);
+  one.Measure(Seconds(2), Seconds(10));
+  SimScenario two(threaded);
+  two.Measure(Seconds(2), Seconds(10));
+  ASSERT_TRUE(one.lp_mode());
+  ASSERT_TRUE(two.lp_mode());
+  const auto lines = Jsonl(one.FlightSnapshot());
+#if !defined(ACTYP_PROFILE_OFF)
+  EXPECT_FALSE(lines.empty());
+  // Both LP shards contribute to the merged stream.
+  bool saw_shard1 = false;
+  for (const FlightEvent& event : one.FlightSnapshot()) {
+    if (event.shard == 1) saw_shard1 = true;
+  }
+  EXPECT_TRUE(saw_shard1);
+#endif
+  EXPECT_EQ(lines, Jsonl(two.FlightSnapshot()));
+}
+
+TEST(Sampling, ReservoirQuantilesAgreeWithRing) {
+  // Under capacity the reservoir holds every duration, so its order
+  // statistics are exact; the histogram interpolates within ~15%-wide
+  // geometric buckets. The two must agree to bucket resolution.
+  profile::StageProfiler::Config ring_config;
+  profile::StageProfiler::Config reservoir_config;
+  reservoir_config.sampling = profile::SamplingMode::kReservoir;
+  reservoir_config.reservoir_capacity = 4096;
+  profile::StageProfiler ring(ring_config);
+  profile::StageProfiler reservoir(reservoir_config);
+  for (int i = 1; i <= 1000; ++i) {
+    const SimTime exit = Millis(i);
+    ring.Record(profile::Stage::kPoolSelect, i, 0, exit);
+    reservoir.Record(profile::Stage::kPoolSelect, i, 0, exit);
+  }
+#if !defined(ACTYP_PROFILE_OFF)
+  const auto from_ring = ring.Summary(profile::Stage::kPoolSelect);
+  const auto from_res = reservoir.Summary(profile::Stage::kPoolSelect);
+  EXPECT_EQ(from_ring.count, from_res.count);
+  EXPECT_DOUBLE_EQ(from_ring.mean_s, from_res.mean_s);
+  EXPECT_NEAR(from_res.p50_s, from_ring.p50_s, 0.16 * from_ring.p50_s);
+  EXPECT_NEAR(from_res.p95_s, from_ring.p95_s, 0.16 * from_ring.p95_s);
+  EXPECT_NEAR(from_res.p99_s, from_ring.p99_s, 0.16 * from_ring.p99_s);
+  // Exact order statistics from the full sample.
+  EXPECT_DOUBLE_EQ(from_res.p50_s, 0.5);
+  ASSERT_EQ(
+      reservoir.Reservoir(profile::Stage::kPoolSelect).size(), 1000u);
+#endif
+}
+
+TEST(Sampling, ReservoirIsDeterministic) {
+  profile::StageProfiler::Config config;
+  config.sampling = profile::SamplingMode::kReservoir;
+  config.reservoir_capacity = 64;
+  profile::StageProfiler first(config);
+  profile::StageProfiler second(config);
+  for (int i = 1; i <= 5000; ++i) {
+    first.Record(profile::Stage::kQmAdmit, i, 0, Millis(i));
+    second.Record(profile::Stage::kQmAdmit, i, 0, Millis(i));
+  }
+  EXPECT_EQ(first.Reservoir(profile::Stage::kQmAdmit),
+            second.Reservoir(profile::Stage::kQmAdmit));
+#if !defined(ACTYP_PROFILE_OFF)
+  EXPECT_EQ(first.Reservoir(profile::Stage::kQmAdmit).size(), 64u);
+  // Reset rebuilds an identical reservoir from an identical replay:
+  // the private RNG reseeds, so merged-view rebuilds are idempotent.
+  first.Reset();
+  for (int i = 1; i <= 5000; ++i) {
+    first.Record(profile::Stage::kQmAdmit, i, 0, Millis(i));
+  }
+  EXPECT_EQ(first.Reservoir(profile::Stage::kQmAdmit),
+            second.Reservoir(profile::Stage::kQmAdmit));
+#endif
+}
+
+TEST(Sampling, ModeNamesRoundTrip) {
+  EXPECT_EQ(profile::SamplingModeFromName("ring"),
+            profile::SamplingMode::kRing);
+  EXPECT_EQ(profile::SamplingModeFromName("reservoir"),
+            profile::SamplingMode::kReservoir);
+  EXPECT_FALSE(profile::SamplingModeFromName("histogram").has_value());
+}
+
+TEST(Telemetry, SampledMeasureDoesNotPerturbTheRun) {
+  ScenarioConfig config = SmallConfig();
+  SimScenario plain(config);
+  plain.Measure(Seconds(2), Seconds(10));
+  SimScenario sampled(config);
+  std::size_t samples = 0;
+  sampled.Measure(Seconds(2), Seconds(10), Seconds(1),
+                  [&](SimTime) { ++samples; });
+  EXPECT_EQ(samples, 11u);  // the window start plus ten chunk ends
+  EXPECT_EQ(plain.collector().completed(),
+            sampled.collector().completed());
+  EXPECT_DOUBLE_EQ(plain.collector().response_stats().mean(),
+                   sampled.collector().response_stats().mean());
+  EXPECT_EQ(plain.total_events(), sampled.total_events());
+}
+
+TEST(Telemetry, SampleStreamIsDeterministic) {
+  const auto run = [](std::size_t cell_jobs) {
+    ScenarioConfig config = WanConfig(cell_jobs);
+    SimScenario scenario(config);
+    std::vector<profile::MetricCell> samples;
+    scenario.Measure(Seconds(2), Seconds(10), Seconds(1),
+                     [&](SimTime t) {
+                       samples.push_back(obs::TelemetrySample(scenario, t));
+                     });
+    return Jsonl(samples);
+  };
+  const auto first = run(1);
+  EXPECT_EQ(first.size(), 11u);
+  EXPECT_EQ(first, run(1));
+  // The LP worker count is an execution knob: same gauges, same bytes.
+  EXPECT_EQ(first, run(2));
+}
+
+TEST(Telemetry, GaugesTrackTheRun) {
+  ScenarioConfig config = SmallConfig();
+  SimScenario scenario(config);
+  std::vector<profile::MetricCell> samples;
+  scenario.Measure(Seconds(2), Seconds(10), Seconds(1), [&](SimTime t) {
+    samples.push_back(obs::TelemetrySample(scenario, t));
+  });
+  ASSERT_FALSE(samples.empty());
+  const auto value = [](const profile::MetricCell& cell,
+                        const std::string& key) {
+    for (const auto& [name, v] : cell.values) {
+      if (name == key) return v;
+    }
+    ADD_FAILURE() << "missing gauge " << key;
+    return 0.0;
+  };
+  // t_s is the sim clock in seconds: warmup ended at 2 s.
+  EXPECT_DOUBLE_EQ(value(samples.front(), "t_s"), 2.0);
+  EXPECT_DOUBLE_EQ(value(samples.back(), "t_s"), 12.0);
+  // Completed counts are cumulative and non-decreasing over the window.
+  double last = -1;
+  for (const auto& cell : samples) {
+    const double completed = value(cell, "completed");
+    EXPECT_GE(completed, last);
+    last = completed;
+  }
+  EXPECT_GT(last, 0.0);
+  EXPECT_DOUBLE_EQ(value(samples.back(), "failures"), 0.0);
+}
+
+}  // namespace
+}  // namespace actyp

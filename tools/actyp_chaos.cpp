@@ -25,6 +25,7 @@
 #include "common/strings.hpp"
 #include "chaos/shrinker.hpp"
 #include "chaos/trial.hpp"
+#include "obs/postmortem.hpp"
 
 namespace {
 
@@ -265,6 +266,35 @@ int main(int argc, char** argv) {
     for (const auto& event : minimal.plan.events) {
       std::printf("    %s\n", event.Serialize().c_str());
     }
+    // Re-run the minimal trial once more with the flight recorder and
+    // gauge sampler armed, and dump the post-mortem next to the bundle.
+    actyp::chaos::TrialCapture capture;
+    const auto replay = actyp::chaos::RunTrial(minimal, params, &capture);
+    actyp::obs::PostmortemBundle postmortem;
+    postmortem.seed = minimal.seed;
+    postmortem.regime = minimal.regime.Serialize();
+    const auto& violations = replay.violations.empty()
+                                 ? outcomes[i].violations
+                                 : replay.violations;
+    for (const auto& violation : violations) {
+      postmortem.violations.push_back(violation.invariant + ": " +
+                                      violation.detail);
+    }
+    for (const auto& event : minimal.plan.events) {
+      postmortem.fault_events.push_back(event.Serialize());
+    }
+    postmortem.telemetry = std::move(capture.telemetry);
+    postmortem.flight = std::move(capture.flight);
+    const std::string pm_path = out_dir + "/chaos_postmortem_seed" +
+                                std::to_string(minimal.seed) + ".jsonl";
+    const auto pm_status =
+        actyp::obs::WritePostmortemFile(postmortem, pm_path);
+    if (!pm_status.ok()) {
+      std::fprintf(stderr, "actyp_chaos: %s\n",
+                   pm_status.ToString().c_str());
+      return 1;
+    }
+    std::printf("  post-mortem dump: %s\n", pm_path.c_str());
   }
   return 1;
 }

@@ -33,6 +33,7 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <iterator>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -43,7 +44,10 @@
 #include "common/strings.hpp"
 #include "common/thread_pool.hpp"
 #include "fault/fault_plan.hpp"
+#include "obs/flight_recorder.hpp"
+#include "obs/telemetry.hpp"
 #include "profile/metrics_exporter.hpp"
+#include "profile/stage_profiler.hpp"
 #include "profile/trace_assembler.hpp"
 
 namespace {
@@ -69,6 +73,9 @@ int Usage(int code) {
       "                 [--profile-ring-capacity N]\n"
       "                 [--metrics-out FILE] [--metrics-format jsonl|prom]\n"
       "                 [--metrics-interval S]\n"
+      "                 [--telemetry-out FILE] [--telemetry-interval S]\n"
+      "                 [--flight-out FILE]\n"
+      "                 [--profile-sampling ring|reservoir]\n"
       "                 [--trace-out FILE] [--trace-top N]\n"
       "                 [--trace-filter SPEC]\n"
       "\n"
@@ -123,6 +130,22 @@ int Usage(int code) {
       "                    the --metrics-out file every S simulated\n"
       "                    seconds (scaled by --time-scale) while each\n"
       "                    cell runs, instead of only writing at the end\n"
+      "  --telemetry-out FILE  record a continuous gauge time-series\n"
+      "                    (queue depths, inflight requests, per-site\n"
+      "                    load, replica staleness, pending timers) on\n"
+      "                    the sim clock and write it as JSON lines;\n"
+      "                    byte-identical for any --jobs / --cell-jobs\n"
+      "  --telemetry-interval S  sim seconds between telemetry samples\n"
+      "                    (scaled by --time-scale; default 1)\n"
+      "  --flight-out FILE  enable the flight recorder (bounded ring of\n"
+      "                    structured events: message sends/drops, timer\n"
+      "                    arms/fires, fault strikes, replica syncs, pool\n"
+      "                    claims) and write the merged window to FILE as\n"
+      "                    JSON lines\n"
+      "  --profile-sampling M  per-stage latency sampling mode: 'ring'\n"
+      "                    (exact histogram + span ring, the default) or\n"
+      "                    'reservoir' (seeded fixed-size reservoir per\n"
+      "                    stage; p50/p95/p99 from its order statistics)\n"
       "  --trace-out FILE  assemble per-request traces from the span\n"
       "                    rings and write the slowest + exemplar\n"
       "                    requests (plus replica_sync / monitor_sweep\n"
@@ -184,6 +207,14 @@ struct TraceOutput {
   actyp::profile::TraceFilter filter;  // --trace-filter (default: all)
 };
 
+// Destinations for --telemetry-out / --flight-out.
+struct ObsOutput {
+  std::string telemetry_path;          // empty = no telemetry series
+  double telemetry_interval_s = 1.0;   // sim seconds between samples
+  bool telemetry_interval_set = false;
+  std::string flight_path;             // empty = recorder stays off
+};
+
 // Flattens one finished report into exporter cells: string labels pass
 // through, numeric dims become labels (formatted like the JSON report),
 // metrics become the values.
@@ -216,7 +247,8 @@ std::vector<actyp::profile::MetricCell> FlattenReport(
 // [fault] section in FaultPlan::FromConfig form. Returns 0 on success.
 int ApplyConfigFile(const char* path, std::vector<std::string>* names,
                     ScenarioRunOptions* options, bool* json, bool* all,
-                    MetricsOutput* metrics, TraceOutput* trace) {
+                    MetricsOutput* metrics, TraceOutput* trace,
+                    ObsOutput* obs) {
   std::ifstream file(path);
   if (!file) {
     std::fprintf(stderr, "actyp_sim: cannot read config '%s'\n", path);
@@ -339,8 +371,38 @@ int ApplyConfigFile(const char* path, std::vector<std::string>* names,
   }
   if (const auto value = config->Get("metrics-interval")) {
     const auto parsed = actyp::ParseDouble(*value);
-    if (!parsed || !(*parsed > 0)) return bad("metrics-interval", *value);
+    if (!parsed || !(*parsed > 0)) {
+      std::fprintf(stderr,
+                   "actyp_sim: %s: metrics-interval must be a positive "
+                   "number of simulated seconds, got '%s'\n",
+                   path, value->c_str());
+      return 1;
+    }
     metrics->interval_s = *parsed;
+  }
+  if (const auto value = config->Get("telemetry-out")) {
+    obs->telemetry_path = *value;
+  }
+  if (const auto value = config->Get("telemetry-interval")) {
+    const auto parsed = actyp::ParseDouble(*value);
+    if (!parsed || !(*parsed > 0)) {
+      std::fprintf(stderr,
+                   "actyp_sim: %s: telemetry-interval must be a positive "
+                   "number of simulated seconds, got '%s'\n",
+                   path, value->c_str());
+      return 1;
+    }
+    obs->telemetry_interval_s = *parsed;
+    obs->telemetry_interval_set = true;
+  }
+  if (const auto value = config->Get("flight-out")) {
+    obs->flight_path = *value;
+  }
+  if (const auto value = config->Get("profile-sampling")) {
+    if (!actyp::profile::SamplingModeFromName(*value)) {
+      return bad("profile-sampling", *value);
+    }
+    options->profile_sampling = *value;
   }
   if (const auto value = config->Get("trace-out")) {
     trace->path = *value;
@@ -381,6 +443,7 @@ int main(int argc, char** argv) {
   ScenarioRunOptions options;
   MetricsOutput metrics;
   TraceOutput trace;
+  ObsOutput obs;
 
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
@@ -399,7 +462,7 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(arg, "--config") == 0) {
       if (i + 1 >= argc) return MissingValue(arg);
       if (const int rc = ApplyConfigFile(argv[++i], &names, &options, &json,
-                                         &all, &metrics, &trace);
+                                         &all, &metrics, &trace, &obs);
           rc != 0) {
         return rc;
       }
@@ -510,9 +573,37 @@ int main(int argc, char** argv) {
       if (i + 1 >= argc) return MissingValue(arg);
       double value = 0;
       if (!ParseDouble(argv[++i], &value) || !(value > 0)) {
-        return BadValue(arg, argv[i]);
+        std::fprintf(stderr,
+                     "actyp_sim: --metrics-interval must be a positive "
+                     "number of simulated seconds, got '%s'\n",
+                     argv[i]);
+        return 2;
       }
       metrics.interval_s = value;
+    } else if (std::strcmp(arg, "--telemetry-out") == 0) {
+      if (i + 1 >= argc) return MissingValue(arg);
+      obs.telemetry_path = argv[++i];
+    } else if (std::strcmp(arg, "--telemetry-interval") == 0) {
+      if (i + 1 >= argc) return MissingValue(arg);
+      double value = 0;
+      if (!ParseDouble(argv[++i], &value) || !(value > 0)) {
+        std::fprintf(stderr,
+                     "actyp_sim: --telemetry-interval must be a positive "
+                     "number of simulated seconds, got '%s'\n",
+                     argv[i]);
+        return 2;
+      }
+      obs.telemetry_interval_s = value;
+      obs.telemetry_interval_set = true;
+    } else if (std::strcmp(arg, "--flight-out") == 0) {
+      if (i + 1 >= argc) return MissingValue(arg);
+      obs.flight_path = argv[++i];
+    } else if (std::strcmp(arg, "--profile-sampling") == 0) {
+      if (i + 1 >= argc) return MissingValue(arg);
+      if (!actyp::profile::SamplingModeFromName(argv[++i])) {
+        return BadValue(arg, argv[i]);
+      }
+      options.profile_sampling = argv[i];
     } else if (std::strcmp(arg, "--trace-out") == 0) {
       if (i + 1 >= argc) return MissingValue(arg);
       trace.path = argv[++i];
@@ -609,6 +700,20 @@ int main(int argc, char** argv) {
     options.metrics_streamer = &streamer;
     options.metrics_interval_s = metrics.interval_s;
   }
+  actyp::obs::TelemetrySink telemetry_sink;
+  if (!obs.telemetry_path.empty()) {
+    options.telemetry_sink = &telemetry_sink;
+    options.telemetry_interval_s = obs.telemetry_interval_s;
+  } else if (obs.telemetry_interval_set) {
+    std::fprintf(stderr,
+                 "actyp_sim: --telemetry-interval needs --telemetry-out "
+                 "FILE\n");
+    return 2;
+  }
+  actyp::obs::FlightSink flight_sink;
+  if (!obs.flight_path.empty()) {
+    options.flight_sink = &flight_sink;
+  }
 
   // Multi-scenario runs parallelize across scenarios (each worker runs
   // its scenario's cells serially); a single scenario parallelizes its
@@ -670,6 +775,35 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "actyp_sim: %s\n", status.ToString().c_str());
         return 1;
       }
+    }
+  }
+
+  if (!obs.telemetry_path.empty()) {
+    // One JSONL line per sample, cells ordered by seed — the sink's
+    // drain order — so the file is byte-identical for any --jobs.
+    MetricsExporter exporter(MetricsExporter::Format::kJsonl);
+    for (auto& [seed, samples] : telemetry_sink.Take()) {
+      for (auto& sample : samples) exporter.Add(std::move(sample));
+    }
+    if (const auto status = exporter.WriteFile(obs.telemetry_path);
+        !status.ok()) {
+      std::fprintf(stderr, "actyp_sim: %s\n", status.ToString().c_str());
+      return 1;
+    }
+  }
+
+  if (!obs.flight_path.empty()) {
+    std::vector<actyp::obs::FlightEvent> events;
+    for (auto& [seed, cell_events] : flight_sink.Take()) {
+      events.insert(events.end(),
+                    std::make_move_iterator(cell_events.begin()),
+                    std::make_move_iterator(cell_events.end()));
+    }
+    if (const auto status =
+            actyp::obs::WriteFlightJsonlFile(events, obs.flight_path);
+        !status.ok()) {
+      std::fprintf(stderr, "actyp_sim: %s\n", status.ToString().c_str());
+      return 1;
     }
   }
 
